@@ -1,0 +1,103 @@
+"""Figure 2: parallel aggregation under the four smart configurations.
+
+18-core machine, two 4 GB arrays.  Paper's annotations:
+(a) single socket 43 GB/s / 201 ms, (b) interleaved 71 GB/s / 122 ms,
+(c) replicated 80 GB/s / 109 ms, (d) replicated+compressed 73 GB/s /
+62 ms.  Benchmark mode runs the real parallel aggregation (vectorized
+batches) under each placement at reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import allocate
+from repro.numa import NumaAllocator, machine_2x18_haswell
+from repro.perfmodel import figure2_rows, format_rows
+from repro.runtime import WorkerPool, parallel_sum_bulk
+
+try:
+    from .common import emit, paper_vs_model
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit, paper_vs_model
+
+FUNCTIONAL_ELEMENTS = 400_000  # per array; model runs at the full 5e8
+
+
+def figure2_report() -> str:
+    from repro._util import barchart
+
+    rows = figure2_rows(machine_2x18_haswell())
+    paper_times = ("201 ms", "122 ms", "109 ms", "62 ms")
+    paper_bws = ("43", "71", "80", "73")
+    lines = [format_rows(rows), ""]
+    lines.append(barchart(
+        [r.placement_label for r in rows],
+        [r.time_ms for r in rows],
+        unit="ms",
+        reference=[201, 122, 109, 62],
+    ))
+    lines += ["", "paper vs model:"]
+    triples = []
+    for row, pt, pb in zip(rows, paper_times, paper_bws):
+        triples.append((f"{row.placement_label} time", pt, f"{row.time_ms:.0f} ms"))
+        triples.append(
+            (f"{row.placement_label} bandwidth", pb + " GB/s",
+             f"{row.bandwidth_gbs:.0f} GB/s")
+        )
+    lines.append(paper_vs_model(triples))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    allocator = NumaAllocator(machine_2x18_haswell())
+    pool = WorkerPool(allocator.machine, n_workers=4)
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 2**33, size=FUNCTIONAL_ELEMENTS, dtype=np.uint64)
+    expected = 2 * int(values.astype(object).sum())
+    return allocator, pool, values, expected
+
+
+def _arrays(allocator, values, bits, **placement):
+    return [
+        allocate(values.size, bits=bits, values=values, allocator=allocator,
+                 **placement)
+        for _ in range(2)
+    ]
+
+
+def test_aggregation_single_socket(benchmark, setup):
+    allocator, pool, values, expected = setup
+    arrays = _arrays(allocator, values, 64, pinned=0)
+    assert benchmark(lambda: parallel_sum_bulk(arrays, pool)) == expected
+
+
+def test_aggregation_interleaved(benchmark, setup):
+    allocator, pool, values, expected = setup
+    arrays = _arrays(allocator, values, 64, interleaved=True)
+    assert benchmark(lambda: parallel_sum_bulk(arrays, pool)) == expected
+
+
+def test_aggregation_replicated(benchmark, setup):
+    allocator, pool, values, expected = setup
+    arrays = _arrays(allocator, values, 64, replicated=True)
+    assert benchmark(lambda: parallel_sum_bulk(arrays, pool)) == expected
+
+
+def test_aggregation_replicated_compressed(benchmark, setup):
+    allocator, pool, values, expected = setup
+    arrays = _arrays(allocator, values, 33, replicated=True)
+    assert benchmark(lambda: parallel_sum_bulk(arrays, pool)) == expected
+
+
+def main() -> None:
+    emit(
+        "Figure 2 — aggregation under smart configurations "
+        "(18-core machine, 2 x 4 GB arrays, modelled)",
+        figure2_report(),
+        "figure2.txt",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Figure 3: single-threaded aggregation across language bindings.
+
+C++ and Java built-ins vs JNI vs unsafe vs smart arrays on GraalVM.
+Script mode prints the modelled bars with the performant/interoperable
+annotations; benchmark mode times the *real* access paths at reduced
+scale — the C++ path (direct iterator) and the Java path (every access
+through the entry-point surface, width profiled once, as in Function 4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import allocate
+from repro.interop import (
+    FIGURE3_BINDINGS,
+    aggregate_cpp,
+    aggregate_java,
+    figure3_estimates,
+    format_figure3,
+)
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+try:
+    from .common import emit, paper_vs_model
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit, paper_vs_model
+
+FUNCTIONAL_ELEMENTS = 20_000
+
+#: Paper's approximate bar lengths (read off Figure 3's 0-8 s axis).
+PAPER_SECONDS = {
+    "C++": 2.0,
+    "Java": 2.4,
+    "Java with JNI": 7.4,
+    "Java with unsafe": 2.6,
+    "Java with smart arrays": 2.6,
+}
+
+
+def figure3_report() -> str:
+    estimates = figure3_estimates()
+    lines = [format_figure3(estimates), "", "paper (approx.) vs model:"]
+    triples = [
+        (e.binding.name, f"{PAPER_SECONDS[e.binding.name]:.1f} s",
+         f"{e.time_s:.1f} s")
+        for e in estimates
+    ]
+    lines.append(paper_vs_model(triples))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def array():
+    allocator = NumaAllocator(machine_2x8_haswell())
+    values = np.arange(FUNCTIONAL_ELEMENTS, dtype=np.uint64)
+    sa = allocate(FUNCTIONAL_ELEMENTS, bits=33, values=values,
+                  allocator=allocator)
+    return sa, int(values.sum())
+
+
+def test_aggregate_via_cpp_path(benchmark, array):
+    sa, expected = array
+    assert benchmark(lambda: aggregate_cpp(sa)) == expected
+
+
+def test_aggregate_via_java_thin_api(benchmark, array):
+    sa, expected = array
+    assert benchmark(lambda: aggregate_java(sa)) == expected
+
+
+def test_bindings_cover_figure3(array):
+    assert len(FIGURE3_BINDINGS) == 5
+
+
+def main() -> None:
+    emit(
+        "Figure 3 — single-threaded aggregation across language bindings "
+        "(modelled at 1e9 elements)",
+        figure3_report(),
+        "figure3.txt",
+    )
+    from repro.interop import format_paths
+
+    emit(
+        "Figure 7 — the three interoperability paths (amortized costs)",
+        format_paths(),
+        "figure7_paths.txt",
+    )
+
+
+if __name__ == "__main__":
+    main()

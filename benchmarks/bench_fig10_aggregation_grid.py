@@ -1,0 +1,70 @@
+"""Figure 10: the full aggregation grid.
+
+Bit widths {10, 31, 32, 33, 50, 63, 64} x placements {OS default/single
+socket, interleaved, replicated} x languages {C++, Java} x machines
+{8-core, 18-core}; three panels each (time, instructions, bandwidth).
+Script mode prints all four grids; benchmark mode times the real
+vectorized scan kernel across the width sweep (the crossover between
+specialized and generic widths is real in Python too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import allocate, bitpack
+from repro.numa import NumaAllocator, machine_2x18_haswell, machine_2x8_haswell
+from repro.perfmodel import FIGURE10_BITS, figure10_grid, format_rows
+from repro.runtime import WorkerPool, parallel_sum_bulk
+
+try:
+    from .common import emit
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit
+
+FUNCTIONAL_ELEMENTS = 600_000
+
+
+def figure10_report() -> str:
+    sections = []
+    for machine in (machine_2x8_haswell(), machine_2x18_haswell()):
+        for language in ("C++", "Java"):
+            sections.append(f"--- {language}, {machine.name} ---")
+            sections.append(format_rows(figure10_grid(machine, language)))
+            sections.append("")
+    return "\n".join(sections)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 2**10, size=FUNCTIONAL_ELEMENTS, dtype=np.uint64)
+
+
+@pytest.mark.parametrize("bits", FIGURE10_BITS)
+def test_scan_kernel_width_sweep(benchmark, data, bits):
+    """Real unpack throughput across the Figure 10 width sweep."""
+    words = bitpack.pack_array(data, bits)
+    out = benchmark(lambda: bitpack.unpack_array(words, data.size, bits))
+    assert out[17] == data[17]
+
+
+@pytest.mark.parametrize("bits", [33, 64])
+def test_parallel_aggregation_width(benchmark, data, bits):
+    allocator = NumaAllocator(machine_2x18_haswell())
+    pool = WorkerPool(allocator.machine, n_workers=4)
+    sa = allocate(data.size, bits=bits, values=data, allocator=allocator)
+    expected = int(data.sum())
+    assert benchmark(lambda: parallel_sum_bulk(sa, pool)) == expected
+
+
+def main() -> None:
+    emit(
+        "Figure 10 — aggregation: bits x placement x language x machine "
+        "(modelled at 2 x 4 GB)",
+        figure10_report(),
+        "figure10.txt",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Figure 12: PageRank across compression variants and placements.
+
+Twitter graph (42 M vertices, 1.5 B edges), damping 0.85, 15 iterations;
+variants U / 32 / V / V+E.  Script mode prints both machines' grids and
+the memory-saving figure (paper: ~21% for V+E); benchmark mode runs the
+real PageRank on a scaled twitter-like graph under U and V+E configs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement
+from repro.graph import CSRGraph, GraphConfig, pagerank, twitter_like
+from repro.numa import NumaAllocator, machine_2x18_haswell, machine_2x8_haswell
+from repro.perfmodel import (
+    PAGERANK_VARIANTS,
+    figure12_grid,
+    format_graph_rows,
+    pagerank_memory_bytes,
+)
+
+try:
+    from .common import emit
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit
+
+FUNCTIONAL_VERTICES = 15_000
+
+
+def figure12_report() -> str:
+    sections = []
+    for machine in (machine_2x8_haswell(), machine_2x18_haswell()):
+        sections.append(f"--- {machine.name} ---")
+        sections.append(format_graph_rows(figure12_grid(machine)))
+        sections.append("")
+    u = pagerank_memory_bytes(variant="U")
+    sections.append("memory space (paper formula, Twitter graph):")
+    for variant in PAGERANK_VARIANTS:
+        b = pagerank_memory_bytes(variant=variant)
+        sections.append(
+            f"  {variant:>4}: {b / 1e9:7.2f} GB "
+            f"({(1 - b / u) * 100:5.1f}% saved vs U)"
+        )
+    sections.append("  paper: 'V+E' saves around 21% over the uncompressed case")
+    return "\n".join(sections)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    allocator = NumaAllocator(machine_2x18_haswell())
+    src, dst = twitter_like(FUNCTIONAL_VERTICES, seed=9)
+    u = CSRGraph.from_edges(
+        src, dst, n_vertices=FUNCTIONAL_VERTICES,
+        config=GraphConfig.uncompressed(Placement.interleaved()),
+        allocator=allocator,
+    )
+    ve = CSRGraph.from_edges(
+        src, dst, n_vertices=FUNCTIONAL_VERTICES,
+        config=GraphConfig.compressed_all(Placement.replicated()),
+        allocator=allocator,
+    )
+    return u, ve
+
+
+def test_pagerank_variant_u(benchmark, graphs):
+    u, _ = graphs
+    res = benchmark(lambda: pagerank(u, max_iterations=15))
+    assert res.ranks.to_numpy().sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_pagerank_variant_ve_replicated(benchmark, graphs):
+    _, ve = graphs
+    res = benchmark(lambda: pagerank(ve, max_iterations=15))
+    assert res.ranks.to_numpy().sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_variants_agree_functionally(graphs):
+    u, ve = graphs
+    np.testing.assert_allclose(
+        pagerank(u, max_iterations=15).ranks.to_numpy(),
+        pagerank(ve, max_iterations=15).ranks.to_numpy(),
+        atol=1e-12,
+    )
+
+
+def test_ve_memory_smaller_functionally(graphs):
+    u, ve = graphs
+    # Per-replica (logical) footprint must shrink under V+E even though
+    # the replicated physical footprint doubles.
+    logical_u = sum(
+        a.storage_bytes for a in (u.begin, u.edge, u.rbegin, u.redge)
+    )
+    logical_ve = sum(
+        a.storage_bytes for a in (ve.begin, ve.edge, ve.rbegin, ve.redge)
+    )
+    assert logical_ve < logical_u
+
+
+def main() -> None:
+    emit(
+        "Figure 12 — PageRank variants (modelled at 42M vertices / "
+        "1.5B edges, 15 iterations)",
+        figure12_report(),
+        "figure12.txt",
+    )
+
+
+if __name__ == "__main__":
+    main()

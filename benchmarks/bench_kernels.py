@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the functional kernels (not a paper figure).
+
+Times the real NumPy-backed kernels: pack/unpack/gather/scatter across
+widths, iterator traversal styles, and replica selection — the pieces
+every figure's functional path is built from.  Useful for tracking
+regressions in the Python implementation itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SmartArrayIterator, allocate, bitpack
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+N = 500_000
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2**31, size=N, dtype=np.uint64)
+
+
+@pytest.mark.parametrize("bits", [10, 32, 33, 64])
+def test_pack_array(benchmark, values, bits):
+    data = values & np.uint64((1 << bits) - 1)
+    words = benchmark(lambda: bitpack.pack_array(data, bits))
+    assert words.dtype == np.uint64
+
+
+@pytest.mark.parametrize("bits", [10, 32, 33, 64])
+def test_unpack_array(benchmark, values, bits):
+    data = values & np.uint64((1 << bits) - 1)
+    words = bitpack.pack_array(data, bits)
+    out = benchmark(lambda: bitpack.unpack_array(words, N, bits))
+    assert out[123] == data[123]
+
+
+@pytest.mark.parametrize("bits", [33, 64])
+def test_random_gather(benchmark, values, bits):
+    data = values & np.uint64((1 << bits) - 1)
+    words = bitpack.pack_array(data, bits)
+    rng = np.random.default_rng(1)
+    idx = rng.integers(0, N, size=100_000)
+    out = benchmark(lambda: bitpack.gather(words, idx, bits))
+    assert out.size == idx.size
+
+
+@pytest.mark.parametrize("bits", [33, 64])
+def test_scatter(benchmark, values, bits):
+    data = values & np.uint64((1 << bits) - 1)
+    words = bitpack.pack_array(data, bits)
+    idx = np.arange(0, N, 7, dtype=np.int64)
+    new = data[idx] ^ np.uint64(1)
+    benchmark(lambda: bitpack.scatter(words, idx, new & np.uint64((1 << bits) - 1), bits))
+
+
+def test_scalar_iterator_scan(benchmark):
+    allocator = NumaAllocator(machine_2x8_haswell())
+    sa = allocate(10_000, bits=33, values=np.arange(10_000),
+                  allocator=allocator)
+
+    def scan():
+        it = SmartArrayIterator.allocate(sa, 0)
+        total = 0
+        for _ in range(sa.length):
+            total += it.get()
+            it.next()
+        return total
+
+    assert benchmark(scan) == sum(range(10_000))
+
+
+@pytest.mark.parametrize("bits", [8, 16, 32])
+def test_blocked_unpack_fast_path(benchmark, values, bits):
+    """Divisor-width blocked unpack (the SIMD-analogue fast path)."""
+    from repro.core.bitpack_fast import unpack_words_blocked
+
+    data = values & np.uint64((1 << bits) - 1)
+    words = bitpack.pack_array(data, bits)
+    out = benchmark(lambda: unpack_words_blocked(words, N, bits))
+    assert out[99] == data[99]
+
+
+def test_selection_scan_compressed(benchmark):
+    """Range predicate over a 10-bit column via chunk spans."""
+    from repro.core.scan_ops import count_in_range
+
+    allocator = NumaAllocator(machine_2x8_haswell())
+    rng = np.random.default_rng(9)
+    data = rng.integers(0, 1000, size=100_000, dtype=np.uint64)
+    sa = allocate(data.size, bits=10, values=data, allocator=allocator)
+    count = benchmark(lambda: count_in_range(sa, 100, 200))
+    assert count == int(((data >= 100) & (data < 200)).sum())
+
+
+def test_chunk_unpack_scalar(benchmark):
+    words = bitpack.pack_array(np.arange(64, dtype=np.uint64), 33)
+    out = np.empty(64, dtype=np.uint64)
+    benchmark(lambda: bitpack.unpack_chunk_scalar(words, 0, 33, out=out))
+    assert out[63] == 63
+
+
+def test_replicated_fill(benchmark, values):
+    allocator = NumaAllocator(machine_2x8_haswell())
+    sa = allocate(N, bits=31, replicated=True, allocator=allocator)
+    data = values & np.uint64((1 << 31) - 1)
+    benchmark(lambda: sa.fill(data))
+    assert sa.get(5, replica=1) == int(data[5])

@@ -1,0 +1,129 @@
+"""Scalability projection: placements on larger NUMA machines.
+
+The paper's Callisto-RTS substrate scales to "an 8-socket machine with
+1024 hardware threads" (section 2.2), but the evaluation machines have
+two sockets.  This bench projects the placement trade-offs to 4- and
+8-socket versions of the same Haswell socket: replication's aggregate
+bandwidth grows linearly with sockets, and its advantage over
+interleaving (set by the local-to-interconnect bandwidth ratio of the
+socket design) persists at every size — the trend that motivates smart
+arrays on big boxes.  Real glueless topologies lose bisection bandwidth
+per socket as they grow, which would widen the gap further; this model
+keeps per-socket link bandwidth constant, the optimistic case for
+interleaving.
+
+Script mode prints the projection table; benchmark mode times the model
+sweep and a functional aggregation on a simulated 8-socket machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, allocate
+from repro.numa import (
+    BandwidthModel,
+    InterconnectSpec,
+    MachineSpec,
+    NumaAllocator,
+    machine_2x8_haswell,
+)
+from repro.perfmodel import aggregation_profile, simulate
+from repro.runtime import WorkerPool, parallel_sum_bulk
+
+try:
+    from .common import emit
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit
+
+
+def scaled_machine(n_sockets: int) -> MachineSpec:
+    """An n-socket machine built from the 8-core Haswell socket.
+
+    The interconnect per-direction bandwidth stays per-link (8 GB/s
+    QPI); larger boxes add links but also share them across more socket
+    pairs — modelled here as one link's bandwidth per socket pair
+    neighbourhood, the pessimistic glueless-topology case.
+    """
+    base = machine_2x8_haswell()
+    return MachineSpec(
+        name=f"{n_sockets}x8-core Haswell (projected)",
+        sockets=tuple(base.sockets[0] for _ in range(n_sockets)),
+        interconnect=InterconnectSpec(
+            bandwidth_gbs=8.0, latency_ns=150.0, links=1
+        ),
+        page_bytes=base.page_bytes,
+        remote_efficiency=base.remote_efficiency,
+        local_efficiency=base.local_efficiency,
+    )
+
+
+def scalability_report() -> str:
+    lines = [
+        f"{'sockets':>7} {'threads':>8} {'single (GB/s)':>14} "
+        f"{'interleaved':>12} {'replicated':>11} {'repl/inter':>11}"
+    ]
+    for n in (2, 4, 8):
+        m = scaled_machine(n)
+        bm = BandwidthModel(m)
+        single = bm.single_socket_gbs()
+        inter = bm.interleaved_gbs()
+        repl = bm.replicated_gbs()
+        lines.append(
+            f"{n:>7} {m.total_hardware_threads:>8} {single:>14.1f} "
+            f"{inter:>12.1f} {repl:>11.1f} {repl / inter:>10.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        "Replication scales linearly with sockets and keeps its advantage "
+        "over interleaving (the socket's local-to-interconnect bandwidth "
+        "ratio) at every machine size; glueless topologies that lose "
+        "per-socket bisection bandwidth at scale would widen the gap."
+    )
+    lines.append("")
+    lines.append("modelled aggregation times (64-bit / 33-bit, replicated):")
+    for n in (2, 4, 8):
+        m = scaled_machine(n)
+        t64 = simulate(aggregation_profile(64), m, Placement.replicated())
+        t33 = simulate(aggregation_profile(33), m, Placement.replicated())
+        lines.append(
+            f"  {n} sockets: {t64.time_s * 1e3:6.1f} ms / "
+            f"{t33.time_s * 1e3:6.1f} ms "
+            f"({'memory' if t33.memory_bound else 'CPU'}-bound compressed)"
+        )
+    return "\n".join(lines)
+
+
+def test_model_sweep(benchmark):
+    def sweep():
+        out = []
+        for n in (2, 4, 8):
+            m = scaled_machine(n)
+            out.append(
+                simulate(aggregation_profile(33), m, Placement.replicated())
+            )
+        return out
+
+    runs = benchmark(sweep)
+    # More sockets never hurt the replicated streaming time.
+    times = [r.time_s for r in runs]
+    assert times[0] >= times[1] >= times[2]
+
+
+def test_functional_aggregation_8sockets(benchmark):
+    machine = scaled_machine(8)
+    allocator = NumaAllocator(machine)
+    pool = WorkerPool(machine, n_workers=8)
+    values = np.arange(100_000, dtype=np.uint64)
+    sa = allocate(values.size, replicated=True, bits=17, values=values,
+                  allocator=allocator)
+    assert sa.n_replicas == 8
+    assert benchmark(lambda: parallel_sum_bulk(sa, pool)) == int(values.sum())
+
+
+def main() -> None:
+    emit("Scalability projection — placements on 2/4/8-socket machines",
+         scalability_report(), "scalability.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Section 6.3: adaptivity accuracy evaluation.
+
+Replays the paper's study — every bit count x benchmark x machine
+combination, under three memory-capacity assumptions — and reports the
+same statistics: per-step and end-to-end accuracy, regret vs the oracle
+optimum, and the improvement over the best static configuration.
+
+Paper's numbers: step 1 62/64 (97%), step 2 86/96 (90%), end-to-end
+30/32 (94%), average 0.2% off optimum, 11.7% better than best static.
+"""
+
+import pytest
+
+from repro.adapt import (
+    MachineCapabilities,
+    default_grid,
+    evaluate_grid,
+    profiling_measurement,
+    select_configuration,
+)
+from repro.adapt.evaluation import AdaptivityCase, case_array
+from repro.numa import machine_2x18_haswell
+
+try:
+    from .common import emit, paper_vs_model
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit, paper_vs_model
+
+
+def section63_report() -> str:
+    stats = evaluate_grid()
+    lines = [stats.summary(), ""]
+    lines.append(paper_vs_model([
+        ("step 1 accuracy", "97% (62/64)", f"{stats.step1_accuracy:.0%} "
+         f"({stats.step1_correct}/{stats.step1_cases})"),
+        ("step 2 accuracy", "90% (86/96)", f"{stats.step2_accuracy:.0%} "
+         f"({stats.step2_correct}/{stats.step2_cases})"),
+        ("end-to-end accuracy", "94% (30/32)", f"{stats.end_to_end_accuracy:.0%} "
+         f"({stats.end_to_end_correct}/{stats.total_cases})"),
+        ("mean regret", "0.2%", f"{stats.mean_regret:.2%}"),
+        ("vs best static", "+11.7%", f"+{stats.improvement_over_static:.1%}"),
+    ]))
+    if stats.failures:
+        lines.append("")
+        lines.append("misses (all borderline):")
+        lines.extend(f"  {f}" for f in stats.failures)
+    return "\n".join(lines)
+
+
+def test_full_evaluation_grid(benchmark):
+    stats = benchmark(evaluate_grid)
+    assert stats.end_to_end_accuracy >= 0.9
+    assert stats.mean_regret < 0.01
+
+
+def test_single_selection(benchmark):
+    case = AdaptivityCase(
+        benchmark="aggregation", machine=machine_2x18_haswell(), bits=33
+    )
+    caps = MachineCapabilities(case.machine)
+    array = case_array(case)
+    measurement = profiling_measurement(case)
+    result = benchmark(
+        lambda: select_configuration(caps, array, measurement)
+    )
+    assert result.configuration.placement.is_replicated
+
+
+def main() -> None:
+    emit(
+        "Section 6.3 — adaptivity evaluation "
+        f"({len(default_grid())} grid cases)",
+        section63_report(),
+        "section63.txt",
+    )
+
+
+if __name__ == "__main__":
+    main()

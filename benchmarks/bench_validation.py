@@ -1,0 +1,28 @@
+"""Paper-claim validation report.
+
+Prints the full paper-vs-model table with per-claim status (exact /
+close / shape) — the machine-checked core of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.perfmodel.validation import format_validation, validate_all
+
+try:
+    from .common import emit
+except ImportError:  # run as a script: python benchmarks/bench_*.py
+    from common import emit
+
+
+def test_validation_table(benchmark):
+    claims = benchmark(validate_all)
+    assert all(c.relative_error < 1.0 for c in claims)
+
+
+def main() -> None:
+    emit("Paper-claim validation (paper vs model, all figures)",
+         format_validation(), "validation.txt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+run as a script it prints the paper-shaped rows (and the paper's
+reported values alongside, where the paper prints them); run under
+``pytest --benchmark-only`` it times the *functional* path (real
+smart-array kernels at reduced scale) for the same workload, so both
+the modelled numbers and the real code are exercised.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(title: str, body: str, filename: str) -> str:
+    """Print a titled report and persist it under benchmarks/results/."""
+    text = f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path
+
+
+def paper_vs_model(rows: Iterable[tuple]) -> str:
+    """Render (label, paper value, model value) triples."""
+    lines = [f"{'configuration':<36} {'paper':>12} {'model':>12}"]
+    for label, paper, model in rows:
+        lines.append(f"{label:<36} {paper:>12} {model:>12}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Adaptivity: let the section-6 selector pick the configuration.
+
+Profiles the paper's aggregation workload on the neutral configuration
+(uncompressed, interleaved — exactly what the paper profiles on), feeds
+the counters plus the machine spec and array characteristics to the
+two-step selector, and prints:
+
+* the Figure 13 decision traces (every question and answer);
+* the step-2 speedup projections for both candidates;
+* the chosen configuration vs the oracle optimum on both machines —
+  showing the machine-dependent flip the paper highlights: replicated+
+  compressed wins on the 18-core box, replicated uncompressed on the
+  8-core box.
+
+Run:  python examples/adaptive_placement.py
+"""
+
+from repro.adapt import (
+    MachineCapabilities,
+    oracle_best,
+    profiling_measurement,
+    select_configuration,
+)
+from repro.adapt.evaluation import AdaptivityCase, case_array, config_time
+from repro.numa import machine_2x18_haswell, machine_2x8_haswell
+
+
+def show_trace(title: str, decision) -> None:
+    print(f"  {title}:")
+    for question, answer in decision.trace:
+        print(f"    {question:<44} -> {'yes' if answer else 'no'}")
+    outcome = ("no compression" if decision.is_no_compression
+               else decision.placement.describe())
+    print(f"    => {outcome}")
+
+
+def main() -> None:
+    for machine in (machine_2x8_haswell(), machine_2x18_haswell()):
+        case = AdaptivityCase(
+            benchmark="aggregation", machine=machine, bits=33
+        )
+        caps = MachineCapabilities(machine)
+        array = case_array(case)
+        measurement = profiling_measurement(case)
+
+        print(f"\n=== {machine.name} ===")
+        print(f"profiling run (uncompressed, interleaved): "
+              f"{measurement.counters.summary()}")
+
+        result = select_configuration(caps, array, measurement)
+        show_trace("step 1, Fig. 13a (uncompressed candidate)",
+                   result.uncompressed_candidate)
+        show_trace("step 1, Fig. 13b (compressed candidate)",
+                   result.compressed_candidate)
+
+        print("  step 2 (projected speedups over the profiling run):")
+        print(f"    uncompressed candidate: "
+              f"{result.uncompressed_estimate.estimated_speedup:.2f}x")
+        if result.compressed_estimate is not None:
+            print(f"    compressed candidate:   "
+                  f"{result.compressed_estimate.estimated_speedup:.2f}x")
+
+        chosen = result.configuration
+        best_config, best_time = oracle_best(case)
+        chosen_time = config_time(case, chosen)
+        print(f"  chosen: {chosen.describe()}  "
+              f"({chosen_time * 1e3:.1f} ms modelled)")
+        print(f"  oracle: {best_config.describe()}  "
+              f"({best_time * 1e3:.1f} ms modelled)")
+        regret = chosen_time / best_time - 1
+        print(f"  regret vs optimum: {regret:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so editable installs
+work on environments whose setuptools/pip lack PEP-660 wheel support
+(no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

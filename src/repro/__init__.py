@@ -1,0 +1,64 @@
+"""repro — reproduction of "Analytics with Smart Arrays" (EuroSys 2018).
+
+Smart arrays are language-independent arrays with pluggable *smart
+functionalities*: NUMA-aware data placement (OS default, single socket,
+interleaved, replicated) and bit compression (1..64 bits per element),
+plus a model-driven adaptivity layer that picks the configuration for a
+workload automatically.
+
+Quickstart::
+
+    import repro
+
+    sa = repro.allocate(1_000_000, replicated=True, bits=33)
+    sa.fill(range(1_000_000))
+    total = repro.runtime.parallel_sum(sa)
+
+Package layout:
+
+* :mod:`repro.core` — smart arrays, iterators, bit-packing kernels;
+* :mod:`repro.numa` — simulated NUMA machines, page placement, rooflines;
+* :mod:`repro.runtime` — Callisto-RTS-style parallel loops;
+* :mod:`repro.interop` — language frontends and zero-copy sharing;
+* :mod:`repro.graph` — PGX-style CSR graphs and analytics algorithms;
+* :mod:`repro.perfmodel` — the analytic model regenerating the paper's
+  figures;
+* :mod:`repro.adapt` — the section-6 adaptive configuration selector.
+"""
+
+from .core import (
+    Placement,
+    PlacementKind,
+    SmartArray,
+    SmartArrayIterator,
+    allocate,
+    allocate_like,
+    default_machine,
+    machine_context,
+    max_bits_needed,
+    set_default_machine,
+)
+from .numa import (
+    MachineSpec,
+    machine_2x18_haswell,
+    machine_2x8_haswell,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineSpec",
+    "Placement",
+    "PlacementKind",
+    "SmartArray",
+    "SmartArrayIterator",
+    "allocate",
+    "allocate_like",
+    "default_machine",
+    "machine_2x18_haswell",
+    "machine_2x8_haswell",
+    "machine_context",
+    "max_bits_needed",
+    "set_default_machine",
+    "__version__",
+]

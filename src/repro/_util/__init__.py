@@ -1,0 +1,7 @@
+"""Small shared helpers (formatting, units)."""
+
+from .barchart import barchart
+from .formatting import ascii_table, human_bytes, human_rate, human_time
+
+__all__ = ["ascii_table", "barchart", "human_bytes", "human_rate",
+           "human_time"]

@@ -1,0 +1,49 @@
+"""ASCII horizontal bar charts for the figure reports.
+
+The paper's figures are bar charts; the benchmark scripts print their
+regenerated data as text tables plus these bars, so "the figure" is
+visible in a terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def barchart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 48,
+    reference: Optional[Sequence[float]] = None,
+) -> str:
+    """Render horizontal bars, optionally with reference (paper) marks.
+
+    ``reference`` values, when given, are drawn as a ``|`` tick on each
+    bar's scale — the paper's reported number against our bar.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if reference is not None and len(reference) != len(values):
+        raise ValueError("reference must align with values")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    peak = max(
+        list(values) + (list(reference) if reference else []) + [1e-12]
+    )
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    for i, (label, value) in enumerate(zip(labels, values)):
+        filled = max(1, round(width * value / peak)) if value > 0 else 0
+        bar = list("#" * filled + " " * (width - filled))
+        if reference is not None:
+            tick = min(width - 1, round(width * reference[i] / peak))
+            bar[tick] = "|" if bar[tick] == " " else "+"
+        value_txt = f"{value:,.1f} {unit}".strip()
+        lines.append(f"{label:>{label_w}}  {''.join(bar)}  {value_txt}")
+    if reference is not None:
+        lines.append(
+            f"{'':>{label_w}}  ('|' marks the paper's reported value; "
+            f"'+' = bar reaches it)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Formatting helpers shared by the CLI, reports, and examples."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A plain monospace table: headers, a rule, then rows.
+
+    Column widths fit the longest cell; the first column is
+    left-aligned (labels), the rest right-aligned (numbers).
+    """
+    headers = [str(h) for h in headers]
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in str_rows), default=0))
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join(parts)
+
+    lines = [fmt(headers), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines += [fmt(r) for r in str_rows]
+    return "\n".join(lines)
+
+
+def human_bytes(n: float) -> str:
+    """1536 -> '1.5 KiB'; binary units, one decimal."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError  # pragma: no cover
+
+
+def human_time(seconds: float) -> str:
+    """Pick the readable unit: us / ms / s."""
+    if seconds < 0:
+        raise ValueError("durations must be >= 0")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def human_rate(bytes_per_second: float) -> str:
+    """Decimal GB/s, the unit the paper reports bandwidth in."""
+    return f"{bytes_per_second / 1e9:.1f} GB/s"

@@ -1,0 +1,106 @@
+"""Step 2: compressed vs uncompressed candidate (paper section 6.2).
+
+Given the two step-1 candidates, the paper projects the compressed
+candidate's resource profile from the measured uncompressed one:
+
+    exec_compressed = exec_current + #accesses * cost
+    bw_compressed   = bw_current - #accesses * (1 - r) * elemsize
+
+then estimates each candidate's speedup as the per-socket average of
+``min(compute ratio, bandwidth ratio)`` — compute ratio being the
+machine's maximum instruction rate over the candidate's rate, bandwidth
+ratio the candidate placement's per-socket bandwidth ceiling over its
+per-socket demand — and picks the faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.placement import Placement
+from ..numa.bandwidth import BandwidthModel
+from .inputs import ArrayCharacteristics, MachineCapabilities, WorkloadMeasurement
+from .placement_rules import PlacementDecision
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """Projected resource profile and speedup of one candidate."""
+
+    decision: PlacementDecision
+    exec_rate: float
+    bw_demand_gbs: float
+    estimated_speedup: float
+
+
+def projected_compressed_rates(
+    array: ArrayCharacteristics, measurement: WorkloadMeasurement
+) -> Tuple[float, float]:
+    """(exec_compressed, bw_compressed) per the paper's formulas."""
+    accesses = measurement.accesses_per_second
+    cost = array.cost_per_access(random=measurement.significant_random)
+    exec_compressed = measurement.exec_current + accesses * cost
+    saved = accesses * (1.0 - array.compression_ratio) * measurement.element_bytes
+    bw_compressed = max(0.0, measurement.bw_current_gbs - saved / 1e9)
+    return exec_compressed, bw_compressed
+
+
+def _placement_bandwidth_ceiling_gbs(
+    caps: MachineCapabilities, placement: Placement
+) -> float:
+    """Aggregate bandwidth ceiling of a candidate placement."""
+    model = BandwidthModel(caps.machine)
+    return model.stream_gbs(placement, multithreaded_init=True)
+
+
+def estimate_candidate(
+    caps: MachineCapabilities,
+    decision: PlacementDecision,
+    exec_rate: float,
+    bw_demand_gbs: float,
+) -> CandidateEstimate:
+    """Speedup estimate for one candidate (section 6.2's final step).
+
+    For each socket: compute ratio = exec_max / exec_rate; bandwidth
+    ratio = socket ceiling under the candidate placement over the
+    socket's current demand; the socket's estimated speedup is the min
+    of the two, and the candidate's is the average over sockets.  With
+    homogeneous sockets and symmetric placements the per-socket values
+    coincide, so the aggregate form below is exact.
+    """
+    if decision.placement is None:
+        raise ValueError("cannot estimate the no-compression terminal")
+    compute_ratio = caps.exec_max / max(exec_rate, 1e-9)
+    ceiling = _placement_bandwidth_ceiling_gbs(caps, decision.placement)
+    bandwidth_ratio = ceiling / max(bw_demand_gbs, 1e-9)
+    speedup = min(compute_ratio, bandwidth_ratio)
+    return CandidateEstimate(
+        decision=decision,
+        exec_rate=exec_rate,
+        bw_demand_gbs=bw_demand_gbs,
+        estimated_speedup=speedup,
+    )
+
+
+def choose_compression(
+    caps: MachineCapabilities,
+    array: ArrayCharacteristics,
+    measurement: WorkloadMeasurement,
+    uncompressed: PlacementDecision,
+    compressed: PlacementDecision,
+) -> Tuple[PlacementDecision, CandidateEstimate, Optional[CandidateEstimate]]:
+    """Pick the faster candidate; returns (winner, unc est, comp est)."""
+    unc_est = estimate_candidate(
+        caps, uncompressed, measurement.exec_current, measurement.bw_current_gbs
+    )
+    if compressed.is_no_compression:
+        return uncompressed, unc_est, None
+    exec_c, bw_c = projected_compressed_rates(array, measurement)
+    comp_est = estimate_candidate(caps, compressed, exec_c, bw_c)
+    winner = (
+        compressed
+        if comp_est.estimated_speedup > unc_est.estimated_speedup
+        else uncompressed
+    )
+    return winner, unc_est, comp_est

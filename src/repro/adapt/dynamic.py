@@ -1,0 +1,167 @@
+"""Dynamic re-adaptation (paper section 7's adaptivity extension).
+
+The paper's §6 selector runs once, from one profiling run.  Section 7
+plans "a more dynamic adaptation between alternative implementations at
+runtime, e.g., by considering the changes in the system load as other
+workloads start and finish", re-applying the workflow when conditions
+change.
+
+:class:`AdaptiveController` implements that loop:
+
+* it ingests a stream of :class:`~repro.numa.counters.PerfCounters`
+  observations (measured or simulated, e.g. one per PageRank iteration
+  or per loop invocation);
+* it smooths them over a sliding window;
+* when the smoothed execution rate or bandwidth drifts beyond a
+  relative threshold from the values the current configuration was
+  chosen under, it re-runs the two-step selection and, if the answer
+  changed, emits a reconfiguration decision.
+
+Hysteresis (the drift threshold plus a minimum-observations dwell time)
+prevents oscillation when a workload sits near a decision boundary —
+the classic failure mode of reactive controllers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, List, Optional
+
+from ..numa.counters import PerfCounters
+from .inputs import ArrayCharacteristics, MachineCapabilities, WorkloadMeasurement
+from .selector import Configuration, SelectionResult, select_configuration
+
+
+@dataclass(frozen=True)
+class Reconfiguration:
+    """One controller decision: switch from ``old`` to ``new``."""
+
+    observation_index: int
+    old: Optional[Configuration]
+    new: Configuration
+    reason: str
+
+
+class AdaptiveController:
+    """Sliding-window drift detector around the §6 selector."""
+
+    def __init__(
+        self,
+        caps: MachineCapabilities,
+        array: ArrayCharacteristics,
+        base_measurement: WorkloadMeasurement,
+        window: int = 4,
+        drift_threshold: float = 0.25,
+        free_bytes_per_socket: Optional[int] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        self.caps = caps
+        self.array = array
+        self.base_measurement = base_measurement
+        self.window = window
+        self.drift_threshold = drift_threshold
+        self.free_bytes_per_socket = free_bytes_per_socket
+        self._observations: Deque[PerfCounters] = deque(maxlen=window)
+        self._n_seen = 0
+        self.reconfigurations: List[Reconfiguration] = []
+        # Initial selection from the base profiling measurement.
+        self._anchor = base_measurement.counters
+        self._current: SelectionResult = select_configuration(
+            caps, array, base_measurement, free_bytes_per_socket
+        )
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def configuration(self) -> Configuration:
+        return self._current.configuration
+
+    @property
+    def observations_seen(self) -> int:
+        return self._n_seen
+
+    # -- the control loop ----------------------------------------------------
+
+    def _smoothed(self) -> PerfCounters:
+        """Window-average counters (rates averaged, totals summed)."""
+        obs = list(self._observations)
+        total_time = sum(c.time_s for c in obs)
+        total_inst = sum(c.instructions for c in obs)
+        total_bytes = sum(c.bytes_from_memory for c in obs)
+        return PerfCounters(
+            time_s=total_time,
+            instructions=total_inst,
+            bytes_from_memory=total_bytes,
+            memory_bandwidth_gbs=total_bytes / total_time / 1e9,
+            memory_bound=sum(c.memory_bound for c in obs) * 2 > len(obs),
+            label="window",
+        )
+
+    def _drifted(self, smoothed: PerfCounters) -> Optional[str]:
+        """A human-readable drift reason, or None if within threshold."""
+        anchor = self._anchor
+
+        def rel(a: float, b: float) -> float:
+            return abs(a - b) / max(abs(b), 1e-9)
+
+        if rel(smoothed.exec_rate, anchor.exec_rate) > self.drift_threshold:
+            return (
+                f"exec rate drifted {smoothed.exec_rate / 1e9:.1f} vs "
+                f"{anchor.exec_rate / 1e9:.1f} Ginst/s"
+            )
+        if rel(smoothed.memory_bandwidth_gbs,
+               anchor.memory_bandwidth_gbs) > self.drift_threshold:
+            return (
+                f"bandwidth drifted {smoothed.memory_bandwidth_gbs:.1f} vs "
+                f"{anchor.memory_bandwidth_gbs:.1f} GB/s"
+            )
+        if smoothed.memory_bound != anchor.memory_bound:
+            return "bottleneck flipped between memory and compute"
+        return None
+
+    def observe(self, counters: PerfCounters) -> Optional[Reconfiguration]:
+        """Ingest one observation; returns a decision when one is made.
+
+        Re-selection happens only with a full window (dwell time) and
+        only when drift exceeds the threshold; a re-selection that picks
+        the same configuration just re-anchors the detector.
+        """
+        self._observations.append(counters)
+        self._n_seen += 1
+        if len(self._observations) < self.window:
+            return None
+        smoothed = self._smoothed()
+        reason = self._drifted(smoothed)
+        if reason is None:
+            return None
+
+        measurement = replace(
+            self.base_measurement,
+            counters=smoothed,
+            accesses_per_second=(
+                self.base_measurement.accesses_per_second
+                * smoothed.exec_rate
+                / max(self._anchor.exec_rate, 1e-9)
+            ),
+        )
+        result = select_configuration(
+            self.caps, self.array, measurement, self.free_bytes_per_socket
+        )
+        self._anchor = smoothed
+        self._observations.clear()
+        old = self._current.configuration
+        self._current = result
+        if result.configuration == old:
+            return None
+        decision = Reconfiguration(
+            observation_index=self._n_seen,
+            old=old,
+            new=result.configuration,
+            reason=reason,
+        )
+        self.reconfigurations.append(decision)
+        return decision

@@ -1,0 +1,371 @@
+"""Section 6.3's adaptivity evaluation, reproduced against the model.
+
+The paper evaluates the selector on the aggregation and degree-
+centrality experiments: every bit count x benchmark x machine
+combination, additionally under assumptions of insufficient memory for
+uncompressed and for compressed replication.  It reports:
+
+* step 1 correct in 62/64 cases (the failures: 10-bit Java
+  aggregations, where interleaving slightly beat replication);
+* step 2 correct in 86/96 combinations, with 4.8% mean / 1.6% median
+  regret on misses and 6.4% better than the best static choice;
+* end-to-end: 30/32 correct, 0.2% mean regret, 11.7% better than the
+  best static configuration.
+
+Here the ground truth is the calibrated performance model (the same
+oracle role the paper's measurements play), and the selector sees only
+what the paper's selector sees: counters from one profiling run on an
+uncompressed interleaved placement, the machine spec, and the array
+characteristics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.placement import Placement
+from ..numa.topology import MachineSpec, machine_2x18_haswell, machine_2x8_haswell
+from ..perfmodel.aggregation import TOTAL_ELEMENTS, aggregation_profile
+from ..perfmodel.engine import simulate
+from ..perfmodel.graph_models import DEGREE_GRAPH, degree_centrality_profile
+from ..perfmodel.workload import WorkloadProfile
+from .inputs import ArrayCharacteristics, MachineCapabilities, WorkloadMeasurement
+from .placement_rules import (
+    select_compressed_placement,
+    select_uncompressed_placement,
+)
+from .selector import Configuration, select_configuration
+
+#: Candidate placements the evaluation considers (Fig. 13's terminals).
+CANDIDATE_PLACEMENTS = (
+    Placement.single_socket(0),
+    Placement.interleaved(),
+    Placement.replicated(),
+)
+
+#: Compressible bit widths from the Figure 10 sweep (32/64 are the
+#: uncompressed specializations, so they are the "uncompressed" side).
+COMPRESSIBLE_BITS = (10, 31, 33, 50, 63)
+
+#: Memory-capacity assumptions (section 6.3): unlimited, insufficient
+#: for uncompressed replicas, insufficient for any replicas.
+MEMORY_ASSUMPTIONS = ("plenty", "no-uncompressed-replication", "no-replication")
+
+
+@dataclass(frozen=True)
+class AdaptivityCase:
+    """One cell of the evaluation grid."""
+
+    benchmark: str
+    machine: MachineSpec
+    bits: int
+    language: str = "C++"
+    memory: str = "plenty"
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.benchmark}/{self.language}/{self.bits}b/"
+            f"{self.machine.sockets[0].cores}c/{self.memory}"
+        )
+
+
+def case_profile(case: AdaptivityCase, bits: int) -> WorkloadProfile:
+    """The workload profile of ``case`` at a given storage width."""
+    if case.benchmark == "aggregation":
+        return aggregation_profile(bits, case.language)
+    if case.benchmark == "degree-centrality":
+        return degree_centrality_profile(DEGREE_GRAPH, vertex_bits=bits)
+    raise ValueError(f"unknown benchmark {case.benchmark!r}")
+
+
+def case_array(case: AdaptivityCase) -> ArrayCharacteristics:
+    if case.benchmark == "aggregation":
+        return ArrayCharacteristics(length=TOTAL_ELEMENTS,
+                                    element_bits=case.bits)
+    return ArrayCharacteristics(
+        length=2 * DEGREE_GRAPH.n_vertices, element_bits=case.bits
+    )
+
+
+def free_bytes_for(case: AdaptivityCase) -> Optional[int]:
+    """Per-socket free bytes under the case's memory assumption."""
+    array = case_array(case)
+    if case.memory == "plenty":
+        return None
+    if case.memory == "no-uncompressed-replication":
+        # Room for a compressed replica, not for an uncompressed one.
+        return (array.compressed_bytes + array.uncompressed_bytes) // 2
+    return max(0, array.compressed_bytes - 1)
+
+
+def profiling_measurement(case: AdaptivityCase) -> WorkloadMeasurement:
+    """Simulate the paper's profiling run (uncompressed, interleaved)."""
+    profile = case_profile(case, bits=64)
+    run = simulate(profile, case.machine, Placement.interleaved())
+    if case.benchmark == "aggregation":
+        accesses = TOTAL_ELEMENTS / run.time_s
+    else:
+        accesses = 2 * DEGREE_GRAPH.n_vertices / run.time_s
+    return WorkloadMeasurement(
+        counters=run.counters,
+        read_only=True,
+        mostly_reads=True,
+        linear_accesses_per_element=10.0,  # repeated invocations (section 5)
+        random_accesses_per_element=0.0,
+        random_access_fraction=0.0,
+        accesses_per_second=accesses,
+    )
+
+
+def config_time(case: AdaptivityCase, config: Configuration) -> float:
+    """Ground-truth (model) run time of a configuration for this case."""
+    profile = case_profile(case, bits=config.bits)
+    return simulate(profile, case.machine, config.placement).time_s
+
+
+def all_configurations(case: AdaptivityCase) -> List[Configuration]:
+    """Every placement x {compressed, uncompressed} pair, respecting
+    the case's memory assumption (replication may be infeasible)."""
+    free = free_bytes_for(case)
+    array = case_array(case)
+    configs = []
+    for placement in CANDIDATE_PLACEMENTS:
+        for bits in (64, case.bits):
+            if placement.is_replicated and free is not None:
+                replica = (
+                    array.compressed_bytes if bits == case.bits and bits < 64
+                    else array.uncompressed_bytes
+                )
+                if replica > free:
+                    continue
+            configs.append(Configuration(placement=placement, bits=bits))
+    return configs
+
+
+def oracle_best(case: AdaptivityCase) -> Tuple[Configuration, float]:
+    configs = all_configurations(case)
+    timed = [(config_time(case, c), c) for c in configs]
+    best_time, best_config = min(timed, key=lambda tc: tc[0])
+    return best_config, best_time
+
+
+# ---------------------------------------------------------------------------
+# Grid construction and evaluation
+# ---------------------------------------------------------------------------
+
+
+def default_grid(
+    benchmarks: Sequence[str] = ("aggregation", "degree-centrality"),
+    languages: Sequence[str] = ("C++", "Java"),
+    memory_assumptions: Sequence[str] = MEMORY_ASSUMPTIONS,
+) -> List[AdaptivityCase]:
+    """The evaluation grid, in the spirit of the paper's 6.3 test set."""
+    machines = (machine_2x8_haswell(), machine_2x18_haswell())
+    cases = []
+    for machine in machines:
+        for benchmark in benchmarks:
+            langs = languages if benchmark == "aggregation" else ("C++",)
+            bit_set = COMPRESSIBLE_BITS if benchmark == "aggregation" else (33,)
+            for language in langs:
+                for bits in bit_set:
+                    for memory in memory_assumptions:
+                        cases.append(
+                            AdaptivityCase(
+                                benchmark=benchmark,
+                                machine=machine,
+                                bits=bits,
+                                language=language,
+                                memory=memory,
+                            )
+                        )
+    return cases
+
+
+@dataclass
+class EvaluationStats:
+    """Aggregate accuracy/regret statistics (the section 6.3 numbers)."""
+
+    total_cases: int = 0
+    step1_cases: int = 0
+    step1_correct: int = 0
+    step2_cases: int = 0
+    step2_correct: int = 0
+    end_to_end_correct: int = 0
+    regrets: List[float] = field(default_factory=list)
+    adaptive_total_time: float = 0.0
+    best_static_total_time: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def step1_accuracy(self) -> float:
+        return self.step1_correct / max(1, self.step1_cases)
+
+    @property
+    def step2_accuracy(self) -> float:
+        return self.step2_correct / max(1, self.step2_cases)
+
+    @property
+    def end_to_end_accuracy(self) -> float:
+        return self.end_to_end_correct / max(1, self.total_cases)
+
+    @property
+    def mean_regret(self) -> float:
+        return statistics.fmean(self.regrets) if self.regrets else 0.0
+
+    @property
+    def median_regret(self) -> float:
+        return statistics.median(self.regrets) if self.regrets else 0.0
+
+    @property
+    def improvement_over_static(self) -> float:
+        if self.adaptive_total_time <= 0:
+            return 0.0
+        return self.best_static_total_time / self.adaptive_total_time - 1.0
+
+    def summary(self) -> str:
+        return (
+            f"step 1: {self.step1_correct}/{self.step1_cases} "
+            f"({self.step1_accuracy:.0%})\n"
+            f"step 2: {self.step2_correct}/{self.step2_cases} "
+            f"({self.step2_accuracy:.0%})\n"
+            f"end-to-end: {self.end_to_end_correct}/{self.total_cases} "
+            f"({self.end_to_end_accuracy:.0%})\n"
+            f"mean regret vs optimum: {self.mean_regret:.2%} "
+            f"(median {self.median_regret:.2%})\n"
+            f"improvement over best static: {self.improvement_over_static:.1%}"
+        )
+
+
+#: A predicted config "matches" the oracle when its time is within this
+#: factor of optimal (distinct configs can tie in the model).
+CORRECTNESS_TOLERANCE = 0.01
+
+
+def _best_placement_for_bits(
+    case: AdaptivityCase, bits: int
+) -> Tuple[Placement, float]:
+    free = free_bytes_for(case)
+    array = case_array(case)
+    best: Tuple[float, Placement] = None  # type: ignore[assignment]
+    for placement in CANDIDATE_PLACEMENTS:
+        if placement.is_replicated and free is not None:
+            replica = (
+                array.compressed_bytes if bits < 64 else array.uncompressed_bytes
+            )
+            if replica > free:
+                continue
+        t = config_time(case, Configuration(placement, bits))
+        if best is None or t < best[0]:
+            best = (t, placement)
+    return best[1], best[0]
+
+
+def evaluate_case(case: AdaptivityCase, stats: EvaluationStats) -> None:
+    caps = MachineCapabilities(case.machine)
+    array = case_array(case)
+    measurement = profiling_measurement(case)
+    free = free_bytes_for(case)
+
+    # -- step 1 in isolation: did each diagram pick the best placement
+    # for its compression state?
+    unc_decision = select_uncompressed_placement(caps, array, measurement, free)
+    best_unc_placement, best_unc_time = _best_placement_for_bits(case, 64)
+    t_unc = config_time(case, Configuration(unc_decision.placement, 64))
+    stats.step1_cases += 1
+    if t_unc <= best_unc_time * (1 + CORRECTNESS_TOLERANCE):
+        stats.step1_correct += 1
+    else:
+        stats.failures.append(f"step1/unc {case.label}")
+
+    comp_decision = select_compressed_placement(caps, array, measurement, free)
+    if not comp_decision.is_no_compression and case.bits < 64:
+        best_c_placement, best_c_time = _best_placement_for_bits(case, case.bits)
+        t_c = config_time(case, Configuration(comp_decision.placement, case.bits))
+        stats.step1_cases += 1
+        if t_c <= best_c_time * (1 + CORRECTNESS_TOLERANCE):
+            stats.step1_correct += 1
+        else:
+            stats.failures.append(f"step1/comp {case.label}")
+
+    # -- step 2 in isolation: for every placement, is the compression
+    # verdict the faster of the two widths?
+    from .compression_rule import choose_compression
+    from .placement_rules import PlacementDecision
+
+    for placement in CANDIDATE_PLACEMENTS:
+        if placement.is_replicated and free is not None:
+            if case_array(case).compressed_bytes > free:
+                continue
+        unc_fixed = PlacementDecision(placement, False)
+        comp_fixed = PlacementDecision(placement, True)
+        winner, _, _ = choose_compression(
+            caps, array, measurement, unc_fixed, comp_fixed
+        )
+        chosen_bits = case.bits if winner.compressed else 64
+        t_chosen = config_time(case, Configuration(placement, chosen_bits))
+        t_other = config_time(
+            case, Configuration(placement, 64 if winner.compressed else case.bits)
+        )
+        stats.step2_cases += 1
+        if t_chosen <= t_other * (1 + CORRECTNESS_TOLERANCE):
+            stats.step2_correct += 1
+        else:
+            stats.failures.append(
+                f"step2 {case.label} @ {placement.describe()}"
+            )
+
+    # -- end to end
+    result = select_configuration(caps, array, measurement, free)
+    chosen_time = config_time(case, result.configuration)
+    best_config, best_time = oracle_best(case)
+    stats.total_cases += 1
+    regret = chosen_time / best_time - 1.0
+    stats.regrets.append(regret)
+    if chosen_time <= best_time * (1 + CORRECTNESS_TOLERANCE):
+        stats.end_to_end_correct += 1
+    else:
+        stats.failures.append(
+            f"e2e {case.label}: chose {result.configuration.describe()} "
+            f"({chosen_time:.3f}s) vs {best_config.describe()} "
+            f"({best_time:.3f}s)"
+        )
+    stats.adaptive_total_time += chosen_time
+
+
+def evaluate_grid(
+    cases: Optional[Sequence[AdaptivityCase]] = None,
+) -> EvaluationStats:
+    """Run the full evaluation; also computes the best-static baseline."""
+    if cases is None:
+        cases = default_grid()
+    stats = EvaluationStats()
+    for case in cases:
+        evaluate_case(case, stats)
+
+    # Best static configuration: one (placement, compressed?) choice
+    # applied to every case (compression width follows the case's data).
+    static_totals: Dict[Tuple[str, bool], float] = {}
+    for placement in CANDIDATE_PLACEMENTS:
+        for compressed in (False, True):
+            total = 0.0
+            feasible = True
+            for case in cases:
+                bits = case.bits if compressed and case.bits < 64 else 64
+                free = free_bytes_for(case)
+                if placement.is_replicated and free is not None:
+                    array = case_array(case)
+                    replica = (
+                        array.compressed_bytes if bits < 64
+                        else array.uncompressed_bytes
+                    )
+                    if replica > free:
+                        feasible = False
+                        break
+                total += config_time(case, Configuration(placement, bits))
+            if feasible:
+                static_totals[(placement.describe(), compressed)] = total
+    stats.best_static_total_time = min(static_totals.values())
+    return stats

@@ -1,0 +1,183 @@
+"""Inputs to the adaptive configuration selector (paper section 6).
+
+The paper's selection is based on three inputs:
+
+1. a **machine specification** — "the size of the system memory, the
+   maximum bandwidth between components and the maximum compute
+   available on each core" — :class:`MachineCapabilities`, derived from
+   a :class:`~repro.numa.topology.MachineSpec`;
+2. **array performance characteristics** — "the costs of accessing a
+   compressed data item ... specific to the array and the machine, but
+   not the workload" — :class:`ArrayCharacteristics`;
+3. **workload measurements** from hardware performance counters —
+   :class:`WorkloadMeasurement`, combining counter data from a
+   profiling run (the paper profiles on an uncompressed interleaved
+   placement) with the programmer-provided *software characteristics*
+   (read-only?, accesses per element) that Figure 13 separates from the
+   runtime characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..numa.counters import PerfCounters
+from ..numa.topology import MachineSpec
+from ..perfmodel import calibration as cal
+from ..perfmodel.workload import compressed_scan_instructions
+
+#: The machine-spec "maximum compute available on each core", expressed
+#: as sustainable IPC for the loop shapes smart arrays run.  Haswell
+#: issues 4 ops/cycle, but the achievable rate on scan/unpack kernels is
+#: the calibrated streaming IPC; using the theoretical 4.0 makes the
+#: step-2 projection systematically over-estimate the compressed
+#: candidate's compute headroom (the paper's "less well provisioned
+#: instructions" caveat, section 6.3 Limitations).
+PEAK_IPC = cal.STREAM_IPC
+
+
+@dataclass(frozen=True)
+class MachineCapabilities:
+    """The machine-specification input, reduced to what step 1/2 needs."""
+
+    machine: MachineSpec
+    peak_ipc: float = PEAK_IPC
+
+    @property
+    def exec_max(self) -> float:
+        """Maximum instruction rate of the whole machine (inst/s)."""
+        return sum(
+            s.cores * s.clock_ghz * 1e9 for s in self.machine.sockets
+        ) * self.peak_ipc
+
+    @property
+    def bw_max_memory_gbs(self) -> float:
+        """Total local memory bandwidth (Table 1's bottom row)."""
+        return self.machine.total_local_bandwidth_gbs
+
+    @property
+    def bw_max_memory_per_socket_gbs(self) -> float:
+        return self.machine.sockets[0].local_bandwidth_gbs
+
+    @property
+    def bw_max_interconnect_gbs(self) -> float:
+        return self.machine.interconnect.bandwidth_gbs
+
+    def free_bytes_per_socket(self) -> int:
+        """Capacity available for replicas, absent a live ledger."""
+        return min(s.memory_bytes for s in self.machine.sockets)
+
+
+@dataclass(frozen=True)
+class ArrayCharacteristics:
+    """Array-and-machine-specific costs (workload-independent).
+
+    ``element_bits`` is the width the array would be compressed to (the
+    minimum for its data); ``decompress_cost_inst`` is the extra CPU
+    work per access that compression adds, derived from the calibrated
+    kernel costs unless measured values are supplied.
+    """
+
+    length: int
+    element_bits: int
+    uncompressed_bits: int = 64
+    decompress_cost_inst: Optional[float] = None
+    #: Linear scans amortize decompression across a chunk; random
+    #: accesses pay the full per-element decode.
+    random_decode_cost_inst: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("length must be >= 0")
+        if not 1 <= self.element_bits <= 64:
+            raise ValueError("element_bits must be in 1..64")
+
+    @property
+    def compression_ratio(self) -> float:
+        """The paper's ``r`` in (0, 1]: compressed over uncompressed size."""
+        return self.element_bits / self.uncompressed_bits
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        return self.length * self.uncompressed_bits // 8
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(self.length * self.element_bits / 8)
+
+    def cost_per_access(self, random: bool = False) -> float:
+        """Extra instructions per access from compression (the paper's
+        ``cost``; "varies with the compression ratio", section 6.2)."""
+        if self.element_bits in (32, 64):
+            return 0.0
+        if random:
+            if self.random_decode_cost_inst is not None:
+                return self.random_decode_cost_inst
+            return cal.PAGERANK_EDGE_DECODE_INST
+        if self.decompress_cost_inst is not None:
+            return self.decompress_cost_inst
+        per_compressed = compressed_scan_instructions(1, self.element_bits)
+        per_plain = compressed_scan_instructions(1, self.uncompressed_bits)
+        return per_compressed - per_plain
+
+
+@dataclass(frozen=True)
+class WorkloadMeasurement:
+    """Counter data plus software characteristics for one workload.
+
+    ``counters`` come from the profiling run — "an uncompressed
+    interleaved placement with an equal number of threads on each core"
+    (section 6) — either measured or simulated.
+    """
+
+    counters: PerfCounters
+    #: Software characteristics (programmer-provided, Fig. 13 legend).
+    read_only: bool = True
+    mostly_reads: bool = True
+    #: Average accesses per element over the workload's lifetime —
+    #: replication needs "multiple accesses per element" to amortize
+    #: replica initialization.
+    linear_accesses_per_element: float = 1.0
+    random_accesses_per_element: float = 0.0
+    #: Runtime characteristic: the fraction of accesses that are random.
+    random_access_fraction: float = 0.0
+    #: Total element accesses per second (the paper's ``#accesses``).
+    accesses_per_second: float = 0.0
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.random_access_fraction <= 1.0:
+            raise ValueError("random_access_fraction must be in [0, 1]")
+        if self.accesses_per_second < 0:
+            raise ValueError("accesses_per_second must be >= 0")
+        if (self.linear_accesses_per_element < 0
+                or self.random_accesses_per_element < 0):
+            raise ValueError("accesses per element must be >= 0")
+        if self.read_only and not self.mostly_reads:
+            raise ValueError("read_only implies mostly_reads")
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.counters.memory_bound
+
+    @property
+    def exec_current(self) -> float:
+        return self.counters.exec_rate
+
+    @property
+    def bw_current_gbs(self) -> float:
+        return self.counters.memory_bandwidth_gbs
+
+    @property
+    def significant_random(self) -> bool:
+        """Fig. 13's "significant random accesses" runtime test."""
+        return self.random_access_fraction > 0.25
+
+
+#: Thresholds for the machine-specific amortization tests.  The paper
+#: notes the bounds "are machine-specific and vary depending on whether
+#: the accesses are random or linear"; these defaults assume replica
+#: initialization costs about one linear pass per socket.
+MIN_LINEAR_ACCESSES_FOR_REPLICATION = 2.0
+MIN_RANDOM_ACCESSES_FOR_REPLICATION = 4.0

@@ -1,0 +1,206 @@
+"""Multi-array adaptivity: beyond the paper's single-array limitation.
+
+Section 6.3's Limitations: "our adaptivity is not yet extended to
+multiple smart arrays, such as those used in our PageRank experiments."
+This module provides that extension.
+
+A workload touches several arrays with very different traffic shares
+(PageRank: the edge arrays dominate, the begin arrays are a rounding
+error).  Memory capacity is shared, so per-array decisions interact:
+replicating everything may not fit, and the capacity should go to the
+arrays where replication buys the most.
+
+Approach — greedy benefit-per-byte under a capacity budget:
+
+1. run the single-array selector for each array independently (the §6
+   machinery, unchanged) to get each array's *preferred* configuration
+   and its estimated speedup, weighting the workload measurement by the
+   array's traffic share;
+2. arrays whose preferred placement is replicated compete for the
+   per-socket capacity budget: sort by (traffic_share x estimated
+   speedup gain) per replica byte, grant replication greedily;
+3. arrays that lose the capacity race fall back to their diagram's
+   non-replicated branch (re-running step 1 with no replication space).
+
+Greedy-by-density is the classic knapsack heuristic; with the smooth
+benefit curves the roofline model produces it is near-optimal, and the
+tests check it beats both all-or-nothing static policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .inputs import ArrayCharacteristics, MachineCapabilities, WorkloadMeasurement
+from .selector import Configuration, SelectionResult, select_configuration
+
+
+@dataclass(frozen=True)
+class WorkloadArray:
+    """One array of a multi-array workload."""
+
+    name: str
+    array: ArrayCharacteristics
+    #: Fraction of the workload's memory traffic hitting this array.
+    traffic_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.traffic_share <= 1.0:
+            raise ValueError("traffic_share must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MultiArrayPlan:
+    """The joint decision: per-array configurations plus accounting."""
+
+    configurations: Dict[str, Configuration]
+    replicated_bytes: int
+    budget_bytes: int
+    #: Names of arrays that wanted replication but lost the capacity race.
+    evicted: Tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"capacity used for replicas: {self.replicated_bytes:,} / "
+            f"{self.budget_bytes:,} bytes"
+        ]
+        for name, config in self.configurations.items():
+            note = " (capacity-evicted)" if name in self.evicted else ""
+            lines.append(f"  {name:>12}: {config.describe()}{note}")
+        return "\n".join(lines)
+
+
+def _weighted_measurement(
+    measurement: WorkloadMeasurement, share: float
+) -> WorkloadMeasurement:
+    """The measurement as seen by one array: its share of the traffic."""
+    counters = measurement.counters
+    scaled = replace(
+        counters,
+        bytes_from_memory=counters.bytes_from_memory * share,
+        memory_bandwidth_gbs=max(
+            counters.memory_bandwidth_gbs * share, 1e-9
+        ),
+    )
+    return replace(
+        measurement,
+        counters=scaled,
+        accesses_per_second=measurement.accesses_per_second * share,
+    )
+
+
+def select_multi_array(
+    caps: MachineCapabilities,
+    arrays: Sequence[WorkloadArray],
+    measurement: WorkloadMeasurement,
+    budget_bytes: Optional[int] = None,
+) -> MultiArrayPlan:
+    """Jointly configure ``arrays`` under a shared capacity budget.
+
+    ``budget_bytes`` is the per-socket memory available for *replicas*
+    (defaults to the machine's per-socket capacity).  Returns a plan
+    naming each array's placement and width.
+    """
+    if not arrays:
+        raise ValueError("need at least one workload array")
+    total_share = sum(a.traffic_share for a in arrays)
+    if total_share > 1.0 + 1e-9:
+        raise ValueError(
+            f"traffic shares sum to {total_share:.3f} > 1"
+        )
+    if budget_bytes is None:
+        budget_bytes = caps.free_bytes_per_socket()
+
+    # Phase 1: independent preferences.
+    prefs: List[Tuple[WorkloadArray, SelectionResult]] = []
+    for wa in arrays:
+        result = select_configuration(
+            caps, wa.array, _weighted_measurement(measurement, wa.traffic_share)
+        )
+        prefs.append((wa, result))
+
+    # Phase 2: replication capacity race, by benefit density.
+    def replica_bytes(wa: WorkloadArray, config: Configuration) -> int:
+        if config.compressed:
+            return wa.array.compressed_bytes
+        return wa.array.uncompressed_bytes
+
+    def benefit(wa: WorkloadArray, result: SelectionResult) -> float:
+        """Workload time saved by granting this array its preference.
+
+        Amdahl-weighted: an array serving ``share`` of the traffic can
+        save at most ``share`` of the run time no matter how fast its
+        own slice becomes — ``share * (1 - 1/speedup)`` — which keeps
+        small-but-fast slices from outbidding the dominant array.
+        """
+        est = result.compressed_estimate or result.uncompressed_estimate
+        speedup = max(est.estimated_speedup, 1.0)
+        return wa.traffic_share * (1.0 - 1.0 / speedup)
+
+    def density(wa: WorkloadArray, result: SelectionResult) -> float:
+        cost = max(replica_bytes(wa, result.configuration), 1)
+        return benefit(wa, result) / cost
+
+    wants_replication = [
+        (wa, result) for wa, result in prefs
+        if result.configuration.placement.is_replicated
+    ]
+
+    # Greedy by benefit density...
+    by_density = sorted(wants_replication, key=lambda wr: density(*wr),
+                        reverse=True)
+    greedy_set = []
+    used = 0
+    for wa, result in by_density:
+        need = replica_bytes(wa, result.configuration)
+        if used + need <= budget_bytes:
+            used += need
+            greedy_set.append((wa, result))
+    # ... compared against the single most beneficial array that fits
+    # alone (the standard 1/2-approximation guard: dense small items
+    # must not crowd out one large high-benefit item).
+    fitting_alone = [
+        (wa, result) for wa, result in wants_replication
+        if replica_bytes(wa, result.configuration) <= budget_bytes
+    ]
+    best_single = max(fitting_alone, key=lambda wr: benefit(*wr),
+                      default=None)
+    greedy_value = sum(benefit(wa, r) for wa, r in greedy_set)
+    if best_single is not None and benefit(*best_single) > greedy_value:
+        chosen_set = [best_single]
+    else:
+        chosen_set = greedy_set
+
+    configurations: Dict[str, Configuration] = {}
+    used = 0
+    granted = set()
+    for wa, result in chosen_set:
+        used += replica_bytes(wa, result.configuration)
+        granted.add(wa.name)
+        configurations[wa.name] = result.configuration
+    evicted = [
+        wa.name for wa, _ in wants_replication if wa.name not in granted
+    ]
+
+    # Phase 3: non-replicated fallbacks (including evictions).
+    for wa, result in prefs:
+        if wa.name in configurations:
+            continue
+        if result.configuration.placement.is_replicated:
+            fallback = select_configuration(
+                caps,
+                wa.array,
+                _weighted_measurement(measurement, wa.traffic_share),
+                free_bytes_per_socket=0,   # no replication space left
+            )
+            configurations[wa.name] = fallback.configuration
+        else:
+            configurations[wa.name] = result.configuration
+
+    return MultiArrayPlan(
+        configurations=configurations,
+        replicated_bytes=used,
+        budget_bytes=budget_bytes,
+        evicted=tuple(evicted),
+    )

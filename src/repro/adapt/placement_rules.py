@@ -1,0 +1,233 @@
+"""Step 1: placement-candidate selection (paper Figure 13).
+
+Two decision diagrams pick one candidate placement for uncompressed data
+(Fig. 13a) and, when compression is possible at all, one for compressed
+data (Fig. 13b).  Decisions split into *software characteristics*
+(programmer-declared: read-only, accesses per element) and *runtime
+characteristics* (measured: memory-bound, random-access share,
+local/remote speedup arithmetic).
+
+The "all local speedup > all remote slowdown" test is the paper's
+formula set (section 6.1):
+
+    improvement_exec = exec_max / exec_current
+    improvement_bw   = (bw_max_memory - bw_max_interconnect)
+                       / bw_current_memory
+    speedup_local    = min(improvement_exec, improvement_bw)
+    speedup_remote   = bw_max_interconnect / bw_current_memory
+
+single-socket wins when the average of the local and remote speedups
+exceeds 1.  Bandwidth maxima are scaled to the utilization the workload
+achieved on its bottleneck link, as the paper prescribes ("the bandwidth
+values taken from the machine description are scaled to the maximum
+bandwidth used by the workload during measurement").
+
+Every decision returns a :class:`PlacementDecision` carrying the chosen
+candidate *and* the question/answer trace, so tests (and users) can see
+which branch fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.placement import Placement
+from .inputs import (
+    ArrayCharacteristics,
+    MachineCapabilities,
+    MIN_LINEAR_ACCESSES_FOR_REPLICATION,
+    MIN_RANDOM_ACCESSES_FOR_REPLICATION,
+    WorkloadMeasurement,
+)
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """A candidate placement plus the branch trace that produced it.
+
+    ``compressed`` records whether this is the Fig. 13b diagram's output
+    (with compression) or 13a's; ``placement`` is ``None`` only for
+    13b's "No Compression" terminal.
+    """
+
+    placement: Optional[Placement]
+    compressed: bool
+    trace: Tuple[Tuple[str, bool], ...] = ()
+
+    @property
+    def is_no_compression(self) -> bool:
+        return self.placement is None
+
+
+class _Trace:
+    """Accumulates the question/answer pairs of one diagram walk."""
+
+    def __init__(self) -> None:
+        self.steps: List[Tuple[str, bool]] = []
+
+    def ask(self, question: str, answer: bool) -> bool:
+        self.steps.append((question, bool(answer)))
+        return bool(answer)
+
+    def done(self) -> Tuple[Tuple[str, bool], ...]:
+        return tuple(self.steps)
+
+
+def _utilization_scale(
+    caps: MachineCapabilities, measurement: WorkloadMeasurement
+) -> float:
+    """Scale factor from achieved to nominal bandwidth (section 6.1).
+
+    The profiling run used an interleaved placement, whose nominal
+    roofline is ``min(total local, 2n x interconnect)``; the achieved
+    fraction of that roofline rescales every other nominal figure.
+    """
+    n = caps.machine.n_sockets
+    nominal = min(
+        caps.bw_max_memory_gbs, 2.0 * n * caps.bw_max_interconnect_gbs
+    )
+    if nominal <= 0 or measurement.bw_current_gbs <= 0:
+        return 1.0
+    return min(1.0, measurement.bw_current_gbs / nominal)
+
+
+def local_vs_remote_speedups(
+    caps: MachineCapabilities, measurement: WorkloadMeasurement
+) -> Tuple[float, float]:
+    """The paper's (speedup_local, speedup_remote) pair (section 6.1)."""
+    scale = _utilization_scale(caps, measurement)
+    bw_max_memory = caps.bw_max_memory_per_socket_gbs * scale
+    bw_max_interconnect = caps.bw_max_interconnect_gbs * scale
+    # "bw_current memory" is per socket: the profiling run interleaves,
+    # so each socket's controller currently serves an even share.
+    bw_current = max(
+        measurement.bw_current_gbs / caps.machine.n_sockets, 1e-9
+    )
+    exec_current = max(measurement.exec_current, 1e-9)
+
+    improvement_exec = caps.exec_max / exec_current
+    improvement_bw = (bw_max_memory - bw_max_interconnect) / bw_current
+    speedup_local = min(improvement_exec, improvement_bw)
+    speedup_remote = bw_max_interconnect / bw_current
+    return speedup_local, speedup_remote
+
+
+def all_local_beats_all_remote(
+    caps: MachineCapabilities, measurement: WorkloadMeasurement
+) -> bool:
+    """True when pinning everything on one socket is predicted to win."""
+    local, remote = local_vs_remote_speedups(caps, measurement)
+    return (local + remote) / 2.0 > 1.0
+
+
+def _space_for_replication(
+    caps: MachineCapabilities,
+    array: ArrayCharacteristics,
+    replica_bytes: int,
+    free_bytes_per_socket: Optional[int],
+) -> bool:
+    free = (
+        free_bytes_per_socket
+        if free_bytes_per_socket is not None
+        else caps.free_bytes_per_socket()
+    )
+    return replica_bytes <= free
+
+
+def select_uncompressed_placement(
+    caps: MachineCapabilities,
+    array: ArrayCharacteristics,
+    measurement: WorkloadMeasurement,
+    free_bytes_per_socket: Optional[int] = None,
+) -> PlacementDecision:
+    """Figure 13a: candidate placement for uncompressed data."""
+    t = _Trace()
+    if not t.ask("memory bound", measurement.memory_bound):
+        # Not memory bound: placement is not the bottleneck; interleave
+        # for symmetry (also the profiling configuration).
+        return PlacementDecision(Placement.interleaved(), False, t.done())
+
+    if t.ask("read only", measurement.read_only):
+        if t.ask(
+            "space for uncompressed replication",
+            _space_for_replication(
+                caps, array, array.uncompressed_bytes, free_bytes_per_socket
+            ),
+        ):
+            if t.ask(
+                "multiple random accesses per element",
+                measurement.random_accesses_per_element
+                >= MIN_RANDOM_ACCESSES_FOR_REPLICATION,
+            ):
+                return PlacementDecision(Placement.replicated(), False, t.done())
+            if t.ask(
+                "multiple linear accesses per element",
+                measurement.linear_accesses_per_element
+                >= MIN_LINEAR_ACCESSES_FOR_REPLICATION
+                and not measurement.significant_random,
+            ):
+                return PlacementDecision(Placement.replicated(), False, t.done())
+
+    if t.ask(
+        "all local speedup > all remote slowdown",
+        all_local_beats_all_remote(caps, measurement),
+    ):
+        return PlacementDecision(Placement.single_socket(0), False, t.done())
+    return PlacementDecision(Placement.interleaved(), False, t.done())
+
+
+def select_compressed_placement(
+    caps: MachineCapabilities,
+    array: ArrayCharacteristics,
+    measurement: WorkloadMeasurement,
+    free_bytes_per_socket: Optional[int] = None,
+) -> PlacementDecision:
+    """Figure 13b: candidate placement for compressed data, or the
+    "No Compression" terminal when compression is not applicable.
+
+    Compression-specific tests come first, as the paper notes: "choosing
+    a placement for compression requires some of the tests to be moved
+    forward in order to determine if compression is possible before
+    considering which data placement to use."
+    """
+    t = _Trace()
+    if not t.ask("memory bound", measurement.memory_bound):
+        # Compression trades CPU for bandwidth; pointless (harmful) when
+        # the CPU is already the bottleneck.
+        return PlacementDecision(None, True, t.done())
+
+    if array.element_bits >= array.uncompressed_bits:
+        t.ask("array is compressible", False)
+        return PlacementDecision(None, True, t.done())
+    t.ask("array is compressible", True)
+
+    if not t.ask("mostly reads", measurement.mostly_reads):
+        # Writes pay compression on every store; not worth it.
+        return PlacementDecision(None, True, t.done())
+
+    if t.ask("significant random accesses", measurement.significant_random):
+        # "every access requires a number of words to be loaded, making
+        # random accesses more expensive than with uncompressed data."
+        return PlacementDecision(None, True, t.done())
+
+    if t.ask("read only", measurement.read_only):
+        if t.ask(
+            "space for compressed replication",
+            _space_for_replication(
+                caps, array, array.compressed_bytes, free_bytes_per_socket
+            ),
+        ):
+            if t.ask(
+                "multiple linear accesses per element",
+                measurement.linear_accesses_per_element
+                >= MIN_LINEAR_ACCESSES_FOR_REPLICATION,
+            ):
+                return PlacementDecision(Placement.replicated(), True, t.done())
+
+    if t.ask(
+        "all local speedup > all remote slowdown",
+        all_local_beats_all_remote(caps, measurement),
+    ):
+        return PlacementDecision(Placement.single_socket(0), True, t.done())
+    return PlacementDecision(Placement.interleaved(), True, t.done())

@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate any paper table/figure from a shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure 2
+    python -m repro figure 10 --machine 18-core --language Java
+    python -m repro adapt
+    python -m repro select --machine 8-core --bits 33
+    python -m repro machines
+
+Each subcommand prints the same report the corresponding
+``benchmarks/bench_*.py`` script produces, without needing pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .adapt import (
+    MachineCapabilities,
+    evaluate_grid,
+    profiling_measurement,
+    select_configuration,
+)
+from .adapt.evaluation import AdaptivityCase, case_array
+from .interop import figure3_estimates, format_figure3
+from .numa import (
+    format_table1,
+    machine_2x18_haswell,
+    machine_2x8_haswell,
+    machine_by_name,
+    measure,
+    placement_survey,
+)
+from .perfmodel import (
+    figure1_rows,
+    figure2_rows,
+    figure10_grid,
+    figure11_grid,
+    figure12_grid,
+    format_graph_rows,
+    format_rows,
+)
+
+BOTH_MACHINES = (machine_2x8_haswell, machine_2x18_haswell)
+
+
+def _cmd_table1(_args) -> str:
+    reports = [measure(m()) for m in BOTH_MACHINES]
+    lines = [format_table1(reports), ""]
+    for factory in BOTH_MACHINES:
+        machine = factory()
+        lines.append(f"placement survey — {machine.name}:")
+        lines.extend("  " + row for row in placement_survey(machine))
+    return "\n".join(lines)
+
+
+def _cmd_machines(_args) -> str:
+    return "\n".join(m().describe() for m in BOTH_MACHINES)
+
+
+def _cmd_figure(args) -> str:
+    machines = (
+        [machine_by_name(args.machine)] if args.machine
+        else [m() for m in BOTH_MACHINES]
+    )
+    n = args.number
+    sections: List[str] = []
+    if n == 1:
+        for m in machines:
+            sections.append(f"--- Figure 1, {m.name} ---")
+            sections.append(format_graph_rows(figure1_rows(m)))
+    elif n == 2:
+        for m in machines:
+            sections.append(f"--- Figure 2, {m.name} ---")
+            sections.append(format_rows(figure2_rows(m)))
+    elif n == 3:
+        sections.append(format_figure3(figure3_estimates()))
+    elif n == 10:
+        languages = [args.language] if args.language else ["C++", "Java"]
+        for m in machines:
+            for lang in languages:
+                sections.append(f"--- Figure 10, {lang}, {m.name} ---")
+                sections.append(format_rows(figure10_grid(m, lang)))
+    elif n == 11:
+        for m in machines:
+            sections.append(f"--- Figure 11, {m.name} ---")
+            sections.append(format_graph_rows(figure11_grid(m)))
+    elif n == 12:
+        for m in machines:
+            sections.append(f"--- Figure 12, {m.name} ---")
+            sections.append(format_graph_rows(figure12_grid(m)))
+    else:
+        raise SystemExit(
+            f"no figure {n} in the paper's evaluation (try 1,2,3,10,11,12)"
+        )
+    return "\n".join(sections)
+
+
+def _cmd_stream(args) -> str:
+    from .perfmodel import format_stream_table, stream_table
+
+    machines = (
+        [machine_by_name(args.machine)] if args.machine
+        else [m() for m in BOTH_MACHINES]
+    )
+    sections = []
+    for m in machines:
+        sections.append(f"--- STREAM (modelled), {m.name} ---")
+        sections.append(format_stream_table(stream_table(m)))
+    return "\n".join(sections)
+
+
+def _cmd_validate(_args) -> str:
+    from .perfmodel.validation import format_validation
+
+    return format_validation()
+
+
+def _cmd_paths(_args) -> str:
+    from .interop import format_paths
+
+    return format_paths()
+
+
+def _cmd_adapt(_args) -> str:
+    stats = evaluate_grid()
+    lines = [stats.summary()]
+    if stats.failures:
+        lines.append("")
+        lines.append("misses:")
+        lines.extend(f"  {f}" for f in stats.failures)
+    return "\n".join(lines)
+
+
+def _cmd_select(args) -> str:
+    machine = machine_by_name(args.machine)
+    case = AdaptivityCase(
+        benchmark=args.benchmark,
+        machine=machine,
+        bits=args.bits,
+        language=args.language or "C++",
+    )
+    caps = MachineCapabilities(machine)
+    result = select_configuration(
+        caps, case_array(case), profiling_measurement(case)
+    )
+    lines = [f"machine:   {machine.name}",
+             f"workload:  {case.benchmark} ({case.bits}-bit data)",
+             f"selected:  {result.configuration.describe()}",
+             "",
+             "step 1 trace (uncompressed candidate):"]
+    for q, a in result.uncompressed_candidate.trace:
+        lines.append(f"  {q:<44} -> {'yes' if a else 'no'}")
+    lines.append("step 1 trace (compressed candidate):")
+    for q, a in result.compressed_candidate.trace:
+        lines.append(f"  {q:<44} -> {'yes' if a else 'no'}")
+    lines.append("")
+    lines.append(
+        f"step 2: uncompressed speedup estimate "
+        f"{result.uncompressed_estimate.estimated_speedup:.2f}x"
+    )
+    if result.compressed_estimate is not None:
+        lines.append(
+            f"step 2: compressed speedup estimate   "
+            f"{result.compressed_estimate.estimated_speedup:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smart-arrays reproduction: regenerate the paper's "
+                    "tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: machine characteristics")
+    sub.add_parser("machines", help="list the machine presets")
+
+    fig = sub.add_parser("figure", help="regenerate a figure (1,2,3,10,11,12)")
+    fig.add_argument("number", type=int)
+    fig.add_argument("--machine", help="8-core or 18-core (default: both)")
+    fig.add_argument("--language", choices=["C++", "Java"],
+                     help="Figure 10 only (default: both)")
+
+    sub.add_parser("adapt", help="run the section-6.3 adaptivity evaluation")
+
+    stream = sub.add_parser("stream", help="modelled STREAM table")
+    stream.add_argument("--machine", help="8-core or 18-core (default: both)")
+
+    sub.add_parser("validate",
+                   help="paper-vs-model validation table (all figures)")
+    sub.add_parser("paths", help="Figure 7's interoperability paths")
+
+    sel = sub.add_parser("select", help="run the adaptive selector once")
+    sel.add_argument("--machine", default="18-core")
+    sel.add_argument("--benchmark", default="aggregation",
+                     choices=["aggregation", "degree-centrality"])
+    sel.add_argument("--bits", type=int, default=33)
+    sel.add_argument("--language", choices=["C++", "Java"])
+
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "machines": _cmd_machines,
+    "figure": _cmd_figure,
+    "adapt": _cmd_adapt,
+    "select": _cmd_select,
+    "stream": _cmd_stream,
+    "validate": _cmd_validate,
+    "paths": _cmd_paths,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""The ``SmartArray.allocate()`` factory and the default machine context.
+
+The paper's static ``allocate(length, replicated, interleaved, pinned,
+bits)`` creates the concrete subclass for the bit width and places the
+replica(s) per the placement flags (section 4.3).  Here the placement
+goes through a :class:`~repro.numa.allocator.NumaAllocator` bound to a
+simulated machine.
+
+Most callers don't want to thread a machine around, so the module keeps
+a process-wide default context (machine + allocator), initialized to the
+paper's 18-core evaluation box, overridable with
+:func:`set_default_machine` or the :func:`machine_context` context
+manager (tests use the latter to run both Table 1 machines).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from . import bitpack
+from .placement import Placement
+from .smart_array import SmartArray, concrete_class_for_bits
+from ..numa.allocator import NumaAllocator
+from ..numa.topology import MachineSpec, machine_2x18_haswell
+
+_context_lock = threading.Lock()
+_default_allocator: Optional[NumaAllocator] = None
+
+
+def default_allocator() -> NumaAllocator:
+    """The process-wide allocator, created lazily on the 18-core preset."""
+    global _default_allocator
+    with _context_lock:
+        if _default_allocator is None:
+            _default_allocator = NumaAllocator(machine_2x18_haswell())
+        return _default_allocator
+
+
+def default_machine() -> MachineSpec:
+    return default_allocator().machine
+
+
+def set_default_machine(machine: MachineSpec) -> NumaAllocator:
+    """Replace the default context with a fresh allocator on ``machine``."""
+    global _default_allocator
+    with _context_lock:
+        _default_allocator = NumaAllocator(machine)
+        return _default_allocator
+
+
+@contextlib.contextmanager
+def machine_context(machine: MachineSpec) -> Iterator[NumaAllocator]:
+    """Temporarily switch the default machine (restored on exit)."""
+    global _default_allocator
+    with _context_lock:
+        saved = _default_allocator
+        _default_allocator = NumaAllocator(machine)
+        current = _default_allocator
+    try:
+        yield current
+    finally:
+        with _context_lock:
+            _default_allocator = saved
+
+
+def allocate(
+    length: int,
+    replicated: bool = False,
+    interleaved: bool = False,
+    pinned: Optional[int] = None,
+    bits: int = 64,
+    allocator: Optional[NumaAllocator] = None,
+    values=None,
+    toucher_sockets: Optional[Sequence[int]] = None,
+) -> SmartArray:
+    """Create a smart array (the paper's ``SmartArray::allocate``).
+
+    Parameters mirror the paper's signature: ``length`` elements,
+    exactly one placement flag among ``replicated`` / ``interleaved`` /
+    ``pinned`` (socket id) or none for OS default, and ``bits`` per
+    element.  Extras beyond the paper:
+
+    * ``values`` — bulk-initialize the array's contents; when ``bits``
+      is passed as ``None`` the width is chosen as the minimum that fits
+      the data (section 4.2's policy);
+    * ``allocator`` — a specific NUMA allocator (defaults to the
+      process-wide context);
+    * ``toucher_sockets`` — first-touch pattern for OS-default placement
+      (socket of each initializing thread, in loop order).
+    """
+    if values is not None:
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if values.size != length:
+            raise ValueError(
+                f"length {length} does not match {values.size} values"
+            )
+        if bits is None:
+            bits = bitpack.max_bits_needed(values)
+    if bits is None:
+        raise ValueError("bits=None requires values to infer the width from")
+    bits = bitpack.check_bits(bits)
+    placement = Placement.from_flags(
+        replicated=replicated, interleaved=interleaved, pinned=pinned
+    )
+    if allocator is None:
+        allocator = default_allocator()
+    n_words = bitpack.words_for(length, bits)
+    allocation = allocator.allocate_words(
+        n_words, placement, toucher_sockets=toucher_sockets
+    )
+    cls = concrete_class_for_bits(bits)
+    array = cls(length, bits, allocation)
+    if values is not None:
+        array.fill(values)
+    return array
+
+
+def allocate_like(values, compress: bool = True, **kwargs) -> SmartArray:
+    """Allocate and fill from ``values``, auto-sizing the bit width.
+
+    With ``compress=False`` the array stays at 64 bits (the paper's "U"
+    configurations); otherwise the minimum width is used.
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    bits = bitpack.max_bits_needed(values) if compress else 64
+    return allocate(values.size, bits=bits, values=values, **kwargs)
+
+
+# Attach the factory as the paper-style static method.
+SmartArray.allocate = staticmethod(allocate)

@@ -1,0 +1,143 @@
+"""Dictionary encoding over smart arrays (paper sections 7-8).
+
+The paper positions bit compression inside the column-store family and
+names the obvious extension: "we can investigate alternative compression
+techniques that can achieve higher compression rates on different
+categories of data, such as dictionary encoding, run-length encoding"
+(section 7; section 8 notes in-memory databases combine bit compression
+*with* dictionary encoding).
+
+:class:`DictionaryEncodedArray` is that combination: distinct values go
+into a sorted dictionary (a smart array), and the column stores each
+element's dictionary *code* in a bit-compressed smart array sized to
+``ceil(log2 n_distinct)`` bits.  For low-cardinality columns this beats
+plain bit compression by a wide margin — e.g. a column of 64-bit values
+drawn from 1000 distincts packs into 10 bits per element regardless of
+the values' magnitudes.
+
+Because the dictionary is sorted, order-preserving predicates run on
+codes directly (the column-store trick): ``codes_for_range`` translates
+a value range into a code range once, after which a scan compares small
+integers only.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import bitpack
+from .allocate import allocate
+from .smart_array import SmartArray
+
+
+class DictionaryEncodedArray:
+    """A column stored as (sorted dictionary, bit-packed codes)."""
+
+    def __init__(self, dictionary: SmartArray, codes: SmartArray):
+        self.dictionary = dictionary
+        self.codes = codes
+
+    @classmethod
+    def encode(
+        cls,
+        values,
+        allocator=None,
+        **placement,
+    ) -> "DictionaryEncodedArray":
+        """Encode ``values``; the dictionary is sorted and deduplicated."""
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        dictionary, codes = np.unique(values, return_inverse=True)
+        code_bits = max(1, int(dictionary.size - 1).bit_length()) \
+            if dictionary.size else 1
+        dict_bits = bitpack.max_bits_needed(dictionary) if dictionary.size else 1
+        dict_array = allocate(
+            dictionary.size, bits=dict_bits, values=dictionary,
+            allocator=allocator, **placement,
+        )
+        codes_array = allocate(
+            values.size, bits=code_bits, values=codes.astype(np.uint64),
+            allocator=allocator, **placement,
+        )
+        return cls(dict_array, codes_array)
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return self.codes.length
+
+    @property
+    def cardinality(self) -> int:
+        return self.dictionary.length
+
+    def get(self, index: int, socket: int = 0) -> int:
+        """Decode one element: code lookup + dictionary lookup."""
+        code = self.codes.get(index, self.codes.get_replica(socket))
+        return self.dictionary.get(code, self.dictionary.get_replica(socket))
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self.length
+        return self.get(index)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def to_numpy(self) -> np.ndarray:
+        codes = self.codes.to_numpy().astype(np.int64)
+        return self.dictionary.to_numpy()[codes]
+
+    # -- predicate push-down -------------------------------------------------
+
+    def codes_for_range(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Translate value range ``[lo, hi)`` into a code range.
+
+        The dictionary is sorted, so value comparisons reduce to code
+        comparisons — the scan never touches the dictionary again.
+        """
+        d = self.dictionary.to_numpy()
+        return (
+            int(np.searchsorted(d, lo, side="left")),
+            int(np.searchsorted(d, hi, side="left")),
+        )
+
+    def count_in_range(self, lo: int, hi: int) -> int:
+        """SELECT COUNT(*) WHERE lo <= v < hi, evaluated on codes."""
+        code_lo, code_hi = self.codes_for_range(lo, hi)
+        if code_lo >= code_hi:
+            return 0
+        codes = self.codes.to_numpy()
+        return int(((codes >= code_lo) & (codes < code_hi)).sum())
+
+    def select_in_range(self, lo: int, hi: int) -> np.ndarray:
+        """Indices of elements with values in ``[lo, hi)``."""
+        code_lo, code_hi = self.codes_for_range(lo, hi)
+        codes = self.codes.to_numpy()
+        return np.nonzero((codes >= code_lo) & (codes < code_hi))[0]
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.dictionary.storage_bytes + self.codes.storage_bytes
+
+    def compression_vs_plain(self) -> float:
+        """Footprint ratio vs an uncompressed 64-bit column (< 1 is a win)."""
+        plain = self.length * 8
+        return self.storage_bytes / plain if plain else 1.0
+
+    def compression_vs_bitpacked(self) -> float:
+        """Footprint ratio vs plain bit compression of the same values."""
+        if self.length == 0:
+            return 1.0
+        value_bits = bitpack.max_bits_needed(self.dictionary.to_numpy())
+        packed = bitpack.storage_bytes(self.length, value_bits)
+        return self.storage_bytes / packed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DictionaryEncodedArray n={self.length} "
+            f"cardinality={self.cardinality} codes@{self.codes.bits}b>"
+        )

@@ -1,0 +1,209 @@
+"""Flat entry-point API: the "LLVM bitcode" surface of the smart arrays.
+
+The paper exposes the unified C++ API to GraalVM guest languages through
+plain entry-point functions compiled to LLVM bitcode — e.g.::
+
+    long smartArrayGet(sa, idx) {
+        return reinterpret_cast<SmartArray*>(sa)->get(idx);
+    }
+
+(section 3.2, Fig. 7).  Guest languages hold the native pointer and call
+these functions; per-language thin APIs merely wrap them.
+
+This module is the Python analogue: every function takes an opaque
+integer *handle* instead of an object, and a registry maps handles to
+live arrays/iterators.  The per-language frontends in
+:mod:`repro.interop.frontends` call only this surface, which is what
+makes them "thin" in the paper's sense — no smart functionality is
+re-implemented on the language side.
+
+Each accessor also has a ``*_with_bits`` variant taking the bit width,
+mirroring the paper's design where "the entry point branches off and
+redirects to the function of the correct sub-class, thus avoiding the
+overhead of the virtual dispatch" and letting GraalVM profile the width
+as a constant (section 4.3, "Java thin API").
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from .allocate import allocate
+from .errors import InteropError
+from .iterators import SmartArrayIterator
+from .smart_array import SmartArray
+
+_lock = threading.Lock()
+_arrays: Dict[int, SmartArray] = {}
+_iterators: Dict[int, SmartArrayIterator] = {}
+_next_handle = itertools.count(1)
+
+
+def _new_handle() -> int:
+    return next(_next_handle)
+
+
+def _array(handle: int) -> SmartArray:
+    try:
+        return _arrays[handle]
+    except KeyError:
+        raise InteropError(f"unknown smart array handle {handle}") from None
+
+
+def _iterator(handle: int) -> SmartArrayIterator:
+    try:
+        return _iterators[handle]
+    except KeyError:
+        raise InteropError(f"unknown iterator handle {handle}") from None
+
+
+def live_handles() -> int:
+    """Number of live array + iterator handles (leak checks in tests)."""
+    return len(_arrays) + len(_iterators)
+
+
+# -- array lifecycle ---------------------------------------------------------
+
+
+def smart_array_allocate(
+    length: int,
+    replicated: bool = False,
+    interleaved: bool = False,
+    pinned: Optional[int] = None,
+    bits: int = 64,
+    allocator=None,
+) -> int:
+    """Allocate a smart array; returns its opaque handle."""
+    array = allocate(
+        length,
+        replicated=replicated,
+        interleaved=interleaved,
+        pinned=pinned,
+        bits=bits,
+        allocator=allocator,
+    )
+    handle = _new_handle()
+    with _lock:
+        _arrays[handle] = array
+    return handle
+
+
+def smart_array_register(array: SmartArray) -> int:
+    """Register an existing array (native code sharing into guests)."""
+    handle = _new_handle()
+    with _lock:
+        _arrays[handle] = array
+    return handle
+
+
+def smart_array_resolve(handle: int) -> SmartArray:
+    """The native object behind a handle (host-side use only)."""
+    return _array(handle)
+
+
+def smart_array_free(handle: int) -> None:
+    with _lock:
+        if _arrays.pop(handle, None) is None:
+            raise InteropError(f"unknown smart array handle {handle}")
+
+
+# -- array accessors ----------------------------------------------------------
+
+
+def smart_array_get(handle: int, index: int) -> int:
+    """``smartArrayGet`` — virtual dispatch on the concrete subclass."""
+    return _array(handle).get(index)
+
+
+def smart_array_get_with_bits(handle: int, index: int, bits: int) -> int:
+    """Width-passing variant: branch to the right subclass logic.
+
+    The Python analogue of avoiding virtual dispatch is skipping the
+    method lookup when the caller pins the width; a mismatched width is
+    a caller bug and is rejected, since silently decoding with the wrong
+    width corrupts values.
+    """
+    array = _array(handle)
+    if array.bits != bits:
+        raise InteropError(
+            f"bits mismatch: caller says {bits}, array has {array.bits}"
+        )
+    return array.get(index)
+
+
+def smart_array_init(handle: int, index: int, value: int) -> None:
+    _array(handle).init(index, value)
+
+
+def smart_array_length(handle: int) -> int:
+    return _array(handle).length
+
+
+def smart_array_bits(handle: int) -> int:
+    return _array(handle).bits
+
+
+def smart_array_unpack(handle: int, chunk: int, out: np.ndarray) -> None:
+    _array(handle).unpack(chunk, out=out)
+
+
+def smart_array_fill(handle: int, values) -> None:
+    """Bulk init entry point (native-side fast path)."""
+    _array(handle).fill(values)
+
+
+# -- iterator lifecycle -------------------------------------------------------
+
+
+def iterator_allocate(array_handle: int, index: int = 0, socket: int = 0) -> int:
+    """``SmartArrayIterator::allocate`` via handles."""
+    it = SmartArrayIterator.allocate(_array(array_handle), index, socket)
+    handle = _new_handle()
+    with _lock:
+        _iterators[handle] = it
+    return handle
+
+
+def iterator_free(handle: int) -> None:
+    with _lock:
+        if _iterators.pop(handle, None) is None:
+            raise InteropError(f"unknown iterator handle {handle}")
+
+
+# -- iterator accessors --------------------------------------------------------
+
+
+def iterator_reset(handle: int, index: int) -> None:
+    _iterator(handle).reset(index)
+
+
+def iterator_next(handle: int) -> None:
+    _iterator(handle).next()
+
+
+def iterator_get(handle: int) -> int:
+    return _iterator(handle).get()
+
+
+def iterator_next_with_bits(handle: int, bits: int) -> None:
+    """Width-pinned ``next`` (the Java thin API's profiled fast path)."""
+    it = _iterator(handle)
+    if it.array.bits != bits:
+        raise InteropError(
+            f"bits mismatch: caller says {bits}, array has {it.array.bits}"
+        )
+    it.next()
+
+
+def iterator_get_with_bits(handle: int, bits: int) -> int:
+    """Width-pinned ``get``."""
+    it = _iterator(handle)
+    if it.array.bits != bits:
+        raise InteropError(
+            f"bits mismatch: caller says {bits}, array has {it.array.bits}"
+        )
+    return it.get()

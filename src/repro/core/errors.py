@@ -1,0 +1,57 @@
+"""Exception hierarchy for the smart-arrays library.
+
+All library-raised exceptions derive from :class:`SmartArrayError` so
+callers can catch one type at the API boundary.  Narrower subclasses
+mirror the failure categories of the paper's C++ implementation:
+invalid construction parameters, placement conflicts (the paper notes
+"data placements cannot be combined", section 4.3), out-of-range element
+access, and value overflow against the configured bit width.
+"""
+
+from __future__ import annotations
+
+
+class SmartArrayError(Exception):
+    """Base class for all smart-array errors."""
+
+
+class InvalidBitsError(SmartArrayError, ValueError):
+    """The requested bit width is outside the supported 1..64 range."""
+
+    def __init__(self, bits: int) -> None:
+        super().__init__(f"bit width must be in 1..64, got {bits!r}")
+        self.bits = bits
+
+
+class PlacementError(SmartArrayError, ValueError):
+    """The requested data placement is invalid or combines exclusive modes."""
+
+
+class AllocationError(SmartArrayError, RuntimeError):
+    """The NUMA allocator could not satisfy an allocation request."""
+
+
+class IndexOutOfRangeError(SmartArrayError, IndexError):
+    """An element index is outside ``[0, length)``."""
+
+    def __init__(self, index: int, length: int) -> None:
+        super().__init__(f"index {index} out of range for length {length}")
+        self.index = index
+        self.length = length
+
+
+class ValueOverflowError(SmartArrayError, OverflowError):
+    """A value does not fit in the array's configured bit width."""
+
+    def __init__(self, value: int, bits: int) -> None:
+        super().__init__(f"value {value} does not fit in {bits} bits")
+        self.value = value
+        self.bits = bits
+
+
+class ReplicaError(SmartArrayError, ValueError):
+    """A replica handle does not belong to the array being accessed."""
+
+
+class InteropError(SmartArrayError, RuntimeError):
+    """A language-boundary operation failed (unknown language, bad handle)."""

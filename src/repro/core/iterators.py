@@ -1,0 +1,164 @@
+"""Forward iterators over smart arrays (paper section 4.3, Fig. 9 right).
+
+The iterator model hides replica selection and the unpacking of
+compressed elements behind ``reset`` / ``next`` / ``get``:
+
+* :class:`Uncompressed64Iterator` and :class:`Uncompressed32Iterator`
+  walk native-width elements directly;
+* :class:`CompressedIterator` keeps a 64-element buffer and calls the
+  array's ``unpack()`` whenever it crosses a chunk boundary, which is
+  what makes compressed scans competitive (section 4.2: the unpack
+  amortizes shifting/masking across the chunk).
+
+``SmartArrayIterator.allocate(array, index)`` picks the concrete
+subclass from the array's bit width and binds the replica local to the
+calling thread's socket — exactly the paper's factory.
+"""
+
+from __future__ import annotations
+
+import abc
+import numpy as np
+
+from . import bitpack
+from .smart_array import (
+    SmartArray,
+    Uncompressed32Array,
+    Uncompressed64Array,
+)
+
+
+class SmartArrayIterator(abc.ABC):
+    """Abstract forward iterator (paper Fig. 9).
+
+    Holds the referenced array, the target replica, and the current
+    index.  ``next()`` advances; ``get()`` reads the current element;
+    ``reset(index)`` repositions — the paper uses ``reset``/the index
+    constructor argument to start each Callisto-RTS loop batch at the
+    batch's first element (section 4.3, "Example").
+    """
+
+    def __init__(self, array: SmartArray, index: int = 0, socket: int = 0):
+        if not 0 <= index <= array.length:
+            raise IndexError(
+                f"iterator start {index} out of range for length {array.length}"
+            )
+        self.array = array
+        self.socket = socket
+        self.replica = array.get_replica(socket)
+        self.index = index
+        self._position(index)
+
+    # -- paper factory ---------------------------------------------------
+
+    @staticmethod
+    def allocate(
+        array: SmartArray, index: int = 0, socket: int = 0
+    ) -> "SmartArrayIterator":
+        """Create the concrete iterator for ``array`` (paper ``allocate()``).
+
+        Selects the replica for the calling thread's ``socket`` via the
+        array's ``get_replica()``, then constructs the subclass matching
+        the array's bit compression.
+        """
+        if isinstance(array, Uncompressed64Array):
+            return Uncompressed64Iterator(array, index, socket)
+        if isinstance(array, Uncompressed32Array):
+            return Uncompressed32Iterator(array, index, socket)
+        return CompressedIterator(array, index, socket)
+
+    # -- core API -----------------------------------------------------------
+
+    def reset(self, index: int) -> None:
+        """Reposition the iterator at ``index``."""
+        if not 0 <= index <= self.array.length:
+            raise IndexError(
+                f"iterator reset {index} out of range for length "
+                f"{self.array.length}"
+            )
+        self.index = index
+        self._position(index)
+
+    @abc.abstractmethod
+    def next(self) -> None:
+        """Advance to the next index."""
+
+    @abc.abstractmethod
+    def get(self) -> int:
+        """Element at the current index."""
+
+    def _position(self, index: int) -> None:
+        """Hook for subclasses that keep positional state (chunk buffers)."""
+
+    # -- conveniences ---------------------------------------------------------
+
+    def take(self, n: int) -> np.ndarray:
+        """Read ``n`` consecutive elements, advancing past them."""
+        n = min(n, self.array.length - self.index)
+        out = np.empty(n, dtype=np.uint64)
+        for i in range(n):
+            out[i] = self.get()
+            self.next()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} index={self.index} of {self.array!r}>"
+
+
+class Uncompressed64Iterator(SmartArrayIterator):
+    """BITS = 64: ``get`` is a direct word load; ``next`` bumps the index.
+
+    The paper notes the compiled code "simply increases a pointer at
+    every iteration" — here the analogous state is the bare index into
+    the replica buffer.
+    """
+
+    def next(self) -> None:
+        self.index += 1
+
+    def get(self) -> int:
+        return int(self.replica[self.index])
+
+
+class Uncompressed32Iterator(SmartArrayIterator):
+    """BITS = 32: direct loads from the uint32 view of the replica."""
+
+    def _position(self, index: int) -> None:
+        self._data32 = self.replica.view(np.uint32)
+
+    def next(self) -> None:
+        self.index += 1
+
+    def get(self) -> int:
+        return int(self._data32[self.index])
+
+
+class CompressedIterator(SmartArrayIterator):
+    """General bit widths: a 64-element unpack buffer per chunk.
+
+    ``next()`` calls the smart array's ``unpack()`` whenever it moves
+    into a new chunk, fetching the next 64 elements into the buffer;
+    ``get()`` serves from the buffer (paper section 4.3).
+    """
+
+    def _position(self, index: int) -> None:
+        self._buffer = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        self._chunk = -1
+        self._data_index = index % bitpack.CHUNK_ELEMENTS
+        if index < self.array.length:
+            self._load_chunk(index // bitpack.CHUNK_ELEMENTS)
+
+    def _load_chunk(self, chunk: int) -> None:
+        self.array.unpack(chunk, replica=self.replica, out=self._buffer)
+        self._chunk = chunk
+
+    def next(self) -> None:
+        self.index += 1
+        self._data_index += 1
+        if self._data_index == bitpack.CHUNK_ELEMENTS:
+            self._data_index = 0
+            if self.index < self.array.length:
+                self._load_chunk(self.index // bitpack.CHUNK_ELEMENTS)
+
+    def get(self) -> int:
+        return int(self._buffer[self._data_index])

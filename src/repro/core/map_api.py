@@ -1,0 +1,132 @@
+"""Bounded map() API: the paper's proposed iterator alternative (§7).
+
+The iterator API tests for a chunk boundary on every ``next()``, which
+"generates a large number of branch stalls" (section 7).  The paper
+plans "an alternative unified API for languages that support
+user-defined lambdas ... a bounded map() interface accepting a lambda
+and a range to apply it over", which removes those branches.
+
+This module implements that future-work API:
+
+* :func:`map_range` — apply a function over ``[start, stop)`` and
+  collect the results; the function receives whole decoded chunks
+  (NumPy arrays), so per-element branching disappears exactly as the
+  paper envisions;
+* :func:`for_each_chunk` — the side-effect variant;
+* :func:`map_reduce` — fused map + reduction without materializing the
+  mapped values (the aggregation pattern);
+* :func:`sum_range` — the aggregation special case, and the direct
+  branch-free counterpart of the Function 4 iterator loop.
+
+All of them honour replica selection the same way the iterator factory
+does: pass ``socket`` to read the socket-local replica.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from . import bitpack
+from .smart_array import SmartArray
+
+
+def _chunks(array: SmartArray, start: int, stop: int, socket: int):
+    """Yield (global_start_index, decoded ndarray) spans covering
+    [start, stop), chunk-aligned internally."""
+    if not 0 <= start <= stop <= array.length:
+        raise IndexError(
+            f"range [{start}, {stop}) invalid for length {array.length}"
+        )
+    replica = array.get_replica(socket)
+    pos = start
+    buf = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+    while pos < stop:
+        chunk = pos // bitpack.CHUNK_ELEMENTS
+        chunk_start = chunk * bitpack.CHUNK_ELEMENTS
+        lo = pos - chunk_start
+        hi = min(stop - chunk_start, bitpack.CHUNK_ELEMENTS)
+        array.unpack(chunk, replica=replica, out=buf)
+        yield pos, buf[lo:hi]
+        pos = chunk_start + hi
+
+
+def map_range(
+    array: SmartArray,
+    fn: Callable[[np.ndarray], np.ndarray],
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> np.ndarray:
+    """Apply ``fn`` over decoded spans of ``[start, stop)``; concatenate.
+
+    ``fn`` receives a ``uint64`` array (one chunk span at a time) and
+    must return an equal-length array; the spans are concatenated in
+    order.  This is the paper's bounded map(): the chunk-boundary test
+    runs once per 64 elements instead of once per element.
+    """
+    stop = array.length if stop is None else stop
+    pieces: List[np.ndarray] = []
+    for _, span in _chunks(array, start, stop, socket):
+        out = np.asarray(fn(span))
+        if out.shape != span.shape:
+            raise ValueError(
+                f"map function changed the span length "
+                f"({span.size} -> {out.size})"
+            )
+        pieces.append(out.copy())
+    if not pieces:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(pieces)
+
+
+def for_each_chunk(
+    array: SmartArray,
+    fn: Callable[[int, np.ndarray], None],
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> None:
+    """Invoke ``fn(global_start_index, span)`` for every decoded span."""
+    stop = array.length if stop is None else stop
+    for pos, span in _chunks(array, start, stop, socket):
+        fn(pos, span)
+
+
+def map_reduce(
+    array: SmartArray,
+    map_fn: Callable[[np.ndarray], np.ndarray],
+    reduce_fn: Callable[[object, np.ndarray], object],
+    initial,
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+):
+    """Fused map + fold over ``[start, stop)`` without materializing."""
+    stop = array.length if stop is None else stop
+    acc = initial
+    for _, span in _chunks(array, start, stop, socket):
+        acc = reduce_fn(acc, np.asarray(map_fn(span)))
+    return acc
+
+
+def sum_range(
+    array: SmartArray,
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> int:
+    """Exact-integer aggregation over a range — the branch-free
+    counterpart of the Function 4 iterator loop."""
+    from ..runtime.loops import _exact_sum
+
+    return map_reduce(
+        array,
+        lambda span: span,
+        lambda acc, span: acc + _exact_sum(span),
+        0,
+        start=start,
+        stop=stop,
+        socket=socket,
+    )

@@ -1,0 +1,80 @@
+"""Persistence: save and load smart arrays without re-packing.
+
+PGX hides replica-initialization cost behind data loading's I/O
+bottleneck (paper sections 5-6); for that story to exist, arrays need a
+durable on-disk form.  The format saves the *packed words* plus the
+decode metadata (length, bits), so loading is a straight buffer read —
+no re-compression — and the placement is chosen at load time (placement
+is a property of the machine, not of the data, so it is deliberately
+not serialized).
+
+Format: NumPy ``.npz`` with three entries — ``words`` (the packed
+``uint64`` buffer of one replica), ``length``, ``bits``.  Versioned via
+a ``format`` entry so future layouts can evolve.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import bitpack
+from .allocate import allocate
+from .smart_array import SmartArray
+
+FORMAT_VERSION = 1
+
+
+def save_array(path: str, array: SmartArray) -> None:
+    """Persist one replica's packed words plus decode metadata."""
+    np.savez_compressed(
+        path,
+        format=np.int64(FORMAT_VERSION),
+        words=array.get_replica(0),
+        length=np.int64(array.length),
+        bits=np.int64(array.bits),
+    )
+
+
+def load_array(
+    path: str,
+    replicated: bool = False,
+    interleaved: bool = False,
+    pinned: Optional[int] = None,
+    allocator=None,
+) -> SmartArray:
+    """Load a saved array under a (new) placement.
+
+    The packed words are copied straight into the fresh allocation —
+    and into every replica for replicated placements — without decode/
+    re-encode, which is what makes load-time replica initialization an
+    I/O-parallel memcpy, as the paper assumes.
+    """
+    with np.load(path) as data:
+        version = int(data["format"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported smart-array format {version} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        words = np.ascontiguousarray(data["words"], dtype=np.uint64)
+        length = int(data["length"])
+        bits = int(data["bits"])
+    expected = bitpack.words_for(length, bits)
+    if words.size != expected:
+        raise ValueError(
+            f"corrupt file: {words.size} words for length={length}, "
+            f"bits={bits} (expected {expected})"
+        )
+    array = allocate(
+        length,
+        replicated=replicated,
+        interleaved=interleaved,
+        pinned=pinned,
+        bits=bits,
+        allocator=allocator,
+    )
+    for buf in array.replicas:
+        np.copyto(buf, words)
+    return array

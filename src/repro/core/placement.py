@@ -1,0 +1,148 @@
+"""NUMA-aware data placement descriptors (paper section 4.1).
+
+The paper supports four mutually exclusive placements for a smart
+array's physical pages:
+
+* ``OS_DEFAULT`` — first-touch: a page lands on the socket of the thread
+  that first writes it (Linux's default policy);
+* ``SINGLE_SOCKET`` — every page pinned to one specified socket;
+* ``INTERLEAVED`` — pages distributed round-robin across all sockets;
+* ``REPLICATED`` — one full replica of the array per socket.
+
+"Data placements cannot be combined" (section 4.3): the
+:class:`Placement` constructor enforces that exactly one mode is chosen,
+mirroring the ``replicated`` / ``interleaved`` / ``pinned`` fields of the
+paper's ``SmartArray`` class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import PlacementError
+
+
+class PlacementKind(enum.Enum):
+    """The four placement policies of section 4.1."""
+
+    OS_DEFAULT = "os_default"
+    SINGLE_SOCKET = "single_socket"
+    INTERLEAVED = "interleaved"
+    REPLICATED = "replicated"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A validated placement choice.
+
+    Use the class-method constructors rather than ``__init__`` directly;
+    they mirror the flags of the paper's ``SmartArray::allocate(length,
+    replicated, interleaved, pinned, bits)`` factory.
+    """
+
+    kind: PlacementKind
+    #: Target socket for ``SINGLE_SOCKET``; ``None`` otherwise.
+    socket: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PlacementKind.SINGLE_SOCKET:
+            if self.socket is None or self.socket < 0:
+                raise PlacementError(
+                    "single-socket placement requires a non-negative socket id"
+                )
+        elif self.socket is not None:
+            raise PlacementError(
+                f"placement {self.kind} does not take a socket id"
+            )
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def os_default(cls) -> "Placement":
+        """First-touch placement (the paper's NUMA-agnostic baseline)."""
+        return cls(PlacementKind.OS_DEFAULT)
+
+    @classmethod
+    def single_socket(cls, socket: int) -> "Placement":
+        """Pin every page to ``socket``."""
+        return cls(PlacementKind.SINGLE_SOCKET, socket=socket)
+
+    @classmethod
+    def interleaved(cls) -> "Placement":
+        """Round-robin pages across all sockets."""
+        return cls(PlacementKind.INTERLEAVED)
+
+    @classmethod
+    def replicated(cls) -> "Placement":
+        """One replica per socket (read-only / read-mostly data)."""
+        return cls(PlacementKind.REPLICATED)
+
+    @classmethod
+    def from_flags(
+        cls,
+        replicated: bool = False,
+        interleaved: bool = False,
+        pinned: Optional[int] = None,
+    ) -> "Placement":
+        """Build a placement from the paper's allocate() flag triple.
+
+        Raises :class:`PlacementError` when more than one mode is set
+        (the paper's "cannot be combined" rule); no flags means
+        OS-default.
+        """
+        chosen = sum([bool(replicated), bool(interleaved), pinned is not None])
+        if chosen > 1:
+            raise PlacementError(
+                "replicated, interleaved and pinned are mutually exclusive"
+            )
+        if replicated:
+            return cls.replicated()
+        if interleaved:
+            return cls.interleaved()
+        if pinned is not None:
+            return cls.single_socket(pinned)
+        return cls.os_default()
+
+    # -- properties ---------------------------------------------------
+
+    @property
+    def is_replicated(self) -> bool:
+        return self.kind is PlacementKind.REPLICATED
+
+    @property
+    def is_interleaved(self) -> bool:
+        return self.kind is PlacementKind.INTERLEAVED
+
+    @property
+    def is_pinned(self) -> bool:
+        return self.kind is PlacementKind.SINGLE_SOCKET
+
+    @property
+    def is_os_default(self) -> bool:
+        return self.kind is PlacementKind.OS_DEFAULT
+
+    def replica_count(self, n_sockets: int) -> int:
+        """Number of physical replicas on an ``n_sockets`` machine."""
+        if n_sockets < 1:
+            raise PlacementError(f"machine must have >= 1 socket, got {n_sockets}")
+        return n_sockets if self.is_replicated else 1
+
+    def describe(self) -> str:
+        """Human-readable label used by benchmark tables."""
+        if self.is_pinned:
+            return f"single socket {self.socket}"
+        return str(self.kind)
+
+
+#: Placements, in the order the paper's figures list them.
+STANDARD_PLACEMENTS = (
+    Placement.os_default(),
+    Placement.single_socket(0),
+    Placement.interleaved(),
+    Placement.replicated(),
+)

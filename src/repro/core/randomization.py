@@ -1,0 +1,176 @@
+"""Randomization: index-remapping placement (the paper's §7 extension).
+
+The paper plans "randomization, a fine-grained index-remapping of a
+collection's elements.  This kind of permutation ensures that 'hot'
+nearby data items are mapped to storage on different locations served
+by different memory channels, thus reducing hot-spots in the memory
+system" (section 7).
+
+:class:`RandomizedArray` wraps any smart array with an invertible
+affine permutation over its index space::
+
+    storage_index = (a * logical_index + b) mod n      (gcd(a, n) = 1)
+
+so logically adjacent elements land ``a`` slots apart in storage —
+scattering a hot contiguous region across pages (and hence, under an
+interleaved placement, across sockets and channels).  The permutation
+is O(1) per access with no side tables, and invertible via the modular
+inverse of ``a``, so the wrapper supports random access, bulk gathers,
+and full decode in logical order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .smart_array import SmartArray
+
+
+def _default_multiplier(n: int) -> int:
+    """A multiplier coprime with ``n``, far from 1, deterministic.
+
+    Starts near the golden-ratio point of the index space (the classic
+    low-discrepancy choice) and walks forward to the first coprime.
+    """
+    if n <= 2:
+        return 1
+    a = max(2, int(n * 0.6180339887))
+    while math.gcd(a, n) != 1:
+        a += 1
+    return a
+
+
+class RandomizedArray:
+    """A permuted-index view over a smart array.
+
+    All reads and writes go through the wrapped array; only the
+    index mapping changes.  ``fill``/``to_numpy`` operate in *logical*
+    order, so round-trips are transparent to the caller.
+    """
+
+    def __init__(
+        self,
+        array: SmartArray,
+        multiplier: Optional[int] = None,
+        offset: int = 0,
+    ) -> None:
+        n = array.length
+        self.array = array
+        self.multiplier = (
+            _default_multiplier(n) if multiplier is None else int(multiplier)
+        )
+        self.offset = int(offset) % max(1, n)
+        if n > 0:
+            if math.gcd(self.multiplier, n) != 1:
+                raise ValueError(
+                    f"multiplier {self.multiplier} is not coprime with "
+                    f"length {n}; the mapping would not be a bijection"
+                )
+            self._inverse = pow(self.multiplier, -1, n)
+        else:
+            self._inverse = 1
+
+    # -- index mapping ------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return self.array.length
+
+    def storage_index(self, logical: int) -> int:
+        """Where logical element ``logical`` physically lives."""
+        n = self.length
+        if not 0 <= logical < n:
+            raise IndexError(f"index {logical} out of range for {n}")
+        return (self.multiplier * logical + self.offset) % n
+
+    def logical_index(self, storage: int) -> int:
+        """Inverse mapping (which logical element a slot holds)."""
+        n = self.length
+        if not 0 <= storage < n:
+            raise IndexError(f"index {storage} out of range for {n}")
+        return ((storage - self.offset) * self._inverse) % n
+
+    def _storage_indices(self, logical: np.ndarray) -> np.ndarray:
+        n = self.length
+        logical = np.ascontiguousarray(logical, dtype=np.int64)
+        if logical.size and (
+            int(logical.min()) < 0 or int(logical.max()) >= n
+        ):
+            raise IndexError("logical index out of range")
+        return (self.multiplier * logical + self.offset) % n
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, index: int, replica=None) -> int:
+        return self.array.get(self.storage_index(index), replica=replica)
+
+    def init(self, index: int, value: int) -> None:
+        self.array.init(self.storage_index(index), value)
+
+    def gather_many(self, indices, replica=None) -> np.ndarray:
+        return self.array.gather_many(
+            self._storage_indices(np.asarray(indices)), replica=replica
+        )
+
+    def fill(self, values) -> None:
+        """Store ``values`` so that logical order reads back correctly."""
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if values.size != self.length:
+            raise ValueError(
+                f"expected {self.length} values, got {values.size}"
+            )
+        if values.size == 0:
+            return
+        storage = self._storage_indices(np.arange(self.length, dtype=np.int64))
+        permuted = np.empty_like(values)
+        permuted[storage] = values
+        self.array.fill(permuted)
+
+    def to_numpy(self, replica=None) -> np.ndarray:
+        stored = self.array.to_numpy(replica=replica)
+        storage = self._storage_indices(np.arange(self.length, dtype=np.int64))
+        return stored[storage]
+
+    # -- the property randomization exists for ------------------------------
+
+    def hotspot_spread(self, start: int, length: int) -> np.ndarray:
+        """Page-fraction histogram of a hot logical range's storage.
+
+        Returns, per socket, the fraction of the hot range's elements
+        whose *storage* page lives on that socket under the wrapped
+        array's placement — the quantity randomization is designed to
+        flatten.  (For a replicated array every page is everywhere;
+        the histogram is then uniform by construction.)
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        page_map = self.array.allocation.page_maps[0]
+        machine = self.array.allocation.machine
+        word_bits = self.array.bits
+        idx = self._storage_indices(
+            (np.arange(start, start + length, dtype=np.int64)) % self.length
+        )
+        byte_offsets = (idx * word_bits) // 8
+        pages = np.minimum(
+            byte_offsets // page_map.page_bytes, page_map.n_pages - 1
+        )
+        sockets = page_map.page_to_socket[pages]
+        counts = np.bincount(sockets, minlength=machine.n_sockets)
+        return counts / counts.sum()
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self.length
+        return self.get(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RandomizedArray a={self.multiplier} b={self.offset} "
+            f"over {self.array!r}>"
+        )

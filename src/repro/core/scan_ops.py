@@ -1,0 +1,131 @@
+"""Selection scans over smart arrays (column-store predicate evaluation).
+
+The paper situates bit compression among column-store scan techniques
+(sections 4.2 and 8, citing SIMD selection-scan work).  This module
+provides the scan operators an analytics engine runs over compressed
+columns, all chunk-at-a-time over the decoded spans (so they inherit
+the same amortization the iterator gets, and honour replica selection):
+
+* :func:`count_in_range` / :func:`select_in_range` — range predicates;
+* :func:`count_equal` / :func:`select_where` — equality and arbitrary
+  vectorized predicates;
+* :func:`min_max` — a fused min/max pass (zone-map construction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .map_api import for_each_chunk
+from .smart_array import SmartArray
+
+
+def select_where(
+    array: SmartArray,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> np.ndarray:
+    """Indices in ``[start, stop)`` whose values satisfy ``predicate``.
+
+    ``predicate`` receives decoded spans and must return a boolean array
+    of the same length.
+    """
+    stop = array.length if stop is None else stop
+    hits: List[np.ndarray] = []
+
+    def visit(pos: int, span: np.ndarray) -> None:
+        mask = np.asarray(predicate(span), dtype=bool)
+        if mask.shape != span.shape:
+            raise ValueError("predicate must return one bool per element")
+        local = np.nonzero(mask)[0]
+        if local.size:
+            hits.append(local + pos)
+
+    for_each_chunk(array, visit, start, stop, socket)
+    if not hits:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(hits)
+
+
+def select_in_range(
+    array: SmartArray,
+    lo: int,
+    hi: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> np.ndarray:
+    """Indices with ``lo <= value < hi`` (the classic selection scan)."""
+    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+    if hi <= 0 or lo >= hi:
+        return np.empty(0, dtype=np.int64)
+    return select_where(
+        array, lambda span: (span >= lo64) & (span < hi64), start, stop,
+        socket,
+    )
+
+
+def count_in_range(
+    array: SmartArray,
+    lo: int,
+    hi: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> int:
+    """COUNT(*) WHERE lo <= value < hi, without materializing indices."""
+    if hi <= 0 or lo >= hi:
+        return 0
+    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+    total = [0]
+
+    def visit(pos: int, span: np.ndarray) -> None:
+        total[0] += int(((span >= lo64) & (span < hi64)).sum())
+
+    for_each_chunk(array, visit, start,
+                   array.length if stop is None else stop, socket)
+    return total[0]
+
+
+def count_equal(
+    array: SmartArray,
+    value: int,
+    socket: int = 0,
+) -> int:
+    """Occurrences of ``value`` in the whole array."""
+    if value < 0:
+        return 0
+    v = np.uint64(value)
+    total = [0]
+
+    def visit(pos: int, span: np.ndarray) -> None:
+        total[0] += int((span == v).sum())
+
+    for_each_chunk(array, visit, 0, array.length, socket)
+    return total[0]
+
+
+def min_max(
+    array: SmartArray,
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+) -> Tuple[int, int]:
+    """Fused min/max over a range (zone-map building block)."""
+    stop = array.length if stop is None else stop
+    if stop <= start:
+        raise ValueError("min_max of an empty range")
+    lo = [None]
+    hi = [None]
+
+    def visit(pos: int, span: np.ndarray) -> None:
+        m, M = int(span.min()), int(span.max())
+        lo[0] = m if lo[0] is None else min(lo[0], m)
+        hi[0] = M if hi[0] is None else max(hi[0], M)
+
+    for_each_chunk(array, visit, start, stop, socket)
+    return lo[0], hi[0]

@@ -1,0 +1,388 @@
+"""Smart arrays: the paper's core abstraction (sections 3 and 4).
+
+A :class:`SmartArray` is a fixed-length array of unsigned integers whose
+*smart functionalities* — NUMA-aware placement and bit compression — are
+configured at allocation time and hidden behind one unified API:
+
+* ``allocate(length, replicated, interleaved, pinned, bits)`` — factory
+  choosing the concrete subclass and placing the replica(s);
+* ``get_replica(socket)`` — the replica a thread on ``socket`` should
+  read (the paper's ``getReplica()``);
+* ``get(index, replica)`` / ``init(index, value)`` / ``unpack(chunk,
+  replica, out)`` — paper Functions 1, 2, 3.
+
+Concrete subclasses mirror the paper's UML (Fig. 9):
+:class:`BitCompressedArray` covers the general 1..64-bit cases, and
+:class:`Uncompressed32Array` / :class:`Uncompressed64Array` specialize
+32 and 64 bits, where elements map directly onto native integers and
+get/init/unpack need no shifting or masking.
+
+Bulk NumPy-level operations (``fill``, ``to_numpy``, ``gather_many``)
+extend the paper's scalar API; they are the vectorized equivalents the
+functional path uses for realistic data sizes, and they are verified
+element-for-element against the scalar kernels in the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import bitpack
+from .errors import IndexOutOfRangeError, ReplicaError
+from .placement import Placement
+from .stats import AccessStats
+from ..numa.allocator import Allocation
+
+
+class SmartArray(abc.ABC):
+    """Abstract smart array (paper Fig. 9, left box).
+
+    Holds the placement flags, the bit width, and one word buffer per
+    replica.  Construction goes through
+    :func:`repro.core.allocate.allocate` (also exported as
+    ``SmartArray.allocate``), which picks the concrete subclass.
+    """
+
+    #: Lock stripes for :meth:`init_locked`.  The paper suggests "locks,
+    #: e.g., one per chunk" (section 4.2); a fixed stripe pool indexed by
+    #: chunk bounds memory while preserving the per-chunk granularity
+    #: (two writers conflict only when their chunks collide mod the pool
+    #: size).
+    _LOCK_STRIPES = 64
+
+    def __init__(self, length: int, bits: int, allocation: Allocation) -> None:
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        self._length = int(length)
+        self._bits = bitpack.check_bits(bits)
+        self._allocation = allocation
+        self._init_locks = [threading.Lock() for _ in range(self._LOCK_STRIPES)]
+        #: Deterministic operation counters (see repro.core.stats).
+        self.stats = AccessStats()
+
+    # -- basic properties (paper: getLength, getBits, placement flags) --
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def get_length(self) -> int:
+        """Paper-style accessor; same as :attr:`length`."""
+        return self._length
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def get_bits(self) -> int:
+        """Paper-style accessor; same as :attr:`bits`."""
+        return self._bits
+
+    @property
+    def placement(self) -> Placement:
+        return self._allocation.placement
+
+    @property
+    def replicated(self) -> bool:
+        return self.placement.is_replicated
+
+    @property
+    def interleaved(self) -> bool:
+        return self.placement.is_interleaved
+
+    @property
+    def pinned(self) -> Optional[int]:
+        return self.placement.socket if self.placement.is_pinned else None
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    @property
+    def replicas(self) -> Sequence[np.ndarray]:
+        """The per-replica word buffers (paper's ``replicas`` field)."""
+        return self._allocation.buffers
+
+    @property
+    def n_replicas(self) -> int:
+        return self._allocation.n_replicas
+
+    # -- memory accounting ------------------------------------------------
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of one replica's packed storage."""
+        return bitpack.storage_bytes(self._length, self._bits)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Total bytes across replicas (replication's footprint cost)."""
+        return self.storage_bytes * self.n_replicas
+
+    @property
+    def compression_ratio(self) -> float:
+        """Packed bytes of one replica over uncompressed 64-bit bytes —
+        the paper's ``r`` in section 6.2 (1.0 means uncompressed)."""
+        return self._bits / bitpack.WORD_BITS
+
+    # -- replica selection --------------------------------------------------
+
+    def get_replica(self, socket: int = 0) -> np.ndarray:
+        """Word buffer a thread running on ``socket`` should use.
+
+        For replicated arrays this is the socket-local replica; for all
+        other placements the single buffer (paper section 4.3).
+        """
+        return self._allocation.buffer_for_socket(socket)
+
+    def replica_index_for_socket(self, socket: int) -> int:
+        return self._allocation.replica_for_socket(socket)
+
+    def _resolve_replica(self, replica) -> np.ndarray:
+        if replica is None:
+            return self.replicas[0]
+        if isinstance(replica, (int, np.integer)):
+            idx = int(replica)
+            if not 0 <= idx < self.n_replicas:
+                raise ReplicaError(
+                    f"replica {idx} out of range for {self.n_replicas} replicas"
+                )
+            return self.replicas[idx]
+        for buf in self.replicas:
+            if buf is replica:
+                return buf
+        raise ReplicaError("replica buffer does not belong to this smart array")
+
+    # -- element API (paper Functions 1-3) ---------------------------------
+
+    @abc.abstractmethod
+    def get(self, index: int, replica=None) -> int:
+        """Element at ``index`` from ``replica`` (paper Function 1)."""
+
+    @abc.abstractmethod
+    def init(self, index: int, value: int) -> None:
+        """Write ``value`` at ``index`` into every replica (Function 2).
+
+        Like the paper's version, unsynchronized: "in cases of
+        concurrent read and write accesses the user of the smart arrays
+        needs to synchronize the accesses" (section 4.2).  See
+        :meth:`init_locked` for the locked variant the paper sketches.
+        """
+
+    @abc.abstractmethod
+    def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
+        """Unpack one 64-element chunk into ``out`` (Function 3)."""
+
+    def init_locked(self, index: int, value: int) -> None:
+        """Thread-safe initialization (paper section 4.2's lock variant,
+        "e.g., one per chunk").
+
+        Locks the stripe of the element's chunk, so concurrent writers
+        to different chunks proceed in parallel while writers whose
+        elements could share a storage word always serialize (word
+        sharing never crosses a chunk boundary thanks to the 64-element
+        alignment property).
+        """
+        chunk = index // bitpack.CHUNK_ELEMENTS
+        with self._init_locks[chunk % self._LOCK_STRIPES]:
+            self.init(index, value)
+
+    # -- bulk API (vectorized equivalents) ----------------------------------
+
+    def fill(self, values) -> None:
+        """Initialize the whole array from ``values`` (vectorized Function 2)."""
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if values.size != self._length:
+            raise ValueError(
+                f"expected {self._length} values, got {values.size}"
+            )
+        packed = bitpack.pack_array(values, self._bits)
+        for buf in self.replicas:
+            np.copyto(buf, packed)
+        self.stats.bulk_elements_written += values.size
+
+    def to_numpy(self, replica=None) -> np.ndarray:
+        """Decode the full logical contents as a ``uint64`` array.
+
+        Uses the blocked fast path for bit widths dividing 64 (see
+        :mod:`repro.core.bitpack_fast`), the generic vectorized decode
+        otherwise.
+        """
+        from .bitpack_fast import unpack_array_fast
+
+        buf = self._resolve_replica(replica)
+        self.stats.bulk_elements_read += self._length
+        return unpack_array_fast(buf, self._length, self._bits)
+
+    def gather_many(self, indices, replica=None) -> np.ndarray:
+        """Vectorized random-access read (bulk Function 1)."""
+        buf = self._resolve_replica(replica)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self._length
+        ):
+            bad = indices[(indices < 0) | (indices >= self._length)][0]
+            raise IndexOutOfRangeError(int(bad), self._length)
+        self.stats.bulk_elements_read += indices.size
+        return bitpack.gather(buf, indices, self._bits)
+
+    def scatter_many(self, indices, values) -> None:
+        """Vectorized write into every replica (bulk Function 2)."""
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self._length
+        ):
+            bad = indices[(indices < 0) | (indices >= self._length)][0]
+            raise IndexOutOfRangeError(int(bad), self._length)
+        for buf in self.replicas:
+            bitpack.scatter(buf, indices, values, self._bits)
+        self.stats.bulk_elements_written += indices.size
+
+    # -- pythonic conveniences ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> int:
+        if isinstance(index, slice):
+            idx = np.arange(*index.indices(self._length), dtype=np.int64)
+            return self.gather_many(idx)
+        if index < 0:
+            index += self._length
+        return self.get(bitpack.check_index(index, self._length))
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if index < 0:
+            index += self._length
+        self.init(bitpack.check_index(index, self._length), value)
+
+    def __iter__(self):
+        from .iterators import SmartArrayIterator
+
+        it = SmartArrayIterator.allocate(self, 0)
+        for _ in range(self._length):
+            yield it.get()
+            it.next()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} length={self._length} bits={self._bits} "
+            f"placement={self.placement.describe()} replicas={self.n_replicas}>"
+        )
+
+    # Factory is attached by repro.core.allocate to avoid an import cycle;
+    # annotated here for discoverability.
+    allocate = None  # type: ignore[assignment]
+
+
+class BitCompressedArray(SmartArray):
+    """General bit-compressed array, any ``bits`` in 1..64 (paper Fig. 9).
+
+    The paper instantiates 64 template classes so BITS is a compile-time
+    constant; the Python analogue binds ``bits`` once at construction and
+    the kernels in :mod:`repro.core.bitpack` specialize on it.
+    """
+
+    def get(self, index: int, replica=None) -> int:
+        bitpack.check_index(index, self._length)
+        buf = self._resolve_replica(replica)
+        self.stats.scalar_gets += 1
+        return bitpack.get_scalar(buf, index, self._bits)
+
+    def init(self, index: int, value: int) -> None:
+        bitpack.check_index(index, self._length)
+        self.stats.scalar_inits += 1
+        bitpack.init_scalar(self.replicas, index, value, self._bits)
+
+    def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
+        n_chunks = bitpack.chunks_for(self._length)
+        if not 0 <= chunk < max(1, n_chunks):
+            raise IndexOutOfRangeError(chunk, n_chunks)
+        buf = self._resolve_replica(replica)
+        self.stats.chunk_unpacks += 1
+        return bitpack.unpack_chunk_scalar(buf, chunk, self._bits, out=out)
+
+
+class Uncompressed64Array(BitCompressedArray):
+    """BITS = 64 specialization: elements are the storage words.
+
+    get/init/unpack reduce to direct word loads and stores — "they can
+    be implemented with simplified getter, initialization, and unpack
+    functions that do not require shifting and masking" (section 4.3).
+    """
+
+    def get(self, index: int, replica=None) -> int:
+        bitpack.check_index(index, self._length)
+        buf = self._resolve_replica(replica)
+        self.stats.scalar_gets += 1
+        return int(buf[index])
+
+    def init(self, index: int, value: int) -> None:
+        bitpack.check_index(index, self._length)
+        value = bitpack.check_value(value, 64)
+        self.stats.scalar_inits += 1
+        for buf in self.replicas:
+            buf[index] = np.uint64(value)
+
+    def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
+        n_chunks = bitpack.chunks_for(self._length)
+        if not 0 <= chunk < max(1, n_chunks):
+            raise IndexOutOfRangeError(chunk, n_chunks)
+        buf = self._resolve_replica(replica)
+        if out is None:
+            out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        self.stats.chunk_unpacks += 1
+        start = chunk * bitpack.CHUNK_ELEMENTS
+        out[:] = buf[start:start + bitpack.CHUNK_ELEMENTS]
+        return out
+
+
+class Uncompressed32Array(BitCompressedArray):
+    """BITS = 32 specialization: elements map onto native 32-bit slots.
+
+    The packed word buffer is reinterpreted as ``uint32`` (little-endian
+    hosts, as on the paper's Intel machines), so get/init are direct
+    loads/stores without shifts or masks.
+    """
+
+    def _u32(self, buf: np.ndarray) -> np.ndarray:
+        return buf.view(np.uint32)
+
+    def get(self, index: int, replica=None) -> int:
+        bitpack.check_index(index, self._length)
+        buf = self._resolve_replica(replica)
+        self.stats.scalar_gets += 1
+        return int(self._u32(buf)[index])
+
+    def init(self, index: int, value: int) -> None:
+        bitpack.check_index(index, self._length)
+        value = bitpack.check_value(value, 32)
+        self.stats.scalar_inits += 1
+        for buf in self.replicas:
+            self._u32(buf)[index] = np.uint32(value)
+
+    def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
+        n_chunks = bitpack.chunks_for(self._length)
+        if not 0 <= chunk < max(1, n_chunks):
+            raise IndexOutOfRangeError(chunk, n_chunks)
+        buf = self._resolve_replica(replica)
+        if out is None:
+            out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        self.stats.chunk_unpacks += 1
+        start = chunk * bitpack.CHUNK_ELEMENTS
+        out[:] = self._u32(buf)[start:start + bitpack.CHUNK_ELEMENTS]
+        return out
+
+
+def concrete_class_for_bits(bits: int):
+    """The subclass ``allocate()`` instantiates for ``bits`` (Fig. 9)."""
+    bits = bitpack.check_bits(bits)
+    if bits == 64:
+        return Uncompressed64Array
+    if bits == 32:
+        return Uncompressed32Array
+    return BitCompressedArray

@@ -1,0 +1,227 @@
+"""Smart map: the smart-collections preview (paper section 7).
+
+The paper envisions smart collections — sets, bags, maps — built on the
+same substrate: "we can readily use smart arrays to implement data
+layouts for sets, bags, and maps ... To trade size against performance
+we can use hashing instead of trees to index the smart arrays.  This
+provides O(1) access times on average and data locality on hash
+collisions."
+
+:class:`SmartMap` is exactly that layout: an open-addressing hash table
+with linear probing whose three backing stores are smart arrays —
+
+* ``keys``    — bit-compressed to the key range,
+* ``values``  — bit-compressed to the value range,
+* ``occupied``— a 1-bit smart array (the extreme compression case),
+
+so every smart functionality composes: a replicated map keeps one full
+table per socket; a compressed map packs both columns.  Linear probing
+gives the paper's "data locality on hash collisions" — collision chains
+are contiguous in the arrays.
+
+Read-mostly by design, like the arrays themselves: ``put`` exists for
+construction, deletion is not supported (analytics maps are built once;
+the paper defers concurrent-write support to future work).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from . import bitpack
+from .allocate import allocate
+from .errors import SmartArrayError
+
+
+class SmartMapFullError(SmartArrayError, RuntimeError):
+    """The fixed-capacity table has no free slot for a new key."""
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(3, (n - 1).bit_length())
+
+
+#: 64-bit Fibonacci hashing constant (2^64 / phi, odd).
+_FIB = 0x9E3779B97F4A7C15
+
+
+class SmartMap:
+    """An open-addressing integer->integer map over smart arrays."""
+
+    def __init__(
+        self,
+        capacity_hint: int,
+        key_bits: int = 64,
+        value_bits: int = 64,
+        replicated: bool = False,
+        interleaved: bool = False,
+        pinned: Optional[int] = None,
+        allocator=None,
+        max_load: float = 0.7,
+    ) -> None:
+        if capacity_hint < 1:
+            raise ValueError("capacity_hint must be >= 1")
+        if not 0.1 <= max_load < 1.0:
+            raise ValueError("max_load must be in [0.1, 1.0)")
+        self._slots = _next_pow2(int(capacity_hint / max_load) + 1)
+        self._mask = self._slots - 1
+        self._size = 0
+        self._max_load = max_load
+        flags = dict(
+            replicated=replicated,
+            interleaved=interleaved,
+            pinned=pinned,
+            allocator=allocator,
+        )
+        self.keys = allocate(self._slots, bits=key_bits, **flags)
+        self.values = allocate(self._slots, bits=value_bits, **flags)
+        self.occupied = allocate(self._slots, bits=1, **flags)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[Tuple[int, int]],
+        compress: bool = True,
+        **kwargs,
+    ) -> "SmartMap":
+        """Build a map from (key, value) pairs, auto-sizing bit widths."""
+        pairs = list(items)
+        if not pairs:
+            return cls(1, **kwargs)
+        keys = [k for k, _ in pairs]
+        values = [v for _, v in pairs]
+        key_bits = bitpack.max_bits_needed(keys) if compress else 64
+        value_bits = bitpack.max_bits_needed(values) if compress else 64
+        m = cls(len(pairs), key_bits=key_bits, value_bits=value_bits, **kwargs)
+        for k, v in pairs:
+            m.put(k, v)
+        return m
+
+    # -- hashing ------------------------------------------------------------
+
+    def _slot_of(self, key: int) -> int:
+        return ((key * _FIB) & ((1 << 64) - 1)) >> (64 - self._mask.bit_length()) \
+            if self._mask else 0
+
+    def _probe(self, key: int) -> Iterator[int]:
+        slot = self._slot_of(key)
+        for _ in range(self._slots):
+            yield slot
+            slot = (slot + 1) & self._mask
+
+    # -- core API --------------------------------------------------------------
+
+    def put(self, key: int, value: int) -> None:
+        """Insert or update.  Raises :class:`SmartMapFullError` beyond
+        the load limit (fixed-capacity, like a packed analytics table)."""
+        key = int(key)
+        if key < 0:
+            raise ValueError("keys must be non-negative integers")
+        for slot in self._probe(key):
+            if not self.occupied.get(slot):
+                if self._size + 1 > self._max_load * self._slots:
+                    raise SmartMapFullError(
+                        f"map at load limit ({self._size} items, "
+                        f"{self._slots} slots)"
+                    )
+                self.keys.init(slot, key)
+                self.values.init(slot, value)
+                self.occupied.init(slot, 1)
+                self._size += 1
+                return
+            if self.keys.get(slot) == key:
+                self.values.init(slot, value)
+                return
+        raise SmartMapFullError("no free slot found")  # pragma: no cover
+
+    def get(self, key: int, default=None, socket: int = 0):
+        """Lookup through the socket-local replicas."""
+        key = int(key)
+        keys_replica = self.keys.get_replica(socket)
+        occ_replica = self.occupied.get_replica(socket)
+        for slot in self._probe(key):
+            if not self.occupied.get(slot, occ_replica):
+                return default
+            if self.keys.get(slot, keys_replica) == key:
+                return self.values.get(
+                    slot, self.values.get_replica(socket)
+                )
+        return default
+
+    def contains(self, key: int, socket: int = 0) -> bool:
+        sentinel = object()
+        return self.get(key, default=sentinel, socket=socket) is not sentinel
+
+    # -- bulk / pythonic --------------------------------------------------------
+
+    def get_many(self, keys, socket: int = 0) -> np.ndarray:
+        """Vectorized-ish bulk lookup; missing keys raise ``KeyError``."""
+        out = np.empty(len(keys), dtype=np.uint64)
+        sentinel = object()
+        for i, k in enumerate(keys):
+            v = self.get(int(k), default=sentinel, socket=socket)
+            if v is sentinel:
+                raise KeyError(int(k))
+            out[i] = v
+        return out
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        occ = self.occupied.to_numpy()
+        keys = self.keys.to_numpy()
+        values = self.values.to_numpy()
+        for slot in np.nonzero(occ)[0]:
+            yield int(keys[slot]), int(values[slot])
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(int(key))
+
+    def __getitem__(self, key: int) -> int:
+        sentinel = object()
+        v = self.get(int(key), default=sentinel)
+        if v is sentinel:
+            raise KeyError(key)
+        return v
+
+    def __setitem__(self, key: int, value: int) -> None:
+        self.put(int(key), int(value))
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def slots(self) -> int:
+        return self._slots
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self._slots
+
+    @property
+    def storage_bytes(self) -> int:
+        """One replica's footprint across all three backing arrays."""
+        return (
+            self.keys.storage_bytes
+            + self.values.storage_bytes
+            + self.occupied.storage_bytes
+        )
+
+    @property
+    def physical_bytes(self) -> int:
+        return (
+            self.keys.physical_bytes
+            + self.values.physical_bytes
+            + self.occupied.physical_bytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SmartMap size={self._size} slots={self._slots} "
+            f"keys@{self.keys.bits}b values@{self.values.bits}b "
+            f"placement={self.keys.placement.describe()}>"
+        )

@@ -1,0 +1,145 @@
+"""Smart sets and bags (paper section 7: "sets, bags, and maps").
+
+Both reuse the :class:`~repro.core.smart_map.SmartMap` hash layout —
+the paper's point is precisely that the collection *interfaces* sit on
+top of the one smart-array substrate:
+
+* :class:`SmartSet` — a map from key to nothing (0-valued slots);
+  supports membership, bulk construction, union/intersection views;
+* :class:`SmartBag` — a multiset: a map from key to occurrence count,
+  the natural layout for analytics histogram/group-by-count state.
+
+Placement and compression flags pass straight through to the backing
+arrays, so a replicated compressed set is one keyword away.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from . import bitpack
+from .smart_map import SmartMap
+
+
+class SmartSet:
+    """A set of non-negative integers over the smart-map layout."""
+
+    def __init__(self, capacity_hint: int, key_bits: int = 64, **kwargs):
+        # Values carry no information; 1 bit is the minimum width.
+        self._map = SmartMap(
+            capacity_hint, key_bits=key_bits, value_bits=1, **kwargs
+        )
+
+    @classmethod
+    def from_values(cls, values: Iterable[int], compress: bool = True,
+                    **kwargs) -> "SmartSet":
+        items = list(values)
+        if not items:
+            return cls(1, **kwargs)
+        key_bits = bitpack.max_bits_needed(items) if compress else 64
+        s = cls(len(items), key_bits=key_bits, **kwargs)
+        for v in items:
+            s.add(v)
+        return s
+
+    def add(self, value: int) -> None:
+        self._map.put(int(value), 0)
+
+    def contains(self, value: int, socket: int = 0) -> bool:
+        return self._map.contains(int(value), socket=socket)
+
+    def __contains__(self, value: int) -> bool:
+        return self.contains(value)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self) -> Iterator[int]:
+        for key, _ in self._map.items():
+            yield key
+
+    def to_numpy(self) -> np.ndarray:
+        """Members in ascending order."""
+        return np.sort(np.fromiter(iter(self), dtype=np.uint64,
+                                   count=len(self)))
+
+    def intersection(self, other: "SmartSet") -> "SmartSet":
+        small, large = sorted([self, other], key=len)
+        common = [v for v in small if v in large]
+        return SmartSet.from_values(common) if common else SmartSet(1)
+
+    def union(self, other: "SmartSet") -> "SmartSet":
+        merged = set(self) | set(other)
+        return SmartSet.from_values(merged) if merged else SmartSet(1)
+
+    @property
+    def storage_bytes(self) -> int:
+        return self._map.storage_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SmartSet size={len(self)} keys@{self._map.keys.bits}b>"
+
+
+class SmartBag:
+    """A multiset: keys with occurrence counts, over the smart-map layout."""
+
+    def __init__(self, capacity_hint: int, key_bits: int = 64,
+                 count_bits: int = 32, **kwargs):
+        self._map = SmartMap(
+            capacity_hint, key_bits=key_bits, value_bits=count_bits, **kwargs
+        )
+        self._total = 0
+
+    @classmethod
+    def from_values(cls, values: Iterable[int], compress: bool = True,
+                    **kwargs) -> "SmartBag":
+        items = list(values)
+        if not items:
+            return cls(1, **kwargs)
+        key_bits = bitpack.max_bits_needed(items) if compress else 64
+        bag = cls(len(set(items)), key_bits=key_bits, **kwargs)
+        for v in items:
+            bag.add(v)
+        return bag
+
+    def add(self, value: int, count: int = 1) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        value = int(value)
+        current = self._map.get(value, default=0)
+        self._map.put(value, current + count)
+        self._total += count
+
+    def count(self, value: int, socket: int = 0) -> int:
+        return self._map.get(int(value), default=0, socket=socket)
+
+    def __contains__(self, value: int) -> bool:
+        return self.count(value) > 0
+
+    def __len__(self) -> int:
+        """Total number of occurrences (multiset cardinality)."""
+        return self._total
+
+    @property
+    def distinct(self) -> int:
+        return len(self._map)
+
+    def items(self) -> Iterator[tuple]:
+        return self._map.items()
+
+    def most_common(self, k: int = 10):
+        """The ``k`` highest-count (key, count) pairs — top-k group-by."""
+        pairs = sorted(self._map.items(), key=lambda kv: (-kv[1], kv[0]))
+        return pairs[:k]
+
+    @property
+    def storage_bytes(self) -> int:
+        return self._map.storage_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SmartBag total={self._total} distinct={self.distinct} "
+            f"keys@{self._map.keys.bits}b>"
+        )

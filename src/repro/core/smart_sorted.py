@@ -1,0 +1,174 @@
+"""Sorted map layout: the tree-in-an-array alternative (paper section 7).
+
+The paper sketches two data layouts for smart collections: "encoding
+binary trees into arrays, where accessing individual elements can
+require up to log2 n non-local accesses", versus hashing with "O(1)
+access times on average and data locality on hash collisions".
+
+:class:`SortedSmartMap` is the first layout: keys kept sorted in one
+smart array, values aligned in another, lookups by binary search — an
+implicit balanced tree whose "pointers" are index arithmetic.  Compared
+with :class:`~repro.core.smart_map.SmartMap`:
+
+* denser: no empty slots, no occupancy bitmap (smallest footprint);
+* ordered: supports range queries, which the hash layout cannot;
+* slower point lookups: log2(n) dependent accesses per ``get``.
+
+:func:`layout_tradeoff` quantifies the trade-off with the performance
+model's latency figures — the §7 "different data layouts support
+different trade-offs" claim, made measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from . import bitpack
+from .allocate import allocate
+from .smart_array import SmartArray
+
+
+class SortedSmartMap:
+    """An immutable sorted key->value map over two smart arrays."""
+
+    def __init__(self, keys: SmartArray, values: SmartArray):
+        if keys.length != values.length:
+            raise ValueError("keys and values must have the same length")
+        self.keys = keys
+        self.values = values
+        self._n = keys.length
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[Tuple[int, int]],
+        compress: bool = True,
+        allocator=None,
+        **placement,
+    ) -> "SortedSmartMap":
+        """Build from (key, value) pairs; duplicate keys keep the last."""
+        pairs = dict((int(k), int(v)) for k, v in items)
+        keys = np.array(sorted(pairs), dtype=np.uint64)
+        values = np.array([pairs[int(k)] for k in keys], dtype=np.uint64)
+        key_bits = bitpack.max_bits_needed(keys) if compress else 64
+        value_bits = bitpack.max_bits_needed(values) if compress else 64
+        ka = allocate(keys.size, bits=key_bits, values=keys,
+                      allocator=allocator, **placement)
+        va = allocate(values.size, bits=value_bits, values=values,
+                      allocator=allocator, **placement)
+        return cls(ka, va)
+
+    # -- lookups ---------------------------------------------------------
+
+    def _search(self, key: int, socket: int = 0) -> int:
+        """Binary search; returns slot or -1.  Each probe is one smart
+        array access — the log2(n) "non-local accesses" of section 7."""
+        replica = self.keys.get_replica(socket)
+        lo, hi = 0, self._n - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            k = self.keys.get(mid, replica)
+            if k == key:
+                return mid
+            if k < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return -1
+
+    def get(self, key: int, default=None, socket: int = 0):
+        slot = self._search(int(key), socket)
+        if slot < 0:
+            return default
+        return self.values.get(slot, self.values.get_replica(socket))
+
+    def contains(self, key: int, socket: int = 0) -> bool:
+        return self._search(int(key), socket) >= 0
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(int(key))
+
+    def __getitem__(self, key: int) -> int:
+        sentinel = object()
+        v = self.get(int(key), default=sentinel)
+        if v is sentinel:
+            raise KeyError(key)
+        return v
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- the ordered operations the hash layout cannot do --------------------
+
+    def range_query(self, lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+        """All (key, value) with ``lo <= key < hi``, in key order."""
+        if lo >= hi or self._n == 0:
+            return
+        keys = self.keys.to_numpy()
+        start = int(np.searchsorted(keys, lo, side="left"))
+        stop = int(np.searchsorted(keys, hi, side="left"))
+        if start >= stop:
+            return
+        idx = np.arange(start, stop, dtype=np.int64)
+        values = self.values.gather_many(idx)
+        for k, v in zip(keys[start:stop], values):
+            yield int(k), int(v)
+
+    def min_key(self) -> int:
+        if self._n == 0:
+            raise KeyError("empty map")
+        return self.keys.get(0)
+
+    def max_key(self) -> int:
+        if self._n == 0:
+            raise KeyError("empty map")
+        return self.keys.get(self._n - 1)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        keys = self.keys.to_numpy()
+        values = self.values.to_numpy()
+        for k, v in zip(keys, values):
+            yield int(k), int(v)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.keys.storage_bytes + self.values.storage_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SortedSmartMap size={self._n} keys@{self.keys.bits}b "
+            f"values@{self.values.bits}b>"
+        )
+
+
+def layout_tradeoff(
+    n_items: int,
+    machine,
+    local: bool = True,
+) -> dict:
+    """Model the hash-vs-sorted lookup trade-off of section 7.
+
+    A hash lookup costs ~1 dependent memory access (plus a short local
+    probe run that stays in the same cache lines); a sorted lookup costs
+    ``ceil(log2 n)`` dependent accesses, each a potential remote miss.
+    Returns estimated lookup latencies (ns) under local (replicated) or
+    average (interleaved) placement on ``machine``.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    latency = (
+        machine.sockets[0].local_latency_ns
+        if local
+        else (machine.sockets[0].local_latency_ns
+              + machine.interconnect.latency_ns) / 2.0
+    )
+    probes_sorted = max(1, int(np.ceil(np.log2(n_items))))
+    return {
+        "hash_lookup_ns": latency,              # one dependent miss
+        "sorted_lookup_ns": latency * probes_sorted,
+        "sorted_probes": probes_sorted,
+    }

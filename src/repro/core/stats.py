@@ -1,0 +1,57 @@
+"""Per-array access statistics: software counters for the functional path.
+
+The paper's evaluation leans on hardware counters (instructions,
+bandwidth).  The functional layer's analogue is deterministic operation
+counts: every smart array tracks how many scalar gets/inits, chunk
+unpacks, and bulk element transfers it has served.  Tests use these to
+*prove* behavioural claims that wall-clock timing can only suggest —
+e.g. that a full iterator scan over a compressed array performs exactly
+``ceil(n / 64)`` unpacks (the chunk-amortization property of section
+4.3), or that the 64-bit specialization never unpacks at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AccessStats:
+    """Operation counters for one smart array (all replicas combined)."""
+
+    scalar_gets: int = 0
+    scalar_inits: int = 0
+    chunk_unpacks: int = 0
+    bulk_elements_read: int = 0
+    bulk_elements_written: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (start of a measured region)."""
+        self.scalar_gets = 0
+        self.scalar_inits = 0
+        self.chunk_unpacks = 0
+        self.bulk_elements_read = 0
+        self.bulk_elements_written = 0
+
+    @property
+    def total_operations(self) -> int:
+        return (
+            self.scalar_gets
+            + self.scalar_inits
+            + self.chunk_unpacks
+            + self.bulk_elements_read
+            + self.bulk_elements_written
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "scalar_gets": self.scalar_gets,
+            "scalar_inits": self.scalar_inits,
+            "chunk_unpacks": self.chunk_unpacks,
+            "bulk_elements_read": self.bulk_elements_read,
+            "bulk_elements_written": self.bulk_elements_written,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"AccessStats({parts or 'idle'})"

@@ -1,0 +1,70 @@
+"""Breadth-first search over CSR smart arrays.
+
+Not part of the paper's measured set, but PGX ships BFS as a core
+algorithm and the evaluation's access-pattern taxonomy (streaming vs
+random) needs a frontier-style random-access workload for the
+adaptivity tests.  Level-synchronous: each round gathers the neighbour
+lists of the current frontier through the smart-array bulk API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..csr import CSRGraph
+
+#: Distance value for unreached vertices.
+UNREACHED = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class BfsResult:
+    """Distances (UNREACHED where not reachable) and visit statistics."""
+
+    distances: np.ndarray
+    levels: int
+    reached: int
+
+    def distance(self, v: int) -> int:
+        d = int(self.distances[v])
+        return -1 if d == int(UNREACHED) else d
+
+
+def bfs(graph: CSRGraph, source: int) -> BfsResult:
+    """Level-synchronous BFS from ``source`` over forward edges."""
+    n = graph.n_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    begin = graph.begin.to_numpy().astype(np.int64)
+    distances = np.full(n, UNREACHED, dtype=np.uint64)
+    distances[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        starts = begin[frontier]
+        ends = begin[frontier + 1]
+        counts = ends - starts
+        if counts.sum() == 0:
+            break
+        # Expand all neighbour-list index ranges of the frontier.
+        idx = np.repeat(starts, counts) + _ragged_arange(counts)
+        neighbors = graph.edge.gather_many(idx).astype(np.int64)
+        fresh = np.unique(neighbors[distances[neighbors] == UNREACHED])
+        if fresh.size == 0:
+            break
+        level += 1
+        distances[fresh] = level
+        frontier = fresh
+    reached = int((distances != UNREACHED).sum())
+    return BfsResult(distances=distances, levels=level, reached=reached)
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated [0..c) ranges for each count (vectorized)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - offsets

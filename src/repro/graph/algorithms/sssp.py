@@ -1,0 +1,98 @@
+"""Single-source shortest paths over weighted CSR smart arrays.
+
+PGX's algorithm set includes weighted shortest paths; here it rounds
+out the workload taxonomy with a frontier-plus-property access pattern:
+edge weights live in a bit-compressed edge property array (exactly how
+the paper stores per-edge data, section 5.2), and relaxation gathers
+weights and distances through the smart-array bulk API.
+
+Bellman-Ford-style rounds with early exit: simple, vectorizable, and
+correct for any non-negative integer weights (and for negative-free
+graphs it converges in at most |V|-1 rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..csr import CSRGraph
+from ..properties import IntProperty
+
+#: Distance for unreachable vertices (fits any uint64 arithmetic).
+INFINITY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class SsspResult:
+    distances: np.ndarray
+    rounds: int
+    reached: int
+
+    def distance(self, v: int) -> int:
+        d = int(self.distances[v])
+        return -1 if d == int(INFINITY) else d
+
+
+def sssp(
+    graph: CSRGraph,
+    source: int,
+    weights: Optional[IntProperty] = None,
+    max_rounds: Optional[int] = None,
+) -> SsspResult:
+    """Shortest distances from ``source`` over forward edges.
+
+    ``weights`` is an edge property aligned with the ``edge`` array
+    (defaults to unit weights, i.e. BFS distances).  Negative weights
+    are unrepresentable (unsigned), so termination is guaranteed.
+    """
+    n = graph.n_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    if weights is not None and weights.length != graph.n_edges:
+        raise ValueError(
+            f"weights length {weights.length} != edge count {graph.n_edges}"
+        )
+    src, dst = graph.to_edge_list()
+    src = src.astype(np.int64)
+    dst = dst.astype(np.int64)
+    if weights is not None:
+        w = weights.to_numpy()
+    else:
+        w = np.ones(graph.n_edges, dtype=np.uint64)
+
+    # Work in float64 internally to get a clean +inf; distances in the
+    # graphs we target are far below 2**53 so this is exact.
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    max_rounds = n if max_rounds is None else max_rounds
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        candidate = dist[src] + w
+        before = dist.copy()
+        np.minimum.at(dist, dst, candidate)
+        if np.array_equal(before, dist):
+            rounds -= 1  # the last round changed nothing
+            break
+    unreachable = np.isinf(dist)
+    out = np.where(unreachable, 0.0, dist).astype(np.uint64)
+    out[unreachable] = INFINITY
+    reached = int(np.count_nonzero(~unreachable))
+    return SsspResult(distances=out, rounds=rounds, reached=reached)
+
+
+def random_weights(
+    graph: CSRGraph,
+    low: int = 1,
+    high: int = 100,
+    seed: int = 0,
+    allocator=None,
+) -> IntProperty:
+    """A bit-compressed random edge-weight property for ``graph``."""
+    if low < 0 or high <= low:
+        raise ValueError("need 0 <= low < high")
+    rng = np.random.default_rng(seed)
+    w = rng.integers(low, high, size=graph.n_edges, dtype=np.uint64)
+    return IntProperty.from_values(w, allocator=allocator)

@@ -1,0 +1,78 @@
+"""Edge-list I/O: load and save graphs in text and NumPy formats.
+
+PGX loads graphs from files, and the paper notes that smart-array
+initialization cost "can be hidden behind the data loading's I/O
+bottleneck" (sections 5 and 6).  The loader exists so the examples can
+round-trip datasets and so initialization cost has a real I/O phase to
+hide behind in the functional path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+EdgeList = Tuple[np.ndarray, np.ndarray]
+
+
+def save_edge_list(path: str, src: np.ndarray, dst: np.ndarray) -> None:
+    """Write one ``src dst`` pair per line (PGX/SNAP-style text format)."""
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"# edges: {src.size}\n")
+        for s, d in zip(src.tolist(), dst.tolist()):
+            fh.write(f"{s} {d}\n")
+
+
+def load_edge_list(path: str) -> EdgeList:
+    """Read a text edge list; ``#`` lines are comments."""
+    srcs, dsts = [], []
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'src dst', got {line!r}"
+                )
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+    return (
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+    )
+
+
+def save_npz(path: str, src: np.ndarray, dst: np.ndarray,
+             n_vertices: Optional[int] = None) -> None:
+    """Binary format for large synthetic datasets (fast reload)."""
+    if n_vertices is None:
+        n_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    np.savez_compressed(
+        path,
+        src=np.ascontiguousarray(src, dtype=np.int64),
+        dst=np.ascontiguousarray(dst, dtype=np.int64),
+        n_vertices=np.int64(n_vertices),
+    )
+
+
+def load_npz(path: str) -> Tuple[np.ndarray, np.ndarray, int]:
+    with np.load(path) as data:
+        return data["src"], data["dst"], int(data["n_vertices"])
+
+
+def cached_graph(path: str, generator, *args, **kwargs) -> EdgeList:
+    """Generate-or-load: build once, reuse from disk afterwards."""
+    if os.path.exists(path):
+        src, dst, _ = load_npz(path)
+        return src, dst
+    src, dst = generator(*args, **kwargs)
+    save_npz(path, src, dst)
+    return src, dst

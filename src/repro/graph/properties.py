@@ -1,0 +1,141 @@
+"""Vertex/edge property arrays over smart arrays (paper section 5.2).
+
+PGX keeps vertex and edge properties in additional arrays: PageRank uses
+two 64-bit vertex property arrays, "one for the ranks, represented as
+double-precision floating point numbers, and one for the vertices'
+out-degrees".  Large property arrays live off-heap and are interleaved
+by default.
+
+Smart arrays store unsigned integers, so a double-valued property is
+stored as the IEEE-754 bit pattern of each value — a bit-cast, not a
+conversion, exactly as PGX's off-heap storage holds raw 8-byte values.
+Integer properties (out-degrees) can additionally be bit-compressed,
+which is the "22 bits for out-degrees" part of Figure 12's "V" variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import bitpack
+from ..core.allocate import allocate
+from ..core.placement import Placement
+from ..core.smart_array import SmartArray
+from ..numa.allocator import NumaAllocator
+
+
+def _allocate_with_placement(
+    length: int,
+    bits: int,
+    placement: Placement,
+    allocator: Optional[NumaAllocator],
+) -> SmartArray:
+    return allocate(
+        length,
+        replicated=placement.is_replicated,
+        interleaved=placement.is_interleaved,
+        pinned=placement.socket if placement.is_pinned else None,
+        bits=bits,
+        allocator=allocator,
+    )
+
+
+class IntProperty:
+    """An integer-valued vertex/edge property, bit-compressible."""
+
+    def __init__(self, array: SmartArray) -> None:
+        self.array = array
+
+    @classmethod
+    def from_values(
+        cls,
+        values,
+        bits: Optional[int] = None,
+        placement: Placement = Placement.interleaved(),
+        allocator: Optional[NumaAllocator] = None,
+    ) -> "IntProperty":
+        """Store ``values``; ``bits=None`` uses the minimum width
+        (Figure 12 compresses out-degrees to 22 bits this way)."""
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if bits is None:
+            bits = bitpack.max_bits_needed(values)
+        sa = _allocate_with_placement(values.size, bits, placement, allocator)
+        sa.fill(values)
+        return cls(sa)
+
+    @property
+    def length(self) -> int:
+        return self.array.length
+
+    @property
+    def bits(self) -> int:
+        return self.array.bits
+
+    def get(self, index: int) -> int:
+        return self.array.get(index)
+
+    def set(self, index: int, value: int) -> None:
+        self.array.init(index, value)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.array.to_numpy()
+
+    def gather(self, indices) -> np.ndarray:
+        return self.array.gather_many(indices)
+
+
+class DoubleProperty:
+    """A double-valued property stored as 64-bit IEEE-754 patterns.
+
+    Always 64 bits wide — the paper does not bit-compress doubles (it
+    lists dropping float mantissa bits as future work, section 8).
+    """
+
+    def __init__(self, array: SmartArray) -> None:
+        if array.bits != 64:
+            raise ValueError("double properties require a 64-bit smart array")
+        self.array = array
+
+    @classmethod
+    def from_values(
+        cls,
+        values,
+        placement: Placement = Placement.interleaved(),
+        allocator: Optional[NumaAllocator] = None,
+    ) -> "DoubleProperty":
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        sa = _allocate_with_placement(values.size, 64, placement, allocator)
+        sa.fill(values.view(np.uint64))
+        return cls(sa)
+
+    @classmethod
+    def zeros(
+        cls,
+        length: int,
+        placement: Placement = Placement.interleaved(),
+        allocator: Optional[NumaAllocator] = None,
+    ) -> "DoubleProperty":
+        sa = _allocate_with_placement(length, 64, placement, allocator)
+        return cls(sa)
+
+    @property
+    def length(self) -> int:
+        return self.array.length
+
+    def get(self, index: int) -> float:
+        return float(np.uint64(self.array.get(index)).view(np.float64))
+
+    def set(self, index: int, value: float) -> None:
+        self.array.init(index, int(np.float64(value).view(np.uint64)))
+
+    def to_numpy(self) -> np.ndarray:
+        return self.array.to_numpy().view(np.float64)
+
+    def fill_values(self, values) -> None:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        self.array.fill(values.view(np.uint64))
+
+    def gather(self, indices) -> np.ndarray:
+        return self.array.gather_many(indices).view(np.float64)

@@ -1,0 +1,122 @@
+"""Graph utilities: views, transformations, and summaries.
+
+Convenience operations PGX-style engines ship around the core storage:
+induced subgraphs, reversed and symmetrized views, and degree
+statistics.  All of them round-trip through the edge list and rebuild
+proper smart-array-backed CSR graphs, so the result of any
+transformation composes with every placement/compression configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph, GraphConfig
+
+
+def subgraph(
+    graph: CSRGraph,
+    vertices: Sequence[int],
+    config: Optional[GraphConfig] = None,
+    allocator=None,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by ``vertices``, with compacted IDs.
+
+    Returns ``(subgraph, id_map)`` where ``id_map[new_id]`` is the
+    original vertex ID.  Edges with either endpoint outside the set are
+    dropped.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (
+        vertices[0] < 0 or vertices[-1] >= graph.n_vertices
+    ):
+        raise ValueError("vertex ids out of range")
+    keep = np.zeros(graph.n_vertices, dtype=bool)
+    keep[vertices] = True
+    remap = np.full(graph.n_vertices, -1, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.size)
+
+    src, dst = graph.to_edge_list()
+    src = src.astype(np.int64)
+    dst = dst.astype(np.int64)
+    mask = keep[src] & keep[dst]
+    sub = CSRGraph.from_edges(
+        remap[src[mask]],
+        remap[dst[mask]],
+        n_vertices=max(1, vertices.size),
+        config=config,
+        reverse=graph.has_reverse,
+        allocator=allocator,
+    )
+    return sub, vertices
+
+
+def reverse_graph(
+    graph: CSRGraph,
+    config: Optional[GraphConfig] = None,
+    allocator=None,
+) -> CSRGraph:
+    """The transpose: every edge (u, v) becomes (v, u)."""
+    src, dst = graph.to_edge_list()
+    return CSRGraph.from_edges(
+        dst.astype(np.int64),
+        src.astype(np.int64),
+        n_vertices=graph.n_vertices,
+        config=config,
+        reverse=graph.has_reverse,
+        allocator=allocator,
+    )
+
+
+def symmetrize(
+    graph: CSRGraph,
+    dedupe: bool = True,
+    config: Optional[GraphConfig] = None,
+    allocator=None,
+) -> CSRGraph:
+    """The undirected closure: edges in both directions.
+
+    ``dedupe=True`` removes duplicate (u, v) pairs and self-loop
+    doubling, producing the layout triangle counting expects.
+    """
+    src, dst = graph.to_edge_list()
+    src = src.astype(np.int64)
+    dst = dst.astype(np.int64)
+    u = np.concatenate([src, dst])
+    v = np.concatenate([dst, src])
+    if dedupe:
+        pairs = np.unique(np.stack([u, v], axis=1), axis=0)
+        u, v = pairs[:, 0], pairs[:, 1]
+    return CSRGraph.from_edges(
+        u, v, n_vertices=graph.n_vertices, config=config,
+        reverse=graph.has_reverse, allocator=allocator,
+    )
+
+
+def degree_histogram(graph: CSRGraph, direction: str = "out") -> Dict[int, int]:
+    """Degree -> vertex-count map (the skew summary generators assert)."""
+    if direction == "out":
+        degrees = graph.out_degrees()
+    elif direction == "in":
+        degrees = graph.in_degrees()
+    else:
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(d): int(c) for d, c in zip(values, counts)}
+
+
+def graph_summary(graph: CSRGraph) -> str:
+    """A human-readable one-stop summary for examples and debugging."""
+    out_deg = graph.out_degrees()
+    lines = [
+        graph.describe(),
+        f"  avg out-degree: {out_deg.mean():.2f}",
+        f"  max out-degree: {int(out_deg.max(initial=0))}",
+        f"  memory (physical): {graph.memory_bytes() / 1e6:.1f} MB",
+    ]
+    if graph.has_reverse:
+        in_deg = graph.in_degrees()
+        lines.insert(3, f"  max in-degree: {int(in_deg.max(initial=0))}")
+    return "\n".join(lines)

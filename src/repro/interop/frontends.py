@@ -1,0 +1,188 @@
+"""Per-language thin APIs over the entry points (paper section 3.2).
+
+The paper provides, per guest language, a thin wrapper class that holds
+the native pointer and forwards every operation to the C++ entry points
+— "no smart functionality is re-implemented in Java" (section 3.2).
+
+:class:`JavaThinSmartArray` / :class:`JavaThinIterator` transliterate
+the paper's Java wrapper (Fig. 7): they store only the handle, and every
+method body is a single entry-point call.  The width-profiling trick of
+Function 4 appears as :meth:`JavaThinSmartArray.profile_bits`: the
+caller reads the width once and passes it to the ``*_with_bits`` fast
+paths, exactly how the paper lets GraalVM treat the width as a compile-
+time constant.
+
+A frontend object pairs the functional wrapper with its
+:class:`~repro.interop.languages.LanguageBinding` cost descriptor, so
+examples and benchmarks can both *run* an access sequence and *model*
+what it would cost on the paper's hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import entry_points as ep
+from ..core.smart_array import SmartArray
+from .languages import (
+    CPP,
+    JAVA_SMART,
+    LanguageBinding,
+)
+
+
+class JavaThinSmartArray:
+    """The Java thin API wrapper for a smart array (paper Fig. 7).
+
+    Holds only the native handle (the paper's ``long sa``); every method
+    is one entry-point call.  Nothing about placement or compression is
+    implemented here.
+    """
+
+    def __init__(self, handle: int) -> None:
+        self.sa = handle  # the paper's field name for the native pointer
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def allocate(
+        cls,
+        length: int,
+        replicated: bool = False,
+        interleaved: bool = False,
+        pinned: Optional[int] = None,
+        bits: int = 64,
+        allocator=None,
+    ) -> "JavaThinSmartArray":
+        return cls(
+            ep.smart_array_allocate(
+                length,
+                replicated=replicated,
+                interleaved=interleaved,
+                pinned=pinned,
+                bits=bits,
+                allocator=allocator,
+            )
+        )
+
+    @classmethod
+    def wrap(cls, array: SmartArray) -> "JavaThinSmartArray":
+        """Wrap an array created on the native side (shared data)."""
+        return cls(ep.smart_array_register(array))
+
+    def free(self) -> None:
+        ep.smart_array_free(self.sa)
+
+    # -- the paper's accessors --------------------------------------------
+
+    def get(self, index: int) -> int:
+        return ep.smart_array_get(self.sa, index)
+
+    def get_with_bits(self, index: int, bits: int) -> int:
+        return ep.smart_array_get_with_bits(self.sa, index, bits)
+
+    def init(self, index: int, value: int) -> None:
+        ep.smart_array_init(self.sa, index, value)
+
+    def get_length(self) -> int:
+        return ep.smart_array_length(self.sa)
+
+    def get_bits(self) -> int:
+        return ep.smart_array_bits(self.sa)
+
+    def profile_bits(self) -> int:
+        """Function 4's ``GraalVM.profile(smartArray.getBits())``: read
+        the width once so subsequent accesses treat it as constant."""
+        return self.get_bits()
+
+    def fill(self, values) -> None:
+        ep.smart_array_fill(self.sa, values)
+
+    def iterator(self, index: int = 0, socket: int = 0) -> "JavaThinIterator":
+        return JavaThinIterator(ep.iterator_allocate(self.sa, index, socket))
+
+
+class JavaThinIterator:
+    """The Java thin API wrapper for an iterator (Function 4's ``it``)."""
+
+    def __init__(self, handle: int) -> None:
+        self.handle = handle
+
+    def reset(self, index: int) -> None:
+        ep.iterator_reset(self.handle, index)
+
+    def next(self, bits: Optional[int] = None) -> None:
+        if bits is None:
+            ep.iterator_next(self.handle)
+        else:
+            ep.iterator_next_with_bits(self.handle, bits)
+
+    def get(self, bits: Optional[int] = None) -> int:
+        if bits is None:
+            return ep.iterator_get(self.handle)
+        return ep.iterator_get_with_bits(self.handle, bits)
+
+    def free(self) -> None:
+        ep.iterator_free(self.handle)
+
+
+def aggregate_cpp(array: SmartArray, start: int = 0,
+                  end: Optional[int] = None) -> int:
+    """Function 4's C++ aggregation: direct iterator over the object."""
+    from ..core.iterators import SmartArrayIterator
+
+    end = array.length if end is None else end
+    it = SmartArrayIterator.allocate(array, start)
+    total = 0
+    for _ in range(start, end):
+        total += it.get()
+        it.next()
+    return total
+
+
+def aggregate_java(array: SmartArray, start: int = 0,
+                   end: Optional[int] = None) -> int:
+    """Function 4's Java aggregation: thin API + profiled bit width.
+
+    Structurally identical to :func:`aggregate_cpp` but every access
+    crosses the entry-point surface with the width pinned, exactly as
+    the paper's Java example does.
+    """
+    wrapper = JavaThinSmartArray.wrap(array)
+    try:
+        end = wrapper.get_length() if end is None else end
+        bits = wrapper.profile_bits()
+        it = wrapper.iterator(start)
+        try:
+            total = 0
+            for _ in range(start, end):
+                total += it.get(bits)
+                it.next(bits)
+            return total
+        finally:
+            it.free()
+    finally:
+        wrapper.free()
+
+
+@dataclass(frozen=True)
+class Frontend:
+    """A language frontend: functional access path + cost descriptor.
+
+    ``run_aggregate`` executes the real scan through the language's
+    access path (direct objects for C++, entry points for Java), while
+    ``binding`` carries the cost model used to predict the same scan on
+    the paper's hardware.
+    """
+
+    binding: LanguageBinding
+
+    def run_aggregate(self, array: SmartArray) -> int:
+        if self.binding is CPP:
+            return aggregate_cpp(array)
+        return aggregate_java(array)
+
+
+CPP_FRONTEND = Frontend(binding=CPP)
+JAVA_FRONTEND = Frontend(binding=JAVA_SMART)

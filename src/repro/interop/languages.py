@@ -1,0 +1,159 @@
+"""Language descriptors and access-cost models (paper sections 1 and 3).
+
+Figure 3 compares five ways of running the same single-threaded
+aggregation:
+
+* native **C++** over built-in arrays — the performance baseline;
+* **Java** over built-in arrays on HotSpot — competitive with C++;
+* **Java + JNI** over native arrays — *interoperable* (the C++ smart
+  functionalities would not need re-implementation) but slow, because
+  every element access pays a foreign-function call;
+* **Java + sun.misc.Unsafe** — fast raw access, but *not
+  interoperable*: the smart functionalities would have to be rewritten
+  in Java;
+* **Java + smart arrays** on GraalVM/Sulong — both fast and
+  interoperable, because the C++ access functions are inlined into the
+  compiled Java code.
+
+Real JVMs are unavailable here, so each language binding is described by
+the *cost structure* that produces those outcomes: a per-element compute
+cost, a per-access foreign-call overhead (zero when the boundary is
+inlined), and the two qualitative flags the paper's Figure 3 annotates
+(performant / interoperable).  The numbers are calibrated so the
+modelled Figure 3 reproduces the paper's bar ordering and rough
+magnitudes; tests pin the ordering, EXPERIMENTS.md records the values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Runtime(enum.Enum):
+    """Execution environment of a language binding."""
+
+    NATIVE = "native"            # statically compiled (GCC)
+    HOTSPOT = "hotspot"          # Java HotSpot JIT
+    GRAALVM = "graalvm"          # GraalVM with Sulong-inlined bitcode
+
+
+@dataclass(frozen=True)
+class LanguageBinding:
+    """How one language reaches array data, with its cost structure.
+
+    * ``element_overhead_ns`` — extra CPU cost per element versus the
+      native baseline (bounds checks, managed-runtime overhead);
+    * ``boundary_call_ns`` — cost of one cross-language call (JNI
+      trampoline, argument marshalling);
+    * ``calls_per_access`` — boundary calls paid per element access
+      (0 when accesses are inlined or stay within one language);
+    * ``interoperable`` — smart functionalities implemented in C++ are
+      reachable without re-implementation;
+    * ``inlines_foreign_code`` — the runtime compiles foreign code
+      together with user code (GraalVM + Sulong), eliminating the
+      boundary.
+    """
+
+    name: str
+    runtime: Runtime
+    element_overhead_ns: float
+    boundary_call_ns: float
+    calls_per_access: float
+    interoperable: bool
+    inlines_foreign_code: bool
+
+    def __post_init__(self) -> None:
+        if self.element_overhead_ns < 0 or self.boundary_call_ns < 0:
+            raise ValueError("costs must be non-negative")
+        if self.calls_per_access < 0:
+            raise ValueError("calls_per_access must be non-negative")
+        if self.inlines_foreign_code and self.calls_per_access:
+            raise ValueError(
+                "an inlining runtime pays no per-access boundary calls"
+            )
+
+    @property
+    def access_overhead_ns(self) -> float:
+        """Total per-element overhead above the native baseline."""
+        return self.element_overhead_ns + (
+            self.boundary_call_ns * self.calls_per_access
+        )
+
+    @property
+    def performant(self) -> bool:
+        """Figure 3's "performant" annotation: within ~2x of native."""
+        return self.access_overhead_ns <= 2.0
+
+
+#: Native C++ compiled with GCC: the baseline (costs are *relative to
+#: itself*, hence zero overhead).
+CPP = LanguageBinding(
+    name="C++",
+    runtime=Runtime.NATIVE,
+    element_overhead_ns=0.0,
+    boundary_call_ns=0.0,
+    calls_per_access=0.0,
+    interoperable=True,       # it *is* the implementation language
+    inlines_foreign_code=False,
+)
+
+#: Java over its built-in long[] on HotSpot: close to native, but the
+#: smart functionalities would need a Java re-implementation.
+JAVA_BUILTIN = LanguageBinding(
+    name="Java",
+    runtime=Runtime.HOTSPOT,
+    element_overhead_ns=0.4,   # bounds checks + JIT quality gap
+    boundary_call_ns=0.0,
+    calls_per_access=0.0,
+    interoperable=False,
+    inlines_foreign_code=False,
+)
+
+#: Java reaching native arrays through JNI: every access is a foreign
+#: call with pre/post-processing (section 3.2's "slow for array
+#: accesses").
+JAVA_JNI = LanguageBinding(
+    name="Java with JNI",
+    runtime=Runtime.HOTSPOT,
+    element_overhead_ns=0.4,
+    boundary_call_ns=5.0,      # trampoline + handle pinning per call
+    calls_per_access=1.0,
+    interoperable=True,
+    inlines_foreign_code=False,
+)
+
+#: Java reaching native memory through sun.misc.Unsafe: raw loads, no
+#: boundary — but nothing of the C++ logic is reusable.
+JAVA_UNSAFE = LanguageBinding(
+    name="Java with unsafe",
+    runtime=Runtime.HOTSPOT,
+    element_overhead_ns=0.9,   # address arithmetic in Java, no bounds elision
+    boundary_call_ns=0.0,
+    calls_per_access=0.0,
+    interoperable=False,
+    inlines_foreign_code=False,
+)
+
+#: Java over smart arrays on GraalVM: Sulong executes the C++ entry
+#: points as bitcode and Graal inlines them into the user's loop, so
+#: the boundary disappears (section 3.2, interoperability path 1).
+JAVA_SMART = LanguageBinding(
+    name="Java with smart arrays",
+    runtime=Runtime.GRAALVM,
+    element_overhead_ns=0.6,   # residual GraalVM-vs-GCC code-quality gap
+    boundary_call_ns=0.0,
+    calls_per_access=0.0,
+    interoperable=True,
+    inlines_foreign_code=True,
+)
+
+#: Figure 3's five configurations, in the paper's top-to-bottom order.
+FIGURE3_BINDINGS = (CPP, JAVA_BUILTIN, JAVA_JNI, JAVA_UNSAFE, JAVA_SMART)
+
+
+def binding_by_name(name: str) -> LanguageBinding:
+    for b in FIGURE3_BINDINGS:
+        if b.name.lower() == name.strip().lower():
+            return b
+    raise KeyError(f"unknown language binding {name!r}")

@@ -1,0 +1,116 @@
+"""The three interoperability paths of the paper's Figure 7.
+
+The paper's system uses three distinct native<->managed paths, each with
+its own cost structure and role:
+
+1. **Sulong/GraalVM** — smart-array entry points compiled to bitcode and
+   *inlined* into guest code: zero per-call boundary cost after JIT
+   warm-up; used for every array access (the fast path this repo's
+   thin wrappers model);
+2. **JNI & unsafe** — the classic FFI: a fixed trampoline cost per
+   call; used for Callisto-RTS loop scheduling, where the design "pass
+   only scalar values" keeps calls rare (one per *batch*, not per
+   element);
+3. **Truffle NFI** — the slowest path, with pre- and post-processing
+   per call; used only to reach precompiled native libraries.
+
+:func:`path_cost_per_element` shows why the system is organized this
+way: an access-grade operation (billions/run) is only affordable on
+path 1, a batch-grade operation (thousands/run) is fine on path 2, and
+a setup-grade operation (a handful/run) can take path 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class InteropPath(enum.Enum):
+    """Figure 7's numbered paths."""
+
+    SULONG_INLINED = 1
+    JNI_UNSAFE = 2
+    TRUFFLE_NFI = 3
+
+
+@dataclass(frozen=True)
+class PathCharacteristics:
+    """Cost and role of one path."""
+
+    path: InteropPath
+    description: str
+    call_overhead_ns: float
+    #: What the paper routes over this path.
+    used_for: str
+
+    def cost_ns(self, calls: float) -> float:
+        return self.call_overhead_ns * calls
+
+
+#: Calibrated in line with the Figure 3 bindings: the JNI trampoline
+#: costs ~5 ns/call there; NFI's pre/post-processing makes it the
+#: slowest path (section 3.2).
+PATHS: Dict[InteropPath, PathCharacteristics] = {
+    InteropPath.SULONG_INLINED: PathCharacteristics(
+        path=InteropPath.SULONG_INLINED,
+        description="entry points as LLVM bitcode, inlined by Graal",
+        call_overhead_ns=0.0,
+        used_for="every smart-array access (get/next/unpack)",
+    ),
+    InteropPath.JNI_UNSAFE: PathCharacteristics(
+        path=InteropPath.JNI_UNSAFE,
+        description="JNI trampoline / unsafe intrinsics",
+        call_overhead_ns=5.0,
+        used_for="Callisto-RTS batch scheduling (scalars only)",
+    ),
+    InteropPath.TRUFFLE_NFI: PathCharacteristics(
+        path=InteropPath.TRUFFLE_NFI,
+        description="Truffle NFI with pre/post-processing",
+        call_overhead_ns=40.0,
+        used_for="calls into precompiled native libraries",
+    ),
+}
+
+
+def path_cost_per_element(
+    n_elements: int,
+    batch: int = 4096,
+) -> Dict[InteropPath, float]:
+    """Boundary cost per processed element if each path carried its
+    paper-assigned call pattern over an ``n_elements`` loop.
+
+    Path 1 is called per element but costs nothing (inlined); path 2 is
+    called once per batch; path 3 once per run.  The result shows each
+    path's overhead amortized per element — the quantity that must stay
+    tiny for the system to be "performant".
+    """
+    if n_elements < 1 or batch < 1:
+        raise ValueError("n_elements and batch must be >= 1")
+    n_batches = (n_elements + batch - 1) // batch
+    return {
+        InteropPath.SULONG_INLINED: PATHS[
+            InteropPath.SULONG_INLINED
+        ].cost_ns(n_elements) / n_elements,
+        InteropPath.JNI_UNSAFE: PATHS[InteropPath.JNI_UNSAFE].cost_ns(
+            n_batches
+        ) / n_elements,
+        InteropPath.TRUFFLE_NFI: PATHS[InteropPath.TRUFFLE_NFI].cost_ns(1)
+        / n_elements,
+    }
+
+
+def format_paths(n_elements: int = 1_000_000_000) -> str:
+    """Figure 7's paths as a table, with amortized costs."""
+    costs = path_cost_per_element(n_elements)
+    lines = [
+        f"{'path':<4} {'mechanism':<46} {'per-call':>9} {'ns/element':>11}"
+    ]
+    for path, spec in PATHS.items():
+        lines.append(
+            f"{path.value:<4} {spec.description:<46} "
+            f"{spec.call_overhead_ns:>7.1f}ns {costs[path]:>11.2e}"
+        )
+        lines.append(f"     used for: {spec.used_for}")
+    return "\n".join(lines)

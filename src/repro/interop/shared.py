@@ -1,0 +1,237 @@
+"""Real zero-copy data sharing: the language-independent layout, in Python.
+
+The paper's central interoperability property is that the array's memory
+layout is owned by one implementation and *viewed* by every language
+without conversion (section 3).  Python's analogue of that shared layout
+is the buffer protocol: a smart array's replica is a plain C-contiguous
+``uint64`` buffer, so any consumer that speaks buffers — another Python
+runtime, C extensions, or a different process via shared memory — can
+read the same bytes the "native" side wrote.
+
+Three mechanisms are provided:
+
+* :func:`export_replica` — a read-only ``memoryview`` of a replica's
+  words (an in-process foreign view; mutations by the owner are visible
+  through it immediately, proving no copy happened);
+* :func:`attach_view` — reconstruct a *decoding* view over any buffer
+  plus ``(length, bits)`` metadata: the foreign side runs the same
+  unpack kernels against memory it does not own;
+* :class:`SharedSmartArray` — a smart array whose single replica lives
+  in ``multiprocessing.shared_memory``, attachable by name from another
+  process: the cross-runtime equivalent of the paper's shared C++ heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from ..core import bitpack
+from ..core.errors import InteropError
+from ..core.smart_array import SmartArray
+
+
+def export_replica(array: SmartArray, socket: int = 0) -> memoryview:
+    """A read-only memoryview over one replica's packed words.
+
+    This is the raw, language-independent surface: no decoding, no copy.
+    ``bytes(view)`` or ``np.frombuffer(view, ...)`` on the consumer side
+    observes exactly the owner's storage.
+    """
+    return array.get_replica(socket).data.cast("B").toreadonly()
+
+
+@dataclass(frozen=True)
+class ArrayDescriptor:
+    """The metadata a foreign consumer needs to decode a shared buffer.
+
+    Mirrors what the paper's entry points communicate implicitly through
+    the native pointer: element count and bit width.  ``placement`` is
+    informational only — a foreign reader does not need it to decode.
+    """
+
+    length: int
+    bits: int
+    placement: str = "unknown"
+
+    def __post_init__(self) -> None:
+        bitpack.check_bits(self.bits)
+        if self.length < 0:
+            raise ValueError("length must be >= 0")
+
+    @property
+    def packed_words(self) -> int:
+        return bitpack.words_for(self.length, self.bits)
+
+    @property
+    def packed_bytes(self) -> int:
+        return self.packed_words * 8
+
+    @classmethod
+    def of(cls, array: SmartArray) -> "ArrayDescriptor":
+        return cls(array.length, array.bits, array.placement.describe())
+
+
+class ForeignArrayView:
+    """A decoding view over a buffer owned by someone else.
+
+    The foreign side re-runs the *same* kernels (Functions 1 and 3) over
+    the shared words — which is the paper's point: the logic exists
+    once, and every consumer executes it against the shared layout.
+    """
+
+    def __init__(self, buffer, descriptor: ArrayDescriptor) -> None:
+        words = np.frombuffer(buffer, dtype=np.uint64)
+        if words.size < descriptor.packed_words:
+            raise InteropError(
+                f"buffer has {words.size} words, descriptor needs "
+                f"{descriptor.packed_words}"
+            )
+        self._words = words[: descriptor.packed_words]
+        self.descriptor = descriptor
+
+    @property
+    def length(self) -> int:
+        return self.descriptor.length
+
+    @property
+    def bits(self) -> int:
+        return self.descriptor.bits
+
+    def get(self, index: int) -> int:
+        bitpack.check_index(index, self.length)
+        return bitpack.get_scalar(self._words, index, self.bits)
+
+    def to_numpy(self) -> np.ndarray:
+        return bitpack.unpack_array(self._words, self.length, self.bits)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self.length
+        return self.get(index)
+
+
+def attach_view(buffer, length: int, bits: int) -> ForeignArrayView:
+    """Decode-capable view over ``buffer`` given the array metadata."""
+    return ForeignArrayView(buffer, ArrayDescriptor(length, bits))
+
+
+def view_of(array: SmartArray, socket: int = 0) -> ForeignArrayView:
+    """In-process foreign view of a smart array (zero-copy)."""
+    return ForeignArrayView(export_replica(array, socket),
+                            ArrayDescriptor.of(array))
+
+
+class SharedSmartArray:
+    """A bit-compressed array in OS shared memory, attachable by name.
+
+    The creating runtime packs values into a ``SharedMemory`` segment;
+    any other process attaches with :meth:`attach` and decodes through
+    the same kernels.  This is the closest Python equivalent of the
+    paper's setup where C++ owns the allocation and the JVM maps it.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptor: ArrayDescriptor,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.descriptor = descriptor
+        self._owner = owner
+        self._view = ForeignArrayView(
+            memoryview(shm.buf)[: descriptor.packed_bytes], descriptor
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, values, bits: Optional[int] = None, name: Optional[str] = None
+    ) -> "SharedSmartArray":
+        """Pack ``values`` into a new shared-memory segment."""
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if bits is None:
+            bits = bitpack.max_bits_needed(values)
+        descriptor = ArrayDescriptor(values.size, bits, "shared")
+        packed = bitpack.pack_array(values, bits)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, descriptor.packed_bytes), name=name
+        )
+        dest = np.frombuffer(
+            shm.buf, dtype=np.uint64, count=descriptor.packed_words
+        )
+        np.copyto(dest, packed)
+        del dest
+        return cls(shm, descriptor, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, length: int, bits: int) -> "SharedSmartArray":
+        """Attach to an existing segment created elsewhere.
+
+        Only the creating process owns the segment's lifetime, so the
+        attachment is unregistered from this process's resource tracker
+        — otherwise CPython's tracker unlinks the segment when the
+        attaching process exits, yanking it out from under the owner
+        (cpython#82300).
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API is private
+            pass
+        return cls(shm, ArrayDescriptor(length, bits, "shared"), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Detach; the owner also destroys the segment."""
+        self._view = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                # Another party (or a crashed peer's tracker) already
+                # unlinked the segment; closing must stay idempotent.
+                pass
+
+    def __enter__(self) -> "SharedSmartArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        return self.descriptor.length
+
+    @property
+    def bits(self) -> int:
+        return self.descriptor.bits
+
+    def get(self, index: int) -> int:
+        if self._view is None:
+            raise InteropError("shared array is closed")
+        return self._view.get(index)
+
+    def to_numpy(self) -> np.ndarray:
+        if self._view is None:
+            raise InteropError("shared array is closed")
+        return self._view.to_numpy()
+
+    def __len__(self) -> int:
+        return self.length

@@ -1,0 +1,100 @@
+"""Simulated hardware performance counters (the paper's Intel PCM role).
+
+The paper gathers time, memory bandwidth and instruction counts from
+Linux and uncore counters via Intel PCM (section 5), and its adaptivity
+consumes "information collected from hardware performance counters
+describing the memory, bandwidth, and processor utilization of the
+workload" (section 6).  :class:`PerfCounters` is the exact record our
+simulated runs emit and our adaptivity consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """Counters for one run of a workload on a simulated machine.
+
+    Attributes mirror what the paper reports per experiment:
+
+    * ``time_s`` — wall-clock execution time (excluding initialization,
+      as in section 5's methodology);
+    * ``instructions`` — retired instruction count across all cores
+      (Fig. 10/11/12 middle panels);
+    * ``memory_bandwidth_gbs`` — aggregate DRAM bandwidth during the run
+      (Fig. 10/11/12 right panels);
+    * ``interconnect_gbs`` — cross-socket traffic rate, the quantity
+      replication removes (Fig. 1's motivation);
+    * ``bytes_from_memory`` — total DRAM traffic;
+    * ``exec_rate`` — instructions per second, the paper's
+      frequency-scaling-safe alternative to IPC (section 6.1:
+      "frequency scaling makes instructions per cycle (IPC) an
+      inappropriate metric");
+    * ``per_socket_bandwidth_gbs`` — per-socket DRAM bandwidth, used by
+      the step-2 speedup estimate that works "for each socket".
+    """
+
+    time_s: float
+    instructions: float
+    bytes_from_memory: float
+    memory_bandwidth_gbs: float
+    interconnect_gbs: float = 0.0
+    per_socket_bandwidth_gbs: Dict[int, float] = field(default_factory=dict)
+    #: Whether the run was memory-bound (memory time >= compute time).
+    memory_bound: bool = True
+    #: Optional label for reporting.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time_s <= 0:
+            raise ValueError(f"time must be positive, got {self.time_s}")
+        if self.instructions < 0 or self.bytes_from_memory < 0:
+            raise ValueError("instruction and byte counts must be >= 0")
+
+    @property
+    def exec_rate(self) -> float:
+        """Instructions per second across the machine."""
+        return self.instructions / self.time_s
+
+    def values_per_second(self, n_elements: float) -> float:
+        """Elements processed per second, given the run's element count
+        — the "values per second ... loaded through a given bandwidth"
+        quantity of section 4.2."""
+        if n_elements < 0:
+            raise ValueError("n_elements must be >= 0")
+        return n_elements / self.time_s
+
+    def with_label(self, label: str) -> "PerfCounters":
+        return replace(self, label=label)
+
+    def scaled_to(self, factor: float) -> "PerfCounters":
+        """Scale a run to ``factor`` x the workload size.
+
+        Used to report paper-scale numbers from reduced-size functional
+        runs: time, instructions and bytes scale linearly with the
+        element count for the streaming workloads in the paper, while
+        rates stay fixed.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            time_s=self.time_s * factor,
+            instructions=self.instructions * factor,
+            bytes_from_memory=self.bytes_from_memory * factor,
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"time={self.time_s * 1e3:.1f} ms",
+            f"inst={self.instructions / 1e9:.2f}e9",
+            f"bw={self.memory_bandwidth_gbs:.1f} GB/s",
+        ]
+        if self.interconnect_gbs:
+            parts.append(f"qpi={self.interconnect_gbs:.1f} GB/s")
+        if self.label:
+            parts.insert(0, self.label)
+        return "  ".join(parts)

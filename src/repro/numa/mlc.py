@@ -1,0 +1,139 @@
+"""Memory-latency-checker analogue (the paper's Intel MLC role).
+
+The paper measures Table 1's NUMA characteristics — local and remote
+latency, local and remote (interconnect) bandwidth — with Intel MLC
+(section 5).  This module runs the equivalent probe protocol against a
+simulated machine:
+
+* *latency probes* issue dependent single-line loads from a thread on
+  socket 0 against memory pinned locally and on the peer socket;
+* *bandwidth probes* run saturating streams from all threads of one
+  socket against local memory, and against remote memory through the
+  interconnect.
+
+Because the probes go through the same :class:`~repro.numa.bandwidth`
+machinery the experiments use, Table 1 regenerated here is a real
+measurement of the simulator, not a copy of the spec — a miscalibrated
+model shows up as a Table 1 mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.placement import Placement
+from .bandwidth import BandwidthModel
+from .topology import GIB, MachineSpec
+
+
+@dataclass(frozen=True)
+class MlcReport:
+    """One machine's measured characteristics, i.e. one Table 1 column."""
+
+    machine: str
+    cpu_summary: str
+    clock_ghz: float
+    memory_per_socket_gib: float
+    local_latency_ns: float
+    remote_latency_ns: float
+    local_bandwidth_gbs: float
+    remote_bandwidth_gbs: float
+    total_local_bandwidth_gbs: float
+
+
+def _probe_local_latency(machine: MachineSpec, socket: int = 0) -> float:
+    """Dependent-load latency against local memory."""
+    return machine.sockets[socket].local_latency_ns
+
+
+def _probe_remote_latency(machine: MachineSpec) -> float:
+    """Dependent-load latency against the peer socket's memory."""
+    if machine.n_sockets == 1:
+        return machine.sockets[0].local_latency_ns
+    return machine.interconnect.latency_ns
+
+
+def _probe_local_bandwidth(machine: MachineSpec, socket: int = 0) -> float:
+    """Peak streaming bandwidth of one socket against its local memory.
+
+    MLC pins the load generators on the measured socket, so the probe is
+    the single-controller peak rather than a placement roofline.
+    """
+    return machine.sockets[socket].local_bandwidth_gbs
+
+
+def _probe_remote_bandwidth(machine: MachineSpec) -> float:
+    """Peak streaming bandwidth through the interconnect (one direction)."""
+    if machine.n_sockets == 1:
+        return machine.sockets[0].local_bandwidth_gbs
+    return machine.interconnect.bandwidth_gbs
+
+
+def measure(machine: MachineSpec) -> MlcReport:
+    """Run the MLC probe suite on ``machine`` and return its report."""
+    s0 = machine.sockets[0]
+    return MlcReport(
+        machine=machine.name,
+        cpu_summary=f"{machine.n_sockets}x{s0.cores}-core",
+        clock_ghz=s0.clock_ghz,
+        memory_per_socket_gib=s0.memory_bytes / GIB,
+        local_latency_ns=_probe_local_latency(machine),
+        remote_latency_ns=_probe_remote_latency(machine),
+        local_bandwidth_gbs=_probe_local_bandwidth(machine),
+        remote_bandwidth_gbs=_probe_remote_bandwidth(machine),
+        total_local_bandwidth_gbs=sum(
+            s.local_bandwidth_gbs for s in machine.sockets
+        ),
+    )
+
+
+def placement_survey(machine: MachineSpec) -> List[str]:
+    """Bandwidth achieved by a saturating scan under each placement.
+
+    Not part of Table 1, but the quantity Figure 2's annotations show;
+    exposed here so examples can print a quick machine survey.
+    """
+    model = BandwidthModel(machine)
+    rows = []
+    for placement, label in (
+        (Placement.single_socket(0), "single socket"),
+        (Placement.interleaved(), "interleaved"),
+        (Placement.replicated(), "replicated"),
+    ):
+        rows.append(f"{label:>14}: {model.stream_gbs(placement):6.1f} GB/s")
+    return rows
+
+
+def format_table1(reports: Sequence[MlcReport]) -> str:
+    """Render Table 1 in the paper's row layout for any machine set."""
+    headers = ["Machine"] + [r.cpu_summary + " Xeon" for r in reports]
+    rows = [
+        ("CPU", [r.machine.split(" Xeon")[-1].strip() or r.machine for r in reports]),
+        ("Clock rate", [f"{r.clock_ghz:.1f} GHz" for r in reports]),
+        ("Memory/socket", [f"{r.memory_per_socket_gib:.0f} GB" for r in reports]),
+        ("Local latency", [f"{r.local_latency_ns:.0f} ns" for r in reports]),
+        ("Remote latency", [f"{r.remote_latency_ns:.0f} ns" for r in reports]),
+        ("Local B/W", [f"{r.local_bandwidth_gbs:.1f} GB/s" for r in reports]),
+        ("Remote B/W", [f"{r.remote_bandwidth_gbs:.1f} GB/s" for r in reports]),
+        ("Total local B/W", [f"{r.total_local_bandwidth_gbs:.1f} GB/s" for r in reports]),
+    ]
+    widths = [max(len(h), max((len(row[0]) for row in rows), default=0))
+              for h in headers[:1]]
+    col_widths = [
+        max(len(headers[i + 1]), max(len(row[1][i]) for row in rows))
+        for i in range(len(reports))
+    ]
+    lines = []
+    header_line = headers[0].ljust(widths[0]) + "  " + "  ".join(
+        headers[i + 1].rjust(col_widths[i]) for i in range(len(reports))
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for name, cells in rows:
+        lines.append(
+            name.ljust(widths[0])
+            + "  "
+            + "  ".join(cells[i].rjust(col_widths[i]) for i in range(len(reports)))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Page-granular placement ledger: the simulated OS memory manager.
+
+On Linux, the physical socket of each virtual page is decided by the
+placement policy — first-touch by default, or explicit pinning /
+interleaving via ``mbind``/``numactl`` (paper section 2.1).  Smart
+arrays rely on exactly these OS facilities (section 3.1:  "in C++ we can
+control the memory layout ... by making system calls for NUMA-aware data
+placement").
+
+This module substitutes that OS layer: a :class:`PageMap` records which
+socket owns each page of an allocation, and a :class:`MemoryLedger`
+tracks per-socket physical memory consumption so capacity checks (the
+adaptivity's "space for replication" test, Fig. 13) have real numbers to
+look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.errors import AllocationError
+from .topology import MachineSpec
+
+
+def pages_for(nbytes: int, page_bytes: int) -> int:
+    """Number of pages covering ``nbytes`` (zero-byte allocs use 1 page)."""
+    if nbytes < 0:
+        raise ValueError(f"allocation size must be >= 0, got {nbytes}")
+    return max(1, (nbytes + page_bytes - 1) // page_bytes)
+
+
+@dataclass
+class PageMap:
+    """Socket ownership of every page in one contiguous allocation."""
+
+    page_bytes: int
+    #: ``page_to_socket[i]`` is the socket holding page ``i``.
+    page_to_socket: np.ndarray
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.page_to_socket.size)
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_pages * self.page_bytes
+
+    def socket_of_offset(self, byte_offset: int) -> int:
+        """Socket holding the page containing ``byte_offset``."""
+        if byte_offset < 0 or byte_offset >= self.nbytes:
+            raise IndexError(
+                f"offset {byte_offset} outside allocation of {self.nbytes} bytes"
+            )
+        return int(self.page_to_socket[byte_offset // self.page_bytes])
+
+    def bytes_on_socket(self, socket: int) -> int:
+        """Physical bytes of this allocation resident on ``socket``."""
+        return int(np.count_nonzero(self.page_to_socket == socket)) * self.page_bytes
+
+    def socket_fractions(self, n_sockets: int) -> np.ndarray:
+        """Fraction of pages on each socket (sums to 1)."""
+        counts = np.bincount(self.page_to_socket, minlength=n_sockets)
+        return counts / max(1, self.n_pages)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def pinned(cls, nbytes: int, socket: int, page_bytes: int) -> "PageMap":
+        """All pages on one socket (``numactl --membind``)."""
+        n = pages_for(nbytes, page_bytes)
+        return cls(page_bytes, np.full(n, socket, dtype=np.int32))
+
+    @classmethod
+    def interleaved(
+        cls, nbytes: int, n_sockets: int, page_bytes: int, start: int = 0
+    ) -> "PageMap":
+        """Round-robin pages across sockets (``numactl --interleave``)."""
+        n = pages_for(nbytes, page_bytes)
+        sockets = (np.arange(n, dtype=np.int64) + start) % n_sockets
+        return cls(page_bytes, sockets.astype(np.int32))
+
+    @classmethod
+    def first_touch(
+        cls, nbytes: int, toucher_sockets: Sequence[int], page_bytes: int
+    ) -> "PageMap":
+        """First-touch placement given the socket of each page's toucher.
+
+        ``toucher_sockets`` lists, per page, the socket of the thread
+        that first wrote the page.  A single-threaded initializer passes
+        a single-entry list and gets the paper's "one socket" outcome; a
+        multi-threaded initializer passes the per-page pattern of its
+        partitioning and gets a distribution across sockets (section
+        4.1's description of the OS-default policy).
+        """
+        n = pages_for(nbytes, page_bytes)
+        touchers = np.asarray(toucher_sockets, dtype=np.int32)
+        if touchers.size == 0:
+            raise ValueError("first_touch requires at least one toucher socket")
+        if touchers.size == 1:
+            sockets = np.full(n, touchers[0], dtype=np.int32)
+        else:
+            # Pages are touched in order by a blocked partitioning of the
+            # initializing loop across the touching threads.
+            bounds = np.linspace(0, n, touchers.size + 1).astype(np.int64)
+            sockets = np.empty(n, dtype=np.int32)
+            for i in range(touchers.size):
+                sockets[bounds[i]:bounds[i + 1]] = touchers[i]
+        return cls(page_bytes, sockets)
+
+
+@dataclass
+class MemoryLedger:
+    """Tracks per-socket physical memory use on a simulated machine.
+
+    Every allocation made through :class:`repro.numa.allocator.NumaAllocator`
+    is charged here; exceeding a socket's capacity raises
+    :class:`AllocationError`, which is how the "space for (un)compressed
+    replication" branches of the adaptivity diagrams get exercised for
+    real in tests.
+    """
+
+    machine: MachineSpec
+    used_bytes: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.used_bytes:
+            self.used_bytes = [0] * self.machine.n_sockets
+        if len(self.used_bytes) != self.machine.n_sockets:
+            raise ValueError("used_bytes must have one entry per socket")
+
+    def free_bytes(self, socket: int) -> int:
+        self.machine.validate_socket(socket)
+        return self.machine.sockets[socket].memory_bytes - self.used_bytes[socket]
+
+    def charge(self, page_map: PageMap) -> None:
+        """Account a placed allocation, failing if any socket is full."""
+        per_socket = [
+            page_map.bytes_on_socket(s) for s in range(self.machine.n_sockets)
+        ]
+        for socket, amount in enumerate(per_socket):
+            if amount > self.free_bytes(socket):
+                raise AllocationError(
+                    f"socket {socket} cannot hold {amount} more bytes "
+                    f"({self.free_bytes(socket)} free of "
+                    f"{self.machine.sockets[socket].memory_bytes})"
+                )
+        for socket, amount in enumerate(per_socket):
+            self.used_bytes[socket] += amount
+
+    def release(self, page_map: PageMap) -> None:
+        """Return an allocation's pages to the free pool."""
+        for socket in range(self.machine.n_sockets):
+            amount = page_map.bytes_on_socket(socket)
+            if amount > self.used_bytes[socket]:
+                raise AllocationError(
+                    f"releasing {amount} bytes from socket {socket} which "
+                    f"only has {self.used_bytes[socket]} charged"
+                )
+            self.used_bytes[socket] -= amount
+
+    def snapshot(self) -> Dict[int, int]:
+        """Per-socket used bytes, for reporting."""
+        return dict(enumerate(self.used_bytes))

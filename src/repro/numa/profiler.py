@@ -1,0 +1,153 @@
+"""Functional-run profiler: real executions -> PerfCounters.
+
+The paper's adaptivity consumes hardware counters from real runs.  The
+functional path has no hardware counters, but it has two honest signals:
+wall-clock time and the deterministic per-array access statistics
+(:mod:`repro.core.stats`).  :class:`FunctionalProfiler` combines them
+into the same :class:`~repro.numa.counters.PerfCounters` record the
+simulated runs produce, so the §6 selector can be driven by *measured*
+functional workloads, not only by modelled ones.
+
+Derivations:
+
+* bytes-from-memory — each bulk element read/written moves
+  ``bits/8`` packed bytes; each chunk unpack moves ``bits`` words; each
+  scalar access touches one or two words (we charge an 8-byte word);
+* instructions — a fixed Python-opcode-scale cost per operation class;
+  the absolute scale is irrelevant to the selector, which only uses
+  rate *ratios* (exec_max / exec_current);
+* memory-bound — decided against a configurable Python-host byte rate:
+  a run that moved data slower than the host can decode is labelled
+  compute-bound.
+
+This is self-consistent rather than hardware-accurate — exactly what
+the adaptivity needs, since both its numerator and denominator come
+from the same scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from .counters import PerfCounters
+
+if TYPE_CHECKING:  # avoid a core<->numa import cycle at runtime
+    from ..core.smart_array import SmartArray
+
+#: Estimated "instructions" per operation class, on an arbitrary but
+#: fixed scale (Python opcodes executed per operation, roughly).
+INST_PER_SCALAR_OP = 60.0
+INST_PER_CHUNK_UNPACK = 800.0
+INST_PER_BULK_ELEMENT = 3.0
+
+#: Bytes/second the host decodes when purely memory-streaming; above
+#: this demand a run is classified memory-bound.  Calibrate per host
+#: with :func:`calibrate_host_rate` if classification matters.
+DEFAULT_HOST_STREAM_RATE = 2e9
+
+
+@dataclass
+class ProfiledRun:
+    """Outcome of one profiled functional execution."""
+
+    counters: PerfCounters
+    wall_time_s: float
+    operations: dict
+
+
+class FunctionalProfiler:
+    """Context manager measuring a functional workload over given arrays.
+
+    Usage::
+
+        with FunctionalProfiler([a1, a2]) as prof:
+            parallel_sum_bulk([a1, a2], pool)
+        counters = prof.result.counters
+    """
+
+    def __init__(
+        self,
+        arrays: Sequence[SmartArray],
+        host_stream_rate: float = DEFAULT_HOST_STREAM_RATE,
+        label: str = "",
+    ) -> None:
+        if not arrays:
+            raise ValueError("profile at least one array")
+        if host_stream_rate <= 0:
+            raise ValueError("host_stream_rate must be positive")
+        self.arrays = list(arrays)
+        self.host_stream_rate = host_stream_rate
+        self.label = label
+        self.result: Optional[ProfiledRun] = None
+        self._before: List[dict] = []
+        self._t0 = 0.0
+
+    def __enter__(self) -> "FunctionalProfiler":
+        self._before = [a.stats.snapshot() for a in self.arrays]
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = max(time.perf_counter() - self._t0, 1e-9)
+        if exc_type is not None:
+            return  # don't synthesize counters for a failed run
+        deltas = []
+        for array, before in zip(self.arrays, self._before):
+            after = array.stats.snapshot()
+            deltas.append(
+                {k: after[k] - before[k] for k in after}
+            )
+        bytes_moved = 0.0
+        instructions = 0.0
+        total_ops = {k: 0 for k in deltas[0]}
+        for array, d in zip(self.arrays, deltas):
+            element_bytes = array.bits / 8.0
+            bytes_moved += (
+                (d["bulk_elements_read"] + d["bulk_elements_written"])
+                * element_bytes
+                + d["chunk_unpacks"] * array.bits * 8.0   # words per chunk
+                + (d["scalar_gets"] + d["scalar_inits"]) * 8.0
+            )
+            instructions += (
+                (d["scalar_gets"] + d["scalar_inits"]) * INST_PER_SCALAR_OP
+                + d["chunk_unpacks"] * INST_PER_CHUNK_UNPACK
+                + (d["bulk_elements_read"] + d["bulk_elements_written"])
+                * INST_PER_BULK_ELEMENT
+            )
+            for k in total_ops:
+                total_ops[k] += d[k]
+        demand_rate = bytes_moved / elapsed
+        counters = PerfCounters(
+            time_s=elapsed,
+            instructions=max(instructions, 1.0),
+            bytes_from_memory=bytes_moved,
+            memory_bandwidth_gbs=demand_rate / 1e9,
+            memory_bound=demand_rate >= self.host_stream_rate,
+            label=self.label or "functional-profile",
+        )
+        self.result = ProfiledRun(
+            counters=counters,
+            wall_time_s=elapsed,
+            operations=total_ops,
+        )
+
+
+def calibrate_host_rate(sample_bytes: int = 64 << 20) -> float:
+    """Measure this host's streaming decode rate (bytes/second).
+
+    Runs a pure memory-streaming decode and returns its byte rate; pass
+    the result as ``host_stream_rate`` for honest memory-bound
+    classification on the current machine.
+    """
+    import numpy as np
+
+    words = np.random.default_rng(0).integers(
+        0, 2**63, size=sample_bytes // 8, dtype=np.uint64
+    )
+    t0 = time.perf_counter()
+    total = int(words.sum(dtype=np.uint64))  # forces the full stream
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    assert total >= 0
+    return sample_bytes / elapsed

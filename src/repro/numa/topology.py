@@ -1,0 +1,220 @@
+"""Machine topology model: the simulated ccNUMA hardware (paper section 2.1).
+
+A :class:`MachineSpec` describes a cache-coherent NUMA machine the way
+the paper's Table 1 does: sockets, cores, hyper-threads, clock rate,
+per-socket memory capacity, local/remote access latency, and
+local/remote (interconnect) bandwidth.  The two Oracle X5-2 evaluation
+machines are provided as presets (:func:`machine_2x8_haswell` and
+:func:`machine_2x18_haswell`) with Table 1's exact numbers.
+
+The spec is consumed by
+
+* :mod:`repro.numa.pages` / :mod:`repro.numa.allocator` to place pages,
+* :mod:`repro.numa.bandwidth` to evaluate the bandwidth roofline,
+* :mod:`repro.perfmodel` to predict run time / bandwidth / instructions,
+* :mod:`repro.adapt` as the "specification of the machine" input the
+  paper's adaptivity consumes (section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+GIB = 1024**3
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One socket: a multi-core CPU plus its locally attached memory."""
+
+    cores: int
+    threads_per_core: int
+    clock_ghz: float
+    memory_bytes: int
+    local_bandwidth_gbs: float
+    local_latency_ns: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"socket needs >= 1 core, got {self.cores}")
+        if self.threads_per_core < 1:
+            raise ValueError("threads_per_core must be >= 1")
+        if self.clock_ghz <= 0 or self.local_bandwidth_gbs <= 0:
+            raise ValueError("clock rate and bandwidth must be positive")
+        if self.memory_bytes <= 0 or self.local_latency_ns <= 0:
+            raise ValueError("memory size and latency must be positive")
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Socket-to-socket links (e.g. Intel QPI).
+
+    ``bandwidth_gbs`` is the achievable bandwidth *per direction* between
+    a socket pair — Table 1's "Remote B/W" row.  The 8-core machine has a
+    single QPI link (8 GB/s); the 18-core machine has three (26.8 GB/s),
+    which is what flips the interleaved-vs-single-socket verdict between
+    the two machines (section 5.1).
+    """
+
+    bandwidth_gbs: float
+    latency_ns: float
+    links: int = 1
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.latency_ns <= 0 or self.links < 1:
+            raise ValueError("interconnect parameters must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole NUMA machine: homogeneous sockets plus an interconnect."""
+
+    name: str
+    sockets: Tuple[SocketSpec, ...]
+    interconnect: InterconnectSpec
+    page_bytes: int = 4096
+    #: Fraction of peak bandwidth a streaming workload achieves once
+    #: remote/interleaved traffic is involved; calibrated against the
+    #: paper's measured Figure 2 bandwidths.
+    remote_efficiency: float = 0.86
+    #: Same, for purely local streaming (prefetchers nearly saturate).
+    local_efficiency: float = 0.92
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise ValueError("machine needs at least one socket")
+        if self.page_bytes < 512 or self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page_bytes must be a power of two >= 512")
+        if not (0 < self.remote_efficiency <= 1 and 0 < self.local_efficiency <= 1):
+            raise ValueError("efficiency factors must be in (0, 1]")
+
+    # -- aggregate properties ------------------------------------------
+
+    @property
+    def n_sockets(self) -> int:
+        return len(self.sockets)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(s.cores for s in self.sockets)
+
+    @property
+    def total_hardware_threads(self) -> int:
+        return sum(s.hardware_threads for s in self.sockets)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(s.memory_bytes for s in self.sockets)
+
+    @property
+    def total_local_bandwidth_gbs(self) -> float:
+        """Table 1's "Total local B/W": the sum over sockets."""
+        return sum(s.local_bandwidth_gbs for s in self.sockets)
+
+    def socket_of_thread(self, thread_id: int) -> int:
+        """Socket hosting hardware thread ``thread_id``.
+
+        Threads are numbered socket-major (socket 0's threads first),
+        matching how Callisto-RTS pins its workers (section 5).
+        """
+        if thread_id < 0:
+            raise ValueError(f"thread id must be >= 0, got {thread_id}")
+        remaining = thread_id
+        for sid, sock in enumerate(self.sockets):
+            if remaining < sock.hardware_threads:
+                return sid
+            remaining -= sock.hardware_threads
+        raise ValueError(
+            f"thread id {thread_id} out of range for "
+            f"{self.total_hardware_threads} hardware threads"
+        )
+
+    def threads_on_socket(self, socket: int) -> range:
+        """The hardware-thread id range pinned to ``socket``."""
+        if not 0 <= socket < self.n_sockets:
+            raise ValueError(f"socket {socket} out of range")
+        start = sum(s.hardware_threads for s in self.sockets[:socket])
+        return range(start, start + self.sockets[socket].hardware_threads)
+
+    def validate_socket(self, socket: int) -> int:
+        if not 0 <= socket < self.n_sockets:
+            raise ValueError(
+                f"socket {socket} out of range for {self.n_sockets}-socket machine"
+            )
+        return socket
+
+    def describe(self) -> str:
+        s = self.sockets[0]
+        return (
+            f"{self.name}: {self.n_sockets}x{s.cores}-core @ {s.clock_ghz} GHz, "
+            f"{s.memory_bytes // GIB} GiB/socket, "
+            f"local {s.local_bandwidth_gbs} GB/s, "
+            f"remote {self.interconnect.bandwidth_gbs} GB/s"
+        )
+
+
+def _x5_2(name, cores, clock_ghz, mem_gib, local_lat, remote_lat, local_bw,
+          remote_bw, links) -> MachineSpec:
+    socket = SocketSpec(
+        cores=cores,
+        threads_per_core=2,
+        clock_ghz=clock_ghz,
+        memory_bytes=mem_gib * GIB,
+        local_bandwidth_gbs=local_bw,
+        local_latency_ns=local_lat,
+    )
+    interconnect = InterconnectSpec(
+        bandwidth_gbs=remote_bw, latency_ns=remote_lat, links=links
+    )
+    return MachineSpec(name=name, sockets=(socket, socket), interconnect=interconnect)
+
+
+def machine_2x8_haswell() -> MachineSpec:
+    """The paper's 2x8-core Xeon E5-2630v3 machine (Table 1, left column).
+
+    Local 49.3 GB/s vs remote 8 GB/s: the single QPI link is the
+    bottleneck for any placement generating interconnect traffic, which
+    is why single-socket beats interleaved on this box (section 5.1).
+    """
+    return _x5_2(
+        "2x8-core Xeon E5-2630v3",
+        cores=8, clock_ghz=2.4, mem_gib=128,
+        local_lat=77.0, remote_lat=130.0,
+        local_bw=49.3, remote_bw=8.0, links=1,
+    )
+
+
+def machine_2x18_haswell() -> MachineSpec:
+    """The paper's 2x18-core Xeon E5-2699v3 machine (Table 1, right column).
+
+    Three QPI links give 26.8 GB/s remote bandwidth, so interleaving
+    beats single-socket here, and the 36 cores have enough spare compute
+    to make bit compression profitable for every placement (section 5.1).
+    """
+    return _x5_2(
+        "2x18-core Xeon E5-2699v3",
+        cores=18, clock_ghz=2.3, mem_gib=192,
+        local_lat=85.0, remote_lat=132.0,
+        local_bw=43.8, remote_bw=26.8, links=3,
+    )
+
+
+#: Both Table 1 machines, in the paper's column order.
+PAPER_MACHINES = (machine_2x8_haswell, machine_2x18_haswell)
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    """Look up a preset machine by short name ("8-core" or "18-core")."""
+    key = name.strip().lower()
+    if key in {"8", "8-core", "2x8", "m8"}:
+        return machine_2x8_haswell()
+    if key in {"18", "18-core", "2x18", "m18"}:
+        return machine_2x18_haswell()
+    raise KeyError(f"unknown machine preset {name!r}")

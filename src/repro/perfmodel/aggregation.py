@@ -1,0 +1,156 @@
+"""Aggregation-benchmark models: Figures 2, 3, and 10.
+
+The paper's aggregation benchmark (section 5.1): two 4 GB arrays of
+64-bit integers (~500 M elements each), summed element-wise by a
+Callisto parallel-for using all hardware threads, under every
+combination of bit width {10, 31, 32, 33, 50, 63, 64}, placement
+{OS default/single socket, interleaved, replicated}, language
+{C++, Java}, and machine {8-core, 18-core}.
+
+Initialization is single-threaded, so OS-default placement degenerates
+to single-socket (the paper notes this explicitly) — the two share a
+column in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.placement import Placement
+from ..numa.topology import MachineSpec
+from . import calibration as cal
+from .engine import SimulatedRun, simulate
+from .workload import WorkloadProfile, compressed_scan_instructions
+
+#: Two 4 GB arrays of 64-bit integers: ~5e8 elements each (section 5.1).
+ELEMENTS_PER_ARRAY = 500_000_000
+N_ARRAYS = 2
+TOTAL_ELEMENTS = ELEMENTS_PER_ARRAY * N_ARRAYS
+
+#: Figure 10's bit-width sweep, in the paper's x-axis order.
+FIGURE10_BITS = (10, 31, 32, 33, 50, 63, 64)
+
+#: Figure 10's placement columns.  OS default merges with single socket
+#: because the arrays are initialized single-threaded.
+FIGURE10_PLACEMENTS = (
+    ("OS default/Single socket", Placement.single_socket(0)),
+    ("Interleaved", Placement.interleaved()),
+    ("Replicated", Placement.replicated()),
+)
+
+LANGUAGES = ("C++", "Java")
+
+
+def aggregation_profile(
+    bits: int,
+    language: str = "C++",
+    total_elements: int = TOTAL_ELEMENTS,
+) -> WorkloadProfile:
+    """Resource profile of the parallel two-array aggregation.
+
+    Streamed traffic is the packed data volume (``bits/8`` bytes per
+    element — compression's bandwidth saving); instruction count follows
+    the calibrated per-element scan costs, with the Java factor applied
+    for the GraalVM runs.
+    """
+    if language not in LANGUAGES:
+        raise ValueError(f"language must be one of {LANGUAGES}, got {language!r}")
+    instructions = compressed_scan_instructions(total_elements, bits)
+    if language == "Java":
+        instructions *= cal.JAVA_INSTRUCTION_FACTOR
+    return WorkloadProfile(
+        name=f"aggregation[{bits}b,{language}]",
+        stream_bytes=total_elements * bits / 8.0,
+        instructions=instructions,
+        ipc=cal.STREAM_IPC,
+        multithreaded_init=False,  # single-threaded init (section 5.1)
+    )
+
+
+@dataclass(frozen=True)
+class AggregationRow:
+    """One bar of Figure 2 or one point of Figure 10."""
+
+    machine: str
+    language: str
+    placement_label: str
+    bits: int
+    run: SimulatedRun
+
+    @property
+    def time_ms(self) -> float:
+        return self.run.time_s * 1e3
+
+    @property
+    def instructions_e9(self) -> float:
+        return self.run.counters.instructions / 1e9
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.run.counters.memory_bandwidth_gbs
+
+
+def figure2_rows(machine: MachineSpec) -> List[AggregationRow]:
+    """Figure 2: the four motivating configurations on one machine.
+
+    (a) single socket, (b) interleaved, (c) replicated — all 64-bit —
+    and (d) replicated + bit compression (33 bits, the width the
+    paper's formula produces for its initialization pattern).
+    """
+    configs = [
+        ("Single socket", Placement.single_socket(0), 64),
+        ("Interleaved", Placement.interleaved(), 64),
+        ("Replicated", Placement.replicated(), 64),
+        ("Replicated + compressed", Placement.replicated(), 33),
+    ]
+    rows = []
+    for label, placement, bits in configs:
+        profile = aggregation_profile(bits)
+        rows.append(
+            AggregationRow(
+                machine=machine.name,
+                language="C++",
+                placement_label=label,
+                bits=bits,
+                run=simulate(profile, machine, placement),
+            )
+        )
+    return rows
+
+
+def figure10_grid(
+    machine: MachineSpec,
+    language: str,
+    bits_sweep: Sequence[int] = FIGURE10_BITS,
+    placements: Sequence[Tuple[str, Placement]] = FIGURE10_PLACEMENTS,
+) -> List[AggregationRow]:
+    """One Figure 10 panel row: every (placement, bits) combination."""
+    rows = []
+    for placement_label, placement in placements:
+        for bits in bits_sweep:
+            profile = aggregation_profile(bits, language)
+            rows.append(
+                AggregationRow(
+                    machine=machine.name,
+                    language=language,
+                    placement_label=placement_label,
+                    bits=bits,
+                    run=simulate(profile, machine, placement),
+                )
+            )
+    return rows
+
+
+def format_rows(rows: Iterable[AggregationRow]) -> str:
+    """Tabulate rows the way the paper's panels read."""
+    lines = [
+        f"{'placement':<26} {'bits':>4} {'time (ms)':>10} "
+        f"{'inst (1e9)':>11} {'bw (GB/s)':>10}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.placement_label:<26} {r.bits:>4} {r.time_ms:>10.1f} "
+            f"{r.instructions_e9:>11.2f} {r.bandwidth_gbs:>10.1f}"
+        )
+    return "\n".join(lines)

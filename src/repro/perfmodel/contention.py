@@ -1,0 +1,148 @@
+"""Co-runner contention model: shared machines, changing system load.
+
+Section 7 extends adaptivity to "the changes in the system load as
+other workloads start and finish".  For that loop to be closed, the
+substrate must be able to *produce* contended runs: this module models
+two workloads sharing one machine and yields the contended counters the
+dynamic controller (:mod:`repro.adapt.dynamic`) reacts to.
+
+Sharing model (deliberately simple and conservative):
+
+* **compute** — hardware threads split between workloads in a given
+  ratio; each side's instruction rate scales with its share;
+* **memory bandwidth** — each placement's roofline is shared; when the
+  combined demand exceeds it, both sides are throttled proportionally
+  to their demand (bandwidth fair-sharing, which is roughly what
+  hardware arbitration does for streaming traffic).
+
+The interesting emergent behaviour (asserted in tests): a co-runner
+that only burns CPU turns a compressed scan compute-bound — flipping
+the §6 compression verdict — while a co-runner that only streams memory
+makes compression *more* attractive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.placement import Placement
+from ..numa.bandwidth import BandwidthModel
+from ..numa.counters import PerfCounters
+from ..numa.topology import MachineSpec
+from .engine import compute_rate
+from .workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class ContendedRun:
+    """One workload's outcome while sharing the machine."""
+
+    counters: PerfCounters
+    solo_time_s: float
+    slowdown: float
+    memory_bound: bool
+
+
+def simulate_contended(
+    profile: WorkloadProfile,
+    corunner: Optional[WorkloadProfile],
+    machine: MachineSpec,
+    placement: Placement,
+    thread_share: float = 0.5,
+    corunner_placement: Optional[Placement] = None,
+    bandwidth_model: Optional[BandwidthModel] = None,
+) -> ContendedRun:
+    """Run ``profile`` under ``placement`` while ``corunner`` coexists.
+
+    ``thread_share`` is the fraction of hardware threads (hence compute)
+    the measured workload keeps.  ``corunner=None`` degenerates to the
+    solo roofline.
+    """
+    if not 0.0 < thread_share <= 1.0:
+        raise ValueError("thread_share must be in (0, 1]")
+    bm = bandwidth_model or BandwidthModel(machine)
+    placement_bw = bm.stream_gbs(placement,
+                                 multithreaded_init=profile.multithreaded_init)
+
+    # Solo baseline.
+    solo_mem = profile.stream_bytes / (placement_bw * 1e9) if (
+        profile.stream_bytes) else 0.0
+    if profile.random_bytes:
+        solo_mem += profile.random_bytes / (
+            bm.random_access_gbs(placement) * 1e9
+        )
+    solo_cpu = profile.instructions / compute_rate(machine, profile.ipc)
+    solo_time = max(solo_mem, solo_cpu, 1e-12)
+
+    if corunner is None:
+        share_cpu_time = solo_cpu
+        share_mem_time = solo_mem
+    else:
+        # Compute: only thread_share of the machine remains.
+        share_cpu_time = solo_cpu / thread_share
+
+        # Memory: bandwidth demand of both sides against the shared
+        # roofline; throttle proportionally when oversubscribed.
+        co_placement = corunner_placement or Placement.interleaved()
+        co_bw_cap = bm.stream_gbs(
+            co_placement, multithreaded_init=corunner.multithreaded_init
+        )
+        my_demand = (profile.total_bytes / solo_time) / 1e9 if solo_time else 0
+        co_solo_cpu = corunner.instructions / compute_rate(machine,
+                                                           corunner.ipc)
+        co_solo_mem = corunner.total_bytes / (co_bw_cap * 1e9) if (
+            corunner.total_bytes) else 0.0
+        co_time = max(co_solo_cpu / max(1 - thread_share, 1e-9),
+                      co_solo_mem, 1e-12)
+        co_demand = (corunner.total_bytes / co_time) / 1e9
+        total_demand = my_demand + co_demand
+        capacity = min(placement_bw + 0.0, bm.replicated_gbs())
+        if total_demand > capacity and total_demand > 0:
+            achieved = capacity * my_demand / total_demand
+        else:
+            achieved = my_demand
+        achieved = min(achieved, placement_bw)
+        share_mem_time = (
+            profile.total_bytes / (achieved * 1e9) if achieved > 0 else solo_mem
+        )
+
+    time_s = max(share_cpu_time, share_mem_time, 1e-12)
+    memory_bound = share_mem_time >= share_cpu_time
+    counters = PerfCounters(
+        time_s=time_s,
+        instructions=profile.instructions,
+        bytes_from_memory=profile.total_bytes,
+        memory_bandwidth_gbs=profile.total_bytes / time_s / 1e9,
+        memory_bound=memory_bound,
+        label=f"{profile.name} (contended)" if corunner else profile.name,
+    )
+    return ContendedRun(
+        counters=counters,
+        solo_time_s=solo_time,
+        slowdown=time_s / solo_time,
+        memory_bound=memory_bound,
+    )
+
+
+def cpu_hog(machine: MachineSpec, seconds: float = 1.0) -> WorkloadProfile:
+    """A co-runner that burns compute and touches no memory."""
+    return WorkloadProfile(
+        name="cpu-hog",
+        stream_bytes=0.0,
+        instructions=compute_rate(machine, 2.8) * seconds,
+        ipc=2.8,
+    )
+
+
+def bandwidth_hog(machine: MachineSpec, seconds: float = 1.0
+                  ) -> WorkloadProfile:
+    """A co-runner that streams memory flat out (a STREAM loop)."""
+    bw = machine.total_local_bandwidth_gbs * 1e9
+    return WorkloadProfile(
+        name="bandwidth-hog",
+        stream_bytes=bw * seconds,
+        instructions=bw * seconds / 8.0,  # one load per element
+        ipc=2.8,
+        multithreaded_init=True,
+    )

@@ -1,0 +1,307 @@
+"""Graph-workload models: Figures 1, 11, and 12.
+
+Profiles are derived from a graph's vertex/edge counts and the bit
+widths of its arrays, following the access patterns section 5.2
+describes:
+
+* **degree centrality** — streams the ``begin`` and ``rbegin`` arrays
+  and writes the (always-interleaved) output array: a pure streaming
+  workload;
+* **PageRank** — per iteration streams ``rbegin``/``redge`` and the two
+  vertex-property arrays, and performs one data-dependent gather per
+  reverse edge (the neighbour's contribution): a mixed
+  streaming/random workload, which is why replication's latency+
+  bandwidth localization wins big on the 8-core machine (Figure 1).
+
+The paper-scale datasets are encoded as :data:`TWITTER_GRAPH` (Kwak et
+al., 42 M vertices / 1.5 B edges) and :data:`DEGREE_GRAPH` (the custom
+1.5 B-vertex, 3-edges-per-vertex uniform graph); benchmarks evaluate
+the model at these sizes while the functional path validates the same
+code paths at reduced scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.placement import Placement
+from ..numa.topology import MachineSpec
+from . import calibration as cal
+from .engine import SimulatedRun, simulate
+from .workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The size parameters that determine a graph workload's demands."""
+
+    name: str
+    n_vertices: int
+    n_edges: int
+
+    def __post_init__(self) -> None:
+        if self.n_vertices < 1 or self.n_edges < 0:
+            raise ValueError("need n_vertices >= 1 and n_edges >= 0")
+
+    @property
+    def avg_degree(self) -> float:
+        return self.n_edges / self.n_vertices
+
+    def min_vertex_bits(self) -> int:
+        """Bits to index the edge array (begin entries hold offsets)."""
+        return max(1, int(self.n_edges).bit_length())
+
+    def min_edge_bits(self) -> int:
+        """Bits to name a vertex (edge entries hold vertex IDs)."""
+        return max(1, int(self.n_vertices - 1).bit_length())
+
+
+#: The Twitter follower graph (Kwak et al. 2010) as the paper uses it.
+#: 31 bits suffice for begin offsets, 26 for vertex IDs — matching the
+#: paper's "least number of bits required" (31 and 26, section 5.2).
+TWITTER_GRAPH = GraphStats("twitter", 41_652_230, 1_468_365_182)
+
+#: The custom degree-centrality graph: 1.5e9 vertices, 3 edges each.
+#: Edge IDs need 33 bits, the paper's highlighted compression case.
+DEGREE_GRAPH = GraphStats("uniform-1.5B", 1_500_000_000, 4_500_000_000)
+
+#: Figure 11/12's placement rows.  "Original" is the unmodified PGX
+#: allocation (on-heap + off-heap arrays, parallel first touch); it
+#: behaves like OS-default with multi-threaded initialization, slightly
+#: worse because the on-heap parts are not interleaved.
+GRAPH_PLACEMENTS: Tuple[Tuple[str, Placement], ...] = (
+    ("Original", Placement.os_default()),
+    ("OS default", Placement.os_default()),
+    ("Single socket", Placement.single_socket(0)),
+    ("Interleaved", Placement.interleaved()),
+    ("Replicated", Placement.replicated()),
+)
+
+
+# ---------------------------------------------------------------------------
+# Degree centrality (Figure 11)
+# ---------------------------------------------------------------------------
+
+
+def degree_centrality_profile(
+    stats: GraphStats = DEGREE_GRAPH,
+    vertex_bits: int = 64,
+) -> WorkloadProfile:
+    """Streaming profile: read begin+rbegin, write the output array.
+
+    ``vertex_bits=33`` is Figure 11's compressed case ("33 bits are
+    required to encode edge IDs" for this graph).
+    """
+    v = stats.n_vertices
+    stream_bytes = (
+        2 * v * vertex_bits / 8.0   # begin + rbegin reads
+        + v * 8.0                   # 64-bit output write (interleaved)
+    )
+    per_vertex = cal.DEGREE_INST_PER_VERTEX
+    if vertex_bits not in (32, 64):
+        per_vertex += cal.DEGREE_DECODE_INST
+    return WorkloadProfile(
+        name=f"degree-centrality[{stats.name},{vertex_bits}b]",
+        stream_bytes=stream_bytes,
+        instructions=v * per_vertex,
+        ipc=cal.STREAM_IPC,
+        multithreaded_init=True,   # PGX initializes arrays in parallel
+    )
+
+
+@dataclass(frozen=True)
+class GraphRow:
+    """One bar of Figure 1, 11, or 12."""
+
+    machine: str
+    workload: str
+    placement_label: str
+    compression_label: str
+    run: SimulatedRun
+
+    @property
+    def time_s(self) -> float:
+        return self.run.time_s
+
+    @property
+    def time_ms(self) -> float:
+        return self.run.time_s * 1e3
+
+    @property
+    def instructions_e9(self) -> float:
+        return self.run.counters.instructions / 1e9
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.run.counters.memory_bandwidth_gbs
+
+
+def figure11_grid(
+    machine: MachineSpec,
+    stats: GraphStats = DEGREE_GRAPH,
+    placements: Sequence[Tuple[str, Placement]] = GRAPH_PLACEMENTS,
+) -> List[GraphRow]:
+    """Figure 11: degree centrality, {U, 33 bits} x placements."""
+    rows = []
+    for comp_label, bits in (("U", 64), ("33", 33)):
+        for placement_label, placement in placements:
+            if placement_label == "Original" and comp_label != "U":
+                continue  # the original layout is by definition uncompressed
+            profile = degree_centrality_profile(stats, vertex_bits=bits)
+            rows.append(
+                GraphRow(
+                    machine=machine.name,
+                    workload="degree centrality",
+                    placement_label=placement_label,
+                    compression_label=comp_label,
+                    run=simulate(profile, machine, placement),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# PageRank (Figures 1 and 12)
+# ---------------------------------------------------------------------------
+
+#: Figure 12's compression variants -> (vertex_bits, edge_bits,
+#: degree_bits).  ``None`` means the minimum width for the graph.
+PAGERANK_VARIANTS: Dict[str, Tuple[Optional[int], Optional[int], Optional[int]]] = {
+    "U": (64, 32, 64),
+    "32": (32, 32, 32),
+    "V": (None, 32, 22),
+    "V+E": (None, None, 22),
+}
+
+#: The paper's PageRank run length on the Twitter graph.
+PAGERANK_ITERATIONS = 15
+
+
+def pagerank_variant_bits(
+    variant: str, stats: GraphStats = TWITTER_GRAPH
+) -> Tuple[int, int, int]:
+    """Resolve a Figure 12 variant to concrete bit widths."""
+    if variant not in PAGERANK_VARIANTS:
+        raise KeyError(
+            f"variant must be one of {tuple(PAGERANK_VARIANTS)}, got {variant!r}"
+        )
+    vb, eb, db = PAGERANK_VARIANTS[variant]
+    return (
+        vb if vb is not None else stats.min_vertex_bits(),
+        eb if eb is not None else stats.min_edge_bits(),
+        db if db is not None else 22,
+    )
+
+
+def pagerank_profile(
+    stats: GraphStats = TWITTER_GRAPH,
+    variant: str = "U",
+    iterations: int = PAGERANK_ITERATIONS,
+) -> WorkloadProfile:
+    """Mixed streaming/random profile of ``iterations`` PageRank rounds."""
+    vertex_bits, edge_bits, degree_bits = pagerank_variant_bits(variant, stats)
+    v, e = stats.n_vertices, stats.n_edges
+    stream_per_iter = (
+        v * vertex_bits / 8.0      # rbegin scan
+        + e * edge_bits / 8.0      # redge scan
+        + v * 8.0                  # ranks read (contribution pass)
+        + v * degree_bits / 8.0    # out-degrees read
+        + v * 8.0                  # ranks write
+    )
+    inst_per_edge = cal.PAGERANK_INST_PER_EDGE
+    if edge_bits not in (32, 64):
+        inst_per_edge += cal.PAGERANK_EDGE_DECODE_INST
+    inst_per_vertex = cal.PAGERANK_INST_PER_VERTEX
+    if vertex_bits not in (32, 64):
+        inst_per_vertex += cal.DEGREE_DECODE_INST
+    return WorkloadProfile(
+        name=f"pagerank[{stats.name},{variant}]",
+        stream_bytes=stream_per_iter * iterations,
+        instructions=(e * inst_per_edge + v * inst_per_vertex) * iterations,
+        ipc=cal.PAGERANK_IPC,
+        random_accesses=float(e) * iterations,   # contribution gathers
+        random_miss_rate=cal.PAGERANK_GATHER_MISS_RATE,
+        multithreaded_init=True,
+    )
+
+
+def pagerank_memory_bytes(
+    stats: GraphStats = TWITTER_GRAPH, variant: str = "U"
+) -> float:
+    """The paper's Figure 12 space formula:
+    ``2*bits_edges*V + 2*bits_vertices*E + bits_degrees*V + 64*V`` bits.
+
+    (The paper's naming is transposed relative to ours: its
+    "bits_edges" applies to the begin arrays — V entries — and its
+    "bits_vertices" to the edge arrays — E entries.)
+    """
+    vertex_bits, edge_bits, degree_bits = pagerank_variant_bits(variant, stats)
+    v, e = stats.n_vertices, stats.n_edges
+    bits_total = (
+        2 * vertex_bits * v     # begin + rbegin
+        + 2 * edge_bits * e     # edge + redge
+        + degree_bits * v       # out-degree property
+        + 64 * v                # rank property (doubles)
+    )
+    return bits_total / 8.0
+
+
+def figure12_grid(
+    machine: MachineSpec,
+    stats: GraphStats = TWITTER_GRAPH,
+    variants: Sequence[str] = tuple(PAGERANK_VARIANTS),
+    placements: Sequence[Tuple[str, Placement]] = GRAPH_PLACEMENTS,
+    iterations: int = PAGERANK_ITERATIONS,
+) -> List[GraphRow]:
+    """Figure 12: PageRank, {U, 32, V, V+E} x placements."""
+    rows = []
+    for variant in variants:
+        for placement_label, placement in placements:
+            if placement_label == "Original" and variant != "U":
+                continue
+            profile = pagerank_profile(stats, variant, iterations)
+            rows.append(
+                GraphRow(
+                    machine=machine.name,
+                    workload="pagerank",
+                    placement_label=placement_label,
+                    compression_label=variant,
+                    run=simulate(profile, machine, placement),
+                )
+            )
+    return rows
+
+
+def figure1_rows(machine: MachineSpec) -> List[GraphRow]:
+    """Figure 1: PageRank original vs replicated on the 8-core machine."""
+    rows = []
+    for placement_label, placement in (
+        ("Original", Placement.os_default()),
+        ("Smart arrays w/ replication", Placement.replicated()),
+    ):
+        profile = pagerank_profile(TWITTER_GRAPH, "U")
+        rows.append(
+            GraphRow(
+                machine=machine.name,
+                workload="pagerank",
+                placement_label=placement_label,
+                compression_label="U",
+                run=simulate(profile, machine, placement),
+            )
+        )
+    return rows
+
+
+def format_graph_rows(rows: Iterable[GraphRow]) -> str:
+    lines = [
+        f"{'placement':<28} {'comp':>5} {'time (s)':>9} "
+        f"{'inst (1e9)':>11} {'bw (GB/s)':>10}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.placement_label:<28} {r.compression_label:>5} "
+            f"{r.time_s:>9.2f} {r.instructions_e9:>11.1f} "
+            f"{r.bandwidth_gbs:>10.1f}"
+        )
+    return "\n".join(lines)

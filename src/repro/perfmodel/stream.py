@@ -1,0 +1,120 @@
+"""STREAM-benchmark analogue (McCalpin), the paper's bandwidth yardstick.
+
+The paper motivates its aggregation with "the popular STREAM benchmark
+that involves aggregating two arrays, to saturate memory bandwidth"
+(section 5.1).  This module provides the standard four STREAM kernels —
+Copy, Scale, Add, Triad — in both layers:
+
+* modelled: per-kernel byte-traffic factors against the placement
+  rooflines, producing the classic MB/s table for any machine preset;
+* functional: real NumPy kernels over smart-array storage, used by the
+  benchmark suite to measure the Python host's own STREAM numbers.
+
+STREAM convention: bytes counted are reads + writes of the arrays
+touched (Copy/Scale move 16 B per element, Add/Triad 24 B), and
+"bandwidth" is bytes / best time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.placement import Placement
+from ..numa.topology import MachineSpec
+from . import calibration as cal
+from .engine import SimulatedRun, simulate
+from .workload import WorkloadProfile
+
+#: The four kernels with (arrays read, arrays written, FLOP count).
+STREAM_KERNELS: Dict[str, Dict[str, float]] = {
+    "copy": {"reads": 1, "writes": 1, "inst_per_elem": 4.0},
+    "scale": {"reads": 1, "writes": 1, "inst_per_elem": 5.0},
+    "add": {"reads": 2, "writes": 1, "inst_per_elem": 6.0},
+    "triad": {"reads": 2, "writes": 1, "inst_per_elem": 7.0},
+}
+
+#: STREAM's default working-set: large enough to defeat caches.
+DEFAULT_ELEMENTS = 100_000_000
+
+
+def stream_profile(kernel: str, n_elements: int = DEFAULT_ELEMENTS,
+                   element_bytes: int = 8) -> WorkloadProfile:
+    """Resource profile of one STREAM kernel at ``n_elements``."""
+    if kernel not in STREAM_KERNELS:
+        raise KeyError(
+            f"kernel must be one of {tuple(STREAM_KERNELS)}, got {kernel!r}"
+        )
+    spec = STREAM_KERNELS[kernel]
+    traffic = (spec["reads"] + spec["writes"]) * n_elements * element_bytes
+    return WorkloadProfile(
+        name=f"stream-{kernel}",
+        stream_bytes=float(traffic),
+        instructions=n_elements * spec["inst_per_elem"],
+        ipc=cal.STREAM_IPC,
+        multithreaded_init=True,  # STREAM initializes in parallel
+    )
+
+
+@dataclass(frozen=True)
+class StreamRow:
+    kernel: str
+    placement_label: str
+    run: SimulatedRun
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.run.counters.memory_bandwidth_gbs
+
+    @property
+    def time_ms(self) -> float:
+        return self.run.time_s * 1e3
+
+
+def stream_table(machine: MachineSpec,
+                 n_elements: int = DEFAULT_ELEMENTS) -> List[StreamRow]:
+    """The classic STREAM table across kernels and placements."""
+    rows = []
+    for placement, label in (
+        (Placement.single_socket(0), "single socket"),
+        (Placement.interleaved(), "interleaved"),
+        (Placement.replicated(), "replicated"),
+    ):
+        for kernel in STREAM_KERNELS:
+            run = simulate(stream_profile(kernel, n_elements), machine,
+                           placement)
+            rows.append(StreamRow(kernel, label, run))
+    return rows
+
+
+def format_stream_table(rows: List[StreamRow]) -> str:
+    lines = [f"{'placement':<16} {'kernel':<8} {'GB/s':>8} {'time (ms)':>10}"]
+    for r in rows:
+        lines.append(
+            f"{r.placement_label:<16} {r.kernel:<8} "
+            f"{r.bandwidth_gbs:>8.1f} {r.time_ms:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Functional kernels (real NumPy, used by the benchmark suite)
+# ---------------------------------------------------------------------------
+
+
+def run_functional_kernel(kernel: str, a: np.ndarray, b: np.ndarray,
+                          c: np.ndarray, scalar: float = 3.0) -> np.ndarray:
+    """Execute one STREAM kernel over real arrays; returns the output."""
+    if kernel == "copy":
+        np.copyto(c, a)
+    elif kernel == "scale":
+        np.multiply(a, scalar, out=c, casting="unsafe")
+    elif kernel == "add":
+        np.add(a, b, out=c)
+    elif kernel == "triad":
+        np.add(a, b * np.uint64(int(scalar)), out=c)
+    else:
+        raise KeyError(f"unknown STREAM kernel {kernel!r}")
+    return c

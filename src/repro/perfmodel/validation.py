@@ -1,0 +1,185 @@
+"""Model validation against the paper's printed numbers.
+
+Every quantitative claim the paper prints is encoded here as a
+:class:`PaperClaim` with the value the paper reports, the value our
+model produces, and a tolerance classifying the reproduction as
+``exact`` / ``close`` / ``shape`` (ordering preserved, magnitude
+deviates — always with a documented reason).
+
+`validate_all()` is the machine-checkable core of EXPERIMENTS.md: the
+test suite asserts every claim's status is at least its expected level,
+so any calibration change that silently degrades a reproduction fails
+CI rather than only drifting a Markdown file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..numa.topology import machine_2x18_haswell, machine_2x8_haswell
+from .aggregation import figure2_rows, figure10_grid
+from .graph_models import (
+    figure1_rows,
+    figure11_grid,
+    figure12_grid,
+    pagerank_memory_bytes,
+)
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One printed number: paper's value vs the model's."""
+
+    figure: str
+    description: str
+    paper_value: float
+    model_value: float
+    unit: str
+    #: Relative tolerance for "close"; beyond it the claim is only
+    #: "shape" and must carry a reason.
+    tolerance: float = 0.15
+    shape_reason: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            return abs(self.model_value)
+        return abs(self.model_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def status(self) -> str:
+        err = self.relative_error
+        if err <= 0.02:
+            return "exact"
+        if err <= self.tolerance:
+            return "close"
+        return "shape"
+
+    def row(self) -> str:
+        return (
+            f"{self.figure:<8} {self.description:<44} "
+            f"{self.paper_value:>9.2f} {self.model_value:>9.2f} {self.unit:<5} "
+            f"{self.relative_error:>6.1%}  {self.status}"
+        )
+
+
+def _by(rows, placement, comp=None, bits=None):
+    for r in rows:
+        if r.placement_label != placement:
+            continue
+        if comp is not None and r.compression_label != comp:
+            continue
+        if bits is not None and r.bits != bits:
+            continue
+        return r
+    raise KeyError((placement, comp, bits))
+
+
+def figure1_claims() -> List[PaperClaim]:
+    rows = figure1_rows(machine_2x8_haswell())
+    original, replicated = rows
+    return [
+        PaperClaim("Fig 1", "PageRank original time", 28.5,
+                   original.time_s, "s", tolerance=0.3,
+                   shape_reason="PGX 'original' layout approximated as "
+                                "OS-default with parallel init"),
+        PaperClaim("Fig 1", "PageRank original bandwidth", 29.9,
+                   original.bandwidth_gbs, "GB/s", tolerance=0.25),
+        PaperClaim("Fig 1", "PageRank replicated time", 11.9,
+                   replicated.time_s, "s"),
+        PaperClaim("Fig 1", "PageRank replicated bandwidth", 67.2,
+                   replicated.bandwidth_gbs, "GB/s"),
+        PaperClaim("Fig 1", "replication speedup", 2.4,
+                   original.time_s / replicated.time_s, "x", tolerance=0.25),
+    ]
+
+
+def figure2_claims() -> List[PaperClaim]:
+    rows = figure2_rows(machine_2x18_haswell())
+    single, inter, repl, comp = rows
+    return [
+        PaperClaim("Fig 2", "single socket time", 201, single.time_ms, "ms",
+                   tolerance=0.15),
+        PaperClaim("Fig 2", "single socket bandwidth", 43,
+                   single.bandwidth_gbs, "GB/s"),
+        PaperClaim("Fig 2", "interleaved time", 122, inter.time_ms, "ms"),
+        PaperClaim("Fig 2", "interleaved bandwidth", 71,
+                   inter.bandwidth_gbs, "GB/s"),
+        PaperClaim("Fig 2", "replicated time", 109, repl.time_ms, "ms"),
+        PaperClaim("Fig 2", "replicated bandwidth", 80,
+                   repl.bandwidth_gbs, "GB/s"),
+        PaperClaim("Fig 2", "repl+compressed time", 62, comp.time_ms, "ms",
+                   tolerance=0.30,
+                   shape_reason="compressed scan is CPU-bound at the "
+                                "calibrated 2.8 IPC; see calibration.py"),
+    ]
+
+
+def figure10_claims() -> List[PaperClaim]:
+    m8 = figure10_grid(machine_2x8_haswell(), "C++")
+    m18 = figure10_grid(machine_2x18_haswell(), "C++")
+    claims = [
+        PaperClaim("Fig 10", "8c replication speedup vs single (64b)", 2.0,
+                   _by(m8, "OS default/Single socket", bits=64).time_ms
+                   / _by(m8, "Replicated", bits=64).time_ms, "x"),
+        PaperClaim("Fig 10", "uncompressed instructions", 5.0,
+                   _by(m8, "Replicated", bits=64).instructions_e9, "1e9"),
+        PaperClaim("Fig 10", "18c compression gain @OS-default (10b)", 4.0,
+                   _by(m18, "OS default/Single socket", bits=64).time_ms
+                   / _by(m18, "OS default/Single socket", bits=10).time_ms,
+                   "x", tolerance=0.30,
+                   shape_reason="3.1x vs paper's 'up to 4x'; pushing the "
+                                "unpack cost lower breaks the 8-core "
+                                "compression-hurts claims"),
+    ]
+    return claims
+
+
+def figure12_claims() -> List[PaperClaim]:
+    u = pagerank_memory_bytes(variant="U")
+    ve = pagerank_memory_bytes(variant="V+E")
+    m8 = figure12_grid(machine_2x8_haswell())
+    return [
+        PaperClaim("Fig 12", "V+E memory saving", 0.21, 1 - ve / u, "frac"),
+        PaperClaim("Fig 12", "8c replication speedup vs worst (U)", 2.0,
+                   max(
+                       _by(m8, p, comp="U").time_s
+                       for p in ("Original", "OS default", "Single socket",
+                                 "Interleaved")
+                   ) / _by(m8, "Replicated", comp="U").time_s, "x",
+                   tolerance=0.35,
+                   shape_reason="paper says 'up to 2x'; our interleaved "
+                                "worst case is a bit slower than the "
+                                "paper's, inflating the ratio"),
+    ]
+
+
+def all_claims() -> List[PaperClaim]:
+    return (
+        figure1_claims()
+        + figure2_claims()
+        + figure10_claims()
+        + figure12_claims()
+    )
+
+
+def validate_all() -> List[PaperClaim]:
+    """Every claim; callers assert on statuses."""
+    return all_claims()
+
+
+def format_validation() -> str:
+    header = (
+        f"{'figure':<8} {'claim':<44} {'paper':>9} {'model':>9} "
+        f"{'unit':<5} {'err':>6}  status"
+    )
+    lines = [header, "-" * len(header)]
+    lines += [c.row() for c in all_claims()]
+    lines.append("")
+    shape = [c for c in all_claims() if c.status == "shape"]
+    if shape:
+        lines.append("shape-only reproductions (documented deviations):")
+        for c in shape:
+            lines.append(f"  {c.figure} {c.description}: {c.shape_reason}")
+    return "\n".join(lines)

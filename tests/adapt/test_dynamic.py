@@ -1,0 +1,110 @@
+"""Tests for the dynamic re-adaptation controller (§7 extension)."""
+
+import pytest
+
+from repro.adapt import (
+    AdaptiveController,
+    ArrayCharacteristics,
+    MachineCapabilities,
+    WorkloadMeasurement,
+)
+from repro.numa import PerfCounters, machine_2x18_haswell, machine_2x8_haswell
+
+
+def counters(time_s=0.1, inst=5e8, gb=8.0, memory_bound=True):
+    return PerfCounters(
+        time_s=time_s,
+        instructions=inst,
+        bytes_from_memory=gb * 1e9,
+        memory_bandwidth_gbs=gb / time_s,
+        memory_bound=memory_bound,
+    )
+
+
+def base_measurement(c=None):
+    return WorkloadMeasurement(
+        counters=c or counters(),
+        linear_accesses_per_element=10.0,
+        accesses_per_second=3e9,
+    )
+
+
+@pytest.fixture
+def controller():
+    caps = MachineCapabilities(machine_2x18_haswell())
+    array = ArrayCharacteristics(length=10**9, element_bits=33)
+    return AdaptiveController(caps, array, base_measurement(), window=3,
+                             drift_threshold=0.25)
+
+
+class TestController:
+    def test_initial_selection(self, controller):
+        # 18-core streaming workload: replicated + compressed.
+        assert controller.configuration.placement.is_replicated
+        assert controller.configuration.bits == 33
+
+    def test_stable_counters_no_reconfiguration(self, controller):
+        for _ in range(10):
+            assert controller.observe(counters()) is None
+        assert controller.reconfigurations == []
+
+    def test_dwell_time_before_any_decision(self, controller):
+        # A single wildly different observation is not enough: the
+        # window must fill first.
+        wild = counters(time_s=1.0, inst=5e11, gb=1.0, memory_bound=False)
+        assert controller.observe(wild) is None
+        assert controller.observe(wild) is None  # window=3 not yet full
+
+    def test_bottleneck_flip_triggers_reselection(self, controller):
+        # The workload turns compute-bound (e.g. a co-runner stole all
+        # the CPU): compression stops being worth its instructions.
+        cpu_bound = counters(
+            time_s=0.5, inst=2e11, gb=4.0, memory_bound=False
+        )
+        decision = None
+        for _ in range(6):
+            decision = controller.observe(cpu_bound) or decision
+        assert decision is not None
+        assert decision.new.bits == 64  # compression dropped
+        assert controller.configuration.bits == 64
+        assert "flipped" in decision.reason or "drifted" in decision.reason
+
+    def test_reconfigurations_recorded(self, controller):
+        cpu_bound = counters(time_s=0.5, inst=2e11, gb=4.0,
+                             memory_bound=False)
+        for _ in range(6):
+            controller.observe(cpu_bound)
+        assert len(controller.reconfigurations) >= 1
+        r = controller.reconfigurations[0]
+        assert r.old != r.new
+        assert r.observation_index <= 6
+
+    def test_no_oscillation_at_boundary(self, controller):
+        # Mildly varying counters (within the threshold) never trigger.
+        for i in range(12):
+            wobble = counters(time_s=0.1 * (1 + 0.05 * (i % 3)))
+            controller.observe(wobble)
+        assert controller.reconfigurations == []
+
+    def test_validation(self):
+        caps = MachineCapabilities(machine_2x8_haswell())
+        array = ArrayCharacteristics(length=100, element_bits=20)
+        with pytest.raises(ValueError):
+            AdaptiveController(caps, array, base_measurement(), window=0)
+        with pytest.raises(ValueError):
+            AdaptiveController(caps, array, base_measurement(),
+                               drift_threshold=0)
+
+    def test_observations_counter(self, controller):
+        for _ in range(5):
+            controller.observe(counters())
+        assert controller.observations_seen == 5
+
+    def test_reanchoring_prevents_repeat_decisions(self, controller):
+        # After a reconfiguration the detector re-anchors, so the same
+        # (new) load level does not keep firing decisions.
+        cpu_bound = counters(time_s=0.5, inst=2e11, gb=4.0,
+                             memory_bound=False)
+        for _ in range(20):
+            controller.observe(cpu_bound)
+        assert len(controller.reconfigurations) == 1

@@ -1,0 +1,72 @@
+"""Edge cases in the §6.3 evaluation machinery."""
+
+import pytest
+
+from repro.adapt import AdaptivityCase, oracle_best, profiling_measurement
+from repro.adapt.evaluation import (
+    AdaptivityCase,
+    all_configurations,
+    case_array,
+    case_profile,
+    config_time,
+    free_bytes_for,
+)
+from repro.adapt.selector import Configuration
+from repro.core import Placement
+from repro.numa import machine_2x18_haswell, machine_2x8_haswell
+
+
+def case(**kw):
+    defaults = dict(benchmark="aggregation", machine=machine_2x8_haswell(),
+                    bits=33)
+    defaults.update(kw)
+    return AdaptivityCase(**defaults)
+
+
+class TestCaseHelpers:
+    def test_label_is_unique_per_cell(self):
+        a = case(memory="plenty")
+        b = case(memory="no-replication")
+        c = case(machine=machine_2x18_haswell())
+        assert len({a.label, b.label, c.label}) == 3
+
+    def test_degree_centrality_case(self):
+        dc = case(benchmark="degree-centrality")
+        profile = case_profile(dc, bits=33)
+        assert "degree" in profile.name
+        assert case_array(dc).length > 0
+
+    def test_free_bytes_assumptions_ordered(self):
+        plenty = free_bytes_for(case(memory="plenty"))
+        partial = free_bytes_for(case(memory="no-uncompressed-replication"))
+        none = free_bytes_for(case(memory="no-replication"))
+        assert plenty is None
+        array = case_array(case())
+        assert array.compressed_bytes <= partial < array.uncompressed_bytes
+        assert none < array.compressed_bytes
+
+    def test_profiling_measurement_is_neutral(self):
+        m = profiling_measurement(case())
+        # Profiled on uncompressed interleaved: memory bound on the
+        # 8-core machine, with plausible access rate.
+        assert m.memory_bound
+        assert m.accesses_per_second > 0
+        assert m.read_only and m.mostly_reads
+
+    def test_config_time_uses_requested_bits(self):
+        c = case(machine=machine_2x18_haswell())
+        t64 = config_time(c, Configuration(Placement.replicated(), 64))
+        t33 = config_time(c, Configuration(Placement.replicated(), 33))
+        assert t33 < t64  # compression wins on the 18-core machine
+
+    def test_oracle_respects_memory_assumption(self):
+        c = case(memory="no-replication")
+        best_config, _ = oracle_best(c)
+        assert not best_config.placement.is_replicated
+
+    def test_all_configurations_cardinality(self):
+        configs = all_configurations(case(memory="plenty"))
+        # 3 placements x {64, case bits}
+        assert len(configs) == 6
+        configs_33_only = {c.bits for c in configs}
+        assert configs_33_only == {33, 64}

@@ -1,0 +1,227 @@
+"""Tests for adaptivity inputs and the Figure 13 decision diagrams."""
+
+import pytest
+
+from repro.core import Placement
+from repro.numa import PerfCounters, machine_2x18_haswell, machine_2x8_haswell
+from repro.adapt import (
+    ArrayCharacteristics,
+    MachineCapabilities,
+    WorkloadMeasurement,
+    all_local_beats_all_remote,
+    local_vs_remote_speedups,
+    projected_compressed_rates,
+    select_compressed_placement,
+    select_uncompressed_placement,
+)
+
+
+def counters(time_s=0.3, inst=5e9, gb=8.0, memory_bound=True):
+    return PerfCounters(
+        time_s=time_s,
+        instructions=inst,
+        bytes_from_memory=gb * 1e9,
+        memory_bandwidth_gbs=gb / time_s,
+        memory_bound=memory_bound,
+    )
+
+
+def measurement(**kw):
+    defaults = dict(
+        counters=counters(),
+        read_only=True,
+        mostly_reads=True,
+        linear_accesses_per_element=10.0,
+        random_accesses_per_element=0.0,
+        random_access_fraction=0.0,
+        accesses_per_second=3e9,
+    )
+    defaults.update(kw)
+    return WorkloadMeasurement(**defaults)
+
+
+@pytest.fixture
+def caps8():
+    return MachineCapabilities(machine_2x8_haswell())
+
+
+@pytest.fixture
+def caps18():
+    return MachineCapabilities(machine_2x18_haswell())
+
+
+@pytest.fixture
+def array():
+    return ArrayCharacteristics(length=10**9, element_bits=33)
+
+
+class TestInputs:
+    def test_machine_capabilities(self, caps8):
+        assert caps8.exec_max > 0
+        assert caps8.bw_max_memory_gbs == pytest.approx(98.6)
+        assert caps8.bw_max_interconnect_gbs == 8.0
+        assert caps8.free_bytes_per_socket() == 128 * 1024**3
+
+    def test_array_characteristics(self, array):
+        assert array.compression_ratio == pytest.approx(33 / 64)
+        assert array.uncompressed_bytes == 8 * 10**9
+        assert array.compressed_bytes < array.uncompressed_bytes
+        assert array.cost_per_access() > 0
+
+    def test_specializations_cost_nothing(self):
+        for bits in (32, 64):
+            a = ArrayCharacteristics(length=100, element_bits=bits)
+            assert a.cost_per_access() == 0.0
+
+    def test_random_decode_costs_more(self, array):
+        assert array.cost_per_access(random=True) > array.cost_per_access()
+
+    def test_array_validation(self):
+        with pytest.raises(ValueError):
+            ArrayCharacteristics(length=-1, element_bits=33)
+        with pytest.raises(ValueError):
+            ArrayCharacteristics(length=1, element_bits=0)
+
+    def test_measurement_validation(self):
+        with pytest.raises(ValueError):
+            measurement(random_access_fraction=1.5)
+        with pytest.raises(ValueError):
+            measurement(accesses_per_second=-1)
+        with pytest.raises(ValueError):
+            measurement(read_only=True, mostly_reads=False)
+
+    def test_significant_random_threshold(self):
+        assert not measurement(random_access_fraction=0.1).significant_random
+        assert measurement(random_access_fraction=0.5).significant_random
+
+
+class TestLocalVsRemote:
+    """Section 6.1's formulas must reproduce the machines' verdicts."""
+
+    def test_8core_prefers_single_socket(self, caps8):
+        # One weak QPI link: all-local speedup outweighs remote slowdown.
+        m = measurement(counters=counters(time_s=0.29, gb=8.0))  # ~27.5 GB/s
+        assert all_local_beats_all_remote(caps8, m)
+
+    def test_18core_prefers_interleaved(self, caps18):
+        m = measurement(counters=counters(time_s=0.106, gb=8.0))  # ~75 GB/s
+        assert not all_local_beats_all_remote(caps18, m)
+
+    def test_speedup_components(self, caps8):
+        m = measurement(counters=counters(time_s=0.29, gb=8.0))
+        local, remote = local_vs_remote_speedups(caps8, m)
+        assert local > 1.0       # local threads speed up
+        assert remote < 1.0      # remote threads slow down
+
+
+class TestUncompressedDiagram:
+    def test_streaming_read_only_replicates(self, caps8, array):
+        d = select_uncompressed_placement(caps8, array, measurement())
+        assert d.placement.is_replicated
+        assert not d.compressed
+        assert ("read only", True) in d.trace
+
+    def test_not_memory_bound_interleaves(self, caps8, array):
+        m = measurement(counters=counters(memory_bound=False))
+        d = select_uncompressed_placement(caps8, array, m)
+        assert d.placement.is_interleaved
+        assert d.trace == (("memory bound", False),)
+
+    def test_writes_disable_replication(self, caps8, array):
+        m = measurement(read_only=False, mostly_reads=True)
+        d = select_uncompressed_placement(caps8, array, m)
+        assert not d.placement.is_replicated
+
+    def test_no_space_falls_through(self, caps8, array):
+        d = select_uncompressed_placement(
+            caps8, array, measurement(), free_bytes_per_socket=1024
+        )
+        assert not d.placement.is_replicated
+        assert ("space for uncompressed replication", False) in d.trace
+
+    def test_single_access_does_not_amortize_replicas(self, caps8, array):
+        m = measurement(linear_accesses_per_element=1.0)
+        d = select_uncompressed_placement(caps8, array, m)
+        assert not d.placement.is_replicated
+
+    def test_many_random_accesses_replicate(self, caps8, array):
+        m = measurement(
+            random_accesses_per_element=8.0, random_access_fraction=0.9
+        )
+        d = select_uncompressed_placement(caps8, array, m)
+        assert d.placement.is_replicated
+
+    def test_fallthrough_picks_single_on_8core(self, caps8, array):
+        # Memory-bound, not read-only, on the weak-interconnect machine.
+        m = measurement(
+            read_only=False,
+            counters=counters(time_s=0.29, gb=8.0),
+        )
+        d = select_uncompressed_placement(caps8, array, m)
+        assert d.placement.is_pinned
+
+    def test_fallthrough_picks_interleave_on_18core(self, caps18, array):
+        m = measurement(
+            read_only=False,
+            counters=counters(time_s=0.106, gb=8.0),
+        )
+        d = select_uncompressed_placement(caps18, array, m)
+        assert d.placement.is_interleaved
+
+
+class TestCompressedDiagram:
+    def test_streaming_read_only_replicates_compressed(self, caps18, array):
+        d = select_compressed_placement(caps18, array, measurement())
+        assert d.compressed
+        assert d.placement.is_replicated
+
+    def test_not_memory_bound_no_compression(self, caps18, array):
+        m = measurement(counters=counters(memory_bound=False))
+        d = select_compressed_placement(caps18, array, m)
+        assert d.is_no_compression
+
+    def test_uncompressible_width_no_compression(self, caps18):
+        a = ArrayCharacteristics(length=1000, element_bits=64)
+        d = select_compressed_placement(caps18, a, measurement())
+        assert d.is_no_compression
+        assert ("array is compressible", False) in d.trace
+
+    def test_write_heavy_no_compression(self, caps18, array):
+        m = measurement(read_only=False, mostly_reads=False)
+        assert select_compressed_placement(caps18, array, m).is_no_compression
+
+    def test_significant_random_no_compression(self, caps18, array):
+        # Random accesses pay full per-element decode (section 6.1).
+        m = measurement(
+            random_access_fraction=0.6, random_accesses_per_element=3.0
+        )
+        assert select_compressed_placement(caps18, array, m).is_no_compression
+
+    def test_compression_enables_replication_when_tight(self, caps18, array):
+        # Space for a compressed replica but not an uncompressed one —
+        # the paper's motivation for a separate compressed space test.
+        free = (array.compressed_bytes + array.uncompressed_bytes) // 2
+        unc = select_uncompressed_placement(
+            caps18, array, measurement(), free_bytes_per_socket=free
+        )
+        comp = select_compressed_placement(
+            caps18, array, measurement(), free_bytes_per_socket=free
+        )
+        assert not unc.placement.is_replicated
+        assert comp.placement.is_replicated
+
+
+class TestProjection:
+    def test_projected_rates_follow_formulas(self, array):
+        m = measurement()
+        exec_c, bw_c = projected_compressed_rates(array, m)
+        cost = array.cost_per_access()
+        assert exec_c == pytest.approx(m.exec_current + m.accesses_per_second * cost)
+        saved = m.accesses_per_second * (1 - array.compression_ratio) * 8 / 1e9
+        assert bw_c == pytest.approx(m.bw_current_gbs - saved)
+
+    def test_projected_bw_never_negative(self):
+        a = ArrayCharacteristics(length=10, element_bits=1)
+        m = measurement(accesses_per_second=1e12)
+        _, bw_c = projected_compressed_rates(a, m)
+        assert bw_c == 0.0

@@ -1,0 +1,113 @@
+"""Tests for multi-array adaptivity (the paper's stated missing piece)."""
+
+import pytest
+
+from repro.adapt import (
+    ArrayCharacteristics,
+    MachineCapabilities,
+    WorkloadMeasurement,
+)
+from repro.adapt.multi import MultiArrayPlan, WorkloadArray, select_multi_array
+from repro.numa import PerfCounters, machine_2x18_haswell, machine_2x8_haswell
+
+
+def measurement():
+    counters = PerfCounters(
+        time_s=10.0,
+        instructions=1.8e11,
+        bytes_from_memory=700e9,
+        memory_bandwidth_gbs=70.0,
+        memory_bound=True,
+    )
+    return WorkloadMeasurement(
+        counters=counters,
+        linear_accesses_per_element=15.0,   # iterative workload
+        accesses_per_second=2e9,
+    )
+
+
+def pagerank_arrays():
+    """The paper's PageRank array set (Twitter graph, section 5.2)."""
+    v, e = 41_652_230, 1_468_365_182
+    return [
+        WorkloadArray("redge", ArrayCharacteristics(e, element_bits=26,
+                                                    uncompressed_bits=32),
+                      traffic_share=0.75),
+        WorkloadArray("rbegin", ArrayCharacteristics(v, element_bits=31),
+                      traffic_share=0.05),
+        WorkloadArray("ranks", ArrayCharacteristics(v, element_bits=64),
+                      traffic_share=0.15),
+        WorkloadArray("outdeg", ArrayCharacteristics(v, element_bits=22),
+                      traffic_share=0.05),
+    ]
+
+
+@pytest.fixture
+def caps():
+    return MachineCapabilities(machine_2x8_haswell())
+
+
+class TestSelectMultiArray:
+    def test_ample_budget_replicates_everything_hot(self, caps):
+        plan = select_multi_array(caps, pagerank_arrays(), measurement())
+        # With 128 GB/socket everything fits; the dominant array must be
+        # replicated.
+        assert plan.configurations["redge"].placement.is_replicated
+        assert not plan.evicted
+
+    def test_tight_budget_prioritizes_hot_arrays(self, caps):
+        arrays = pagerank_arrays()
+        # Budget fits the (compressed) edge array replica and nothing else.
+        budget = arrays[0].array.compressed_bytes + (1 << 20)
+        plan = select_multi_array(caps, arrays, measurement(),
+                                  budget_bytes=budget)
+        assert plan.configurations["redge"].placement.is_replicated
+        # the vertex-property arrays cannot also replicate
+        assert not plan.configurations["ranks"].placement.is_replicated
+        assert plan.replicated_bytes <= budget
+
+    def test_zero_budget_no_replication(self, caps):
+        plan = select_multi_array(caps, pagerank_arrays(), measurement(),
+                                  budget_bytes=0)
+        for config in plan.configurations.values():
+            assert not config.placement.is_replicated
+
+    def test_every_array_gets_a_configuration(self, caps):
+        plan = select_multi_array(caps, pagerank_arrays(), measurement())
+        assert set(plan.configurations) == {"redge", "rbegin", "ranks",
+                                            "outdeg"}
+
+    def test_evicted_arrays_reported(self, caps):
+        arrays = pagerank_arrays()
+        budget = arrays[0].array.uncompressed_bytes + (1 << 20)
+        plan = select_multi_array(caps, arrays, measurement(),
+                                  budget_bytes=budget)
+        wanted = {"redge", "rbegin", "ranks", "outdeg"}
+        replicated = {
+            n for n, c in plan.configurations.items()
+            if c.placement.is_replicated
+        }
+        # anything that wanted but did not get replication is in evicted
+        assert set(plan.evicted).isdisjoint(replicated)
+
+    def test_18core_machine_also_works(self):
+        caps = MachineCapabilities(machine_2x18_haswell())
+        plan = select_multi_array(caps, pagerank_arrays(), measurement())
+        assert plan.configurations
+
+    def test_describe(self, caps):
+        plan = select_multi_array(caps, pagerank_arrays(), measurement())
+        text = plan.describe()
+        assert "redge" in text and "capacity used" in text
+
+    def test_validation(self, caps):
+        with pytest.raises(ValueError):
+            select_multi_array(caps, [], measurement())
+        bad = [
+            WorkloadArray("a", ArrayCharacteristics(10, 8), 0.8),
+            WorkloadArray("b", ArrayCharacteristics(10, 8), 0.8),
+        ]
+        with pytest.raises(ValueError):
+            select_multi_array(caps, bad, measurement())
+        with pytest.raises(ValueError):
+            WorkloadArray("x", ArrayCharacteristics(10, 8), 1.5)

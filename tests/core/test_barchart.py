@@ -1,0 +1,41 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro._util import barchart
+
+
+class TestBarchart:
+    def test_basic_rendering(self):
+        out = barchart(["a", "bb"], [10.0, 5.0], unit="ms")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "10.0 ms" in lines[0]
+
+    def test_reference_ticks(self):
+        out = barchart(["x"], [50.0], reference=[100.0])
+        assert "|" in out
+        assert "paper" in out
+
+    def test_tick_collision_marks_plus(self):
+        out = barchart(["x"], [100.0], reference=[100.0], width=20)
+        assert "+" in out
+
+    def test_zero_value(self):
+        out = barchart(["z"], [0.0])
+        assert "#" not in out.splitlines()[0]
+
+    def test_alignment(self):
+        out = barchart(["short", "a-much-longer-label"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert lines[0].index("#") == lines[1].index("#") or \
+            abs(lines[0].find(" #") - lines[1].find(" #")) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barchart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            barchart(["a"], [1.0], reference=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            barchart(["a"], [1.0], width=3)

@@ -1,0 +1,191 @@
+"""Tests for the §7 smart-collections family: sets, bags, sorted maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SmartBag,
+    SmartSet,
+    SortedSmartMap,
+    layout_tradeoff,
+)
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestSmartSet:
+    def test_membership(self, allocator):
+        s = SmartSet.from_values([3, 1, 4, 1, 5], allocator=allocator)
+        assert len(s) == 4  # deduplicated
+        assert 3 in s and 5 in s
+        assert 2 not in s
+
+    def test_add(self, allocator):
+        s = SmartSet(10, allocator=allocator)
+        s.add(7)
+        s.add(7)
+        assert len(s) == 1 and 7 in s
+
+    def test_iteration_and_to_numpy(self, allocator):
+        s = SmartSet.from_values([9, 2, 5], allocator=allocator)
+        assert sorted(s) == [2, 5, 9]
+        np.testing.assert_array_equal(s.to_numpy(), [2, 5, 9])
+
+    def test_compression(self, allocator):
+        s = SmartSet.from_values(range(100), allocator=allocator)
+        assert s._map.keys.bits == 7
+        assert s._map.values.bits == 1  # values carry nothing
+
+    def test_set_algebra(self, allocator):
+        a = SmartSet.from_values([1, 2, 3], allocator=allocator)
+        b = SmartSet.from_values([2, 3, 4], allocator=allocator)
+        assert sorted(a.intersection(b)) == [2, 3]
+        assert sorted(a.union(b)) == [1, 2, 3, 4]
+
+    def test_empty(self, allocator):
+        s = SmartSet.from_values([], allocator=allocator)
+        assert len(s) == 0
+        assert 0 not in s
+
+    def test_replicated(self, allocator):
+        s = SmartSet.from_values([1, 2], replicated=True, allocator=allocator)
+        assert s.contains(1, socket=1)
+
+
+class TestSmartBag:
+    def test_counts(self, allocator):
+        bag = SmartBag.from_values([1, 2, 2, 3, 3, 3], allocator=allocator)
+        assert bag.count(1) == 1
+        assert bag.count(2) == 2
+        assert bag.count(3) == 3
+        assert bag.count(4) == 0
+        assert len(bag) == 6
+        assert bag.distinct == 3
+
+    def test_add_with_count(self, allocator):
+        bag = SmartBag(5, allocator=allocator)
+        bag.add(9, count=10)
+        bag.add(9)
+        assert bag.count(9) == 11
+        with pytest.raises(ValueError):
+            bag.add(1, count=0)
+
+    def test_most_common(self, allocator):
+        bag = SmartBag.from_values([5] * 7 + [3] * 2 + [8] * 4,
+                                   allocator=allocator)
+        assert bag.most_common(2) == [(5, 7), (8, 4)]
+
+    def test_contains(self, allocator):
+        bag = SmartBag.from_values([1], allocator=allocator)
+        assert 1 in bag and 2 not in bag
+
+    def test_empty(self, allocator):
+        bag = SmartBag.from_values([], allocator=allocator)
+        assert len(bag) == 0 and bag.distinct == 0
+
+
+class TestSortedSmartMap:
+    def test_lookup(self, allocator):
+        m = SortedSmartMap.from_items([(5, 50), (1, 10), (9, 90)],
+                                      allocator=allocator)
+        assert m[1] == 10 and m[5] == 50 and m[9] == 90
+        assert m.get(7) is None
+        assert 5 in m and 7 not in m
+        with pytest.raises(KeyError):
+            m[7]
+
+    def test_duplicate_keys_last_wins(self, allocator):
+        m = SortedSmartMap.from_items([(1, 10), (1, 99)], allocator=allocator)
+        assert m[1] == 99 and len(m) == 1
+
+    def test_range_query(self, allocator):
+        m = SortedSmartMap.from_items(
+            [(i, i * 10) for i in range(0, 100, 5)], allocator=allocator
+        )
+        result = list(m.range_query(12, 31))
+        assert result == [(15, 150), (20, 200), (25, 250), (30, 300)]
+
+    def test_range_query_empty(self, allocator):
+        m = SortedSmartMap.from_items([(5, 1)], allocator=allocator)
+        assert list(m.range_query(6, 10)) == []
+        assert list(m.range_query(9, 3)) == []
+
+    def test_min_max(self, allocator):
+        m = SortedSmartMap.from_items([(7, 1), (2, 1), (40, 1)],
+                                      allocator=allocator)
+        assert m.min_key() == 2 and m.max_key() == 40
+
+    def test_empty_min_max(self, allocator):
+        m = SortedSmartMap.from_items([], allocator=allocator)
+        with pytest.raises(KeyError):
+            m.min_key()
+
+    def test_items_sorted(self, allocator):
+        m = SortedSmartMap.from_items([(3, 30), (1, 10)], allocator=allocator)
+        assert list(m.items()) == [(1, 10), (3, 30)]
+
+    def test_compressed_and_denser_than_hash(self, allocator):
+        from repro.core import SmartMap
+
+        items = [(i, i % 16) for i in range(200)]
+        sorted_map = SortedSmartMap.from_items(items, allocator=allocator)
+        hash_map = SmartMap.from_items(items, allocator=allocator)
+        assert sorted_map.storage_bytes < hash_map.storage_bytes
+
+    def test_replicated_lookup(self, allocator):
+        m = SortedSmartMap.from_items([(1, 2)], replicated=True,
+                                      allocator=allocator)
+        assert m.get(1, socket=1) == 2
+
+    def test_mismatched_arrays_rejected(self, allocator):
+        from repro.core import allocate
+
+        with pytest.raises(ValueError):
+            SortedSmartMap(allocate(3, bits=8, allocator=allocator),
+                           allocate(4, bits=8, allocator=allocator))
+
+
+class TestLayoutTradeoff:
+    def test_hash_beats_sorted_for_point_lookups(self):
+        machine = machine_2x8_haswell()
+        t = layout_tradeoff(1_000_000, machine)
+        assert t["hash_lookup_ns"] < t["sorted_lookup_ns"]
+        assert t["sorted_probes"] == 20  # ceil(log2 1e6)
+
+    def test_remote_latency_raises_both(self):
+        machine = machine_2x8_haswell()
+        local = layout_tradeoff(1000, machine, local=True)
+        remote = layout_tradeoff(1000, machine, local=False)
+        assert remote["hash_lookup_ns"] > local["hash_lookup_ns"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layout_tradeoff(0, machine_2x8_haswell())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=2**30),
+        max_size=50,
+    )
+)
+def test_property_sorted_and_hash_layouts_agree(entries):
+    """Both §7 layouts implement the same map interface."""
+    from repro.core import SmartMap
+
+    allocator = NumaAllocator(machine_2x8_haswell())
+    items = list(entries.items())
+    sorted_map = SortedSmartMap.from_items(items, allocator=allocator)
+    hash_map = SmartMap.from_items(items, allocator=allocator)
+    for k, v in entries.items():
+        assert sorted_map[k] == hash_map[k] == v
+    missing = max(entries, default=0) + 1
+    assert sorted_map.get(missing) is None
+    assert hash_map.get(missing) is None

@@ -1,0 +1,158 @@
+"""Tests for dictionary encoding and run-length encoding (§7 extensions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DictionaryEncodedArray, RunLengthArray
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestDictionaryEncoding:
+    def test_roundtrip(self, allocator):
+        values = np.array([100, 200, 100, 300, 200, 100], dtype=np.uint64)
+        enc = DictionaryEncodedArray.encode(values, allocator=allocator)
+        np.testing.assert_array_equal(enc.to_numpy(), values)
+        assert enc.cardinality == 3
+        assert len(enc) == 6
+
+    def test_point_access(self, allocator):
+        values = np.array([7, 7, 9, 7], dtype=np.uint64)
+        enc = DictionaryEncodedArray.encode(values, allocator=allocator)
+        assert enc.get(2) == 9
+        assert enc[0] == 7
+        assert enc[-1] == 7
+
+    def test_low_cardinality_beats_bitpacking(self, allocator):
+        # 1000 distinct huge values: plain bit compression needs ~60
+        # bits/element; dictionary codes need 10.
+        rng = np.random.default_rng(0)
+        dictionary = rng.integers(2**50, 2**60, size=1000, dtype=np.uint64)
+        values = dictionary[rng.integers(0, 1000, size=50_000)]
+        enc = DictionaryEncodedArray.encode(values, allocator=allocator)
+        assert enc.codes.bits == 10
+        assert enc.compression_vs_bitpacked() < 0.25
+        assert enc.compression_vs_plain() < 0.25
+
+    def test_order_preserving_predicates(self, allocator):
+        values = np.array([10, 50, 20, 50, 80, 20], dtype=np.uint64)
+        enc = DictionaryEncodedArray.encode(values, allocator=allocator)
+        assert enc.count_in_range(15, 60) == 4   # the 20s and 50s
+        np.testing.assert_array_equal(
+            enc.select_in_range(15, 60), [1, 2, 3, 5]
+        )
+        assert enc.count_in_range(90, 100) == 0
+
+    def test_codes_for_range(self, allocator):
+        enc = DictionaryEncodedArray.encode(
+            np.array([10, 20, 30], dtype=np.uint64), allocator=allocator
+        )
+        assert enc.codes_for_range(15, 30) == (1, 2)
+
+    def test_empty(self, allocator):
+        enc = DictionaryEncodedArray.encode(
+            np.array([], dtype=np.uint64), allocator=allocator
+        )
+        assert len(enc) == 0
+        assert enc.to_numpy().size == 0
+
+    def test_single_value_column(self, allocator):
+        enc = DictionaryEncodedArray.encode(
+            np.full(1000, 42, dtype=np.uint64), allocator=allocator
+        )
+        assert enc.cardinality == 1
+        assert enc.codes.bits == 1
+        assert enc.get(999) == 42
+
+
+class TestRunLengthEncoding:
+    def test_roundtrip(self, allocator):
+        values = np.array([5, 5, 5, 2, 2, 9], dtype=np.uint64)
+        rle = RunLengthArray.encode(values, allocator=allocator)
+        assert rle.n_runs == 3
+        np.testing.assert_array_equal(rle.to_numpy(), values)
+
+    def test_point_access_across_runs(self, allocator):
+        values = np.repeat(np.array([1, 2, 3], dtype=np.uint64), [4, 1, 5])
+        rle = RunLengthArray.encode(values, allocator=allocator)
+        for i, v in enumerate(values):
+            assert rle.get(i) == int(v)
+        assert rle[-1] == 3
+
+    def test_bounds(self, allocator):
+        rle = RunLengthArray.encode(np.array([1, 1], dtype=np.uint64),
+                                    allocator=allocator)
+        with pytest.raises(IndexError):
+            rle.get(2)
+
+    def test_runs_iteration(self, allocator):
+        values = np.array([7, 7, 8], dtype=np.uint64)
+        rle = RunLengthArray.encode(values, allocator=allocator)
+        assert list(rle.runs()) == [(0, 2, 7), (2, 3, 8)]
+
+    def test_fast_aggregates(self, allocator):
+        values = np.repeat(np.array([3, 10], dtype=np.uint64), [100, 50])
+        rle = RunLengthArray.encode(values, allocator=allocator)
+        assert rle.sum() == 3 * 100 + 10 * 50
+        assert rle.count_equal(3) == 100
+        assert rle.count_equal(99) == 0
+
+    def test_compression_on_sorted_data(self, allocator):
+        # A sorted low-cardinality column collapses to few runs.
+        values = np.sort(
+            np.random.default_rng(1).integers(0, 20, size=10_000)
+        ).astype(np.uint64)
+        rle = RunLengthArray.encode(values, allocator=allocator)
+        assert rle.n_runs <= 20
+        assert rle.compression_vs_plain() < 0.01
+
+    def test_worst_case_no_worse_than_2x_elements(self, allocator):
+        # Alternating values: every element its own run.
+        values = np.arange(100, dtype=np.uint64) % 2
+        rle = RunLengthArray.encode(values, allocator=allocator)
+        assert rle.n_runs == 100
+        np.testing.assert_array_equal(rle.to_numpy(), values)
+
+    def test_empty(self, allocator):
+        rle = RunLengthArray.encode(np.array([], dtype=np.uint64),
+                                    allocator=allocator)
+        assert len(rle) == 0 and rle.n_runs == 0
+        assert rle.to_numpy().size == 0
+
+    def test_alignment_validation(self, allocator):
+        from repro.core import allocate
+
+        with pytest.raises(ValueError):
+            RunLengthArray(
+                allocate(2, bits=8, allocator=allocator),
+                allocate(3, bits=8, allocator=allocator),
+                10,
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=2**40), max_size=300))
+def test_property_both_schemes_roundtrip(values):
+    """Dictionary and RLE encode/decode are lossless for any input."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    arr = np.array(values, dtype=np.uint64)
+    enc = DictionaryEncodedArray.encode(arr, allocator=allocator)
+    np.testing.assert_array_equal(enc.to_numpy(), arr)
+    rle = RunLengthArray.encode(arr, allocator=allocator)
+    np.testing.assert_array_equal(rle.to_numpy(), arr)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=2**40),
+                       min_size=1, max_size=200))
+def test_property_rle_sum_exact(values):
+    """RLE's O(runs) sum equals the exact elementwise sum."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    arr = np.array(values, dtype=np.uint64)
+    rle = RunLengthArray.encode(arr, allocator=allocator)
+    assert rle.sum() == int(arr.astype(object).sum())

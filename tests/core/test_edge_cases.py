@@ -1,0 +1,153 @@
+"""Edge-case sweep: error paths and rarely-hit branches across core."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Placement,
+    SmartArrayIterator,
+    allocate,
+    allocate_like,
+    bitpack,
+    default_allocator,
+    set_default_machine,
+)
+from repro.core.errors import (
+    AllocationError,
+    IndexOutOfRangeError,
+    InteropError,
+    InvalidBitsError,
+    PlacementError,
+    ReplicaError,
+    SmartArrayError,
+    ValueOverflowError,
+)
+from repro.numa import NumaAllocator, machine_2x18_haswell, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_smart_array_error(self):
+        for exc in (
+            InvalidBitsError(0),
+            PlacementError("x"),
+            AllocationError("x"),
+            IndexOutOfRangeError(5, 3),
+            ValueOverflowError(10, 2),
+            ReplicaError("x"),
+            InteropError("x"),
+        ):
+            assert isinstance(exc, SmartArrayError)
+
+    def test_messages_carry_context(self):
+        assert "5" in str(IndexOutOfRangeError(5, 3))
+        assert "3" in str(IndexOutOfRangeError(5, 3))
+        assert "bits" in str(ValueOverflowError(10, 2))
+        assert "1..64" in str(InvalidBitsError(65))
+
+    def test_errors_double_as_stdlib_types(self):
+        # Callers can catch the standard category too.
+        assert isinstance(IndexOutOfRangeError(1, 1), IndexError)
+        assert isinstance(ValueOverflowError(1, 1), OverflowError)
+        assert isinstance(InvalidBitsError(0), ValueError)
+
+
+class TestAllocateEdges:
+    def test_negative_length(self, allocator):
+        with pytest.raises(ValueError):
+            allocate(-1, bits=8, allocator=allocator)
+
+    def test_allocate_like_empty(self, allocator):
+        sa = allocate_like(np.array([], dtype=np.uint64),
+                           allocator=allocator)
+        assert len(sa) == 0 and sa.bits == 1
+
+    def test_default_allocator_is_singleton(self):
+        a = default_allocator()
+        b = default_allocator()
+        assert a is b
+
+    def test_set_default_machine_replaces_context(self):
+        original = default_allocator()
+        try:
+            fresh = set_default_machine(machine_2x8_haswell())
+            assert default_allocator() is fresh
+            assert fresh.machine.sockets[0].cores == 8
+        finally:
+            set_default_machine(machine_2x18_haswell())
+
+
+class TestIteratorEdges:
+    def test_iterator_on_empty_array(self, allocator):
+        sa = allocate(0, bits=33, allocator=allocator)
+        it = SmartArrayIterator.allocate(sa, 0)
+        assert it.take(10).size == 0
+
+    def test_take_zero(self, allocator):
+        sa = allocate(10, bits=8, values=np.arange(10), allocator=allocator)
+        it = SmartArrayIterator.allocate(sa, 5)
+        assert it.take(0).size == 0
+        assert it.index == 5
+
+    def test_single_element_array(self, allocator):
+        sa = allocate(1, bits=33, values=[7], allocator=allocator)
+        it = SmartArrayIterator.allocate(sa, 0)
+        assert it.get() == 7
+        it.next()
+        assert it.index == 1
+
+
+class TestBitpackEdges:
+    def test_one_bit_array(self, allocator):
+        values = np.array([1, 0, 1, 1, 0] * 30, dtype=np.uint64)
+        sa = allocate(150, bits=1, values=values, allocator=allocator)
+        np.testing.assert_array_equal(sa.to_numpy(), values)
+        assert sa.storage_bytes == 3 * 8  # 3 chunks x 1 word
+
+    def test_max_value_every_width(self, allocator):
+        for bits in (1, 7, 31, 33, 63, 64):
+            top = (1 << bits) - 1
+            sa = allocate(2, bits=bits, allocator=allocator)
+            sa.init(1, top)
+            assert sa.get(1) == top
+            assert sa.get(0) == 0  # neighbour untouched
+
+    def test_gather_empty_indices(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        assert sa.gather_many(np.array([], dtype=np.int64)).size == 0
+
+    def test_scatter_empty(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        sa.scatter_many(np.array([], dtype=np.int64),
+                        np.array([], dtype=np.uint64))
+
+    def test_check_value_float_rejected(self):
+        # check_value coerces via int(); numpy floats must not sneak in
+        # silently wrong — int() truncates, which is the documented
+        # Python semantic, so 3.9 stores 3.
+        assert bitpack.check_value(np.uint64(5), 8) == 5
+
+
+class TestPlacementEdges:
+    def test_replicated_on_huge_socket_count(self):
+        assert Placement.replicated().replica_count(64) == 64
+
+    def test_describe_all_kinds(self):
+        for p in (Placement.os_default(), Placement.interleaved(),
+                  Placement.replicated(), Placement.single_socket(3)):
+            assert p.describe()
+
+
+class TestReplicaEdges:
+    def test_replica_index_for_socket_non_replicated(self, allocator):
+        sa = allocate(10, bits=8, interleaved=True, allocator=allocator)
+        assert sa.replica_index_for_socket(1) == 0
+
+    def test_negative_replica_index(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        with pytest.raises(ReplicaError):
+            sa.get(0, replica=-1)

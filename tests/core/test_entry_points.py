@@ -1,0 +1,128 @@
+"""Tests for the flat handle-based entry-point API (section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import entry_points as ep
+from repro.core.errors import InteropError
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def handle(allocator):
+    h = ep.smart_array_allocate(100, bits=33, allocator=allocator)
+    ep.smart_array_fill(h, np.arange(100, dtype=np.uint64))
+    yield h
+    ep.smart_array_free(h)
+
+
+class TestArrayEntryPoints:
+    def test_allocate_get_free(self, allocator):
+        h = ep.smart_array_allocate(10, bits=8, allocator=allocator)
+        ep.smart_array_init(h, 3, 42)
+        assert ep.smart_array_get(h, 3) == 42
+        assert ep.smart_array_length(h) == 10
+        assert ep.smart_array_bits(h) == 8
+        ep.smart_array_free(h)
+
+    def test_unknown_handle(self):
+        with pytest.raises(InteropError):
+            ep.smart_array_get(999_999_999, 0)
+
+    def test_double_free(self, allocator):
+        h = ep.smart_array_allocate(4, bits=8, allocator=allocator)
+        ep.smart_array_free(h)
+        with pytest.raises(InteropError):
+            ep.smart_array_free(h)
+
+    def test_get_with_bits_fast_path(self, handle):
+        assert ep.smart_array_get_with_bits(handle, 5, 33) == 5
+
+    def test_get_with_bits_mismatch_rejected(self, handle):
+        with pytest.raises(InteropError):
+            ep.smart_array_get_with_bits(handle, 5, 64)
+
+    def test_unpack_entry_point(self, handle):
+        out = np.zeros(64, dtype=np.uint64)
+        ep.smart_array_unpack(handle, 0, out)
+        np.testing.assert_array_equal(out, np.arange(64, dtype=np.uint64))
+
+    def test_register_existing_array(self, allocator):
+        from repro.core import allocate
+
+        sa = allocate(5, bits=8, values=[9, 8, 7, 6, 5], allocator=allocator)
+        h = ep.smart_array_register(sa)
+        assert ep.smart_array_get(h, 0) == 9
+        assert ep.smart_array_resolve(h) is sa
+        ep.smart_array_free(h)
+
+    def test_placement_flags_forwarded(self, allocator):
+        h = ep.smart_array_allocate(
+            64, replicated=True, bits=16, allocator=allocator
+        )
+        assert ep.smart_array_resolve(h).n_replicas == 2
+        ep.smart_array_free(h)
+
+
+class TestIteratorEntryPoints:
+    def test_scan_via_handles(self, handle):
+        it = ep.iterator_allocate(handle, 0)
+        values = []
+        for _ in range(100):
+            values.append(ep.iterator_get(it))
+            ep.iterator_next(it)
+        assert values == list(range(100))
+        ep.iterator_free(it)
+
+    def test_reset(self, handle):
+        it = ep.iterator_allocate(handle, 50)
+        assert ep.iterator_get(it) == 50
+        ep.iterator_reset(it, 7)
+        assert ep.iterator_get(it) == 7
+        ep.iterator_free(it)
+
+    def test_bits_pinned_variants(self, handle):
+        # The Java thin API's profiled fast path (Function 4).
+        it = ep.iterator_allocate(handle, 0)
+        assert ep.iterator_get_with_bits(it, 33) == 0
+        ep.iterator_next_with_bits(it, 33)
+        assert ep.iterator_get_with_bits(it, 33) == 1
+        ep.iterator_free(it)
+
+    def test_bits_pinned_mismatch(self, handle):
+        it = ep.iterator_allocate(handle, 0)
+        with pytest.raises(InteropError):
+            ep.iterator_get_with_bits(it, 32)
+        with pytest.raises(InteropError):
+            ep.iterator_next_with_bits(it, 64)
+        ep.iterator_free(it)
+
+    def test_unknown_iterator_handle(self):
+        with pytest.raises(InteropError):
+            ep.iterator_get(123_456_789)
+
+    def test_socket_selects_replica(self, allocator):
+        h = ep.smart_array_allocate(
+            64, replicated=True, bits=64, allocator=allocator
+        )
+        ep.smart_array_fill(h, np.arange(64, dtype=np.uint64))
+        it = ep.iterator_allocate(h, 10, socket=1)
+        assert ep.iterator_get(it) == 10
+        ep.iterator_free(it)
+        ep.smart_array_free(h)
+
+
+class TestHandleHygiene:
+    def test_no_leaks_across_lifecycle(self, allocator):
+        before = ep.live_handles()
+        h = ep.smart_array_allocate(8, bits=8, allocator=allocator)
+        it = ep.iterator_allocate(h)
+        assert ep.live_handles() == before + 2
+        ep.iterator_free(it)
+        ep.smart_array_free(h)
+        assert ep.live_handles() == before

@@ -1,0 +1,94 @@
+"""Tests for the placement descriptors (section 4.1 semantics)."""
+
+import pytest
+
+from repro.core import Placement, PlacementKind, STANDARD_PLACEMENTS
+from repro.core.errors import PlacementError
+
+
+class TestConstructors:
+    def test_os_default(self):
+        p = Placement.os_default()
+        assert p.kind is PlacementKind.OS_DEFAULT
+        assert p.is_os_default and not p.is_replicated
+
+    def test_single_socket(self):
+        p = Placement.single_socket(1)
+        assert p.is_pinned and p.socket == 1
+
+    def test_interleaved(self):
+        assert Placement.interleaved().is_interleaved
+
+    def test_replicated(self):
+        assert Placement.replicated().is_replicated
+
+    def test_single_socket_requires_socket(self):
+        with pytest.raises(PlacementError):
+            Placement(PlacementKind.SINGLE_SOCKET)
+
+    def test_negative_socket_rejected(self):
+        with pytest.raises(PlacementError):
+            Placement.single_socket(-1)
+
+    def test_socket_on_non_pinned_rejected(self):
+        with pytest.raises(PlacementError):
+            Placement(PlacementKind.INTERLEAVED, socket=0)
+
+
+class TestFromFlags:
+    """The paper's allocate() flags: exactly one mode may be chosen."""
+
+    def test_default_is_os_default(self):
+        assert Placement.from_flags().is_os_default
+
+    def test_each_single_flag(self):
+        assert Placement.from_flags(replicated=True).is_replicated
+        assert Placement.from_flags(interleaved=True).is_interleaved
+        assert Placement.from_flags(pinned=1).socket == 1
+
+    def test_pinned_zero_is_valid(self):
+        assert Placement.from_flags(pinned=0).is_pinned
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            dict(replicated=True, interleaved=True),
+            dict(replicated=True, pinned=0),
+            dict(interleaved=True, pinned=1),
+            dict(replicated=True, interleaved=True, pinned=0),
+        ],
+    )
+    def test_combinations_rejected(self, flags):
+        # "data placements cannot be combined" (section 4.3)
+        with pytest.raises(PlacementError):
+            Placement.from_flags(**flags)
+
+
+class TestReplicaCount:
+    def test_replicated_has_one_per_socket(self):
+        assert Placement.replicated().replica_count(2) == 2
+        assert Placement.replicated().replica_count(8) == 8
+
+    def test_others_have_one(self):
+        for p in (Placement.os_default(), Placement.interleaved(),
+                  Placement.single_socket(0)):
+            assert p.replica_count(4) == 1
+
+    def test_invalid_socket_count(self):
+        with pytest.raises(PlacementError):
+            Placement.replicated().replica_count(0)
+
+
+class TestMisc:
+    def test_standard_placements_cover_all_kinds(self):
+        kinds = {p.kind for p in STANDARD_PLACEMENTS}
+        assert kinds == set(PlacementKind)
+
+    def test_describe(self):
+        assert "single socket 1" in Placement.single_socket(1).describe()
+        assert "replicated" in Placement.replicated().describe()
+
+    def test_hashable_and_frozen(self):
+        assert len({Placement.interleaved(), Placement.interleaved()}) == 1
+        with pytest.raises(Exception):
+            Placement.interleaved().kind = PlacementKind.REPLICATED

@@ -1,0 +1,127 @@
+"""Tests for the randomization (index-permutation) extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RandomizedArray, allocate
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+def make(n, allocator, bits=33, **placement):
+    return RandomizedArray(
+        allocate(n, bits=bits, allocator=allocator, **placement)
+    )
+
+
+class TestPermutation:
+    def test_bijection(self, allocator):
+        r = make(101, allocator)
+        storage = {r.storage_index(i) for i in range(101)}
+        assert storage == set(range(101))
+
+    def test_inverse(self, allocator):
+        r = make(100, allocator)
+        for i in range(100):
+            assert r.logical_index(r.storage_index(i)) == i
+
+    def test_adjacent_elements_scattered(self, allocator):
+        # The whole point: logical neighbours are far apart in storage.
+        r = make(1000, allocator)
+        distances = [
+            abs(r.storage_index(i + 1) - r.storage_index(i))
+            for i in range(50)
+        ]
+        assert min(distances) > 10
+
+    def test_non_coprime_multiplier_rejected(self, allocator):
+        sa = allocate(100, bits=8, allocator=allocator)
+        with pytest.raises(ValueError):
+            RandomizedArray(sa, multiplier=10)  # gcd(10, 100) != 1
+
+    def test_explicit_multiplier_and_offset(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        r = RandomizedArray(sa, multiplier=3, offset=7)
+        assert r.storage_index(0) == 7
+        assert r.storage_index(1) == 0  # (3 + 7) % 10
+
+    def test_index_bounds(self, allocator):
+        r = make(10, allocator)
+        with pytest.raises(IndexError):
+            r.storage_index(10)
+        with pytest.raises(IndexError):
+            r.logical_index(-1)
+
+
+class TestAccess:
+    def test_get_init_roundtrip(self, allocator):
+        r = make(130, allocator)
+        r.init(42, 777)
+        assert r.get(42) == 777
+        assert r[42] == 777
+
+    def test_fill_to_numpy_transparent(self, allocator):
+        r = make(200, allocator)
+        values = np.arange(200, dtype=np.uint64)
+        r.fill(values)
+        np.testing.assert_array_equal(r.to_numpy(), values)
+        # but the underlying storage is NOT in logical order
+        assert not np.array_equal(r.array.to_numpy(), values)
+
+    def test_gather_many(self, allocator):
+        r = make(150, allocator)
+        r.fill(np.arange(150))
+        np.testing.assert_array_equal(r.gather_many([0, 77, 149]), [0, 77, 149])
+
+    def test_fill_size_mismatch(self, allocator):
+        r = make(10, allocator)
+        with pytest.raises(ValueError):
+            r.fill(np.arange(9))
+
+    def test_len(self, allocator):
+        assert len(make(33, allocator)) == 33
+
+    def test_replicated_backing(self, allocator):
+        r = make(100, allocator, replicated=True)
+        r.fill(np.arange(100))
+        assert r.get(5, replica=1) == 5
+
+
+class TestHotspotSpread:
+    def test_interleaved_hot_range_spreads_across_sockets(self, allocator):
+        # A hot contiguous logical range must hit both sockets' pages.
+        sa = allocate(200_000, bits=64, interleaved=True, allocator=allocator)
+        r = RandomizedArray(sa)
+        spread = r.hotspot_spread(0, 2_000)
+        assert spread.shape == (2,)
+        assert spread.min() > 0.3  # near-even split
+
+    def test_identity_mapping_concentrates(self, allocator):
+        # Without randomization a small hot range sits on few pages,
+        # i.e. mostly one socket.
+        sa = allocate(200_000, bits=64, interleaved=True, allocator=allocator)
+        identity = RandomizedArray(sa, multiplier=1, offset=0)
+        spread = identity.hotspot_spread(0, 400)  # < 1 page of uint64s? no: 400*8=3200B < page
+        assert spread.max() == 1.0
+
+    def test_invalid_length(self, allocator):
+        r = make(100, allocator)
+        with pytest.raises(ValueError):
+            r.hotspot_spread(0, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=500), seed=st.integers(0, 1000))
+def test_property_fill_roundtrip_any_length(n, seed):
+    """fill -> to_numpy is the identity for any length (bijection check)."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2**20, size=n, dtype=np.uint64)
+    r = RandomizedArray(allocate(n, bits=20, allocator=allocator))
+    r.fill(values)
+    np.testing.assert_array_equal(r.to_numpy(), values)

@@ -1,0 +1,286 @@
+"""Tests for SmartArray subclasses and the allocate() factory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BitCompressedArray,
+    Placement,
+    SmartArray,
+    Uncompressed32Array,
+    Uncompressed64Array,
+    allocate,
+    allocate_like,
+    concrete_class_for_bits,
+    machine_context,
+)
+from repro.core.errors import (
+    IndexOutOfRangeError,
+    PlacementError,
+    ReplicaError,
+    ValueOverflowError,
+)
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestFactory:
+    def test_concrete_class_selection(self):
+        assert concrete_class_for_bits(64) is Uncompressed64Array
+        assert concrete_class_for_bits(32) is Uncompressed32Array
+        for bits in (1, 31, 33, 63):
+            assert concrete_class_for_bits(bits) is BitCompressedArray
+
+    def test_allocate_is_attached_to_class(self, allocator):
+        sa = SmartArray.allocate(10, bits=8, allocator=allocator)
+        assert isinstance(sa, BitCompressedArray)
+        assert sa.length == 10 and sa.bits == 8
+
+    def test_placement_flags(self, allocator):
+        sa = allocate(100, replicated=True, allocator=allocator)
+        assert sa.replicated and sa.n_replicas == 2
+        sa = allocate(100, interleaved=True, allocator=allocator)
+        assert sa.interleaved and sa.n_replicas == 1
+        sa = allocate(100, pinned=1, allocator=allocator)
+        assert sa.pinned == 1
+        sa = allocate(100, allocator=allocator)
+        assert sa.placement.is_os_default
+
+    def test_conflicting_flags_rejected(self, allocator):
+        with pytest.raises(PlacementError):
+            allocate(10, replicated=True, interleaved=True, allocator=allocator)
+
+    def test_values_initialization(self, allocator):
+        sa = allocate(5, bits=16, values=[1, 2, 3, 4, 5], allocator=allocator)
+        assert list(sa) == [1, 2, 3, 4, 5]
+
+    def test_values_length_mismatch(self, allocator):
+        with pytest.raises(ValueError):
+            allocate(4, bits=16, values=[1, 2, 3], allocator=allocator)
+
+    def test_bits_none_infers_width(self, allocator):
+        sa = allocate(3, bits=None, values=[0, 5, 200], allocator=allocator)
+        assert sa.bits == 8
+
+    def test_bits_none_without_values_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocate(3, bits=None, allocator=allocator)
+
+    def test_allocate_like(self, allocator):
+        values = np.array([1, 2, 2**33 - 1], dtype=np.uint64)
+        sa = allocate_like(values, allocator=allocator)
+        assert sa.bits == 33
+        np.testing.assert_array_equal(sa.to_numpy(), values)
+        sa_u = allocate_like(values, compress=False, allocator=allocator)
+        assert sa_u.bits == 64
+
+    def test_zero_length_array(self, allocator):
+        sa = allocate(0, bits=13, allocator=allocator)
+        assert len(sa) == 0
+        assert sa.to_numpy().size == 0
+
+    def test_machine_context_switches_default(self):
+        with machine_context(machine_2x8_haswell()) as alloc:
+            sa = allocate(10, bits=8)
+            assert sa.allocation.machine.name.startswith("2x8")
+            assert alloc.live_allocations == 1
+
+
+class TestElementAccess:
+    @pytest.mark.parametrize("bits", [1, 10, 31, 32, 33, 50, 63, 64])
+    def test_get_init_roundtrip(self, bits, allocator):
+        sa = allocate(130, bits=bits, allocator=allocator)
+        rng = np.random.default_rng(bits)
+        values = rng.integers(0, 2**min(bits, 63), size=130, dtype=np.uint64)
+        for i, v in enumerate(values):
+            sa.init(i, int(v))
+        for i, v in enumerate(values):
+            assert sa.get(i) == int(v)
+
+    @pytest.mark.parametrize("bits", [10, 32, 33, 64])
+    def test_init_updates_all_replicas(self, bits, allocator):
+        sa = allocate(70, bits=bits, replicated=True, allocator=allocator)
+        sa.init(69, 123)
+        for r in range(sa.n_replicas):
+            assert sa.get(69, replica=r) == 123
+
+    def test_get_out_of_range(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        with pytest.raises(IndexOutOfRangeError):
+            sa.get(10)
+        with pytest.raises(IndexOutOfRangeError):
+            sa.init(-1, 0)
+
+    @pytest.mark.parametrize("bits", [10, 32, 64])
+    def test_value_overflow(self, bits, allocator):
+        sa = allocate(10, bits=bits, allocator=allocator)
+        too_big = 1 << bits if bits < 64 else 1 << 64
+        with pytest.raises(ValueOverflowError):
+            sa.init(0, too_big)
+
+    def test_foreign_replica_rejected(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        with pytest.raises(ReplicaError):
+            sa.get(0, replica=np.zeros(2, dtype=np.uint64))
+        with pytest.raises(ReplicaError):
+            sa.get(0, replica=5)
+
+    def test_get_replica_by_buffer(self, allocator):
+        sa = allocate(10, bits=8, replicated=True, allocator=allocator)
+        sa.init(3, 7)
+        buf = sa.get_replica(socket=1)
+        assert sa.get(3, replica=buf) == 7
+
+    def test_init_locked(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        sa.init_locked(4, 42)
+        assert sa.get(4) == 42
+
+
+class TestUnpack:
+    @pytest.mark.parametrize("bits", [10, 32, 33, 64])
+    def test_unpack_matches_values(self, bits, allocator):
+        sa = allocate(128, bits=bits, allocator=allocator)
+        values = np.arange(128, dtype=np.uint64)
+        sa.fill(values)
+        np.testing.assert_array_equal(sa.unpack(0), values[:64])
+        np.testing.assert_array_equal(sa.unpack(1), values[64:])
+
+    def test_unpack_chunk_out_of_range(self, allocator):
+        sa = allocate(64, bits=12, allocator=allocator)
+        with pytest.raises(IndexOutOfRangeError):
+            sa.unpack(1)
+
+    def test_unpack_into_buffer(self, allocator):
+        sa = allocate(64, bits=12, values=np.arange(64), allocator=allocator)
+        out = np.zeros(64, dtype=np.uint64)
+        res = sa.unpack(0, out=out)
+        assert res is out
+        assert out[63] == 63
+
+
+class TestBulkOps:
+    @pytest.mark.parametrize("bits", [7, 32, 33, 64])
+    def test_fill_to_numpy_roundtrip(self, bits, allocator):
+        rng = np.random.default_rng(bits)
+        values = rng.integers(0, 2**min(bits, 63), size=500, dtype=np.uint64)
+        sa = allocate(500, bits=bits, allocator=allocator)
+        sa.fill(values)
+        np.testing.assert_array_equal(sa.to_numpy(), values)
+
+    def test_fill_wrong_size(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        with pytest.raises(ValueError):
+            sa.fill(np.arange(9))
+
+    def test_fill_replicated_fills_all(self, allocator):
+        sa = allocate(100, bits=20, replicated=True, allocator=allocator)
+        sa.fill(np.arange(100))
+        for r in range(sa.n_replicas):
+            np.testing.assert_array_equal(
+                sa.to_numpy(replica=r), np.arange(100, dtype=np.uint64)
+            )
+
+    @pytest.mark.parametrize("bits", [7, 33, 64])
+    def test_gather_many(self, bits, allocator):
+        values = np.arange(200, dtype=np.uint64) % (1 << min(bits, 62))
+        sa = allocate(200, bits=bits, values=values, allocator=allocator)
+        idx = np.array([0, 63, 64, 199])
+        np.testing.assert_array_equal(sa.gather_many(idx), values[idx])
+
+    def test_gather_many_bounds(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        with pytest.raises(IndexOutOfRangeError):
+            sa.gather_many([0, 10])
+
+    @pytest.mark.parametrize("bits", [7, 33, 64])
+    def test_scatter_many_all_replicas(self, bits, allocator):
+        sa = allocate(100, bits=bits, replicated=True, allocator=allocator)
+        sa.scatter_many([5, 50, 99], [1, 2, 3])
+        for r in range(sa.n_replicas):
+            assert sa.get(50, replica=r) == 2
+
+    def test_scatter_many_bounds(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        with pytest.raises(IndexOutOfRangeError):
+            sa.scatter_many([-1], [0])
+
+
+class TestPythonProtocol:
+    def test_len_getitem_setitem(self, allocator):
+        sa = allocate(10, bits=8, values=np.arange(10), allocator=allocator)
+        assert len(sa) == 10
+        assert sa[3] == 3
+        assert sa[-1] == 9
+        sa[3] = 77
+        assert sa[3] == 77
+
+    def test_slice(self, allocator):
+        sa = allocate(10, bits=8, values=np.arange(10), allocator=allocator)
+        np.testing.assert_array_equal(sa[2:5], [2, 3, 4])
+
+    def test_iteration(self, allocator):
+        sa = allocate(70, bits=33, values=np.arange(70), allocator=allocator)
+        assert list(sa) == list(range(70))
+
+    def test_repr(self, allocator):
+        sa = allocate(10, bits=33, replicated=True, allocator=allocator)
+        text = repr(sa)
+        assert "33" in text and "replicated" in text
+
+
+class TestMemoryAccounting:
+    def test_storage_bytes_compression(self, allocator):
+        sa64 = allocate(640, bits=64, allocator=allocator)
+        sa33 = allocate(640, bits=33, allocator=allocator)
+        assert sa33.storage_bytes < sa64.storage_bytes
+        assert sa33.storage_bytes == 10 * 33 * 8  # 10 chunks x 33 words
+
+    def test_physical_bytes_replication(self, allocator):
+        sa = allocate(640, bits=64, replicated=True, allocator=allocator)
+        assert sa.physical_bytes == 2 * sa.storage_bytes
+
+    def test_compression_ratio(self, allocator):
+        assert allocate(64, bits=16, allocator=allocator).compression_ratio == 0.25
+        assert allocate(64, bits=64, allocator=allocator).compression_ratio == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=1, max_value=300),
+    replicated=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+def test_property_fill_roundtrip_any_config(bits, n, replicated, seed):
+    """fill() -> to_numpy() is the identity for every width/placement."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    rng = np.random.default_rng(seed)
+    hi = (1 << bits) - 1
+    values = rng.integers(0, hi + 1 if hi < 2**63 else 2**63, size=n, dtype=np.uint64)
+    sa = allocate(n, bits=bits, replicated=replicated, allocator=allocator)
+    sa.fill(values)
+    for r in range(sa.n_replicas):
+        np.testing.assert_array_equal(sa.to_numpy(replica=r), values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_property_scalar_and_bulk_agree(bits, data):
+    """Scalar get/init and vectorized fill/gather observe the same array."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    n = data.draw(st.integers(min_value=1, max_value=150))
+    index = data.draw(st.integers(min_value=0, max_value=n - 1))
+    value = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    sa = allocate(n, bits=bits, allocator=allocator)
+    sa.init(index, value)
+    assert int(sa.gather_many([index])[0]) == value
+    assert int(sa.to_numpy()[index]) == value

@@ -1,0 +1,161 @@
+"""Tests for the SmartMap smart-collections preview (§7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SmartMap, SmartMapFullError
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestBasics:
+    def test_put_get(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        m.put(5, 50)
+        m.put(7, 70)
+        assert m.get(5) == 50
+        assert m.get(7) == 70
+        assert m.get(6) is None
+        assert m.get(6, default=-1) == -1
+
+    def test_update_existing_key(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        m.put(5, 50)
+        m.put(5, 99)
+        assert m.get(5) == 99
+        assert len(m) == 1
+
+    def test_contains_and_dunder(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        m[3] = 30
+        assert 3 in m
+        assert 4 not in m
+        assert m[3] == 30
+        with pytest.raises(KeyError):
+            m[4]
+
+    def test_len(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        for i in range(5):
+            m.put(i, i * 2)
+        assert len(m) == 5
+
+    def test_items(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        data = {2: 20, 9: 90, 17: 170}
+        for k, v in data.items():
+            m.put(k, v)
+        assert dict(m.items()) == data
+
+    def test_zero_key_and_value(self, allocator):
+        # key 0 must be distinguishable from an empty slot (the
+        # occupancy bitmap exists for exactly this).
+        m = SmartMap(10, allocator=allocator)
+        m.put(0, 0)
+        assert m.get(0) == 0
+        assert 0 in m
+
+    def test_negative_key_rejected(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        with pytest.raises(ValueError):
+            m.put(-1, 5)
+
+    def test_validation(self, allocator):
+        with pytest.raises(ValueError):
+            SmartMap(0, allocator=allocator)
+        with pytest.raises(ValueError):
+            SmartMap(10, max_load=1.5, allocator=allocator)
+
+
+class TestCollisions:
+    def test_colliding_keys_all_retrievable(self, allocator):
+        # A tiny table forces probe chains.
+        m = SmartMap(40, allocator=allocator)
+        keys = [i * 64 for i in range(25)]  # stride to encourage clustering
+        for k in keys:
+            m.put(k, k + 1)
+        for k in keys:
+            assert m.get(k) == k + 1
+
+    def test_capacity_limit(self, allocator):
+        m = SmartMap(4, allocator=allocator, max_load=0.5)
+        limit = int(m.slots * 0.5)
+        for i in range(limit):
+            m.put(i, i)
+        with pytest.raises(SmartMapFullError):
+            m.put(10_000, 1)
+
+
+class TestSmartFunctionalities:
+    def test_compressed_columns(self, allocator):
+        m = SmartMap.from_items(
+            [(i, i % 8) for i in range(100)], allocator=allocator
+        )
+        assert m.keys.bits == 7      # max key 99
+        assert m.values.bits == 3    # max value 7
+        assert m.occupied.bits == 1
+        for i in range(100):
+            assert m.get(i) == i % 8
+
+    def test_uncompressed_option(self, allocator):
+        m = SmartMap.from_items([(1, 2)], compress=False, allocator=allocator)
+        assert m.keys.bits == 64 and m.values.bits == 64
+
+    def test_replicated_map(self, allocator):
+        m = SmartMap(20, replicated=True, allocator=allocator)
+        m.put(5, 55)
+        assert m.get(5, socket=0) == 55
+        assert m.get(5, socket=1) == 55
+        assert m.physical_bytes == 2 * m.storage_bytes
+
+    def test_compression_shrinks_footprint(self, allocator):
+        small = SmartMap(100, key_bits=8, value_bits=8, allocator=allocator)
+        big = SmartMap(100, key_bits=64, value_bits=64, allocator=allocator)
+        assert small.storage_bytes < big.storage_bytes
+
+    def test_get_many(self, allocator):
+        m = SmartMap.from_items([(i, i * 3) for i in range(20)],
+                                allocator=allocator)
+        np.testing.assert_array_equal(m.get_many([0, 7, 19]), [0, 21, 57])
+        with pytest.raises(KeyError):
+            m.get_many([100])
+
+    def test_empty_from_items(self, allocator):
+        m = SmartMap.from_items([], allocator=allocator)
+        assert len(m) == 0
+
+    def test_load_factor(self, allocator):
+        m = SmartMap(10, allocator=allocator)
+        assert m.load_factor == 0.0
+        m.put(1, 1)
+        assert 0 < m.load_factor < 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**40),
+        max_size=60,
+    ),
+    replicated=st.booleans(),
+)
+def test_property_map_behaves_like_dict(entries, replicated):
+    """SmartMap agrees with a dict over arbitrary insert sequences."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    m = SmartMap(max(1, len(entries)), replicated=replicated,
+                 allocator=allocator)
+    for k, v in entries.items():
+        m.put(k, v)
+    assert len(m) == len(entries)
+    for k, v in entries.items():
+        assert m.get(k) == v
+    assert dict(m.items()) == entries
+    # a key not present
+    missing = max(entries, default=0) + 1
+    assert m.get(missing) is None

@@ -1,0 +1,51 @@
+"""Tests for the shared formatting helpers."""
+
+import pytest
+
+from repro._util import ascii_table, human_bytes, human_rate, human_time
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["name", "value"], [["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("-")
+        assert lines[2].startswith("a ")
+        assert lines[2].endswith(" 1")
+
+    def test_wide_cells_stretch_columns(self):
+        text = ascii_table(["h"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = ascii_table(["a"], [])
+        assert "a" in text
+
+
+class TestUnits:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0 B"), (512, "512 B"), (1536, "1.5 KiB"),
+         (1024**2, "1.0 MiB"), (3 * 1024**3, "3.0 GiB")],
+    )
+    def test_human_bytes(self, n, expected):
+        assert human_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "s,expected",
+        [(5e-6, "5.0 us"), (0.0123, "12.3 ms"), (2.5, "2.50 s")],
+    )
+    def test_human_time(self, s, expected):
+        assert human_time(s) == expected
+
+    def test_human_time_negative(self):
+        with pytest.raises(ValueError):
+            human_time(-1)
+
+    def test_human_rate(self):
+        assert human_rate(49.3e9) == "49.3 GB/s"

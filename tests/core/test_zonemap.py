@@ -1,0 +1,100 @@
+"""Tests for zone maps (chunk-skipping range scans)."""
+
+import numpy as np
+import pytest
+
+from repro.core import allocate
+from repro.core.scan_ops import count_in_range, select_in_range
+from repro.core.zonemap import ZoneMap
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def sorted_array(allocator):
+    # Sorted data gives tight, disjoint zones: ideal skipping.
+    values = np.sort(
+        np.random.default_rng(0).integers(0, 10_000, size=1000)
+    ).astype(np.uint64)
+    sa = allocate(1000, bits=14, values=values, allocator=allocator)
+    return sa, values
+
+
+class TestZoneMapConstruction:
+    def test_zones_cover_data(self, sorted_array, allocator):
+        sa, values = sorted_array
+        zm = ZoneMap.build(sa, allocator=allocator)
+        assert zm.n_chunks == 16  # ceil(1000/64)
+        mins = zm.mins.to_numpy()
+        maxs = zm.maxs.to_numpy()
+        for chunk in range(zm.n_chunks):
+            lo = chunk * 64
+            hi = min(1000, lo + 64)
+            assert mins[chunk] == values[lo:hi].min()
+            assert maxs[chunk] == values[lo:hi].max()
+
+    def test_index_is_tiny(self, sorted_array, allocator):
+        sa, _ = sorted_array
+        zm = ZoneMap.build(sa, allocator=allocator)
+        assert zm.storage_bytes < sa.storage_bytes / 4
+
+    def test_empty_array(self, allocator):
+        sa = allocate(0, bits=8, allocator=allocator)
+        zm = ZoneMap.build(sa, allocator=allocator)
+        assert zm.count_in_range(0, 100) == 0
+        assert zm.select_in_range(0, 100).size == 0
+
+
+class TestZoneScans:
+    def test_counts_match_full_scan(self, sorted_array, allocator):
+        sa, values = sorted_array
+        zm = ZoneMap.build(sa, allocator=allocator)
+        for lo, hi in ((0, 100), (5000, 6000), (9990, 10_500), (0, 20_000)):
+            assert zm.count_in_range(lo, hi) == count_in_range(sa, lo, hi)
+
+    def test_select_matches_full_scan(self, sorted_array, allocator):
+        sa, values = sorted_array
+        zm = ZoneMap.build(sa, allocator=allocator)
+        np.testing.assert_array_equal(
+            zm.select_in_range(3000, 4000), select_in_range(sa, 3000, 4000)
+        )
+
+    def test_degenerate_ranges(self, sorted_array, allocator):
+        sa, _ = sorted_array
+        zm = ZoneMap.build(sa, allocator=allocator)
+        assert zm.count_in_range(500, 500) == 0
+        assert zm.count_in_range(-5, 0) == 0
+        assert zm.candidate_chunks(7, 3).size == 0
+
+    def test_skipping_observable_via_stats(self, sorted_array, allocator):
+        # The point of zone maps: a selective range unpacks only the
+        # chunks whose zones intersect it.
+        sa, values = sorted_array
+        zm = ZoneMap.build(sa, allocator=allocator)
+        sa.stats.reset()
+        zm.count_in_range(5000, 5100)
+        candidates = zm.candidate_chunks(5000, 5100)
+        assert sa.stats.chunk_unpacks <= candidates.size
+        assert sa.stats.chunk_unpacks < zm.n_chunks / 2
+
+    def test_fully_covered_chunks_counted_without_unpack(self, allocator):
+        # All-equal data: every chunk's zone lies inside a wide range,
+        # so counting needs zero unpacks.
+        sa = allocate(640, bits=8, values=np.full(640, 7), allocator=allocator)
+        zm = ZoneMap.build(sa, allocator=allocator)
+        sa.stats.reset()
+        assert zm.count_in_range(0, 100) == 640
+        assert sa.stats.chunk_unpacks == 0
+
+    def test_unsorted_data_still_correct(self, allocator):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1000, size=500, dtype=np.uint64)
+        sa = allocate(500, bits=10, values=values, allocator=allocator)
+        zm = ZoneMap.build(sa, allocator=allocator)
+        assert zm.count_in_range(200, 400) == int(
+            ((values >= 200) & (values < 400)).sum()
+        )

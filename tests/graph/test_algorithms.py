@@ -1,0 +1,281 @@
+"""Tests for the graph analytics algorithms (PGX workload set)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement
+from repro.graph import (
+    CSRGraph,
+    GraphConfig,
+    bfs,
+    connected_components,
+    degree_centrality,
+    degree_centrality_scalar,
+    pagerank,
+    pagerank_scalar_iteration,
+    triangle_count,
+    twitter_like,
+    uniform_kout,
+)
+from repro.graph.properties import IntProperty
+from repro.numa import NumaAllocator, machine_2x8_haswell
+from repro.runtime import WorkerPool
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def ring(allocator):
+    n = 20
+    src = np.arange(n)
+    dst = (src + 1) % n
+    return CSRGraph.from_edges(src, dst, allocator=allocator)
+
+
+@pytest.fixture
+def random_graph(allocator):
+    src, dst = uniform_kout(200, k=3, seed=11)
+    return CSRGraph.from_edges(src, dst, n_vertices=200, allocator=allocator)
+
+
+class TestDegreeCentrality:
+    def test_ring_all_degree_two(self, ring):
+        dc = degree_centrality(ring)
+        np.testing.assert_array_equal(dc.to_numpy(), np.full(20, 2))
+
+    def test_matches_bincount(self, random_graph):
+        src, dst = random_graph.to_edge_list()
+        expected = (
+            np.bincount(src.astype(np.int64), minlength=200)
+            + np.bincount(dst.astype(np.int64), minlength=200)
+        )
+        np.testing.assert_array_equal(
+            degree_centrality(random_graph).to_numpy(), expected
+        )
+
+    def test_scalar_matches_vectorized(self, random_graph):
+        vec = degree_centrality(random_graph).to_numpy()
+        sca = degree_centrality_scalar(random_graph).to_numpy()
+        np.testing.assert_array_equal(vec, sca)
+
+    def test_scalar_with_pool(self, random_graph, allocator):
+        pool = WorkerPool(allocator.machine, n_workers=4)
+        out = degree_centrality_scalar(random_graph, pool=pool, batch=37)
+        np.testing.assert_array_equal(
+            out.to_numpy(), degree_centrality(random_graph).to_numpy()
+        )
+
+    def test_requires_reverse_edges(self, allocator):
+        g = CSRGraph.from_edges([0], [1], reverse=False, allocator=allocator)
+        with pytest.raises(ValueError):
+            degree_centrality(g)
+        with pytest.raises(ValueError):
+            degree_centrality_scalar(g)
+
+    def test_output_placement(self, random_graph, allocator):
+        dc = degree_centrality(
+            random_graph, output_placement=Placement.interleaved(),
+            allocator=allocator,
+        )
+        assert dc.array.interleaved
+
+    def test_works_on_compressed_graph(self, allocator):
+        src, dst = uniform_kout(100, 3, seed=2)
+        g = CSRGraph.from_edges(
+            src, dst, config=GraphConfig.compressed_all(), allocator=allocator
+        )
+        gu = CSRGraph.from_edges(src, dst, allocator=allocator)
+        np.testing.assert_array_equal(
+            degree_centrality(g).to_numpy(),
+            degree_centrality(gu).to_numpy(),
+        )
+
+
+class TestPageRank:
+    def test_uniform_on_ring(self, ring):
+        res = pagerank(ring, tolerance=1e-12, max_iterations=500)
+        np.testing.assert_allclose(res.ranks.to_numpy(), 1 / 20, atol=1e-10)
+
+    def test_ranks_sum_to_one(self, random_graph):
+        res = pagerank(random_graph, tolerance=1e-10, max_iterations=500)
+        assert res.ranks.to_numpy().sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_converges_and_reports(self, random_graph):
+        res = pagerank(random_graph, tolerance=1e-8, max_iterations=500)
+        assert res.converged
+        assert res.iterations == len(res.deltas)
+        assert res.deltas[-1] < 1e-8
+        # deltas shrink overall
+        assert res.deltas[-1] < res.deltas[0]
+
+    def test_dangling_vertices_handled(self, allocator):
+        # vertex 2 has no outgoing edges
+        g = CSRGraph.from_edges([0, 1], [2, 2], n_vertices=3,
+                                allocator=allocator)
+        res = pagerank(g, tolerance=1e-12, max_iterations=1000)
+        r = res.ranks.to_numpy()
+        assert r.sum() == pytest.approx(1.0, abs=1e-9)
+        assert r[2] > r[0]  # the sink collects rank
+
+    def test_authority_ordering(self, allocator):
+        # star: everyone points at vertex 0
+        src = np.arange(1, 50)
+        dst = np.zeros(49, dtype=np.int64)
+        g = CSRGraph.from_edges(src, dst, n_vertices=50, allocator=allocator)
+        res = pagerank(g, tolerance=1e-10, max_iterations=200)
+        assert res.top_vertices(1)[0] == 0
+
+    def test_vectorized_matches_scalar_iteration(self, allocator):
+        src, dst = uniform_kout(40, 2, seed=3)
+        g = CSRGraph.from_edges(src, dst, n_vertices=40, allocator=allocator)
+        out_deg = g.out_degrees().astype(np.float64)
+        ranks = np.full(40, 1 / 40)
+        expected = pagerank_scalar_iteration(g, ranks, out_deg)
+        res = pagerank(g, max_iterations=1, tolerance=1e-30)
+        np.testing.assert_allclose(res.ranks.to_numpy(), expected, atol=1e-12)
+
+    def test_precomputed_out_degrees(self, random_graph, allocator):
+        deg = IntProperty.from_values(
+            random_graph.out_degrees(), allocator=allocator
+        )
+        a = pagerank(random_graph, out_degrees=deg, tolerance=1e-8,
+                     max_iterations=300)
+        b = pagerank(random_graph, tolerance=1e-8, max_iterations=300)
+        np.testing.assert_allclose(
+            a.ranks.to_numpy(), b.ranks.to_numpy(), atol=1e-12
+        )
+
+    def test_paper_default_parameters(self, allocator):
+        # damping 0.85, tolerance 1e-3 — the Figure 12 configuration.
+        src, dst = twitter_like(2000, seed=1)
+        g = CSRGraph.from_edges(src, dst, n_vertices=2000, allocator=allocator)
+        res = pagerank(g)
+        assert res.converged
+        assert 2 <= res.iterations <= 60
+
+    def test_same_result_on_any_placement(self, allocator):
+        src, dst = uniform_kout(100, 3, seed=4)
+        base = pagerank(
+            CSRGraph.from_edges(src, dst, allocator=allocator),
+            tolerance=1e-10, max_iterations=300,
+        ).ranks.to_numpy()
+        for cfg in (
+            GraphConfig(placement=Placement.replicated()),
+            GraphConfig.compressed_all(Placement.interleaved()),
+        ):
+            other = pagerank(
+                CSRGraph.from_edges(src, dst, config=cfg, allocator=allocator),
+                tolerance=1e-10, max_iterations=300,
+            ).ranks.to_numpy()
+            np.testing.assert_allclose(other, base, atol=1e-12)
+
+    def test_validation(self, ring):
+        with pytest.raises(ValueError):
+            pagerank(ring, damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank(ring, tolerance=0)
+        with pytest.raises(ValueError):
+            pagerank(ring, max_iterations=0)
+
+    def test_needs_reverse(self, allocator):
+        g = CSRGraph.from_edges([0], [1], reverse=False, allocator=allocator)
+        with pytest.raises(ValueError):
+            pagerank(g)
+
+
+class TestBfs:
+    def test_ring_distances(self, ring):
+        res = bfs(ring, 0)
+        assert res.distance(0) == 0
+        assert res.distance(1) == 1
+        assert res.distance(19) == 19
+        assert res.reached == 20
+
+    def test_unreachable(self, allocator):
+        g = CSRGraph.from_edges([0], [1], n_vertices=3, allocator=allocator)
+        res = bfs(g, 0)
+        assert res.distance(1) == 1
+        assert res.distance(2) == -1
+        assert res.reached == 2
+
+    def test_source_bounds(self, ring):
+        with pytest.raises(ValueError):
+            bfs(ring, 20)
+
+    def test_matches_networkx(self, allocator):
+        import networkx as nx
+
+        src, dst = uniform_kout(60, 3, seed=8)
+        g = CSRGraph.from_edges(src, dst, n_vertices=60, allocator=allocator)
+        res = bfs(g, 0)
+        nxg = nx.DiGraph(zip(src.tolist(), dst.tolist()))
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(60):
+            assert res.distance(v) == expected.get(v, -1)
+
+
+class TestConnectedComponents:
+    def test_two_components(self, allocator):
+        g = CSRGraph.from_edges([0, 2], [1, 3], n_vertices=5,
+                                allocator=allocator)
+        res = connected_components(g)
+        assert res.n_components == 3  # {0,1}, {2,3}, {4}
+        labels = res.labels
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_matches_networkx(self, allocator):
+        import networkx as nx
+
+        src, dst = uniform_kout(80, 1, seed=13)
+        g = CSRGraph.from_edges(src, dst, n_vertices=80, allocator=allocator)
+        res = connected_components(g)
+        nxg = nx.Graph(zip(src.tolist(), dst.tolist()))
+        nxg.add_nodes_from(range(80))
+        assert res.n_components == nx.number_connected_components(nxg)
+
+    def test_component_sizes(self, allocator):
+        g = CSRGraph.from_edges([0], [1], n_vertices=3, allocator=allocator)
+        sizes = connected_components(g).component_sizes()
+        assert sorted(sizes.tolist()) == [1, 2]
+
+
+class TestTriangles:
+    def test_triangle(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 0], allocator=allocator)
+        assert triangle_count(g) == 1
+
+    def test_no_triangles_in_ring4(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2, 3], [1, 2, 3, 0],
+                                allocator=allocator)
+        assert triangle_count(g) == 0
+
+    def test_complete_graph(self, allocator):
+        n = 6
+        src, dst = [], []
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    src.append(i)
+                    dst.append(j)
+        g = CSRGraph.from_edges(src, dst, allocator=allocator)
+        assert triangle_count(g) == 20  # C(6,3)
+
+    def test_self_loops_and_duplicates_ignored(self, allocator):
+        g = CSRGraph.from_edges(
+            [0, 0, 1, 2, 0], [1, 1, 2, 0, 0], allocator=allocator
+        )
+        assert triangle_count(g) == 1
+
+    def test_matches_networkx(self, allocator):
+        import networkx as nx
+
+        src, dst = uniform_kout(40, 4, seed=21, allow_self_loops=False)
+        g = CSRGraph.from_edges(src, dst, n_vertices=40, allocator=allocator)
+        nxg = nx.Graph(zip(src.tolist(), dst.tolist()))
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert triangle_count(g) == expected

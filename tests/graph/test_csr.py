@@ -1,0 +1,164 @@
+"""Tests for CSR graph construction, configuration, and queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement
+from repro.graph import CSRGraph, GraphConfig
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def small_graph(allocator):
+    #   0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0, 3 (isolated source of nothing)
+    src = [0, 0, 1, 2]
+    dst = [1, 2, 2, 0]
+    return CSRGraph.from_edges(src, dst, n_vertices=4, allocator=allocator)
+
+
+class TestConstruction:
+    def test_basic_shape(self, small_graph):
+        g = small_graph
+        assert g.n_vertices == 4
+        assert g.n_edges == 4
+        assert g.has_reverse
+
+    def test_begin_array_structure(self, small_graph):
+        np.testing.assert_array_equal(
+            small_graph.begin.to_numpy(), [0, 2, 3, 4, 4]
+        )
+
+    def test_neighbor_lists(self, small_graph):
+        np.testing.assert_array_equal(small_graph.neighbors(0), [1, 2])
+        np.testing.assert_array_equal(small_graph.neighbors(2), [0])
+        assert small_graph.neighbors(3).size == 0
+
+    def test_reverse_edges(self, small_graph):
+        np.testing.assert_array_equal(small_graph.in_neighbors(2), [0, 1])
+        assert small_graph.in_degree(2) == 2
+        assert small_graph.in_degree(3) == 0
+
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree(0) == 2
+        assert small_graph.out_degree(3) == 0
+        np.testing.assert_array_equal(
+            small_graph.out_degrees(), [2, 1, 1, 0]
+        )
+        np.testing.assert_array_equal(small_graph.in_degrees(), [1, 1, 2, 0])
+
+    def test_default_widths_match_pgx(self, small_graph):
+        # 64-bit begin arrays, 32-bit edge arrays (section 5.2).
+        assert small_graph.begin.bits == 64
+        assert small_graph.edge.bits == 32
+        assert small_graph.rbegin.bits == 64
+        assert small_graph.redge.bits == 32
+
+    def test_without_reverse(self, allocator):
+        g = CSRGraph.from_edges([0], [1], n_vertices=2, reverse=False,
+                                allocator=allocator)
+        assert not g.has_reverse
+        with pytest.raises(ValueError):
+            g.in_degree(0)
+        with pytest.raises(ValueError):
+            g.in_neighbors(0)
+        with pytest.raises(ValueError):
+            g.in_degrees()
+
+    def test_n_vertices_inferred(self, allocator):
+        g = CSRGraph.from_edges([0, 5], [3, 2], allocator=allocator)
+        assert g.n_vertices == 6
+
+    def test_edge_list_roundtrip(self, small_graph):
+        src, dst = small_graph.to_edge_list()
+        pairs = sorted(zip(src.tolist(), dst.tolist()))
+        assert pairs == [(0, 1), (0, 2), (1, 2), (2, 0)]
+
+    def test_validation(self, allocator):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([0], [1, 2], allocator=allocator)
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([-1], [0], allocator=allocator)
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges([0], [5], n_vertices=2, allocator=allocator)
+
+    def test_empty_graph(self, allocator):
+        g = CSRGraph.from_edges([], [], n_vertices=3, allocator=allocator)
+        assert g.n_edges == 0
+        assert g.out_degree(2) == 0
+
+    def test_duplicate_and_self_edges_preserved(self, allocator):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 1, 1], n_vertices=2,
+                                allocator=allocator)
+        np.testing.assert_array_equal(g.neighbors(0), [1, 1])
+        np.testing.assert_array_equal(g.neighbors(1), [1])
+
+
+class TestConfigurations:
+    def test_uncompressed_config(self, allocator):
+        cfg = GraphConfig.uncompressed()
+        g = CSRGraph.from_edges([0, 1], [1, 0], config=cfg, allocator=allocator)
+        assert g.begin.bits == 64 and g.edge.bits == 32
+
+    def test_compressed_vertices_config(self, allocator):
+        # "V": begin arrays at the least bits for edge offsets.
+        cfg = GraphConfig.compressed_vertices()
+        g = CSRGraph.from_edges([0, 1], [1, 0], config=cfg, allocator=allocator)
+        assert g.begin.bits == 2  # 2 edges -> values up to 2
+        assert g.edge.bits == 32
+
+    def test_compressed_all_config(self, allocator):
+        # "V+E": edge arrays also at the least bits for vertex ids.
+        cfg = GraphConfig.compressed_all()
+        g = CSRGraph.from_edges(
+            np.arange(100), np.roll(np.arange(100), 1), config=cfg,
+            allocator=allocator,
+        )
+        assert g.begin.bits == 7   # 100 edges
+        assert g.edge.bits == 7    # 99 max vertex id
+
+    def test_placement_applied_to_all_arrays(self, allocator):
+        cfg = GraphConfig(placement=Placement.replicated())
+        g = CSRGraph.from_edges([0, 1], [1, 0], config=cfg, allocator=allocator)
+        for arr in (g.begin, g.edge, g.rbegin, g.redge):
+            assert arr.replicated and arr.n_replicas == 2
+
+    def test_reconfigure_preserves_structure(self, small_graph, allocator):
+        g2 = small_graph.reconfigure(
+            GraphConfig.compressed_all(Placement.replicated()),
+            allocator=allocator,
+        )
+        assert g2.n_vertices == small_graph.n_vertices
+        np.testing.assert_array_equal(
+            g2.begin.to_numpy(), small_graph.begin.to_numpy()
+        )
+        np.testing.assert_array_equal(
+            g2.edge.to_numpy(), small_graph.edge.to_numpy()
+        )
+        assert g2.begin.replicated
+
+    def test_compression_shrinks_memory(self, allocator):
+        src = np.arange(1000)
+        dst = np.roll(src, 7)
+        gu = CSRGraph.from_edges(src, dst, config=GraphConfig.uncompressed(),
+                                 allocator=allocator)
+        gc = CSRGraph.from_edges(src, dst, config=GraphConfig.compressed_all(),
+                                 allocator=allocator)
+        assert gc.memory_bytes() < gu.memory_bytes()
+
+    def test_replication_doubles_memory(self, allocator):
+        src, dst = np.arange(1000), np.roll(np.arange(1000), 3)
+        g1 = CSRGraph.from_edges(src, dst, allocator=allocator)
+        g2 = CSRGraph.from_edges(
+            src, dst, config=GraphConfig(placement=Placement.replicated()),
+            allocator=allocator,
+        )
+        assert g2.memory_bytes() == 2 * g1.memory_bytes()
+
+    def test_describe(self, small_graph):
+        text = small_graph.describe()
+        assert "V=4" in text and "E=4" in text

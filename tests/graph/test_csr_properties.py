@@ -1,0 +1,90 @@
+"""Property-based tests over the CSR graph invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Placement
+from repro.graph import CSRGraph, GraphConfig
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=edge_lists())
+def test_property_edge_list_roundtrip(data):
+    """from_edges -> to_edge_list preserves the edge multiset."""
+    n, src, dst = data
+    allocator = NumaAllocator(machine_2x8_haswell())
+    g = CSRGraph.from_edges(src, dst, n_vertices=n, allocator=allocator)
+    out_src, out_dst = g.to_edge_list()
+    original = sorted(zip(src.tolist(), dst.tolist()))
+    recovered = sorted(zip(out_src.tolist(), out_dst.tolist()))
+    assert original == recovered
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=edge_lists())
+def test_property_degree_invariants(data):
+    """Degrees sum to |E| and match bincount, in both directions."""
+    n, src, dst = data
+    allocator = NumaAllocator(machine_2x8_haswell())
+    g = CSRGraph.from_edges(src, dst, n_vertices=n, allocator=allocator)
+    out_deg = g.out_degrees()
+    in_deg = g.in_degrees()
+    assert int(out_deg.sum()) == src.size
+    assert int(in_deg.sum()) == src.size
+    np.testing.assert_array_equal(out_deg, np.bincount(src, minlength=n))
+    np.testing.assert_array_equal(in_deg, np.bincount(dst, minlength=n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=edge_lists(max_vertices=25, max_edges=60))
+def test_property_begin_array_monotone(data):
+    """begin is monotone non-decreasing with begin[0]=0, begin[V]=E."""
+    n, src, dst = data
+    allocator = NumaAllocator(machine_2x8_haswell())
+    g = CSRGraph.from_edges(src, dst, n_vertices=n, allocator=allocator)
+    begin = g.begin.to_numpy()
+    assert begin[0] == 0
+    assert begin[-1] == src.size
+    assert (begin[1:] >= begin[:-1]).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=edge_lists(max_vertices=20, max_edges=40))
+def test_property_reconfigure_preserves_graph(data):
+    """Any reconfiguration leaves the logical graph untouched."""
+    n, src, dst = data
+    allocator = NumaAllocator(machine_2x8_haswell())
+    g = CSRGraph.from_edges(src, dst, n_vertices=n, allocator=allocator)
+    g2 = g.reconfigure(
+        GraphConfig.compressed_all(Placement.replicated()),
+        allocator=allocator,
+    )
+    np.testing.assert_array_equal(g.begin.to_numpy(), g2.begin.to_numpy())
+    np.testing.assert_array_equal(g.edge.to_numpy(), g2.edge.to_numpy())
+    np.testing.assert_array_equal(g.rbegin.to_numpy(), g2.rbegin.to_numpy())
+    np.testing.assert_array_equal(g.redge.to_numpy(), g2.redge.to_numpy())
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=edge_lists(max_vertices=20, max_edges=50))
+def test_property_neighbors_consistent_with_edges(data):
+    """Per-vertex neighbour lists partition the edge multiset."""
+    n, src, dst = data
+    allocator = NumaAllocator(machine_2x8_haswell())
+    g = CSRGraph.from_edges(src, dst, n_vertices=n, allocator=allocator)
+    collected = []
+    for v in range(n):
+        for u in g.neighbors(v):
+            collected.append((v, int(u)))
+    assert sorted(collected) == sorted(zip(src.tolist(), dst.tolist()))

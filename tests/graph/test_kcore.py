@@ -1,0 +1,115 @@
+"""Tests for k-core decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, k_core, twitter_like, uniform_kout
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestKCore:
+    def test_triangle_is_2core(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 0], allocator=allocator)
+        res = k_core(g)
+        np.testing.assert_array_equal(res.core_numbers, [2, 2, 2])
+        assert res.max_core == 2
+
+    def test_path_is_1core(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3], allocator=allocator)
+        res = k_core(g)
+        np.testing.assert_array_equal(res.core_numbers, [1, 1, 1, 1])
+
+    def test_isolated_vertex_is_0core(self, allocator):
+        g = CSRGraph.from_edges([0], [1], n_vertices=3, allocator=allocator)
+        res = k_core(g)
+        assert res.core_numbers[2] == 0
+        assert res.core_numbers[0] == res.core_numbers[1] == 1
+
+    def test_clique_plus_tail(self, allocator):
+        # K4 on {0,1,2,3} plus a pendant 4-5 path.
+        src, dst = [], []
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    src.append(i)
+                    dst.append(j)
+        src += [3, 4]
+        dst += [4, 5]
+        g = CSRGraph.from_edges(src, dst, allocator=allocator)
+        res = k_core(g)
+        assert list(res.core_numbers[:4]) == [3, 3, 3, 3]
+        assert res.core_numbers[4] == 1 and res.core_numbers[5] == 1
+        assert res.max_core == 3
+        np.testing.assert_array_equal(res.vertices_in_core(3), [0, 1, 2, 3])
+
+    def test_self_loops_ignored(self, allocator):
+        g = CSRGraph.from_edges([0, 0], [0, 1], allocator=allocator)
+        res = k_core(g)
+        assert list(res.core_numbers) == [1, 1]
+
+    def test_empty_graph(self, allocator):
+        g = CSRGraph.from_edges([], [], n_vertices=3, allocator=allocator)
+        res = k_core(g)
+        assert (res.core_numbers == 0).all()
+        assert res.max_core == 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_networkx(self, seed, allocator):
+        import networkx as nx
+
+        src, dst = uniform_kout(80, 4, seed=seed, allow_self_loops=False)
+        g = CSRGraph.from_edges(src, dst, n_vertices=80, allocator=allocator)
+        res = k_core(g)
+        nxg = nx.Graph(zip(src.tolist(), dst.tolist()))
+        nxg.add_nodes_from(range(80))
+        expected = nx.core_number(nxg)
+        for v in range(80):
+            assert res.core_numbers[v] == expected[v], v
+
+    def test_rounds_reported(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 0], allocator=allocator)
+        assert k_core(g).rounds >= 1
+
+    def test_vertices_in_core_zero_is_everyone(self, allocator):
+        g = CSRGraph.from_edges([0], [1], n_vertices=4, allocator=allocator)
+        res = k_core(g)
+        assert res.vertices_in_core(0).size == 4
+
+    def test_core_numbers_bounded_by_degree(self, allocator):
+        src, dst = uniform_kout(60, 3, seed=9, allow_self_loops=False)
+        g = CSRGraph.from_edges(src, dst, n_vertices=60, allocator=allocator)
+        res = k_core(g)
+        undirected_degree = np.zeros(60, dtype=np.int64)
+        for s, d in zip(src.tolist(), dst.tolist()):
+            undirected_degree[s] += 1
+            undirected_degree[d] += 1
+        assert (res.core_numbers <= undirected_degree).all()
+
+    def test_works_on_compressed_replicated_graph(self, allocator):
+        from repro.core import Placement
+        from repro.graph import GraphConfig
+
+        src, dst = uniform_kout(50, 3, seed=11)
+        base = CSRGraph.from_edges(src, dst, n_vertices=50,
+                                   allocator=allocator)
+        other = CSRGraph.from_edges(
+            src, dst, n_vertices=50,
+            config=GraphConfig.compressed_all(Placement.replicated()),
+            allocator=allocator,
+        )
+        np.testing.assert_array_equal(
+            k_core(base).core_numbers, k_core(other).core_numbers
+        )
+
+    def test_twitter_like_has_deep_core(self, allocator):
+        src, dst = twitter_like(2000, seed=5)
+        g = CSRGraph.from_edges(src, dst, n_vertices=2000,
+                                allocator=allocator)
+        res = k_core(g)
+        # Power-law graphs have a dense nucleus.
+        assert res.max_core >= 5

@@ -1,0 +1,79 @@
+"""Tests for the Callisto-scheduled parallel PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    pagerank,
+    pagerank_parallel,
+    twitter_like,
+    uniform_kout,
+)
+from repro.numa import NumaAllocator, machine_2x8_haswell
+from repro.runtime import WorkerPool
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def pool(allocator):
+    return WorkerPool(allocator.machine, n_workers=4)
+
+
+class TestPagerankParallel:
+    def test_matches_sequential_exactly(self, allocator, pool):
+        src, dst = twitter_like(3000, seed=2)
+        g = CSRGraph.from_edges(src, dst, n_vertices=3000,
+                                allocator=allocator)
+        seq = pagerank(g, tolerance=1e-10, max_iterations=200)
+        par = pagerank_parallel(g, pool, tolerance=1e-10,
+                                max_iterations=200, batch=97)
+        np.testing.assert_allclose(
+            par.ranks.to_numpy(), seq.ranks.to_numpy(), atol=1e-12
+        )
+        assert par.iterations == seq.iterations
+        assert par.converged == seq.converged
+
+    def test_batch_size_does_not_change_result(self, allocator, pool):
+        src, dst = uniform_kout(500, 3, seed=4)
+        g = CSRGraph.from_edges(src, dst, n_vertices=500,
+                                allocator=allocator)
+        results = [
+            pagerank_parallel(g, pool, tolerance=1e-9, max_iterations=100,
+                              batch=b).ranks.to_numpy()
+            for b in (32, 177, 10_000)
+        ]
+        np.testing.assert_allclose(results[0], results[1], atol=1e-12)
+        np.testing.assert_allclose(results[0], results[2], atol=1e-12)
+
+    def test_dangling_vertices(self, allocator, pool):
+        g = CSRGraph.from_edges([0, 1], [2, 2], n_vertices=3,
+                                allocator=allocator)
+        res = pagerank_parallel(g, pool, tolerance=1e-12,
+                                max_iterations=500)
+        assert res.ranks.to_numpy().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_serial_pool(self, allocator):
+        serial = WorkerPool(allocator.machine, n_workers=2, mode="serial")
+        src, dst = uniform_kout(200, 3, seed=6)
+        g = CSRGraph.from_edges(src, dst, n_vertices=200,
+                                allocator=allocator)
+        res = pagerank_parallel(g, serial, tolerance=1e-8,
+                                max_iterations=100)
+        np.testing.assert_allclose(
+            res.ranks.to_numpy(),
+            pagerank(g, tolerance=1e-8, max_iterations=100).ranks.to_numpy(),
+            atol=1e-12,
+        )
+
+    def test_validation(self, allocator, pool):
+        g = CSRGraph.from_edges([0], [1], reverse=False, allocator=allocator)
+        with pytest.raises(ValueError):
+            pagerank_parallel(g, pool)
+        g2 = CSRGraph.from_edges([0], [1], allocator=allocator)
+        with pytest.raises(ValueError):
+            pagerank_parallel(g2, pool, damping=0)

@@ -1,0 +1,90 @@
+"""Tests for vertex/edge property arrays over smart arrays."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, allocate
+from repro.graph.properties import DoubleProperty, IntProperty
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestIntProperty:
+    def test_roundtrip(self, allocator):
+        p = IntProperty.from_values([5, 10, 15], allocator=allocator)
+        assert p.get(1) == 10
+        np.testing.assert_array_equal(p.to_numpy(), [5, 10, 15])
+
+    def test_auto_bits_minimum_width(self, allocator):
+        # Figure 12 compresses the out-degree property to 22 bits this way.
+        values = np.array([0, 1, (1 << 22) - 1], dtype=np.uint64)
+        p = IntProperty.from_values(values, allocator=allocator)
+        assert p.bits == 22
+
+    def test_explicit_bits(self, allocator):
+        p = IntProperty.from_values([1, 2], bits=40, allocator=allocator)
+        assert p.bits == 40
+
+    def test_set(self, allocator):
+        p = IntProperty.from_values([1, 2, 3], bits=16, allocator=allocator)
+        p.set(0, 999)
+        assert p.get(0) == 999
+
+    def test_gather(self, allocator):
+        p = IntProperty.from_values(np.arange(100), allocator=allocator)
+        np.testing.assert_array_equal(p.gather([3, 97]), [3, 97])
+
+    def test_default_placement_interleaved(self, allocator):
+        # PGX interleaves off-heap property arrays by default (section 5.2).
+        p = IntProperty.from_values([1, 2], allocator=allocator)
+        assert p.array.interleaved
+
+    def test_length(self, allocator):
+        assert IntProperty.from_values([7] * 9, allocator=allocator).length == 9
+
+
+class TestDoubleProperty:
+    def test_roundtrip_exact_bits(self, allocator):
+        values = np.array([0.0, 1.5, -2.25, 1e-300, np.pi])
+        p = DoubleProperty.from_values(values, allocator=allocator)
+        np.testing.assert_array_equal(p.to_numpy(), values)  # bit-exact
+
+    def test_get_set(self, allocator):
+        p = DoubleProperty.zeros(5, allocator=allocator)
+        p.set(2, 0.85)
+        assert p.get(2) == 0.85
+        assert p.get(0) == 0.0
+
+    def test_special_values(self, allocator):
+        values = np.array([np.inf, -np.inf, np.finfo(np.float64).max])
+        p = DoubleProperty.from_values(values, allocator=allocator)
+        np.testing.assert_array_equal(p.to_numpy(), values)
+
+    def test_nan_roundtrip(self, allocator):
+        p = DoubleProperty.from_values([np.nan], allocator=allocator)
+        assert np.isnan(p.get(0))
+
+    def test_fill_values(self, allocator):
+        p = DoubleProperty.zeros(3, allocator=allocator)
+        p.fill_values([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(p.to_numpy(), [1.0, 2.0, 3.0])
+
+    def test_gather(self, allocator):
+        p = DoubleProperty.from_values([0.1, 0.2, 0.3], allocator=allocator)
+        np.testing.assert_allclose(p.gather([2, 0]), [0.3, 0.1])
+
+    def test_requires_64_bits(self, allocator):
+        sa = allocate(4, bits=32, allocator=allocator)
+        with pytest.raises(ValueError):
+            DoubleProperty(sa)
+
+    def test_replicated_placement(self, allocator):
+        p = DoubleProperty.from_values(
+            [1.0, 2.0], placement=Placement.replicated(), allocator=allocator
+        )
+        assert p.array.replicated
+        assert p.array.n_replicas == 2

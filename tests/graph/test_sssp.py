@@ -1,0 +1,101 @@
+"""Tests for weighted single-source shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, bfs, random_weights, sssp, uniform_kout
+from repro.graph.properties import IntProperty
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestUnitWeights:
+    def test_matches_bfs(self, allocator):
+        src, dst = uniform_kout(80, 3, seed=5)
+        g = CSRGraph.from_edges(src, dst, n_vertices=80, allocator=allocator)
+        s = sssp(g, 0)
+        b = bfs(g, 0)
+        for v in range(80):
+            assert s.distance(v) == b.distance(v)
+        assert s.reached == b.reached
+
+    def test_chain(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3], allocator=allocator)
+        s = sssp(g, 0)
+        assert [s.distance(v) for v in range(4)] == [0, 1, 2, 3]
+
+    def test_unreachable(self, allocator):
+        g = CSRGraph.from_edges([0], [1], n_vertices=3, allocator=allocator)
+        s = sssp(g, 0)
+        assert s.distance(2) == -1
+        assert s.reached == 2
+
+
+class TestWeighted:
+    def test_prefers_cheaper_detour(self, allocator):
+        #  0 -> 1 (10) ;  0 -> 2 (1) ; 2 -> 1 (2): detour wins
+        g = CSRGraph.from_edges([0, 0, 2], [1, 2, 1], allocator=allocator)
+        w = IntProperty.from_values([0, 0, 0], bits=8, allocator=allocator)
+        # edge array is sorted by (src, insertion): edges of 0 are
+        # (0->1, 0->2) then (2->1); assign weights in that order.
+        w = IntProperty.from_values([10, 1, 2], bits=8, allocator=allocator)
+        s = sssp(g, 0, weights=w)
+        assert s.distance(1) == 3
+        assert s.distance(2) == 1
+
+    def test_matches_networkx_dijkstra(self, allocator):
+        import networkx as nx
+
+        src, dst = uniform_kout(60, 4, seed=9, allow_self_loops=False)
+        g = CSRGraph.from_edges(src, dst, n_vertices=60, allocator=allocator)
+        weights = random_weights(g, 1, 20, seed=2, allocator=allocator)
+        s = sssp(g, 0, weights=weights)
+
+        # Rebuild the same weighted graph in networkx; the CSR edge
+        # order defines the weight assignment.
+        gsrc, gdst = g.to_edge_list()
+        w = weights.to_numpy()
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(60))
+        for u, v, wt in zip(gsrc.tolist(), gdst.tolist(), w.tolist()):
+            # parallel edges: keep the minimum weight (sssp semantics)
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] = min(nxg[u][v]["weight"], wt)
+            else:
+                nxg.add_edge(u, v, weight=wt)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(60):
+            assert s.distance(v) == expected.get(v, -1)
+
+    def test_zero_weight_edges(self, allocator):
+        g = CSRGraph.from_edges([0, 1], [1, 2], allocator=allocator)
+        w = IntProperty.from_values([0, 0], bits=1, allocator=allocator)
+        s = sssp(g, 0, weights=w)
+        assert s.distance(2) == 0
+
+
+class TestValidation:
+    def test_source_bounds(self, allocator):
+        g = CSRGraph.from_edges([0], [1], allocator=allocator)
+        with pytest.raises(ValueError):
+            sssp(g, 5)
+
+    def test_weight_length_mismatch(self, allocator):
+        g = CSRGraph.from_edges([0], [1], allocator=allocator)
+        w = IntProperty.from_values([1, 2], bits=8, allocator=allocator)
+        with pytest.raises(ValueError):
+            sssp(g, 0, weights=w)
+
+    def test_random_weights_validation(self, allocator):
+        g = CSRGraph.from_edges([0], [1], allocator=allocator)
+        with pytest.raises(ValueError):
+            random_weights(g, low=5, high=5, allocator=allocator)
+
+    def test_rounds_reported(self, allocator):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3], allocator=allocator)
+        s = sssp(g, 0)
+        assert 1 <= s.rounds <= 4

@@ -1,0 +1,131 @@
+"""Tests for graph utilities (subgraph, reverse, symmetrize, summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement
+from repro.graph import CSRGraph, GraphConfig, triangle_count, uniform_kout
+from repro.graph.utils import (
+    degree_histogram,
+    graph_summary,
+    reverse_graph,
+    subgraph,
+    symmetrize,
+)
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def graph(allocator):
+    # 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0
+    return CSRGraph.from_edges(
+        [0, 0, 1, 2, 3], [1, 2, 2, 3, 0], allocator=allocator
+    )
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self, graph, allocator):
+        sub, ids = subgraph(graph, [0, 1, 2], allocator=allocator)
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+        src, dst = sub.to_edge_list()
+        assert sorted(zip(src.tolist(), dst.tolist())) == [
+            (0, 1), (0, 2), (1, 2)
+        ]
+
+    def test_id_compaction(self, graph, allocator):
+        sub, ids = subgraph(graph, [2, 3], allocator=allocator)
+        np.testing.assert_array_equal(ids, [2, 3])
+        src, dst = sub.to_edge_list()
+        # only edge 2 -> 3 survives, compacted to 0 -> 1
+        assert list(zip(src.tolist(), dst.tolist())) == [(0, 1)]
+
+    def test_duplicates_in_selection_ignored(self, graph, allocator):
+        sub, ids = subgraph(graph, [1, 1, 0], allocator=allocator)
+        assert sub.n_vertices == 2
+
+    def test_out_of_range_rejected(self, graph, allocator):
+        with pytest.raises(ValueError):
+            subgraph(graph, [99], allocator=allocator)
+
+    def test_preserves_reverse_flag(self, allocator):
+        g = CSRGraph.from_edges([0], [1], reverse=False, allocator=allocator)
+        sub, _ = subgraph(g, [0, 1], allocator=allocator)
+        assert not sub.has_reverse
+
+
+class TestReverse:
+    def test_edges_flipped(self, graph, allocator):
+        rev = reverse_graph(graph, allocator=allocator)
+        src, dst = rev.to_edge_list()
+        flipped = sorted(zip(src.tolist(), dst.tolist()))
+        orig_src, orig_dst = graph.to_edge_list()
+        expected = sorted(zip(orig_dst.tolist(), orig_src.tolist()))
+        assert flipped == expected
+
+    def test_double_reverse_is_identity(self, graph, allocator):
+        rr = reverse_graph(reverse_graph(graph, allocator=allocator),
+                           allocator=allocator)
+        np.testing.assert_array_equal(
+            rr.begin.to_numpy(), graph.begin.to_numpy()
+        )
+        np.testing.assert_array_equal(
+            rr.edge.to_numpy(), graph.edge.to_numpy()
+        )
+
+    def test_degrees_swap(self, graph, allocator):
+        rev = reverse_graph(graph, allocator=allocator)
+        np.testing.assert_array_equal(rev.out_degrees(), graph.in_degrees())
+
+
+class TestSymmetrize:
+    def test_both_directions_present(self, graph, allocator):
+        sym = symmetrize(graph, allocator=allocator)
+        src, dst = sym.to_edge_list()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (1, 0) in pairs and (0, 1) in pairs
+
+    def test_dedupe(self, allocator):
+        g = CSRGraph.from_edges([0, 1], [1, 0], allocator=allocator)
+        sym = symmetrize(g, allocator=allocator)
+        assert sym.n_edges == 2  # (0,1) and (1,0), not 4
+
+    def test_no_dedupe_keeps_multiplicity(self, allocator):
+        g = CSRGraph.from_edges([0, 1], [1, 0], allocator=allocator)
+        sym = symmetrize(g, dedupe=False, allocator=allocator)
+        assert sym.n_edges == 4
+
+    def test_triangle_count_on_symmetrized(self, allocator):
+        src, dst = uniform_kout(30, 3, seed=4, allow_self_loops=False)
+        g = CSRGraph.from_edges(src, dst, n_vertices=30, allocator=allocator)
+        sym = symmetrize(g, allocator=allocator)
+        assert triangle_count(sym) == triangle_count(g)
+
+    def test_config_applied(self, graph, allocator):
+        sym = symmetrize(
+            graph, config=GraphConfig(placement=Placement.replicated()),
+            allocator=allocator,
+        )
+        assert sym.begin.replicated
+
+
+class TestSummaries:
+    def test_degree_histogram(self, graph):
+        hist = degree_histogram(graph, "out")
+        # degrees: [2, 1, 1, 1] -> {1: 3, 2: 1}
+        assert hist == {1: 3, 2: 1}
+        in_hist = degree_histogram(graph, "in")
+        assert sum(d * c for d, c in in_hist.items()) == graph.n_edges
+
+    def test_degree_histogram_validation(self, graph):
+        with pytest.raises(ValueError):
+            degree_histogram(graph, "sideways")
+
+    def test_graph_summary(self, graph):
+        text = graph_summary(graph)
+        assert "V=4" in text and "avg out-degree" in text
+        assert "max in-degree" in text

@@ -1,0 +1,82 @@
+"""Tests for weighted-edge graph construction (payload alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, sssp
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestFromWeightedEdges:
+    def test_weights_follow_their_edges(self, allocator):
+        # Deliberately unsorted input: edge (2->0) first.
+        src = [2, 0, 1]
+        dst = [0, 1, 2]
+        weights = [200, 1, 12]  # weight of (2->0) is 200, etc.
+        g, w = CSRGraph.from_weighted_edges(src, dst, weights,
+                                            allocator=allocator)
+        # CSR order sorts by (src, dst): (0->1), (1->2), (2->0)
+        np.testing.assert_array_equal(w.to_numpy(), [1, 12, 200])
+        # so each edge keeps its own weight:
+        edges = list(zip(*[a.tolist() for a in g.to_edge_list()]))
+        assert edges == [(0, 1), (1, 2), (2, 0)]
+
+    def test_sssp_uses_aligned_weights(self, allocator):
+        # 0->1 costs 100 directly, 3 via 2; input edges scrambled.
+        src = [2, 0, 0]
+        dst = [1, 1, 2]
+        weights = [2, 100, 1]  # (2->1)=2, (0->1)=100, (0->2)=1
+        g, w = CSRGraph.from_weighted_edges(src, dst, weights,
+                                            allocator=allocator)
+        res = sssp(g, 0, weights=w)
+        assert res.distance(1) == 3
+        assert res.distance(2) == 1
+
+    def test_duplicate_edges_keep_their_weights(self, allocator):
+        g, w = CSRGraph.from_weighted_edges(
+            [0, 0], [1, 1], [5, 9], allocator=allocator
+        )
+        assert sorted(w.to_numpy().tolist()) == [5, 9]
+
+    def test_weight_compression(self, allocator):
+        g, w = CSRGraph.from_weighted_edges(
+            [0, 1], [1, 0], [3, 7], allocator=allocator
+        )
+        assert w.bits == 3  # minimum width for max weight 7
+
+    def test_explicit_weight_bits(self, allocator):
+        g, w = CSRGraph.from_weighted_edges(
+            [0], [1], [3], weight_bits=16, allocator=allocator
+        )
+        assert w.bits == 16
+
+    def test_misaligned_weights_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            CSRGraph.from_weighted_edges([0, 1], [1, 0], [5],
+                                         allocator=allocator)
+
+    def test_matches_networkx_on_scrambled_input(self, allocator):
+        import networkx as nx
+
+        rng = np.random.default_rng(3)
+        n, m = 40, 150
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        weights = rng.integers(1, 50, size=m)
+        g, w = CSRGraph.from_weighted_edges(src, dst, weights,
+                                            n_vertices=n,
+                                            allocator=allocator)
+        res = sssp(g, 0, weights=w)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        for u, v, wt in zip(src.tolist(), dst.tolist(), weights.tolist()):
+            if not nxg.has_edge(u, v) or nxg[u][v]["weight"] > wt:
+                nxg.add_edge(u, v, weight=wt)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(n):
+            assert res.distance(v) == expected.get(v, -1)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    assert rc == 0
+    return out
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        out = run(capsys, "table1")
+        assert "49.3" in out and "26.8" in out
+        assert "placement survey" in out
+
+    def test_machines(self, capsys):
+        out = run(capsys, "machines")
+        assert "2x8-core" in out and "2x18-core" in out
+
+    @pytest.mark.parametrize("number", [1, 2, 3, 11, 12])
+    def test_figures(self, capsys, number):
+        out = run(capsys, "figure", str(number))
+        assert out.strip()
+
+    def test_figure10_filtered(self, capsys):
+        out = run(capsys, "figure", "10", "--machine", "18-core",
+                  "--language", "Java")
+        assert "Java" in out
+        assert "8-core" not in out.replace("2x18-core", "")
+
+    def test_unknown_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+    def test_adapt(self, capsys):
+        out = run(capsys, "adapt")
+        assert "step 1" in out and "end-to-end" in out
+
+    def test_select_18core(self, capsys):
+        out = run(capsys, "select", "--machine", "18-core", "--bits", "33")
+        assert "replicated / 33b" in out
+        assert "memory bound" in out
+
+    def test_select_8core_rejects_compression(self, capsys):
+        out = run(capsys, "select", "--machine", "8-core", "--bits", "33")
+        assert "uncompressed(64b)" in out
+
+    def test_stream(self, capsys):
+        out = run(capsys, "stream", "--machine", "8-core")
+        assert "triad" in out and "8-core" in out
+
+    def test_validate(self, capsys):
+        out = run(capsys, "validate")
+        assert "paper" in out and "status" in out
+        assert "Fig 12" in out
+
+    def test_paths(self, capsys):
+        out = run(capsys, "paths")
+        assert "used for" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

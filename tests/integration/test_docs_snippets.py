@@ -1,0 +1,119 @@
+"""Documentation honesty: the README/API snippets must actually run."""
+
+import numpy as np
+import pytest
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block(self):
+        # The README's quickstart, verbatim in spirit.
+        import repro
+
+        values = np.random.default_rng(0).integers(
+            0, 2**33, size=10_000, dtype=np.uint64
+        )
+        sa = repro.allocate(len(values), replicated=True, bits=33,
+                            values=values)
+        assert sa.get(12345 % len(sa)) == int(values[12345 % len(values)])
+        sa.init(0, 42)
+        sa.unpack(0)
+        it = repro.SmartArrayIterator.allocate(sa, 0)
+        total = 0
+        for _ in range(100):
+            total += it.get()
+            it.next()
+        from repro.runtime import parallel_sum
+
+        expected = 42 + int(values[1:].astype(object).sum())
+        assert parallel_sum(sa) == expected
+
+    def test_install_surface(self):
+        # Everything the README names must import.
+        import repro
+        from repro import (
+            MachineSpec,
+            Placement,
+            SmartArray,
+            SmartArrayIterator,
+            allocate,
+            allocate_like,
+            machine_2x18_haswell,
+            machine_2x8_haswell,
+        )
+
+        assert repro.__version__
+
+
+class TestApiGuideSnippets:
+    def test_creation_forms(self):
+        import repro
+
+        for kwargs in (
+            dict(replicated=True, bits=33),
+            dict(interleaved=True, bits=64),
+            dict(pinned=0, bits=10),
+            dict(),
+        ):
+            sa = repro.allocate(100, **kwargs)
+            assert len(sa) == 100
+        sa = repro.allocate(3, bits=None, values=[1, 5, 200])
+        assert sa.bits == 8
+
+    def test_machine_context_form(self):
+        import repro
+        from repro import machine_context, machine_2x8_haswell
+
+        with machine_context(machine_2x8_haswell()):
+            sa = repro.allocate(100, replicated=True, bits=16)
+            assert sa.n_replicas == 2
+
+    def test_collections_forms(self):
+        from repro.core import (
+            DictionaryEncodedArray,
+            RandomizedArray,
+            RunLengthArray,
+            SmartMap,
+            SortedSmartMap,
+            ZoneMap,
+            allocate,
+        )
+
+        m = SmartMap.from_items([(1, 10), (2, 20)])
+        assert m[2] == 20
+        s = SortedSmartMap.from_items([(1, 10), (5, 50)])
+        assert list(s.range_query(0, 6)) == [(1, 10), (5, 50)]
+        enc = DictionaryEncodedArray.encode(np.array([9, 9, 4],
+                                                     dtype=np.uint64))
+        assert enc.count_in_range(4, 5) == 1
+        rle = RunLengthArray.encode(np.array([7, 7, 8], dtype=np.uint64))
+        assert rle.sum() == 22
+        r = RandomizedArray(allocate(10, bits=8))
+        r.fill(np.arange(10))
+        assert r[3] == 3
+        zm = ZoneMap.build(allocate(64, bits=8, values=np.arange(64)))
+        assert zm.count_in_range(0, 10) == 10
+
+    def test_adaptivity_forms(self):
+        from repro.adapt import (
+            ArrayCharacteristics,
+            MachineCapabilities,
+            WorkloadMeasurement,
+            evaluate_grid,
+            select_configuration,
+        )
+        from repro.numa import PerfCounters, machine_2x18_haswell
+
+        caps = MachineCapabilities(machine_2x18_haswell())
+        measurement = WorkloadMeasurement(
+            counters=PerfCounters(
+                time_s=0.1, instructions=5e8, bytes_from_memory=8e9,
+                memory_bandwidth_gbs=80.0, memory_bound=True,
+            ),
+            linear_accesses_per_element=10.0,
+            accesses_per_second=1e10,
+        )
+        result = select_configuration(
+            caps, ArrayCharacteristics(length=10**9, element_bits=33),
+            measurement,
+        )
+        assert result.configuration.placement is not None

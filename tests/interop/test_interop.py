@@ -1,0 +1,203 @@
+"""Tests for language bindings, boundary model, frontends, and sharing."""
+
+import numpy as np
+import pytest
+
+from repro.core import allocate
+from repro.core.errors import InteropError
+from repro.interop import (
+    CPP,
+    CPP_FRONTEND,
+    FIGURE3_BINDINGS,
+    JAVA_BUILTIN,
+    JAVA_FRONTEND,
+    JAVA_JNI,
+    JAVA_SMART,
+    JAVA_UNSAFE,
+    JavaThinSmartArray,
+    LanguageBinding,
+    Runtime,
+    SharedSmartArray,
+    aggregate_cpp,
+    aggregate_java,
+    attach_view,
+    binding_by_name,
+    estimate_scan,
+    figure3_estimates,
+    format_figure3,
+    view_of,
+)
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+class TestLanguageBindings:
+    def test_figure3_qualitative_matrix(self):
+        # The heart of Figure 3: only smart arrays are both.
+        assert CPP.performant
+        assert JAVA_BUILTIN.performant and not JAVA_BUILTIN.interoperable
+        assert JAVA_JNI.interoperable and not JAVA_JNI.performant
+        assert JAVA_UNSAFE.performant and not JAVA_UNSAFE.interoperable
+        assert JAVA_SMART.performant and JAVA_SMART.interoperable
+
+    def test_inlining_runtime_pays_no_boundary(self):
+        assert JAVA_SMART.inlines_foreign_code
+        assert JAVA_SMART.calls_per_access == 0
+        assert JAVA_SMART.runtime is Runtime.GRAALVM
+
+    def test_invalid_binding_rejected(self):
+        with pytest.raises(ValueError):
+            LanguageBinding("x", Runtime.NATIVE, -1, 0, 0, True, False)
+        with pytest.raises(ValueError):
+            # inlining + per-access calls is contradictory
+            LanguageBinding("x", Runtime.GRAALVM, 0, 5, 1, True, True)
+
+    def test_binding_by_name(self):
+        assert binding_by_name("c++") is CPP
+        assert binding_by_name("Java with JNI") is JAVA_JNI
+        with pytest.raises(KeyError):
+            binding_by_name("rust")
+
+
+class TestBoundaryModel:
+    def test_figure3_ordering(self):
+        # JNI slowest; smart arrays within ~25% of native C++.
+        est = {e.binding.name: e.time_s for e in figure3_estimates()}
+        assert est["Java with JNI"] == max(est.values())
+        assert est["C++"] == min(est.values())
+        assert est["Java with smart arrays"] <= est["C++"] * 1.4
+        assert est["Java with JNI"] >= est["C++"] * 3.0
+
+    def test_all_figure3_bars_compute_bound(self):
+        assert all(e.compute_bound for e in figure3_estimates())
+
+    def test_instructions_grow_with_overhead(self):
+        jni = estimate_scan(JAVA_JNI, 10**9)
+        cpp = estimate_scan(CPP, 10**9)
+        assert jni.counters.instructions > cpp.counters.instructions
+
+    def test_memory_floor_applies(self):
+        # With a free CPU the scan is memory-bound.
+        e = estimate_scan(CPP, 10**9, native_element_ns=0.01)
+        assert not e.compute_bound
+        assert e.time_s == pytest.approx(8e9 / 12e9, rel=1e-6)
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_scan(CPP, -1)
+
+    def test_format_figure3(self):
+        text = format_figure3(figure3_estimates(10**6))
+        assert "Java with JNI" in text and "interoperable" in text
+
+
+class TestThinApi:
+    def test_java_wrapper_roundtrip(self, allocator):
+        w = JavaThinSmartArray.allocate(50, bits=20, allocator=allocator)
+        try:
+            w.fill(np.arange(50, dtype=np.uint64))
+            assert w.get(7) == 7
+            assert w.get_length() == 50
+            assert w.get_bits() == 20
+            assert w.profile_bits() == 20
+            w.init(7, 999)
+            assert w.get_with_bits(7, 20) == 999
+        finally:
+            w.free()
+
+    def test_java_iterator_with_profiled_bits(self, allocator):
+        w = JavaThinSmartArray.allocate(100, bits=33, allocator=allocator)
+        try:
+            w.fill(np.arange(100, dtype=np.uint64))
+            bits = w.profile_bits()
+            it = w.iterator(0)
+            total = 0
+            for _ in range(100):
+                total += it.get(bits)
+                it.next(bits)
+            it.free()
+            assert total == sum(range(100))
+        finally:
+            w.free()
+
+    def test_cpp_and_java_aggregations_agree(self, allocator):
+        # Function 4: the two language versions compute the same thing
+        # over the same underlying array.
+        sa = allocate(200, bits=33, values=np.arange(200), allocator=allocator)
+        assert aggregate_cpp(sa) == aggregate_java(sa) == sum(range(200))
+
+    def test_frontends_run_aggregate(self, allocator):
+        sa = allocate(64, bits=16, values=np.arange(64), allocator=allocator)
+        assert CPP_FRONTEND.run_aggregate(sa) == sum(range(64))
+        assert JAVA_FRONTEND.run_aggregate(sa) == sum(range(64))
+
+    def test_wrap_shares_not_copies(self, allocator):
+        sa = allocate(10, bits=8, values=np.arange(10), allocator=allocator)
+        w = JavaThinSmartArray.wrap(sa)
+        try:
+            sa.init(3, 99)          # native-side write ...
+            assert w.get(3) == 99   # ... visible through the Java view
+        finally:
+            w.free()
+
+
+class TestZeroCopyViews:
+    def test_view_of_decodes(self, allocator):
+        sa = allocate(100, bits=33, values=np.arange(100), allocator=allocator)
+        v = view_of(sa)
+        assert v.get(42) == 42
+        np.testing.assert_array_equal(v.to_numpy(), np.arange(100))
+        assert v[-1] == 99 and len(v) == 100
+
+    def test_view_is_zero_copy(self, allocator):
+        sa = allocate(10, bits=8, values=np.arange(10), allocator=allocator)
+        v = view_of(sa)
+        sa.init(5, 200)
+        assert v.get(5) == 200  # no copy: mutation visible through view
+
+    def test_attach_view_from_raw_bytes(self, allocator):
+        sa = allocate(64, bits=12, values=np.arange(64), allocator=allocator)
+        raw = bytes(sa.get_replica(0).data)  # simulate crossing a boundary
+        v = attach_view(raw, 64, 12)
+        np.testing.assert_array_equal(v.to_numpy(), np.arange(64))
+
+    def test_attach_view_too_small_buffer(self):
+        with pytest.raises(InteropError):
+            attach_view(b"\x00" * 8, 64, 12)
+
+    def test_view_bounds_checked(self, allocator):
+        sa = allocate(10, bits=8, allocator=allocator)
+        v = view_of(sa)
+        with pytest.raises(Exception):
+            v.get(10)
+
+
+class TestSharedMemory:
+    def test_create_attach_roundtrip(self):
+        values = np.arange(500, dtype=np.uint64)
+        with SharedSmartArray.create(values, bits=33) as owner:
+            other = SharedSmartArray.attach(owner.name, 500, 33)
+            try:
+                assert other.get(123) == 123
+                np.testing.assert_array_equal(other.to_numpy(), values)
+            finally:
+                other.close()
+
+    def test_auto_bits(self):
+        with SharedSmartArray.create([1, 2, 1000]) as shm:
+            assert shm.bits == 10
+            assert shm.get(2) == 1000
+
+    def test_closed_access_rejected(self):
+        shm = SharedSmartArray.create([1, 2, 3])
+        shm.close()
+        with pytest.raises(InteropError):
+            shm.get(0)
+
+    def test_len(self):
+        with SharedSmartArray.create([5, 6, 7]) as shm:
+            assert len(shm) == 3

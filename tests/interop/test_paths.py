@@ -1,0 +1,54 @@
+"""Tests for the Figure 7 interoperability-path model."""
+
+import pytest
+
+from repro.interop import (
+    InteropPath,
+    PATHS,
+    format_paths,
+    path_cost_per_element,
+)
+
+
+class TestPaths:
+    def test_three_paths_defined(self):
+        assert set(PATHS) == set(InteropPath)
+        assert len(InteropPath) == 3
+
+    def test_cost_ordering(self):
+        # Path 1 free, path 2 cheap, path 3 most expensive per call.
+        assert PATHS[InteropPath.SULONG_INLINED].call_overhead_ns == 0.0
+        assert (
+            PATHS[InteropPath.JNI_UNSAFE].call_overhead_ns
+            < PATHS[InteropPath.TRUFFLE_NFI].call_overhead_ns
+        )
+
+    def test_amortized_costs_negligible_for_assigned_roles(self):
+        # The paper's routing keeps every path's per-element overhead
+        # far below the ~2 ns native element cost.
+        costs = path_cost_per_element(10**9, batch=4096)
+        for path, cost in costs.items():
+            assert cost < 0.01, path
+
+    def test_jni_per_element_would_be_ruinous(self):
+        # ... whereas calling path 2 per *element* is the Figure 3 JNI
+        # disaster: the cost_ns helper makes the contrast explicit.
+        per_element_calls = PATHS[InteropPath.JNI_UNSAFE].cost_ns(10**9)
+        assert per_element_calls / 10**9 == pytest.approx(5.0)  # ns/elem
+
+    def test_batch_size_matters_for_path2(self):
+        small = path_cost_per_element(10**6, batch=64)
+        large = path_cost_per_element(10**6, batch=65536)
+        assert small[InteropPath.JNI_UNSAFE] > large[InteropPath.JNI_UNSAFE]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            path_cost_per_element(0)
+        with pytest.raises(ValueError):
+            path_cost_per_element(10, batch=0)
+
+    def test_format(self):
+        text = format_paths()
+        assert "Callisto" in text and "Sulong".lower() in text.lower() or \
+            "inlined" in text
+        assert "used for" in text

@@ -1,0 +1,101 @@
+"""Tests for the width-specialization closures (GraalVM-profiling analogue)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import allocate
+from repro.interop.specialize import specialized_getter, specialized_scan
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+def make(bits, n, allocator, replicated=False):
+    rng = np.random.default_rng(bits)
+    hi = (1 << bits) - 1
+    values = rng.integers(0, hi + 1 if hi < 2**63 else 2**63, size=n,
+                          dtype=np.uint64)
+    sa = allocate(n, bits=bits, values=values, replicated=replicated,
+                  allocator=allocator)
+    return sa, values
+
+
+class TestSpecializedGetter:
+    @pytest.mark.parametrize("bits", [1, 10, 32, 33, 63, 64])
+    def test_matches_generic_get(self, bits, allocator):
+        sa, values = make(bits, 150, allocator)
+        get = specialized_getter(sa)
+        for i in (0, 63, 64, 100, 149):
+            assert get(i) == sa.get(i) == int(values[i])
+
+    def test_bounds_checked(self, allocator):
+        sa, _ = make(33, 10, allocator)
+        get = specialized_getter(sa)
+        with pytest.raises(IndexError):
+            get(10)
+        with pytest.raises(IndexError):
+            get(-1)
+
+    def test_socket_binds_replica(self, allocator):
+        sa, values = make(16, 80, allocator, replicated=True)
+        get = specialized_getter(sa, socket=1)
+        assert get(40) == int(values[40])
+
+    def test_closure_sees_later_mutations(self, allocator):
+        # Specialization pins the width, not the data (like the JIT).
+        sa, _ = make(33, 64, allocator)
+        get = specialized_getter(sa)
+        sa.init(7, 12345)
+        assert get(7) == 12345
+
+
+class TestSpecializedScan:
+    @pytest.mark.parametrize("bits", [10, 32, 33, 64])
+    def test_full_scan_sum(self, bits, allocator):
+        sa, values = make(bits, 200, allocator)
+        scan = specialized_scan(sa)
+        assert scan(0, 200) == int(values.astype(object).sum())
+
+    @pytest.mark.parametrize("bits", [33, 64])
+    def test_partial_ranges(self, bits, allocator):
+        sa, values = make(bits, 200, allocator)
+        scan = specialized_scan(sa)
+        assert scan(50, 130) == int(values[50:130].astype(object).sum())
+        assert scan(10, 10) == 0
+
+    def test_bounds(self, allocator):
+        sa, _ = make(33, 20, allocator)
+        scan = specialized_scan(sa)
+        with pytest.raises(IndexError):
+            scan(0, 21)
+        with pytest.raises(IndexError):
+            scan(5, 3)
+
+    def test_exact_for_wide_values(self, allocator):
+        big = (1 << 64) - 1
+        sa = allocate(100, bits=64,
+                      values=np.full(100, big, dtype=np.uint64),
+                      allocator=allocator)
+        assert specialized_scan(sa)(0, 100) == 100 * big
+
+
+@settings(max_examples=25, deadline=None)
+@given(bits=st.integers(min_value=1, max_value=64), data=st.data())
+def test_property_specialized_equals_generic(bits, data):
+    """Specialized closures and generic methods always agree."""
+    allocator = NumaAllocator(machine_2x8_haswell())
+    n = data.draw(st.integers(min_value=1, max_value=200))
+    index = data.draw(st.integers(min_value=0, max_value=n - 1))
+    rng = np.random.default_rng(n)
+    hi = (1 << bits) - 1
+    values = rng.integers(0, hi + 1 if hi < 2**63 else 2**63, size=n,
+                          dtype=np.uint64)
+    sa = allocate(n, bits=bits, values=values, allocator=allocator)
+    assert specialized_getter(sa)(index) == sa.get(index)
+    from repro.core import sum_range
+
+    assert specialized_scan(sa)(0, n) == sum_range(sa)

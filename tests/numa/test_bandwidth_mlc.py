@@ -1,0 +1,203 @@
+"""Tests for the bandwidth roofline model and the MLC/Table-1 probes.
+
+These lock in the *shape* relations the paper's evaluation depends on
+(section 5.1): which placement wins on which machine, and why.
+"""
+
+import pytest
+
+from repro.core import Placement
+from repro.numa import (
+    BandwidthModel,
+    MlcReport,
+    PerfCounters,
+    format_table1,
+    machine_2x18_haswell,
+    machine_2x8_haswell,
+    measure,
+    placement_survey,
+)
+
+
+@pytest.fixture
+def m8():
+    return machine_2x8_haswell()
+
+
+@pytest.fixture
+def m18():
+    return machine_2x18_haswell()
+
+
+class TestStreamRooflines:
+    def test_replicated_is_best_on_both_machines(self, m8, m18):
+        for m in (m8, m18):
+            bm = BandwidthModel(m)
+            repl = bm.replicated_gbs()
+            assert repl > bm.single_socket_gbs()
+            assert repl > bm.interleaved_gbs()
+            assert repl > bm.os_default_gbs(multithreaded_init=True)
+
+    def test_single_beats_interleaved_on_8core(self, m8):
+        # One QPI link: interconnect-starved interleaving (section 5.1).
+        bm = BandwidthModel(m8)
+        assert bm.single_socket_gbs() > bm.interleaved_gbs()
+
+    def test_interleaved_beats_single_on_18core(self, m18):
+        # Three QPI links flip the verdict (section 5.1).
+        bm = BandwidthModel(m18)
+        assert bm.interleaved_gbs() > bm.single_socket_gbs()
+
+    def test_figure2_bandwidth_annotations(self, m18):
+        """Fig. 2's measured GB/s: 43 (single), 71 (interleaved),
+        80 (replicated) — the model must land within ~10%."""
+        bm = BandwidthModel(m18)
+        assert bm.single_socket_gbs() == pytest.approx(43.0, rel=0.10)
+        assert bm.interleaved_gbs() == pytest.approx(71.0, rel=0.10)
+        assert bm.replicated_gbs() == pytest.approx(80.0, rel=0.10)
+
+    def test_os_default_single_threaded_equals_single_socket(self, m8):
+        bm = BandwidthModel(m8)
+        assert bm.os_default_gbs(False) == bm.single_socket_gbs()
+
+    def test_os_default_multithreaded_between_single_and_interleaved(
+        self, m8, m18
+    ):
+        # Section 5.2: "the execution time of the ... OS default
+        # placements varies between ... single socket and interleaved".
+        for m in (m8, m18):
+            bm = BandwidthModel(m)
+            lo, hi = sorted([bm.single_socket_gbs(), bm.interleaved_gbs()])
+            assert lo <= bm.os_default_gbs(True) <= hi
+
+    def test_stream_gbs_dispatch(self, m18):
+        bm = BandwidthModel(m18)
+        assert bm.stream_gbs(Placement.replicated()) == bm.replicated_gbs()
+        assert bm.stream_gbs(Placement.single_socket(0)) == bm.single_socket_gbs(0)
+        assert bm.stream_gbs(Placement.interleaved()) == bm.interleaved_gbs()
+        assert bm.stream_gbs(Placement.os_default()) == bm.os_default_gbs(False)
+
+    def test_validation(self, m18):
+        with pytest.raises(ValueError):
+            BandwidthModel(m18, mlp=0)
+        with pytest.raises(ValueError):
+            BandwidthModel(m18, os_default_blend=2.0)
+
+
+class TestInterconnectShare:
+    def test_replicated_no_interconnect_traffic(self, m8):
+        bm = BandwidthModel(m8)
+        assert bm.interconnect_share(Placement.replicated()) == 0.0
+
+    def test_interleaved_half_remote(self, m8):
+        bm = BandwidthModel(m8)
+        assert bm.interconnect_share(Placement.interleaved()) == pytest.approx(0.5)
+
+    def test_single_socket_share_bounded_by_link(self, m8):
+        bm = BandwidthModel(m8)
+        share = bm.interconnect_share(Placement.single_socket(0))
+        # With an 8 GB/s link and ~48 GB/s total, remote threads can pull
+        # only a small fraction.
+        assert 0.0 < share < 0.25
+
+    def test_os_default_share_between(self, m18):
+        bm = BandwidthModel(m18)
+        single = bm.interconnect_share(Placement.single_socket(0))
+        inter = bm.interconnect_share(Placement.interleaved())
+        osd = bm.interconnect_share(Placement.os_default(), multithreaded_init=True)
+        lo, hi = sorted([single, inter])
+        assert lo <= osd <= hi
+
+
+class TestRandomAccess:
+    def test_latency_ordering(self, m8):
+        bm = BandwidthModel(m8)
+        local = bm.random_access_latency_ns(Placement.replicated())
+        single = bm.random_access_latency_ns(Placement.single_socket(0))
+        inter = bm.random_access_latency_ns(Placement.interleaved())
+        assert local == m8.sockets[0].local_latency_ns
+        assert local < single <= inter or local < inter
+
+    def test_replicated_random_fastest(self, m8):
+        bm = BandwidthModel(m8)
+        assert bm.random_access_gbs(Placement.replicated()) >= bm.random_access_gbs(
+            Placement.interleaved()
+        )
+
+    def test_random_capped_by_stream_roofline(self, m8):
+        bm = BandwidthModel(m8, mlp=1000.0)
+        assert bm.random_access_gbs(Placement.interleaved()) <= bm.stream_gbs(
+            Placement.interleaved(), multithreaded_init=True
+        )
+
+
+class TestMlc:
+    def test_table1_values_8core(self, m8):
+        r = measure(m8)
+        assert r.local_latency_ns == 77.0
+        assert r.remote_latency_ns == 130.0
+        assert r.local_bandwidth_gbs == 49.3
+        assert r.remote_bandwidth_gbs == 8.0
+        assert r.total_local_bandwidth_gbs == pytest.approx(98.6)
+
+    def test_table1_values_18core(self, m18):
+        r = measure(m18)
+        assert r.local_latency_ns == 85.0
+        assert r.remote_latency_ns == 132.0
+        assert r.local_bandwidth_gbs == 43.8
+        assert r.remote_bandwidth_gbs == 26.8
+
+    def test_format_table1_contains_all_rows(self, m8, m18):
+        text = format_table1([measure(m8), measure(m18)])
+        for needle in (
+            "Clock rate", "Memory/socket", "Local latency", "Remote latency",
+            "Local B/W", "Remote B/W", "Total local B/W",
+            "49.3", "43.8", "8.0", "26.8", "77", "85",
+        ):
+            assert needle in text
+
+    def test_placement_survey(self, m18):
+        rows = placement_survey(m18)
+        assert len(rows) == 3
+        assert any("replicated" in r for r in rows)
+
+
+class TestPerfCounters:
+    def test_exec_rate(self):
+        c = PerfCounters(
+            time_s=2.0, instructions=4e9, bytes_from_memory=8e9,
+            memory_bandwidth_gbs=4.0,
+        )
+        assert c.exec_rate == pytest.approx(2e9)
+
+    def test_values_per_second(self):
+        c = PerfCounters(
+            time_s=2.0, instructions=4e9, bytes_from_memory=8e9,
+            memory_bandwidth_gbs=4.0,
+        )
+        assert c.values_per_second(1e9) == pytest.approx(5e8)
+        with pytest.raises(ValueError):
+            c.values_per_second(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerfCounters(time_s=0, instructions=1, bytes_from_memory=1,
+                         memory_bandwidth_gbs=1)
+        with pytest.raises(ValueError):
+            PerfCounters(time_s=1, instructions=-1, bytes_from_memory=1,
+                         memory_bandwidth_gbs=1)
+
+    def test_scaled_to(self):
+        c = PerfCounters(time_s=1.0, instructions=1e9, bytes_from_memory=1e9,
+                         memory_bandwidth_gbs=1.0)
+        d = c.scaled_to(10)
+        assert d.time_s == 10.0 and d.instructions == 1e10
+        assert d.memory_bandwidth_gbs == 1.0  # rates unchanged
+        with pytest.raises(ValueError):
+            c.scaled_to(0)
+
+    def test_summary_and_label(self):
+        c = PerfCounters(time_s=0.5, instructions=2e9, bytes_from_memory=1e9,
+                         memory_bandwidth_gbs=2.0, interconnect_gbs=1.0)
+        s = c.with_label("agg").summary()
+        assert "agg" in s and "500.0 ms" in s and "qpi" in s

@@ -1,0 +1,125 @@
+"""Tests for the AutoNUMA page-migration simulator.
+
+The paper disables AutoNUMA because it "requires several iterations to
+stabilize its final data placement" (section 5); these tests make that
+claim — and the churn risk on shared data — observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.numa import (
+    AutoNumaSimulator,
+    PageMap,
+    machine_2x8_haswell,
+    partitioned_accessor,
+    shared_accessor,
+    single_socket_accessor,
+)
+
+
+@pytest.fixture
+def machine():
+    return machine_2x8_haswell()
+
+
+def interleaved_pages(n_pages, machine):
+    return PageMap.interleaved(
+        n_pages * machine.page_bytes, machine.n_sockets, machine.page_bytes
+    )
+
+
+class TestConvergence:
+    def test_single_socket_accessor_pulls_pages_local(self, machine):
+        pm = interleaved_pages(1000, machine)
+        sim = AutoNumaSimulator(machine, pm, seed=1)
+        sampler = single_socket_accessor(1, machine.n_sockets)
+        sim.run(sampler, periods=10)
+        # All pages end up on the accessing socket.
+        assert (pm.page_to_socket == 1).all()
+        assert sim.final_locality(sampler) == 1.0
+
+    def test_stabilization_takes_multiple_periods(self, machine):
+        # The paper's complaint: budget-limited migration needs several
+        # scan periods before placement stops changing.
+        pm = interleaved_pages(1000, machine)
+        sim = AutoNumaSimulator(machine, pm, migration_budget=0.1, seed=2)
+        sim.run(single_socket_accessor(0, machine.n_sockets), periods=12)
+        stable_at = sim.periods_to_stabilize()
+        assert stable_at is not None
+        assert stable_at >= 4  # half the pages at 10%/period: >= 5 moves
+
+    def test_locality_improves_monotonically_ish(self, machine):
+        pm = interleaved_pages(2000, machine)
+        sim = AutoNumaSimulator(machine, pm, migration_budget=0.2, seed=3)
+        stats = sim.run(partitioned_accessor(machine.n_sockets), periods=8)
+        assert stats[-1].locality > stats[0].locality
+        assert stats[-1].locality > 0.95
+
+    def test_partitioned_access_reaches_perfect_split(self, machine):
+        pm = interleaved_pages(1000, machine)
+        sim = AutoNumaSimulator(machine, pm, seed=4)
+        sim.run(partitioned_accessor(machine.n_sockets), periods=10)
+        # first half on socket 0, second half on socket 1
+        assert (pm.page_to_socket[:500] == 0).all()
+        assert (pm.page_to_socket[500:] == 1).all()
+
+
+class TestSharedDataChurn:
+    def test_shared_access_gains_nothing(self, machine):
+        # The paper's workload shape: every socket touches every page.
+        pm = interleaved_pages(2000, machine)
+        sim = AutoNumaSimulator(machine, pm, seed=5)
+        stats = sim.run(shared_accessor(machine.n_sockets), periods=10)
+        # Locality hovers at 1/n_sockets regardless of migration effort.
+        assert stats[-1].locality == pytest.approx(0.5, abs=0.05)
+
+    def test_hysteresis_limits_churn_on_shared_data(self, machine):
+        pm = interleaved_pages(2000, machine)
+        sim = AutoNumaSimulator(machine, pm, dominance_threshold=0.75,
+                                seed=6)
+        stats = sim.run(shared_accessor(machine.n_sockets), periods=5)
+        # With Poisson-balanced access, few pages show 75% dominance.
+        total_moved = sum(s.pages_migrated for s in stats)
+        assert total_moved < 0.05 * 2000 * 5
+
+
+class TestMechanics:
+    def test_budget_limits_per_period_moves(self, machine):
+        pm = interleaved_pages(1000, machine)
+        sim = AutoNumaSimulator(machine, pm, migration_budget=0.05, seed=7)
+        stats = sim.run_period(single_socket_accessor(0, machine.n_sockets))
+        assert stats.pages_migrated <= 50
+
+    def test_cumulative_counter(self, machine):
+        pm = interleaved_pages(100, machine)
+        sim = AutoNumaSimulator(machine, pm, seed=8)
+        stats = sim.run(single_socket_accessor(0, machine.n_sockets), 5)
+        assert stats[-1].cumulative_migrations == sum(
+            s.pages_migrated for s in stats
+        )
+
+    def test_validation(self, machine):
+        pm = interleaved_pages(10, machine)
+        with pytest.raises(ValueError):
+            AutoNumaSimulator(machine, pm, dominance_threshold=0.4)
+        with pytest.raises(ValueError):
+            AutoNumaSimulator(machine, pm, migration_budget=0)
+        sim = AutoNumaSimulator(machine, pm)
+        with pytest.raises(ValueError):
+            sim.run(shared_accessor(2), periods=0)
+
+    def test_bad_sampler_shape(self, machine):
+        pm = interleaved_pages(10, machine)
+        sim = AutoNumaSimulator(machine, pm)
+        with pytest.raises(ValueError):
+            sim.run_period(lambda n, rng: np.zeros((n, 5), dtype=np.int64))
+
+    def test_deterministic_by_seed(self, machine):
+        results = []
+        for _ in range(2):
+            pm = interleaved_pages(500, machine)
+            sim = AutoNumaSimulator(machine, pm, seed=42)
+            stats = sim.run(partitioned_accessor(machine.n_sockets), 5)
+            results.append([s.locality for s in stats])
+        assert results[0] == results[1]

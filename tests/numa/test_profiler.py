@@ -1,0 +1,109 @@
+"""Tests for the functional-run profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import SmartArrayIterator, allocate, sum_range
+from repro.numa import NumaAllocator, machine_2x8_haswell
+from repro.numa.profiler import (
+    FunctionalProfiler,
+    calibrate_host_rate,
+)
+
+
+@pytest.fixture
+def allocator():
+    return NumaAllocator(machine_2x8_haswell())
+
+
+@pytest.fixture
+def array(allocator):
+    return allocate(1000, bits=33, values=np.arange(1000),
+                    allocator=allocator)
+
+
+class TestFunctionalProfiler:
+    def test_counts_bulk_decode(self, array):
+        with FunctionalProfiler([array]) as prof:
+            array.to_numpy()
+        run = prof.result
+        assert run is not None
+        assert run.operations["bulk_elements_read"] == 1000
+        assert run.counters.bytes_from_memory >= 1000 * 33 / 8
+        assert run.counters.time_s > 0
+
+    def test_counts_iterator_scan(self, array):
+        with FunctionalProfiler([array], label="scan") as prof:
+            sum_range(array)
+        run = prof.result
+        assert run.operations["chunk_unpacks"] == 16  # ceil(1000/64)
+        assert run.counters.label == "scan"
+
+    def test_only_measures_inside_context(self, array):
+        array.to_numpy()  # before: not counted
+        with FunctionalProfiler([array]) as prof:
+            array.get(5)
+        assert prof.result.operations["scalar_gets"] == 1
+        assert prof.result.operations["bulk_elements_read"] == 0
+
+    def test_multiple_arrays(self, allocator):
+        a = allocate(100, bits=8, values=np.arange(100), allocator=allocator)
+        b = allocate(100, bits=64, values=np.arange(100), allocator=allocator)
+        with FunctionalProfiler([a, b]) as prof:
+            a.to_numpy()
+            b.to_numpy()
+        assert prof.result.operations["bulk_elements_read"] == 200
+        # 100 elements at 1 B/elem plus 100 at 8 B/elem
+        assert prof.result.counters.bytes_from_memory == 100 * 1 + 100 * 8
+
+    def test_exception_leaves_no_result(self, array):
+        with pytest.raises(RuntimeError):
+            with FunctionalProfiler([array]) as prof:
+                raise RuntimeError("boom")
+        assert prof.result is None
+
+    def test_memory_bound_classification(self, array):
+        # An absurdly low host rate labels everything memory-bound ...
+        with FunctionalProfiler([array], host_stream_rate=1e-3) as prof:
+            array.to_numpy()
+        assert prof.result.counters.memory_bound
+        # ... an absurdly high one labels it compute-bound.
+        with FunctionalProfiler([array], host_stream_rate=1e15) as prof:
+            array.to_numpy()
+        assert not prof.result.counters.memory_bound
+
+    def test_validation(self, array):
+        with pytest.raises(ValueError):
+            FunctionalProfiler([])
+        with pytest.raises(ValueError):
+            FunctionalProfiler([array], host_stream_rate=0)
+
+    def test_feeds_adaptivity(self, array, allocator):
+        # The profiled counters slot straight into the §6 selector.
+        from repro.adapt import (
+            ArrayCharacteristics,
+            MachineCapabilities,
+            WorkloadMeasurement,
+            select_configuration,
+        )
+
+        with FunctionalProfiler([array]) as prof:
+            sum_range(array)
+        measurement = WorkloadMeasurement(
+            counters=prof.result.counters,
+            linear_accesses_per_element=10.0,
+            accesses_per_second=1000 / prof.result.wall_time_s,
+        )
+        caps = MachineCapabilities(machine_2x8_haswell())
+        result = select_configuration(
+            caps, ArrayCharacteristics(length=1000, element_bits=33),
+            measurement,
+        )
+        assert result.configuration.placement is not None
+
+
+class TestCalibration:
+    def test_calibrate_host_rate(self):
+        rate = calibrate_host_rate(sample_bytes=4 << 20)
+        # Any host decodes between 100 MB/s and 1 TB/s.
+        assert 1e8 < rate < 1e12

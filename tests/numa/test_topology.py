@@ -1,0 +1,118 @@
+"""Tests for the machine topology model and Table 1 presets."""
+
+import pytest
+
+from repro.numa import (
+    GIB,
+    InterconnectSpec,
+    MachineSpec,
+    SocketSpec,
+    machine_2x18_haswell,
+    machine_2x8_haswell,
+    machine_by_name,
+)
+
+
+class TestPresets:
+    """Table 1's exact numbers must be encoded in the presets."""
+
+    def test_8core_matches_table1(self):
+        m = machine_2x8_haswell()
+        s = m.sockets[0]
+        assert m.n_sockets == 2
+        assert s.cores == 8 and s.threads_per_core == 2
+        assert s.clock_ghz == 2.4
+        assert s.memory_bytes == 128 * GIB
+        assert s.local_latency_ns == 77.0
+        assert m.interconnect.latency_ns == 130.0
+        assert s.local_bandwidth_gbs == 49.3
+        assert m.interconnect.bandwidth_gbs == 8.0
+        assert m.total_local_bandwidth_gbs == pytest.approx(98.6)
+
+    def test_18core_matches_table1(self):
+        m = machine_2x18_haswell()
+        s = m.sockets[0]
+        assert s.cores == 18 and s.clock_ghz == 2.3
+        assert s.memory_bytes == 192 * GIB
+        assert s.local_latency_ns == 85.0
+        assert m.interconnect.latency_ns == 132.0
+        assert s.local_bandwidth_gbs == 43.8
+        assert m.interconnect.bandwidth_gbs == 26.8
+        assert m.interconnect.links == 3
+        assert m.total_local_bandwidth_gbs == pytest.approx(87.6)
+
+    def test_by_name(self):
+        assert machine_by_name("8-core").sockets[0].cores == 8
+        assert machine_by_name("m18").sockets[0].cores == 18
+        with pytest.raises(KeyError):
+            machine_by_name("bogus")
+
+
+class TestAggregates:
+    def test_core_and_thread_counts(self):
+        m = machine_2x18_haswell()
+        assert m.total_cores == 36
+        assert m.total_hardware_threads == 72
+        assert m.sockets[0].hardware_threads == 36
+
+    def test_total_memory(self):
+        assert machine_2x8_haswell().total_memory_bytes == 256 * GIB
+
+    def test_describe_mentions_key_figures(self):
+        text = machine_2x8_haswell().describe()
+        assert "49.3" in text and "8" in text
+
+
+class TestThreadMapping:
+    def test_socket_of_thread(self):
+        m = machine_2x8_haswell()  # 16 threads per socket
+        assert m.socket_of_thread(0) == 0
+        assert m.socket_of_thread(15) == 0
+        assert m.socket_of_thread(16) == 1
+        assert m.socket_of_thread(31) == 1
+
+    def test_socket_of_thread_out_of_range(self):
+        m = machine_2x8_haswell()
+        with pytest.raises(ValueError):
+            m.socket_of_thread(32)
+        with pytest.raises(ValueError):
+            m.socket_of_thread(-1)
+
+    def test_threads_on_socket(self):
+        m = machine_2x8_haswell()
+        assert list(m.threads_on_socket(0)) == list(range(16))
+        assert list(m.threads_on_socket(1)) == list(range(16, 32))
+        with pytest.raises(ValueError):
+            m.threads_on_socket(2)
+
+
+class TestValidation:
+    def test_bad_socket_spec(self):
+        with pytest.raises(ValueError):
+            SocketSpec(0, 2, 2.0, GIB, 50.0, 80.0)
+        with pytest.raises(ValueError):
+            SocketSpec(8, 2, -1.0, GIB, 50.0, 80.0)
+        with pytest.raises(ValueError):
+            SocketSpec(8, 2, 2.0, 0, 50.0, 80.0)
+
+    def test_bad_interconnect(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec(bandwidth_gbs=0, latency_ns=100)
+        with pytest.raises(ValueError):
+            InterconnectSpec(bandwidth_gbs=8, latency_ns=100, links=0)
+
+    def test_bad_machine(self):
+        sock = SocketSpec(8, 2, 2.0, GIB, 50.0, 80.0)
+        ic = InterconnectSpec(8.0, 130.0)
+        with pytest.raises(ValueError):
+            MachineSpec("m", (), ic)
+        with pytest.raises(ValueError):
+            MachineSpec("m", (sock,), ic, page_bytes=1000)  # not a power of 2
+        with pytest.raises(ValueError):
+            MachineSpec("m", (sock,), ic, remote_efficiency=1.5)
+
+    def test_validate_socket(self):
+        m = machine_2x8_haswell()
+        assert m.validate_socket(1) == 1
+        with pytest.raises(ValueError):
+            m.validate_socket(2)

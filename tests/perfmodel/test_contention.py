@@ -1,0 +1,109 @@
+"""Tests for the co-runner contention model (§7's system-load story)."""
+
+import pytest
+
+from repro.core import Placement
+from repro.numa import machine_2x18_haswell
+from repro.perfmodel import aggregation_profile
+from repro.perfmodel.contention import (
+    bandwidth_hog,
+    cpu_hog,
+    simulate_contended,
+)
+
+
+@pytest.fixture
+def machine():
+    return machine_2x18_haswell()
+
+
+class TestContention:
+    def test_solo_equals_engine(self, machine):
+        run = simulate_contended(
+            aggregation_profile(64), None, machine, Placement.replicated()
+        )
+        assert run.slowdown == pytest.approx(1.0)
+        # 8.0 GB (1e9 x 64-bit) at ~80.6 GB/s.
+        assert run.counters.time_s == pytest.approx(8.0 / 80.6, rel=0.02)
+
+    def test_any_corunner_slows_things_down(self, machine):
+        for hog in (cpu_hog(machine), bandwidth_hog(machine)):
+            run = simulate_contended(
+                aggregation_profile(33), hog, machine, Placement.replicated()
+            )
+            assert run.slowdown > 1.0
+
+    def test_cpu_hog_flips_compressed_scan_to_compute_bound(self, machine):
+        # Compressed scans have high instruction counts; losing half the
+        # cores makes compute the bottleneck.
+        solo = simulate_contended(
+            aggregation_profile(33), None, machine, Placement.replicated()
+        )
+        contended = simulate_contended(
+            aggregation_profile(33), cpu_hog(machine), machine,
+            Placement.replicated(), thread_share=0.4,
+        )
+        assert not solo.memory_bound or contended.slowdown > 1
+        assert not contended.memory_bound
+
+    def test_bandwidth_hog_keeps_scan_memory_bound(self, machine):
+        run = simulate_contended(
+            aggregation_profile(64), bandwidth_hog(machine), machine,
+            Placement.replicated(), thread_share=0.9,
+        )
+        assert run.memory_bound
+        assert run.counters.memory_bandwidth_gbs < 80.6  # throttled
+
+    def test_uncompressed_suffers_more_from_bandwidth_hog(self, machine):
+        # Compression's bandwidth saving is worth more under contention.
+        unc = simulate_contended(
+            aggregation_profile(64), bandwidth_hog(machine), machine,
+            Placement.replicated(), thread_share=0.9,
+        )
+        comp = simulate_contended(
+            aggregation_profile(33), bandwidth_hog(machine), machine,
+            Placement.replicated(), thread_share=0.9,
+        )
+        assert unc.slowdown > comp.slowdown * 0.99
+
+    def test_feeds_dynamic_controller(self, machine):
+        # The §7 loop: contended counters -> drift -> reconfiguration.
+        from repro.adapt import (
+            AdaptiveController,
+            ArrayCharacteristics,
+            MachineCapabilities,
+            WorkloadMeasurement,
+        )
+
+        caps = MachineCapabilities(machine)
+        array = ArrayCharacteristics(length=10**9, element_bits=33)
+        solo = simulate_contended(
+            aggregation_profile(64), None, machine, Placement.interleaved()
+        )
+        base = WorkloadMeasurement(
+            counters=solo.counters,
+            linear_accesses_per_element=10.0,
+            accesses_per_second=1e9 / solo.counters.time_s,
+        )
+        ctl = AdaptiveController(caps, array, base, window=3)
+        assert ctl.configuration.bits == 33  # compression chosen solo
+
+        # The workload now runs compressed; a CPU hog steals 3/4 of the
+        # machine, so the compressed scan's own counters turn
+        # compute-bound — that is what the controller observes.
+        contended = simulate_contended(
+            aggregation_profile(33), cpu_hog(machine), machine,
+            Placement.interleaved(), thread_share=0.25,
+        )
+        assert not contended.memory_bound
+        for _ in range(6):
+            ctl.observe(contended.counters)
+        # With most compute stolen, compression gets dropped.
+        assert ctl.configuration.bits == 64
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            simulate_contended(
+                aggregation_profile(64), None, machine,
+                Placement.replicated(), thread_share=0.0,
+            )

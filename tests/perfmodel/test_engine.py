@@ -1,0 +1,148 @@
+"""Tests for the workload profiles and the roofline engine."""
+
+import pytest
+
+from repro.core import Placement
+from repro.numa import machine_2x18_haswell, machine_2x8_haswell
+from repro.perfmodel import (
+    WorkloadProfile,
+    best_placement,
+    compressed_scan_instructions,
+    compute_rate,
+    simulate,
+)
+from repro.perfmodel import calibration as cal
+
+
+@pytest.fixture
+def m18():
+    return machine_2x18_haswell()
+
+
+@pytest.fixture
+def m8():
+    return machine_2x8_haswell()
+
+
+def stream_profile(gb=8.6, inst=5e9, **kw):
+    return WorkloadProfile(
+        name="t", stream_bytes=gb * 1e9, instructions=inst, **kw
+    )
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", -1, 0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 0, 0, ipc=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 0, 0, random_miss_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", 0, 0, random_accesses=-1)
+
+    def test_random_bytes(self):
+        p = WorkloadProfile("x", 0, 0, random_accesses=100,
+                            random_miss_rate=0.5, random_line_bytes=64)
+        assert p.random_bytes == 100 * 0.5 * 64
+        assert p.total_bytes == p.random_bytes
+
+    def test_scaled(self):
+        p = stream_profile().scaled(2.0)
+        assert p.stream_bytes == pytest.approx(17.2e9)
+        assert p.instructions == pytest.approx(1e10)
+        with pytest.raises(ValueError):
+            p.scaled(0)
+
+    def test_with_instructions(self):
+        p = stream_profile().with_instructions(7e9)
+        assert p.instructions == 7e9
+
+
+class TestScanInstructionModel:
+    def test_specializations_cheapest(self):
+        n = 1e9
+        for bits in (1, 10, 31, 33, 50, 63):
+            assert compressed_scan_instructions(n, bits) > \
+                compressed_scan_instructions(n, 64)
+            assert compressed_scan_instructions(n, bits) > \
+                compressed_scan_instructions(n, 32)
+
+    def test_figure10_instruction_magnitudes(self):
+        # Paper Fig. 10: ~5e9 uncompressed, ~18-24e9 compressed (1e9 elems).
+        n = 1e9
+        assert compressed_scan_instructions(n, 64) == pytest.approx(5e9)
+        assert 15e9 < compressed_scan_instructions(n, 33) < 25e9
+        assert compressed_scan_instructions(n, 63) > \
+            compressed_scan_instructions(n, 10)
+
+
+class TestEngine:
+    def test_compute_rate(self, m18):
+        assert compute_rate(m18, 1.0) == pytest.approx(36 * 2.3e9)
+
+    def test_memory_bound_stream(self, m18):
+        run = simulate(stream_profile(), m18, Placement.replicated())
+        assert run.memory_bound
+        # 8.6 GB at ~80.6 GB/s: the paper's 109 ms Fig. 2c bar.
+        assert run.time_s == pytest.approx(0.107, rel=0.05)
+
+    def test_compute_bound_when_instructions_dominate(self, m8):
+        run = simulate(
+            stream_profile(inst=1e12), m8, Placement.replicated()
+        )
+        assert not run.memory_bound
+        assert run.time_s == pytest.approx(
+            1e12 / compute_rate(m8, cal.STREAM_IPC), rel=1e-9
+        )
+
+    def test_placement_changes_memory_time_not_compute(self, m18):
+        p = stream_profile()
+        a = simulate(p, m18, Placement.replicated())
+        b = simulate(p, m18, Placement.single_socket(0))
+        assert a.compute_time_s == b.compute_time_s
+        assert a.memory_time_s < b.memory_time_s
+
+    def test_random_component_adds_time(self, m8):
+        base = stream_profile()
+        withrand = WorkloadProfile(
+            name="r", stream_bytes=base.stream_bytes, instructions=5e9,
+            random_accesses=1e9, random_miss_rate=0.5,
+        )
+        t0 = simulate(base, m8, Placement.replicated()).time_s
+        t1 = simulate(withrand, m8, Placement.replicated()).time_s
+        assert t1 > t0
+
+    def test_counters_consistency(self, m18):
+        run = simulate(stream_profile(), m18, Placement.interleaved())
+        c = run.counters
+        assert c.time_s == run.time_s
+        assert c.memory_bandwidth_gbs == pytest.approx(
+            c.bytes_from_memory / c.time_s / 1e9
+        )
+        assert c.interconnect_gbs == pytest.approx(
+            c.memory_bandwidth_gbs * 0.5
+        )
+
+    def test_replicated_no_interconnect(self, m18):
+        run = simulate(stream_profile(), m18, Placement.replicated())
+        assert run.counters.interconnect_gbs == 0.0
+
+    def test_per_socket_split_pinned(self, m8):
+        run = simulate(stream_profile(), m8, Placement.single_socket(1))
+        per = run.counters.per_socket_bandwidth_gbs
+        assert per[0] == 0.0 and per[1] > 0
+
+    def test_best_placement_prefers_replication_for_streams(self, m8):
+        best = best_placement(
+            stream_profile(), m8,
+            [Placement.single_socket(0), Placement.interleaved(),
+             Placement.replicated()],
+        )
+        assert best.placement.is_replicated
+
+    def test_zero_work_does_not_crash(self, m8):
+        run = simulate(
+            WorkloadProfile("nil", 0, 0), m8, Placement.interleaved()
+        )
+        assert run.time_s > 0

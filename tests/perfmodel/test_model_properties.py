@@ -1,0 +1,113 @@
+"""Property-based invariants of the performance model.
+
+Generated machines span a wide envelope (socket counts, core counts,
+bandwidth ratios); the invariants below must hold on every one of them
+— they are the physics the model encodes, independent of calibration.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Placement
+from repro.numa import (
+    BandwidthModel,
+    GIB,
+    InterconnectSpec,
+    MachineSpec,
+    SocketSpec,
+)
+from repro.perfmodel import WorkloadProfile, simulate
+from repro.perfmodel.aggregation import aggregation_profile
+
+
+@st.composite
+def machines(draw):
+    cores = draw(st.integers(min_value=1, max_value=32))
+    clock = draw(st.floats(min_value=1.0, max_value=4.0))
+    local_bw = draw(st.floats(min_value=10.0, max_value=200.0))
+    remote_bw = draw(st.floats(min_value=1.0, max_value=200.0))
+    n_sockets = draw(st.integers(min_value=1, max_value=8))
+    socket = SocketSpec(
+        cores=cores, threads_per_core=2, clock_ghz=clock,
+        memory_bytes=64 * GIB, local_bandwidth_gbs=local_bw,
+        local_latency_ns=draw(st.floats(min_value=50.0, max_value=150.0)),
+    )
+    interconnect = InterconnectSpec(
+        bandwidth_gbs=remote_bw,
+        latency_ns=draw(st.floats(min_value=80.0, max_value=300.0)),
+    )
+    return MachineSpec(
+        name="gen", sockets=tuple(socket for _ in range(n_sockets)),
+        interconnect=interconnect,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(machine=machines())
+def test_replicated_never_loses_on_streams(machine):
+    """Replication is the bandwidth-optimal placement on any machine."""
+    bm = BandwidthModel(machine)
+    repl = bm.replicated_gbs()
+    assert repl >= bm.single_socket_gbs() - 1e-9
+    assert repl >= bm.interleaved_gbs() - 1e-9
+    assert repl >= bm.os_default_gbs(True) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(machine=machines())
+def test_os_default_bounded_by_extremes(machine):
+    bm = BandwidthModel(machine)
+    lo = min(bm.single_socket_gbs(), bm.interleaved_gbs())
+    hi = max(bm.single_socket_gbs(), bm.interleaved_gbs())
+    assert lo - 1e-9 <= bm.os_default_gbs(True) <= hi + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(machine=machines(), bits=st.integers(min_value=1, max_value=64))
+def test_runtime_positive_and_consistent(machine, bits):
+    profile = aggregation_profile(bits)
+    run = simulate(profile, machine, Placement.replicated())
+    assert run.time_s > 0
+    assert run.time_s >= run.memory_time_s - 1e-12
+    assert run.time_s >= run.compute_time_s - 1e-12
+    c = run.counters
+    assert c.memory_bandwidth_gbs == pytest.approx(
+        c.bytes_from_memory / c.time_s / 1e9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=machines(), bits=st.integers(min_value=1, max_value=63))
+def test_compression_always_shrinks_traffic(machine, bits):
+    """Compression reduces bytes moved on every machine, regardless of
+    whether it reduces time (that depends on the compute headroom)."""
+    unc = simulate(aggregation_profile(64), machine, Placement.interleaved())
+    comp = simulate(aggregation_profile(bits), machine,
+                    Placement.interleaved())
+    assert comp.counters.bytes_from_memory < unc.counters.bytes_from_memory
+    assert comp.counters.instructions >= unc.counters.instructions or \
+        bits == 32
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=machines())
+def test_more_data_never_faster(machine):
+    small = WorkloadProfile("s", stream_bytes=1e9, instructions=1e9)
+    large = small.scaled(3.0)
+    for placement in (Placement.interleaved(), Placement.replicated()):
+        ts = simulate(small, machine, placement).time_s
+        tl = simulate(large, machine, placement).time_s
+        assert tl >= ts - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=machines())
+def test_interconnect_traffic_only_when_remote(machine):
+    profile = WorkloadProfile("s", stream_bytes=1e9, instructions=1e8)
+    repl = simulate(profile, machine, Placement.replicated())
+    assert repl.counters.interconnect_gbs == 0.0
+    inter = simulate(profile, machine, Placement.interleaved())
+    if machine.n_sockets > 1:
+        assert inter.counters.interconnect_gbs > 0.0
+    else:
+        assert inter.counters.interconnect_gbs == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the STREAM analogue."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    STREAM_KERNELS,
+    format_stream_table,
+    run_functional_kernel,
+    stream_profile,
+    stream_table,
+)
+from repro.numa import machine_2x18_haswell, machine_2x8_haswell
+
+
+class TestProfiles:
+    def test_traffic_factors(self):
+        n = 1000
+        copy = stream_profile("copy", n)
+        add = stream_profile("add", n)
+        assert copy.stream_bytes == 16 * n
+        assert add.stream_bytes == 24 * n
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            stream_profile("daxpy")
+
+    def test_all_kernels_defined(self):
+        assert set(STREAM_KERNELS) == {"copy", "scale", "add", "triad"}
+
+
+class TestModelledTable:
+    def test_replicated_best_per_kernel(self):
+        rows = stream_table(machine_2x8_haswell(), n_elements=10**7)
+        by_kernel = {}
+        for r in rows:
+            by_kernel.setdefault(r.kernel, {})[r.placement_label] = r
+        for kernel, placements in by_kernel.items():
+            assert (
+                placements["replicated"].bandwidth_gbs
+                >= placements["single socket"].bandwidth_gbs
+            )
+            assert (
+                placements["replicated"].bandwidth_gbs
+                >= placements["interleaved"].bandwidth_gbs
+            )
+
+    def test_stream_saturates_near_roofline(self):
+        # STREAM's whole point: memory-bound on every placement.
+        rows = stream_table(machine_2x18_haswell(), n_elements=10**8)
+        assert all(r.run.memory_bound for r in rows)
+
+    def test_add_and_triad_same_traffic(self):
+        rows = stream_table(machine_2x8_haswell(), n_elements=10**7)
+        add = [r for r in rows if r.kernel == "add"][0]
+        triad = [r for r in rows if r.kernel == "triad"][0]
+        assert add.run.counters.bytes_from_memory == \
+            triad.run.counters.bytes_from_memory
+
+    def test_format(self):
+        text = format_stream_table(stream_table(machine_2x8_haswell(), 10**6))
+        assert "triad" in text and "replicated" in text
+
+
+class TestFunctionalKernels:
+    @pytest.fixture
+    def arrays(self):
+        n = 10_000
+        a = np.arange(n, dtype=np.uint64)
+        b = np.arange(n, dtype=np.uint64) * 2
+        c = np.zeros(n, dtype=np.uint64)
+        return a, b, c
+
+    def test_copy(self, arrays):
+        a, b, c = arrays
+        run_functional_kernel("copy", a, b, c)
+        np.testing.assert_array_equal(c, a)
+
+    def test_scale(self, arrays):
+        a, b, c = arrays
+        run_functional_kernel("scale", a, b, c)
+        np.testing.assert_array_equal(c, a * 3)
+
+    def test_add(self, arrays):
+        a, b, c = arrays
+        run_functional_kernel("add", a, b, c)
+        np.testing.assert_array_equal(c, a + b)
+
+    def test_triad(self, arrays):
+        a, b, c = arrays
+        run_functional_kernel("triad", a, b, c)
+        np.testing.assert_array_equal(c, a + b * 3)
+
+    def test_unknown(self, arrays):
+        a, b, c = arrays
+        with pytest.raises(KeyError):
+            run_functional_kernel("fma", a, b, c)

@@ -1,0 +1,69 @@
+"""Tests locking the paper-claim validation table.
+
+Any calibration change that degrades a reproduced number below its
+documented status fails here, not silently in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.perfmodel.validation import (
+    PaperClaim,
+    all_claims,
+    format_validation,
+    validate_all,
+)
+
+
+class TestClaimMechanics:
+    def test_status_thresholds(self):
+        exact = PaperClaim("F", "x", 100.0, 101.0, "ms")
+        close = PaperClaim("F", "x", 100.0, 110.0, "ms")
+        shape = PaperClaim("F", "x", 100.0, 200.0, "ms", shape_reason="why")
+        assert exact.status == "exact"
+        assert close.status == "close"
+        assert shape.status == "shape"
+
+    def test_relative_error_zero_paper_value(self):
+        c = PaperClaim("F", "x", 0.0, 0.5, "ms")
+        assert c.relative_error == 0.5
+
+    def test_row_format(self):
+        c = PaperClaim("Fig 2", "something", 1.0, 1.0, "ms")
+        assert "Fig 2" in c.row() and "exact" in c.row()
+
+
+class TestPaperClaims:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return validate_all()
+
+    def test_no_claim_regressed_to_shape_without_reason(self, claims):
+        for c in claims:
+            if c.status == "shape":
+                assert c.shape_reason, f"{c.description} drifted undocumented"
+
+    def test_every_claim_within_2x(self, claims):
+        # The model never misses a paper number by more than 2x —
+        # anything worse means the mechanism is wrong, not the constant.
+        for c in claims:
+            assert c.relative_error < 1.0, c.description
+
+    def test_majority_close_or_exact(self, claims):
+        good = sum(1 for c in claims if c.status in ("exact", "close"))
+        assert good / len(claims) >= 0.85
+
+    def test_at_least_some_exact(self, claims):
+        assert sum(1 for c in claims if c.status == "exact") >= 3
+
+    def test_headline_claims_present(self, claims):
+        descriptions = " | ".join(c.description for c in claims)
+        assert "replication speedup" in descriptions
+        assert "V+E memory saving" in descriptions
+
+    def test_all_figures_covered(self, claims):
+        figures = {c.figure for c in claims}
+        assert {"Fig 1", "Fig 2", "Fig 10", "Fig 12"} <= figures
+
+    def test_format_validation_renders(self):
+        text = format_validation()
+        assert "paper" in text and "model" in text and "status" in text

@@ -1,0 +1,58 @@
+"""Tests for cross-process parallel sums over shared smart arrays."""
+
+import numpy as np
+import pytest
+
+from repro.interop import SharedSmartArray
+from repro.runtime import (
+    process_parallel_sum,
+    process_parallel_sum_from_values,
+)
+
+
+class TestProcessParallelSum:
+    def test_matches_numpy_sum(self):
+        values = np.arange(50_000, dtype=np.uint64)
+        total, bits = process_parallel_sum_from_values(values, n_workers=2)
+        assert total == int(values.sum())
+        assert bits == 16  # auto-compressed
+
+    def test_compressed_width(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**33, size=20_000, dtype=np.uint64)
+        total, bits = process_parallel_sum_from_values(
+            values, bits=33, n_workers=2, batch=1024
+        )
+        assert bits == 33
+        assert total == int(values.astype(object).sum())
+
+    def test_single_worker(self):
+        values = np.arange(1_000, dtype=np.uint64)
+        with SharedSmartArray.create(values) as shared:
+            assert process_parallel_sum(shared, n_workers=1) == int(values.sum())
+
+    def test_empty_array(self):
+        with SharedSmartArray.create(np.array([], dtype=np.uint64),
+                                     bits=8) as shared:
+            assert process_parallel_sum(shared, n_workers=2) == 0
+
+    def test_large_values_exact(self):
+        big = (1 << 60) + 7
+        values = np.full(5_000, big, dtype=np.uint64)
+        with SharedSmartArray.create(values, bits=64) as shared:
+            assert process_parallel_sum(shared, n_workers=3) == 5_000 * big
+
+    def test_validation(self):
+        with SharedSmartArray.create(np.arange(4, dtype=np.uint64)) as shared:
+            with pytest.raises(ValueError):
+                process_parallel_sum(shared, n_workers=0)
+            with pytest.raises(ValueError):
+                process_parallel_sum(shared, batch=0)
+
+    def test_batching_smaller_than_array(self):
+        # Many batches across few workers: the shared counter must hand
+        # out every batch exactly once.
+        values = np.arange(10_000, dtype=np.uint64)
+        with SharedSmartArray.create(values) as shared:
+            total = process_parallel_sum(shared, n_workers=3, batch=97)
+        assert total == int(values.sum())

@@ -1,0 +1,95 @@
+"""Edge cases for the worker pool and loop machinery."""
+
+import threading
+
+import pytest
+
+from repro.numa import machine_2x18_haswell, machine_2x8_haswell
+from repro.runtime import (
+    LoopStats,
+    WorkerPool,
+    parallel_for,
+    parallel_reduce,
+)
+
+
+@pytest.fixture
+def machine():
+    return machine_2x8_haswell()
+
+
+class TestWorkerPoolEdges:
+    def test_serial_mode_runs_on_calling_thread(self, machine):
+        pool = WorkerPool(machine, n_workers=3, mode="serial")
+        thread_ids = set()
+
+        def work(ctx):
+            thread_ids.add(threading.get_ident())
+
+        pool.run(work)
+        assert thread_ids == {threading.get_ident()}
+
+    def test_serial_mode_propagates_exception(self, machine):
+        pool = WorkerPool(machine, n_workers=2, mode="serial")
+        with pytest.raises(KeyError):
+            pool.run(lambda ctx: (_ for _ in ()).throw(KeyError("x")))
+
+    def test_threads_mode_collects_first_error(self, machine):
+        pool = WorkerPool(machine, n_workers=4, mode="threads")
+
+        def work(ctx):
+            raise ValueError(f"worker {ctx.thread_id}")
+
+        with pytest.raises(ValueError, match="worker"):
+            pool.run(work)
+
+    def test_single_worker_pool(self, machine):
+        pool = WorkerPool(machine, n_workers=1)
+        out = []
+        parallel_for(10, lambda s, e, c: out.append((s, e)), pool, batch=4)
+        assert out == [(0, 4), (4, 8), (8, 10)]
+
+    def test_max_worker_pool(self, machine):
+        pool = WorkerPool(machine)  # all 32 hardware threads
+        assert pool.n_workers == 32
+        counter = [0]
+        lock = threading.Lock()
+
+        def body(s, e, c):
+            with lock:
+                counter[0] += e - s
+
+        parallel_for(1000, body, pool, batch=7)
+        assert counter[0] == 1000
+
+    def test_repr(self, machine):
+        assert "workers" in repr(WorkerPool(machine, n_workers=2))
+
+
+class TestLoopEdges:
+    def test_batch_larger_than_n(self, machine):
+        pool = WorkerPool(machine, n_workers=4, mode="serial")
+        spans = []
+        parallel_for(5, lambda s, e, c: spans.append((s, e)), pool,
+                     batch=1000)
+        assert spans == [(0, 5)]
+
+    def test_single_iteration(self, machine):
+        pool = WorkerPool(machine, n_workers=2)
+        stats = LoopStats()
+        parallel_for(1, lambda s, e, c: None, pool, batch=1, stats=stats)
+        assert stats.total_batches == 1
+
+    def test_reduce_empty_range(self, machine):
+        pool = WorkerPool(machine, n_workers=2)
+        result = parallel_reduce(
+            0, lambda s, e, c: 1, lambda a, b: a + b, 42, pool
+        )
+        assert result == 42  # initial untouched
+
+    def test_reduce_initial_preserved(self, machine):
+        pool = WorkerPool(machine, n_workers=2)
+        result = parallel_reduce(
+            10, lambda s, e, c: e - s, lambda a, b: a + b, 100, pool, batch=3
+        )
+        assert result == 110
