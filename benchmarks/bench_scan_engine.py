@@ -1,0 +1,160 @@
+"""Bulk-span scan engine throughput (not a paper figure).
+
+Times the real functional path against the pre-engine baseline:
+
+* **decode** — the all-width blocked kernel
+  (``bitpack_fast.unpack_words_blocked``) vs the old per-element
+  gather (``np.arange(n)`` + ``bitpack.gather``), across divisor and
+  word-straddling widths;
+* **scan** — serial superchunk ``count_in_range`` vs the same scan
+  forced to chunk granularity (``superchunk=64``, the pre-engine loop
+  shape), and the socket-parallel operators vs serial.
+
+Run as a script it writes ``benchmarks/results/scan_engine.txt``; under
+``pytest --benchmark-only`` it times the same paths.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import allocate, bitpack, bitpack_fast, scan_ops
+from repro.numa import NumaAllocator, machine_2x8_haswell
+from repro.runtime import (
+    WorkerPool,
+    parallel_count_in_range,
+    parallel_sum_blocked,
+)
+
+try:
+    from .common import emit
+except ImportError:  # pragma: no cover - script mode
+    from common import emit
+
+N = 1_000_000
+DECODE_BITS = (7, 13, 32, 33, 63)
+
+
+def _data(bits, n=N):
+    rng = np.random.default_rng(11 + bits)
+    return rng.integers(0, 1 << min(bits, 63), size=n, dtype=np.uint64)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def decode_report() -> str:
+    lines = [
+        f"{'bits':>4} {'gather (ms)':>12} {'blocked (ms)':>13} "
+        f"{'speedup':>8}"
+    ]
+    all_indices = np.arange(N, dtype=np.int64)
+    for bits in DECODE_BITS:
+        values = _data(bits)
+        words = bitpack.pack_array(values, bits)
+        t_gather = _best_of(lambda: bitpack.gather(words, all_indices, bits))
+        t_blocked = _best_of(
+            lambda: bitpack_fast.unpack_words_blocked(words, N, bits)
+        )
+        lines.append(
+            f"{bits:>4} {t_gather * 1e3:>12.2f} {t_blocked * 1e3:>13.2f} "
+            f"{t_gather / t_blocked:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def scan_report() -> str:
+    machine = machine_2x8_haswell()
+    allocator = NumaAllocator(machine)
+    pool = WorkerPool(machine, n_workers=8)
+    bits = 13
+    values = _data(bits)
+    sa = allocate(N, bits=bits, values=values, replicated=True,
+                  allocator=allocator)
+    lo, hi = 1000, 6000
+
+    t_chunk = _best_of(
+        lambda: scan_ops.count_in_range(sa, lo, hi, superchunk=64)
+    )
+    t_super = _best_of(lambda: scan_ops.count_in_range(sa, lo, hi))
+    t_par = _best_of(lambda: parallel_count_in_range(sa, lo, hi, pool=pool))
+
+    expected = int(((values >= lo) & (values < hi)).sum())
+    assert scan_ops.count_in_range(sa, lo, hi) == expected
+    assert parallel_count_in_range(sa, lo, hi, pool=pool) == expected
+
+    lines = [
+        f"count_in_range over {N:,} elements at {bits} bits:",
+        f"{'engine':<34} {'time (ms)':>10} {'vs chunk-loop':>14}",
+        f"{'chunk-at-a-time (superchunk=64)':<34} {t_chunk * 1e3:>10.2f} "
+        f"{'1.00x':>14}",
+        f"{'superchunk (4096)':<34} {t_super * 1e3:>10.2f} "
+        f"{t_chunk / t_super:>13.2f}x",
+        f"{'parallel (8 workers, threads)':<34} {t_par * 1e3:>10.2f} "
+        f"{t_chunk / t_par:>13.2f}x",
+    ]
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points ------------------------------------
+
+@pytest.mark.parametrize("bits", [7, 33])
+def test_blocked_decode(benchmark, bits):
+    values = _data(bits, 200_000)
+    words = bitpack.pack_array(values, bits)
+    out = benchmark(
+        lambda: bitpack_fast.unpack_words_blocked(words, values.size, bits)
+    )
+    np.testing.assert_array_equal(out, values)
+
+
+@pytest.mark.parametrize("bits", [7, 33])
+def test_gather_decode_baseline(benchmark, bits):
+    values = _data(bits, 200_000)
+    words = bitpack.pack_array(values, bits)
+    idx = np.arange(values.size, dtype=np.int64)
+    out = benchmark(lambda: bitpack.gather(words, idx, bits))
+    np.testing.assert_array_equal(out, values)
+
+
+def test_superchunk_count_in_range(benchmark):
+    allocator = NumaAllocator(machine_2x8_haswell())
+    values = _data(13, 200_000)
+    sa = allocate(values.size, bits=13, values=values, allocator=allocator)
+    expected = int(((values >= 1000) & (values < 6000)).sum())
+    assert benchmark(
+        lambda: scan_ops.count_in_range(sa, 1000, 6000)
+    ) == expected
+
+
+def test_parallel_sum_blocked(benchmark):
+    machine = machine_2x8_haswell()
+    allocator = NumaAllocator(machine)
+    pool = WorkerPool(machine, n_workers=8)
+    values = _data(20, 200_000)
+    sa = allocate(values.size, bits=20, values=values, replicated=True,
+                  allocator=allocator)
+    assert benchmark(
+        lambda: parallel_sum_blocked(sa, pool=pool)
+    ) == int(values.sum())
+
+
+def main() -> None:
+    body = (
+        f"Blocked all-width decode vs per-element gather "
+        f"({N:,} elements, best of 5):\n{decode_report()}\n\n"
+        f"{scan_report()}"
+    )
+    emit("Bulk-span scan engine — decode and scan throughput", body,
+         "scan_engine.txt")
+
+
+if __name__ == "__main__":
+    main()

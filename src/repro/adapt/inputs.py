@@ -25,7 +25,7 @@ from typing import Optional
 from ..numa.counters import PerfCounters
 from ..numa.topology import MachineSpec
 from ..perfmodel import calibration as cal
-from ..perfmodel.workload import compressed_scan_instructions
+from ..perfmodel.workload import scan_engine_instructions
 
 #: The machine-spec "maximum compute available on each core", expressed
 #: as sustainable IPC for the loop shapes smart arrays run.  Haswell
@@ -86,6 +86,11 @@ class ArrayCharacteristics:
     #: Linear scans amortize decompression across a chunk; random
     #: accesses pay the full per-element decode.
     random_decode_cost_inst: Optional[float] = None
+    #: Which scan engine the workload decodes with: ``"iterator"``
+    #: (Function 4 loop) or ``"blocked"`` (the bulk-span engine, whose
+    #: superchunk decode makes compression's CPU cost nearly vanish on
+    #: sequential scans).  Changes the derived ``cost_per_access``.
+    scan_engine: str = "iterator"
 
     def __post_init__(self) -> None:
         if self.length < 0:
@@ -117,9 +122,16 @@ class ArrayCharacteristics:
             return cal.PAGERANK_EDGE_DECODE_INST
         if self.decompress_cost_inst is not None:
             return self.decompress_cost_inst
-        per_compressed = compressed_scan_instructions(1, self.element_bits)
-        per_plain = compressed_scan_instructions(1, self.uncompressed_bits)
-        return per_compressed - per_plain
+        per_compressed = scan_engine_instructions(
+            1, self.element_bits, self.scan_engine
+        )
+        per_plain = scan_engine_instructions(
+            1, self.uncompressed_bits, self.scan_engine
+        )
+        # The blocked engine's decode can price below the uncompressed
+        # per-element constant at narrow widths; the paper's ``cost`` is
+        # the *extra* work compression adds, so it floors at zero.
+        return max(0.0, per_compressed - per_plain)
 
 
 @dataclass(frozen=True)

@@ -44,7 +44,14 @@ from .iterators import (
 )
 from .bitpack_fast import unpack_array_fast
 from .dictionary import DictionaryEncodedArray
-from .map_api import for_each_chunk, map_range, map_reduce, sum_range
+from .map_api import (
+    SUPERCHUNK_ELEMENTS,
+    for_each_chunk,
+    iter_spans,
+    map_range,
+    map_reduce,
+    sum_range,
+)
 from .persistence import load_array, save_array
 from .scan_ops import (
     count_equal,
@@ -110,6 +117,8 @@ __all__ = [
     "default_allocator",
     "default_machine",
     "for_each_chunk",
+    "iter_spans",
+    "SUPERCHUNK_ELEMENTS",
     "load_array",
     "machine_context",
     "map_range",

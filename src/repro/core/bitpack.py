@@ -274,15 +274,17 @@ def unpack_array(words: np.ndarray, length: int, bits: int) -> np.ndarray:
     """Unpack the first ``length`` elements from ``words`` (vectorized).
 
     Equivalent to running :func:`unpack_chunk_scalar` over every chunk
-    and concatenating, truncated to ``length``.
+    and concatenating, truncated to ``length``.  Dispatches to the
+    all-width blocked kernel (:mod:`repro.core.bitpack_fast`), which
+    exploits the chunk alignment property instead of per-element index
+    arithmetic; the :func:`gather` path remains for true random access.
     """
     bits = check_bits(bits)
     if length == 0:
         return np.empty(0, dtype=np.uint64)
-    if bits == WORD_BITS:
-        return words[:length].copy()
-    indices = np.arange(length, dtype=np.int64)
-    return gather(words, indices, bits)
+    from . import bitpack_fast
+
+    return bitpack_fast.unpack_words_blocked(words, length, bits)
 
 
 def gather(words: np.ndarray, indices, bits: int) -> np.ndarray:

@@ -1,17 +1,29 @@
-"""Blocked (SIMD-analogue) unpack fast paths for divisor bit widths.
+"""Blocked (SIMD-analogue) bulk pack/unpack kernels for *all* bit widths.
 
 The paper's related work applies SIMD to bit-compressed scans (Willhalm
 et al., Polychroniou & Ross — section 8).  NumPy's vectorized ufuncs are
-this repo's SIMD analogue, and for bit widths that divide 64 an extra
-structural trick applies: every storage word holds a whole number of
-elements at fixed offsets, so a full unpack is ``64/bits`` shift+mask
-passes over the *word array* — no per-element index arithmetic, no
-gather, no spill handling.
+this repo's SIMD analogue, and the paper's chunk alignment property
+(section 4.2) makes a word-parallel decode possible for every width,
+not just the widths that divide 64:
 
-For the general widths the generic :func:`repro.core.bitpack.gather`
-path stands; :func:`unpack_array_fast` dispatches automatically and is
-used by the bulk decode paths.  Tests assert bit-identical results
-against the generic kernels for every width.
+* **Divisor widths** (1, 2, 4, 8, 16, 32, 64): every storage word holds
+  a whole number of elements at fixed offsets, so a full unpack is
+  ``64/bits`` shift+mask passes over the *word array* — no per-element
+  index arithmetic, no gather, no spill handling.
+* **General widths**: every 64-element chunk occupies exactly ``bits``
+  words, so reshaping the word buffer to ``(n_chunks, bits)`` gives
+  each of the 64 chunk slots a *fixed* word offset, bit offset, and
+  spill behaviour.  A full unpack is 64 shift/mask passes (plus a fixed
+  spill combine for the straddling slots), each vectorized *across
+  chunks* — the per-element ``_positions`` arithmetic of the generic
+  :func:`repro.core.bitpack.gather` path disappears entirely.
+
+:func:`unpack_array_fast` is the single bulk-decode entry point;
+:func:`unpack_chunk_range` is the superchunk kernel the scan engine
+decodes through (a run of whole chunks into a reusable buffer).  The
+gather path remains only for true random access.  Tests assert
+bit-identical results against the scalar reference kernels (paper
+Functions 1-3) for every width 1..64.
 """
 
 from __future__ import annotations
@@ -28,62 +40,159 @@ def is_divisor_width(bits: int) -> bool:
     return bits in DIVISOR_WIDTHS
 
 
+def _slot_layout(bits: int):
+    """Fixed per-slot layout of a 64-element chunk at ``bits`` wide.
+
+    Returns a list of ``(slot, word_in_chunk, bit_in_word, spills)``
+    tuples: slot ``k`` of *every* chunk starts at bit ``k * bits`` of
+    the chunk, i.e. bit ``(k * bits) % 64`` of word ``(k * bits) // 64``
+    relative to the chunk's first word.  Because a chunk is exactly
+    ``bits`` words, a spilling slot always continues into word
+    ``word_in_chunk + 1`` of the *same* chunk.
+    """
+    layout = []
+    for k in range(bitpack.CHUNK_ELEMENTS):
+        bit_in_chunk = k * bits
+        word = bit_in_chunk // bitpack.WORD_BITS
+        bit = bit_in_chunk % bitpack.WORD_BITS
+        layout.append((k, word, bit, bit + bits > bitpack.WORD_BITS))
+    return layout
+
+
+def _unpack_divisor_into(words: np.ndarray, out_grid: np.ndarray,
+                         bits: int) -> None:
+    """Fill ``out_grid`` (n_words, 64/bits) from ``words`` (n_words,)."""
+    mask = np.uint64((1 << bits) - 1)
+    for k in range(bitpack.WORD_BITS // bits):
+        out_grid[:, k] = (words >> np.uint64(k * bits)) & mask
+
+
+def _unpack_general_into(word_grid: np.ndarray, out_grid: np.ndarray,
+                         bits: int) -> None:
+    """Fill ``out_grid`` (n_chunks, 64) from ``word_grid`` (n_chunks, bits)."""
+    mask = np.uint64((1 << bits) - 1)
+    for k, word, bit, spills in _slot_layout(bits):
+        lo = word_grid[:, word] >> np.uint64(bit)
+        if spills:
+            lo = lo | (word_grid[:, word + 1]
+                       << np.uint64(bitpack.WORD_BITS - bit))
+        out_grid[:, k] = lo & mask
+
+
+def unpack_chunk_range(words: np.ndarray, chunk: int, n_chunks: int,
+                       bits: int, out=None) -> np.ndarray:
+    """Decode whole chunks ``[chunk, chunk + n_chunks)`` in one pass.
+
+    Returns a flat ``uint64`` array of ``n_chunks * 64`` elements
+    (written into ``out`` when supplied, which lets the superchunk scan
+    loop reuse one buffer per step).  Elements past the array's logical
+    length in a trailing partial chunk decode to whatever padding the
+    word buffer holds; callers slice to the valid length.
+    """
+    bits = bitpack.check_bits(bits)
+    if chunk < 0 or n_chunks < 0:
+        raise ValueError("chunk and n_chunks must be non-negative")
+    n_elements = n_chunks * bitpack.CHUNK_ELEMENTS
+    if out is None:
+        out = np.empty(n_elements, dtype=np.uint64)
+    elif out.size < n_elements:
+        raise ValueError(
+            f"out buffer holds {out.size} elements, need {n_elements}"
+        )
+    flat = out[:n_elements]
+    if n_chunks == 0:
+        return flat
+    view = words[chunk * bits:(chunk + n_chunks) * bits]
+    if view.size < n_chunks * bits:
+        raise ValueError(
+            f"word buffer too small for chunks [{chunk}, {chunk + n_chunks})"
+        )
+    if bits == bitpack.WORD_BITS:
+        flat[:] = view
+        return flat
+    if is_divisor_width(bits):
+        per_word = bitpack.WORD_BITS // bits
+        _unpack_divisor_into(view, flat.reshape(-1, per_word), bits)
+        return flat
+    _unpack_general_into(
+        view.reshape(n_chunks, bits),
+        flat.reshape(n_chunks, bitpack.CHUNK_ELEMENTS),
+        bits,
+    )
+    return flat
+
+
 def unpack_words_blocked(words: np.ndarray, length: int,
                          bits: int) -> np.ndarray:
-    """Unpack a divisor-width buffer with per-word shift/mask passes.
+    """Unpack ``length`` elements with per-slot shift/mask passes.
 
-    Element ``i`` lives in word ``i // per_word`` at bit offset
-    ``(i % per_word) * bits`` (little-endian in-word order), so slot
-    ``k``'s elements across all words are ``(words >> k*bits) & mask``
-    — one vector op per slot, interleaved back with a reshape.
+    Works for every width 1..64.  For divisor widths, slot ``k``'s
+    elements across all words are ``(words >> k*bits) & mask`` — one
+    vector op per slot.  For general widths the same trick applies per
+    chunk slot over the ``(n_chunks, bits)`` word grid (see module
+    docstring).  ``words`` must cover whole chunks, as produced by
+    :func:`repro.core.bitpack.words_for` sizing.
     """
-    if not is_divisor_width(bits):
-        raise ValueError(f"{bits} is not a divisor width {DIVISOR_WIDTHS}")
+    bits = bitpack.check_bits(bits)
     if length == 0:
         return np.empty(0, dtype=np.uint64)
-    if bits == 64:
+    if bits == bitpack.WORD_BITS:
         return words[:length].copy()
-    per_word = 64 // bits
-    n_words = (length + per_word - 1) // per_word
-    active = words[:n_words]
-    mask = np.uint64((1 << bits) - 1)
-    # out[w, k] = element k of word w
-    out = np.empty((n_words, per_word), dtype=np.uint64)
-    for k in range(per_word):
-        out[:, k] = (active >> np.uint64(k * bits)) & mask
-    return out.reshape(-1)[:length]
+    if is_divisor_width(bits):
+        per_word = bitpack.WORD_BITS // bits
+        n_words = (length + per_word - 1) // per_word
+        out = np.empty((n_words, per_word), dtype=np.uint64)
+        _unpack_divisor_into(words[:n_words], out, bits)
+        return out.reshape(-1)[:length]
+    n_chunks = bitpack.chunks_for(length)
+    out = unpack_chunk_range(words, 0, n_chunks, bits)
+    return out[:length]
 
 
 def unpack_array_fast(words: np.ndarray, length: int, bits: int) -> np.ndarray:
-    """Bulk decode with the blocked fast path where it applies."""
-    bits = bitpack.check_bits(bits)
-    if is_divisor_width(bits):
-        return unpack_words_blocked(words, length, bits)
-    return bitpack.unpack_array(words, length, bits)
+    """The single bulk-decode entry point: blocked for every width."""
+    return unpack_words_blocked(words, length, bits)
 
 
 def pack_words_blocked(values: np.ndarray, bits: int) -> np.ndarray:
-    """The inverse fast path: pack divisor-width values per word."""
-    if not is_divisor_width(bits):
-        raise ValueError(f"{bits} is not a divisor width {DIVISOR_WIDTHS}")
+    """The inverse kernel: pack ``values`` slot by slot, any width.
+
+    Bit-identical to :func:`repro.core.bitpack.pack_array` (and to
+    repeated paper Function 2 writes on a zeroed buffer), but built from
+    fixed per-slot OR passes over the ``(n_chunks, bits)`` word grid
+    instead of per-element ``ufunc.at`` scatter.
+    """
+    bits = bitpack.check_bits(bits)
     values = np.ascontiguousarray(values, dtype=np.uint64)
     n = values.size
     n_storage = bitpack.words_for(n, bits)
     if n == 0:
         return np.zeros(0, dtype=np.uint64)
-    if bits < 64 and int(values.max()) >> bits:
+    if bits < bitpack.WORD_BITS and int(values.max()) >> bits:
         bad = values[(values >> np.uint64(bits)) != 0][0]
         raise bitpack.ValueOverflowError(int(bad), bits)
-    if bits == 64:
-        out = np.zeros(n_storage, dtype=np.uint64)
-        out[:n] = values
-        return out
-    per_word = 64 // bits
-    n_words = (n + per_word - 1) // per_word
-    padded = np.zeros(n_words * per_word, dtype=np.uint64)
-    padded[:n] = values
-    grid = padded.reshape(n_words, per_word)
     words = np.zeros(n_storage, dtype=np.uint64)
-    for k in range(per_word):
-        words[:n_words] |= grid[:, k] << np.uint64(k * bits)
+    if bits == bitpack.WORD_BITS:
+        words[:n] = values
+        return words
+    if is_divisor_width(bits):
+        per_word = bitpack.WORD_BITS // bits
+        n_words = (n + per_word - 1) // per_word
+        padded = np.zeros(n_words * per_word, dtype=np.uint64)
+        padded[:n] = values
+        grid = padded.reshape(n_words, per_word)
+        for k in range(per_word):
+            words[:n_words] |= grid[:, k] << np.uint64(k * bits)
+        return words
+    n_chunks = bitpack.chunks_for(n)
+    padded = np.zeros(n_chunks * bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+    padded[:n] = values
+    value_grid = padded.reshape(n_chunks, bitpack.CHUNK_ELEMENTS)
+    word_grid = words.reshape(n_chunks, bits)
+    for k, word, bit, spills in _slot_layout(bits):
+        word_grid[:, word] |= value_grid[:, k] << np.uint64(bit)
+        if spills:
+            word_grid[:, word + 1] |= (
+                value_grid[:, k] >> np.uint64(bitpack.WORD_BITS - bit)
+            )
     return words

@@ -93,7 +93,12 @@ class SmartArrayIterator(abc.ABC):
     # -- conveniences ---------------------------------------------------------
 
     def take(self, n: int) -> np.ndarray:
-        """Read ``n`` consecutive elements, advancing past them."""
+        """Read ``n`` consecutive elements, advancing past them.
+
+        Subclasses with a bulk representation override this with a
+        blocked decode; the base implementation is the scalar
+        ``get()``/``next()`` walk.
+        """
         n = min(n, self.array.length - self.index)
         out = np.empty(n, dtype=np.uint64)
         for i in range(n):
@@ -119,6 +124,13 @@ class Uncompressed64Iterator(SmartArrayIterator):
     def get(self) -> int:
         return int(self.replica[self.index])
 
+    def take(self, n: int) -> np.ndarray:
+        """Bulk read: a direct slice of the replica words."""
+        n = min(n, self.array.length - self.index)
+        out = self.replica[self.index:self.index + n].copy()
+        self.index += n
+        return out
+
 
 class Uncompressed32Iterator(SmartArrayIterator):
     """BITS = 32: direct loads from the uint32 view of the replica."""
@@ -131,6 +143,13 @@ class Uncompressed32Iterator(SmartArrayIterator):
 
     def get(self) -> int:
         return int(self._data32[self.index])
+
+    def take(self, n: int) -> np.ndarray:
+        """Bulk read: a widening slice of the uint32 view."""
+        n = min(n, self.array.length - self.index)
+        out = self._data32[self.index:self.index + n].astype(np.uint64)
+        self.index += n
+        return out
 
 
 class CompressedIterator(SmartArrayIterator):
@@ -162,3 +181,34 @@ class CompressedIterator(SmartArrayIterator):
 
     def get(self) -> int:
         return int(self._buffer[self._data_index])
+
+    def take(self, n: int) -> np.ndarray:
+        """Bulk read via the blocked chunk-range decode.
+
+        Decodes the covering chunks through the scan engine (one
+        blocked-kernel call per superchunk of 64 chunks) instead of
+        walking ``get()``/``next()`` element by element, then
+        repositions past the consumed range.
+        """
+        n = min(n, self.array.length - self.index)
+        if n <= 0:
+            return np.empty(0, dtype=np.uint64)
+        out = np.empty(n, dtype=np.uint64)
+        pos = self.index
+        stop = self.index + n
+        step = 64 * bitpack.CHUNK_ELEMENTS
+        while pos < stop:
+            first_chunk = pos // bitpack.CHUNK_ELEMENTS
+            window_stop = min(stop, (first_chunk * bitpack.CHUNK_ELEMENTS
+                                     + step))
+            end_chunk = -(-window_stop // bitpack.CHUNK_ELEMENTS)
+            decoded = self.array.decode_chunks(
+                first_chunk, end_chunk - first_chunk, replica=self.replica
+            )
+            base = first_chunk * bitpack.CHUNK_ELEMENTS
+            out[pos - self.index:window_stop - self.index] = (
+                decoded[pos - base:window_stop - base]
+            )
+            pos = window_stop
+        self.reset(stop)
+        return out

@@ -6,10 +6,20 @@ plans "an alternative unified API for languages that support
 user-defined lambdas ... a bounded map() interface accepting a lambda
 and a range to apply it over", which removes those branches.
 
-This module implements that future-work API:
+This module implements that future-work API on top of the bulk-span
+scan engine.  Ranges are decoded a *superchunk* at a time — by default
+:data:`SUPERCHUNK_ELEMENTS` (4096) elements, i.e. 64 chunks — through
+one call into the blocked all-width kernel per step, so the Python loop
+runs 64x fewer iterations than a chunk-at-a-time walk while the decode
+itself stays chunk-aligned (superchunk boundaries are chunk
+boundaries, and only the chunks covering the requested range are
+decoded).
 
+* :func:`iter_spans` — the span generator every bulk operator builds
+  on: yields ``(global_start_index, decoded ndarray)`` pairs from a
+  reused per-call buffer;
 * :func:`map_range` — apply a function over ``[start, stop)`` and
-  collect the results; the function receives whole decoded chunks
+  collect the results; the function receives whole decoded spans
   (NumPy arrays), so per-element branching disappears exactly as the
   paper envisions;
 * :func:`for_each_chunk` — the side-effect variant;
@@ -24,32 +34,77 @@ does: pass ``socket`` to read the socket-local replica.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from . import bitpack
 from .smart_array import SmartArray
 
+#: Elements decoded per scan-engine step: 64 chunks.  Any multiple of
+#: :data:`repro.core.bitpack.CHUNK_ELEMENTS` works; 4096 keeps the
+#: reused decode buffer comfortably inside L2 at every bit width while
+#: cutting the Python loop count by 64x versus chunk-at-a-time.
+SUPERCHUNK_ELEMENTS = 4096
 
-def _chunks(array: SmartArray, start: int, stop: int, socket: int):
-    """Yield (global_start_index, decoded ndarray) spans covering
-    [start, stop), chunk-aligned internally."""
+
+def check_superchunk(superchunk: Optional[int]) -> int:
+    """Validate a superchunk size (elements); ``None`` means default."""
+    if superchunk is None:
+        return SUPERCHUNK_ELEMENTS
+    superchunk = int(superchunk)
+    if superchunk < bitpack.CHUNK_ELEMENTS or (
+        superchunk % bitpack.CHUNK_ELEMENTS
+    ):
+        raise ValueError(
+            f"superchunk must be a positive multiple of "
+            f"{bitpack.CHUNK_ELEMENTS}, got {superchunk}"
+        )
+    return superchunk
+
+
+def iter_spans(
+    array: SmartArray,
+    start: int = 0,
+    stop: Optional[int] = None,
+    socket: int = 0,
+    superchunk: Optional[int] = None,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(global_start_index, decoded ndarray)`` spans covering
+    ``[start, stop)``.
+
+    Spans are superchunk-aligned internally: each step decodes the
+    chunks of one superchunk window that intersect the range, in a
+    single blocked-kernel call, into a buffer reused across steps.  The
+    yielded span is a *view* into that buffer — consume or copy it
+    before advancing.
+    """
+    stop = array.length if stop is None else stop
     if not 0 <= start <= stop <= array.length:
         raise IndexError(
             f"range [{start}, {stop}) invalid for length {array.length}"
         )
+    step = check_superchunk(superchunk)
     replica = array.get_replica(socket)
+    buf = np.empty(step, dtype=np.uint64)
     pos = start
-    buf = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
     while pos < stop:
-        chunk = pos // bitpack.CHUNK_ELEMENTS
-        chunk_start = chunk * bitpack.CHUNK_ELEMENTS
-        lo = pos - chunk_start
-        hi = min(stop - chunk_start, bitpack.CHUNK_ELEMENTS)
-        array.unpack(chunk, replica=replica, out=buf)
-        yield pos, buf[lo:hi]
-        pos = chunk_start + hi
+        window_start = (pos // step) * step
+        window_stop = min(window_start + step, stop)
+        first_chunk = pos // bitpack.CHUNK_ELEMENTS
+        end_chunk = -(-window_stop // bitpack.CHUNK_ELEMENTS)
+        decoded = array.decode_chunks(
+            first_chunk, end_chunk - first_chunk, replica=replica, out=buf
+        )
+        base = first_chunk * bitpack.CHUNK_ELEMENTS
+        yield pos, decoded[pos - base:window_stop - base]
+        pos = window_stop
+
+
+def _chunks(array: SmartArray, start: int, stop: int, socket: int,
+            superchunk: Optional[int] = None):
+    """Backward-compatible alias for :func:`iter_spans`."""
+    return iter_spans(array, start, stop, socket, superchunk)
 
 
 def map_range(
@@ -58,17 +113,18 @@ def map_range(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> np.ndarray:
     """Apply ``fn`` over decoded spans of ``[start, stop)``; concatenate.
 
-    ``fn`` receives a ``uint64`` array (one chunk span at a time) and
-    must return an equal-length array; the spans are concatenated in
-    order.  This is the paper's bounded map(): the chunk-boundary test
-    runs once per 64 elements instead of once per element.
+    ``fn`` receives a ``uint64`` array (one superchunk span at a time)
+    and must return an equal-length array; the spans are concatenated in
+    order.  This is the paper's bounded map(): the span-boundary test
+    runs once per superchunk instead of once per element.
     """
     stop = array.length if stop is None else stop
     pieces: List[np.ndarray] = []
-    for _, span in _chunks(array, start, stop, socket):
+    for _, span in iter_spans(array, start, stop, socket, superchunk):
         out = np.asarray(fn(span))
         if out.shape != span.shape:
             raise ValueError(
@@ -87,10 +143,11 @@ def for_each_chunk(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> None:
     """Invoke ``fn(global_start_index, span)`` for every decoded span."""
     stop = array.length if stop is None else stop
-    for pos, span in _chunks(array, start, stop, socket):
+    for pos, span in iter_spans(array, start, stop, socket, superchunk):
         fn(pos, span)
 
 
@@ -102,11 +159,12 @@ def map_reduce(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ):
     """Fused map + fold over ``[start, stop)`` without materializing."""
     stop = array.length if stop is None else stop
     acc = initial
-    for _, span in _chunks(array, start, stop, socket):
+    for _, span in iter_spans(array, start, stop, socket, superchunk):
         acc = reduce_fn(acc, np.asarray(map_fn(span)))
     return acc
 
@@ -116,6 +174,7 @@ def sum_range(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> int:
     """Exact-integer aggregation over a range — the branch-free
     counterpart of the Function 4 iterator loop."""
@@ -129,4 +188,5 @@ def sum_range(
         start=start,
         stop=stop,
         socket=socket,
+        superchunk=superchunk,
     )

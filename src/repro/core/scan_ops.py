@@ -3,13 +3,17 @@
 The paper situates bit compression among column-store scan techniques
 (sections 4.2 and 8, citing SIMD selection-scan work).  This module
 provides the scan operators an analytics engine runs over compressed
-columns, all chunk-at-a-time over the decoded spans (so they inherit
-the same amortization the iterator gets, and honour replica selection):
+columns, all span-at-a-time over superchunk-decoded spans (so they
+inherit the bulk-span engine's amortization — one blocked-kernel call
+per 64 chunks — and honour replica selection):
 
 * :func:`count_in_range` / :func:`select_in_range` — range predicates;
 * :func:`count_equal` / :func:`select_where` — equality and arbitrary
   vectorized predicates;
 * :func:`min_max` — a fused min/max pass (zone-map construction).
+
+Socket-parallel versions of these operators live in
+:mod:`repro.runtime.parallel_scans`.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from .map_api import for_each_chunk
+from .map_api import for_each_chunk, iter_spans
 from .smart_array import SmartArray
 
 
@@ -28,6 +32,7 @@ def select_where(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> np.ndarray:
     """Indices in ``[start, stop)`` whose values satisfy ``predicate``.
 
@@ -45,7 +50,7 @@ def select_where(
         if local.size:
             hits.append(local + pos)
 
-    for_each_chunk(array, visit, start, stop, socket)
+    for_each_chunk(array, visit, start, stop, socket, superchunk)
     if not hits:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(hits)
@@ -58,6 +63,7 @@ def select_in_range(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> np.ndarray:
     """Indices with ``lo <= value < hi`` (the classic selection scan)."""
     lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
@@ -65,7 +71,7 @@ def select_in_range(
         return np.empty(0, dtype=np.int64)
     return select_where(
         array, lambda span: (span >= lo64) & (span < hi64), start, stop,
-        socket,
+        socket, superchunk,
     )
 
 
@@ -76,37 +82,33 @@ def count_in_range(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> int:
     """COUNT(*) WHERE lo <= value < hi, without materializing indices."""
     if hi <= 0 or lo >= hi:
         return 0
     lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
-    total = [0]
-
-    def visit(pos: int, span: np.ndarray) -> None:
-        total[0] += int(((span >= lo64) & (span < hi64)).sum())
-
-    for_each_chunk(array, visit, start,
-                   array.length if stop is None else stop, socket)
-    return total[0]
+    stop = array.length if stop is None else stop
+    total = 0
+    for _, span in iter_spans(array, start, stop, socket, superchunk):
+        total += int(((span >= lo64) & (span < hi64)).sum())
+    return total
 
 
 def count_equal(
     array: SmartArray,
     value: int,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> int:
     """Occurrences of ``value`` in the whole array."""
     if value < 0:
         return 0
     v = np.uint64(value)
-    total = [0]
-
-    def visit(pos: int, span: np.ndarray) -> None:
-        total[0] += int((span == v).sum())
-
-    for_each_chunk(array, visit, 0, array.length, socket)
-    return total[0]
+    total = 0
+    for _, span in iter_spans(array, 0, array.length, socket, superchunk):
+        total += int((span == v).sum())
+    return total
 
 
 def min_max(
@@ -114,18 +116,16 @@ def min_max(
     start: int = 0,
     stop: Optional[int] = None,
     socket: int = 0,
+    superchunk: Optional[int] = None,
 ) -> Tuple[int, int]:
     """Fused min/max over a range (zone-map building block)."""
     stop = array.length if stop is None else stop
     if stop <= start:
         raise ValueError("min_max of an empty range")
-    lo = [None]
-    hi = [None]
-
-    def visit(pos: int, span: np.ndarray) -> None:
-        m, M = int(span.min()), int(span.max())
-        lo[0] = m if lo[0] is None else min(lo[0], m)
-        hi[0] = M if hi[0] is None else max(hi[0], M)
-
-    for_each_chunk(array, visit, start, stop, socket)
-    return lo[0], hi[0]
+    spans = iter_spans(array, start, stop, socket, superchunk)
+    _, first = next(spans)
+    lo, hi = int(first.min()), int(first.max())
+    for _, span in spans:
+        lo = min(lo, int(span.min()))
+        hi = max(hi, int(span.max()))
+    return lo, hi

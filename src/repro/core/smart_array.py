@@ -63,6 +63,12 @@ class SmartArray(abc.ABC):
         self._init_locks = [threading.Lock() for _ in range(self._LOCK_STRIPES)]
         #: Deterministic operation counters (see repro.core.stats).
         self.stats = AccessStats()
+        #: Elements decoded per replica by the bulk-span scan engine —
+        #: lets tests prove that every worker read its socket-local
+        #: replica (the paper's ``getReplica()``-at-batch-start
+        #: discipline), not just that results came out right.
+        self._replica_reads = [0] * allocation.n_replicas
+        self._replica_reads_lock = threading.Lock()
 
     # -- basic properties (paper: getLength, getBits, placement flags) --
 
@@ -142,6 +148,25 @@ class SmartArray(abc.ABC):
     def replica_index_for_socket(self, socket: int) -> int:
         return self._allocation.replica_for_socket(socket)
 
+    @property
+    def replica_read_elements(self) -> Sequence[int]:
+        """Per-replica decoded-element counts (scan-engine reads only)."""
+        return tuple(self._replica_reads)
+
+    def reset_replica_reads(self) -> None:
+        """Zero the per-replica read counters (start of a measured region)."""
+        self._replica_reads = [0] * self.n_replicas
+
+    def _note_replica_read(self, buf: np.ndarray, n_elements: int) -> None:
+        # += on a list slot is not atomic; parallel scans update from
+        # many worker threads, and the counters must stay exact for the
+        # tests that account for every decoded element.
+        for i, replica in enumerate(self.replicas):
+            if replica is buf:
+                with self._replica_reads_lock:
+                    self._replica_reads[i] += n_elements
+                return
+
     def _resolve_replica(self, replica) -> np.ndarray:
         if replica is None:
             return self.replicas[0]
@@ -193,6 +218,34 @@ class SmartArray(abc.ABC):
 
     # -- bulk API (vectorized equivalents) ----------------------------------
 
+    def decode_chunks(self, chunk: int, n_chunks: int, replica=None,
+                      out=None) -> np.ndarray:
+        """Decode whole chunks ``[chunk, chunk + n_chunks)`` in one pass.
+
+        The superchunk building block of the bulk-span scan engine: one
+        call to the blocked all-width kernel replaces ``n_chunks``
+        :meth:`unpack` calls, so the Python-loop overhead of a scan
+        drops by the superchunk factor while the decoded layout (and
+        the ``chunk_unpacks`` accounting) stays chunk-aligned.
+
+        Returns a flat ``uint64`` array of ``n_chunks * 64`` elements,
+        written into ``out`` when supplied.  A trailing partial chunk
+        decodes its padding slots too; callers slice to the logical
+        length.
+        """
+        from .bitpack_fast import unpack_chunk_range
+
+        total_chunks = bitpack.chunks_for(self._length)
+        if n_chunks < 0:
+            raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
+        if chunk < 0 or chunk + n_chunks > total_chunks:
+            raise IndexOutOfRangeError(chunk + n_chunks, total_chunks)
+        buf = self._resolve_replica(replica)
+        self.stats.chunk_unpacks += n_chunks
+        self.stats.superchunk_decodes += 1
+        self._note_replica_read(buf, n_chunks * bitpack.CHUNK_ELEMENTS)
+        return unpack_chunk_range(buf, chunk, n_chunks, self._bits, out=out)
+
     def fill(self, values) -> None:
         """Initialize the whole array from ``values`` (vectorized Function 2)."""
         values = np.ascontiguousarray(values, dtype=np.uint64)
@@ -208,14 +261,15 @@ class SmartArray(abc.ABC):
     def to_numpy(self, replica=None) -> np.ndarray:
         """Decode the full logical contents as a ``uint64`` array.
 
-        Uses the blocked fast path for bit widths dividing 64 (see
-        :mod:`repro.core.bitpack_fast`), the generic vectorized decode
-        otherwise.
+        Uses the all-width blocked kernel (see
+        :mod:`repro.core.bitpack_fast`) — fixed shift/mask passes over
+        the word grid, never per-element gather arithmetic.
         """
         from .bitpack_fast import unpack_array_fast
 
         buf = self._resolve_replica(replica)
         self.stats.bulk_elements_read += self._length
+        self._note_replica_read(buf, self._length)
         return unpack_array_fast(buf, self._length, self._bits)
 
     def gather_many(self, indices, replica=None) -> np.ndarray:

@@ -17,11 +17,21 @@ from dataclasses import dataclass
 
 @dataclass
 class AccessStats:
-    """Operation counters for one smart array (all replicas combined)."""
+    """Operation counters for one smart array (all replicas combined).
+
+    ``chunk_unpacks`` counts logical chunk decodes regardless of
+    batching: a superchunk decode of ``n`` chunks adds ``n``, so the
+    section-4.3 amortization claims stay checkable whether a scan runs
+    chunk-at-a-time or through the bulk-span engine.
+    ``superchunk_decodes`` counts the *calls* into the blocked
+    range-decode kernel — the Python-loop iterations a scan actually
+    paid for.
+    """
 
     scalar_gets: int = 0
     scalar_inits: int = 0
     chunk_unpacks: int = 0
+    superchunk_decodes: int = 0
     bulk_elements_read: int = 0
     bulk_elements_written: int = 0
 
@@ -30,6 +40,7 @@ class AccessStats:
         self.scalar_gets = 0
         self.scalar_inits = 0
         self.chunk_unpacks = 0
+        self.superchunk_decodes = 0
         self.bulk_elements_read = 0
         self.bulk_elements_written = 0
 
@@ -48,6 +59,7 @@ class AccessStats:
             "scalar_gets": self.scalar_gets,
             "scalar_inits": self.scalar_inits,
             "chunk_unpacks": self.chunk_unpacks,
+            "superchunk_decodes": self.superchunk_decodes,
             "bulk_elements_read": self.bulk_elements_read,
             "bulk_elements_written": self.bulk_elements_written,
         }

@@ -4,22 +4,48 @@ A classic column-store companion to compression: store each 64-element
 chunk's min and max (themselves in bit-compressed smart arrays), and
 range scans skip every chunk whose zone cannot intersect the predicate
 — no unpack, no decode.  The smart-array chunk (paper section 4.2) is
-the natural zone granule because unpack already works chunk-at-a-time.
+the natural zone granule because the blocked decode already works
+chunk-at-a-time.
+
+Construction and the surviving-chunk scans both run on the bulk-span
+engine: :meth:`ZoneMap.build` decodes a superchunk (64 chunks) per
+blocked-kernel call and reduces ``min``/``max`` over a ``(n_chunks,
+64)`` view, and the range scans decode *runs* of consecutive candidate
+chunks in one call each instead of chunk-by-chunk.
 
 The skipping is observable, not just asserted: scans go through the
-array's access statistics, so tests verify that a selective predicate
-unpacks only the surviving chunks.
+array's access statistics (``chunk_unpacks`` counts logical chunks
+decoded regardless of batching), so tests verify that a selective
+predicate decodes only the surviving chunks.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from . import bitpack
 from .allocate import allocate
+from .map_api import SUPERCHUNK_ELEMENTS, check_superchunk
 from .smart_array import SmartArray
+
+
+def _chunk_runs(chunks: np.ndarray, max_run: int) -> Iterator[Tuple[int, int]]:
+    """Group sorted chunk indices into ``(first, count)`` runs of
+    consecutive chunks, each at most ``max_run`` long."""
+    i = 0
+    n = chunks.size
+    while i < n:
+        j = i + 1
+        while (
+            j < n
+            and j - i < max_run
+            and chunks[j] == chunks[j - 1] + 1
+        ):
+            j += 1
+        yield int(chunks[i]), j - i
+        i = j
 
 
 class ZoneMap:
@@ -32,23 +58,39 @@ class ZoneMap:
         self.maxs = maxs
 
     @classmethod
-    def build(cls, array: SmartArray, allocator=None) -> "ZoneMap":
+    def build(cls, array: SmartArray, allocator=None,
+              superchunk=None) -> "ZoneMap":
         """Scan ``array`` once and record each chunk's min/max.
 
         The zone arrays use the same bit width as the data (zone values
         are data values), so the index costs ``2/64`` of the column.
+        The scan decodes ``superchunk // 64`` chunks per blocked-kernel
+        call and reduces over a ``(chunks, 64)`` view — no per-chunk
+        Python loop.
         """
         n_chunks = bitpack.chunks_for(array.length)
+        chunks_per_step = check_superchunk(superchunk) // bitpack.CHUNK_ELEMENTS
         mins = np.zeros(max(1, n_chunks), dtype=np.uint64)
         maxs = np.zeros(max(1, n_chunks), dtype=np.uint64)
-        buf = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
-        for chunk in range(n_chunks):
-            array.unpack(chunk, out=buf)
-            lo = chunk * bitpack.CHUNK_ELEMENTS
-            hi = min(array.length, lo + bitpack.CHUNK_ELEMENTS)
-            span = buf[: hi - lo]
-            mins[chunk] = span.min()
-            maxs[chunk] = span.max()
+        buf = np.empty(chunks_per_step * bitpack.CHUNK_ELEMENTS,
+                       dtype=np.uint64)
+        for first in range(0, n_chunks, chunks_per_step):
+            n = min(chunks_per_step, n_chunks - first)
+            decoded = array.decode_chunks(first, n, out=buf)
+            grid = decoded[:n * bitpack.CHUNK_ELEMENTS].reshape(
+                n, bitpack.CHUNK_ELEMENTS
+            )
+            mins[first:first + n] = grid.min(axis=1)
+            maxs[first:first + n] = grid.max(axis=1)
+        # A trailing partial chunk decodes padding slots too; its zone
+        # must come from the real elements only.
+        tail = array.length % bitpack.CHUNK_ELEMENTS
+        if n_chunks and tail:
+            last = buf[
+                (n_chunks - 1 - first) * bitpack.CHUNK_ELEMENTS:
+            ][:tail]
+            mins[n_chunks - 1] = last.min()
+            maxs[n_chunks - 1] = last.max()
         zmins = allocate(n_chunks, bits=array.bits, allocator=allocator)
         zmaxs = allocate(n_chunks, bits=array.bits, allocator=allocator)
         if n_chunks:
@@ -70,11 +112,13 @@ class ZoneMap:
         mask = (maxs >= lo64) & (mins < np.uint64(hi))
         return np.nonzero(mask)[0].astype(np.int64)
 
-    def count_in_range(self, lo: int, hi: int, socket: int = 0) -> int:
-        """COUNT(*) WHERE lo <= v < hi, unpacking only candidate chunks.
+    def count_in_range(self, lo: int, hi: int, socket: int = 0,
+                       superchunk=None) -> int:
+        """COUNT(*) WHERE lo <= v < hi, decoding only candidate chunks.
 
-        Chunks entirely inside the range are counted without unpacking
-        at all (their zone proves every element matches).
+        Chunks entirely inside the range are counted without decoding
+        at all (their zone proves every element matches); the rest are
+        decoded in consecutive runs through the blocked kernel.
         """
         candidates = self.candidate_chunks(lo, hi)
         if candidates.size == 0:
@@ -82,35 +126,40 @@ class ZoneMap:
         mins = self.mins.to_numpy()
         maxs = self.maxs.to_numpy()
         lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+        covered = (mins[candidates] >= lo64) & (maxs[candidates] < hi64)
         total = 0
-        buf = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
-        replica = self.array.get_replica(socket)
-        for chunk in candidates:
+        for chunk in candidates[covered]:
             start = int(chunk) * bitpack.CHUNK_ELEMENTS
-            end = min(self.array.length, start + bitpack.CHUNK_ELEMENTS)
-            span_len = end - start
-            if mins[chunk] >= lo64 and maxs[chunk] < hi64:
-                total += span_len   # fully covered: no unpack needed
-                continue
-            self.array.unpack(int(chunk), replica=replica, out=buf)
-            span = buf[:span_len]
+            total += min(self.array.length, start + bitpack.CHUNK_ELEMENTS) - start
+        max_run = check_superchunk(superchunk) // bitpack.CHUNK_ELEMENTS
+        replica = self.array.get_replica(socket)
+        buf = np.empty(max_run * bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        for first, n in _chunk_runs(candidates[~covered], max_run):
+            decoded = self.array.decode_chunks(first, n, replica=replica,
+                                               out=buf)
+            start = first * bitpack.CHUNK_ELEMENTS
+            end = min(self.array.length, start + n * bitpack.CHUNK_ELEMENTS)
+            span = decoded[:end - start]
             total += int(((span >= lo64) & (span < hi64)).sum())
         return total
 
-    def select_in_range(self, lo: int, hi: int, socket: int = 0) -> np.ndarray:
-        """Matching indices, visiting candidate chunks only."""
+    def select_in_range(self, lo: int, hi: int, socket: int = 0,
+                        superchunk=None) -> np.ndarray:
+        """Matching indices, decoding candidate-chunk runs only."""
         candidates = self.candidate_chunks(lo, hi)
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64)
         lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
         out: List[np.ndarray] = []
-        buf = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        max_run = check_superchunk(superchunk) // bitpack.CHUNK_ELEMENTS
         replica = self.array.get_replica(socket)
-        for chunk in candidates:
-            start = int(chunk) * bitpack.CHUNK_ELEMENTS
-            end = min(self.array.length, start + bitpack.CHUNK_ELEMENTS)
-            self.array.unpack(int(chunk), replica=replica, out=buf)
-            span = buf[: end - start]
+        buf = np.empty(max_run * bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        for first, n in _chunk_runs(candidates, max_run):
+            decoded = self.array.decode_chunks(first, n, replica=replica,
+                                               out=buf)
+            start = first * bitpack.CHUNK_ELEMENTS
+            end = min(self.array.length, start + n * bitpack.CHUNK_ELEMENTS)
+            span = decoded[:end - start]
             local = np.nonzero((span >= lo64) & (span < hi64))[0]
             if local.size:
                 out.append(local + start)

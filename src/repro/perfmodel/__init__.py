@@ -51,7 +51,12 @@ from .stream import (
     stream_profile,
     stream_table,
 )
-from .workload import WorkloadProfile, compressed_scan_instructions
+from .workload import (
+    WorkloadProfile,
+    blocked_scan_instructions,
+    compressed_scan_instructions,
+    scan_engine_instructions,
+)
 
 __all__ = [
     "AggregationRow",
@@ -78,7 +83,9 @@ __all__ = [
     "aggregation_profile",
     "bandwidth_hog",
     "best_placement",
+    "blocked_scan_instructions",
     "compressed_scan_instructions",
+    "scan_engine_instructions",
     "compute_rate",
     "cpu_hog",
     "degree_centrality_profile",

@@ -21,7 +21,7 @@ from ..core.placement import Placement
 from ..numa.topology import MachineSpec
 from . import calibration as cal
 from .engine import SimulatedRun, simulate
-from .workload import WorkloadProfile, compressed_scan_instructions
+from .workload import WorkloadProfile, scan_engine_instructions
 
 #: Two 4 GB arrays of 64-bit integers: ~5e8 elements each (section 5.1).
 ELEMENTS_PER_ARRAY = 500_000_000
@@ -46,21 +46,27 @@ def aggregation_profile(
     bits: int,
     language: str = "C++",
     total_elements: int = TOTAL_ELEMENTS,
+    scan_engine: str = "iterator",
 ) -> WorkloadProfile:
     """Resource profile of the parallel two-array aggregation.
 
     Streamed traffic is the packed data volume (``bits/8`` bytes per
     element — compression's bandwidth saving); instruction count follows
     the calibrated per-element scan costs, with the Java factor applied
-    for the GraalVM runs.
+    for the GraalVM runs.  ``scan_engine`` selects the cost model:
+    ``"iterator"`` is the paper's Function 4 loop (the figures'
+    default); ``"blocked"`` is the bulk-span engine, whose decode cost
+    per element is a few word-parallel ops — the adaptivity layer uses
+    this hook to see what superchunk decode does to the compute side of
+    the roofline.
     """
     if language not in LANGUAGES:
         raise ValueError(f"language must be one of {LANGUAGES}, got {language!r}")
-    instructions = compressed_scan_instructions(total_elements, bits)
+    instructions = scan_engine_instructions(total_elements, bits, scan_engine)
     if language == "Java":
         instructions *= cal.JAVA_INSTRUCTION_FACTOR
     return WorkloadProfile(
-        name=f"aggregation[{bits}b,{language}]",
+        name=f"aggregation[{bits}b,{language},{scan_engine}]",
         stream_bytes=total_elements * bits / 8.0,
         instructions=instructions,
         ipc=cal.STREAM_IPC,

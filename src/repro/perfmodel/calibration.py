@@ -45,6 +45,17 @@ INST_UNCOMPRESSED_32 = 5.5
 INST_COMPRESSED_BASE = 12.0
 INST_COMPRESSED_PER_BIT = 12.0 / 64.0
 
+#: Instructions per element for the *blocked* bulk-span decode (the
+#: scan engine's all-width kernel): fixed shift/mask/OR passes over the
+#: word grid amortized across a whole superchunk, with none of the
+#: buffered-iterator bookkeeping.  Per element that is roughly one
+#: shift, one mask, and a fraction of the spill combine — the
+#: word-parallel regime Willhalm et al. report for SIMD scans.  The
+#: per-bit term keeps the mild growth from extra straddling slots at
+#: wider widths.
+INST_BLOCKED_BASE = 3.0
+INST_BLOCKED_PER_BIT = 3.0 / 64.0
+
 #: Managed-runtime multiplier on the instruction count for the Java
 #: (GraalVM) versions of the loops — Fig. 10's Java panels run slightly
 #: more instructions than C++ at nearly the same time.

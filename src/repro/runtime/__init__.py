@@ -15,6 +15,13 @@ from .loops import (
     parallel_sum,
     parallel_sum_bulk,
 )
+from .parallel_scans import (
+    DEFAULT_SCAN_BATCH,
+    parallel_count_in_range,
+    parallel_min_max,
+    parallel_select_in_range,
+)
+from .parallel_scans import parallel_sum as parallel_sum_blocked
 from .process_pool import (
     process_parallel_sum,
     process_parallel_sum_from_values,
@@ -25,14 +32,19 @@ __all__ = [
     "AtomicAccumulator",
     "AtomicCounter",
     "DEFAULT_BATCH",
+    "DEFAULT_SCAN_BATCH",
     "LoopStats",
     "ThreadContext",
     "WorkerPool",
     "build_contexts",
     "default_pool",
+    "parallel_count_in_range",
     "parallel_for",
+    "parallel_min_max",
     "parallel_reduce",
+    "parallel_select_in_range",
     "parallel_sum",
+    "parallel_sum_blocked",
     "parallel_sum_bulk",
     "process_parallel_sum",
     "process_parallel_sum_from_values",

@@ -72,18 +72,30 @@ def parallel_for(
     pool: WorkerPool,
     batch: int = DEFAULT_BATCH,
     stats: Optional[LoopStats] = None,
+    distribution: str = "dynamic",
 ) -> None:
-    """Run ``body(start, end, ctx)`` over ``[0, n)`` in dynamic batches.
+    """Run ``body(start, end, ctx)`` over ``[0, n)`` in batches.
 
-    Each worker loops: claim the next batch index with an atomic
-    fetch-add, run the body over ``[start, min(start+batch, n))``, until
-    the range is exhausted.  This is Callisto's work-distribution fast
-    path; batches are claimed exactly once.
+    With ``distribution="dynamic"`` (Callisto's work-distribution fast
+    path) each worker loops: claim the next batch index with an atomic
+    fetch-add, run the body over ``[start, min(start+batch, n))``,
+    until the range is exhausted; batches are claimed exactly once.
+
+    With ``distribution="static"`` batch ``i`` always goes to worker
+    ``i % n_workers`` — the classic pre-partitioned schedule the paper
+    contrasts dynamic claiming with.  It forgoes load balancing but is
+    fully deterministic even in ``serial`` pools (where dynamic
+    claiming lets the first worker drain the whole counter), which is
+    what lets tests assert per-socket replica usage exactly.
     """
     if n < 0:
         raise ValueError(f"iteration count must be >= 0, got {n}")
     if batch < 1:
         raise ValueError(f"batch size must be >= 1, got {batch}")
+    if distribution not in ("dynamic", "static"):
+        raise ValueError(
+            f"distribution must be 'dynamic' or 'static', got {distribution!r}"
+        )
     if n == 0:
         return
     counter = AtomicCounter(0)
@@ -92,6 +104,15 @@ def parallel_for(
     worker_index = {id(ctx): i for i, ctx in enumerate(pool.contexts)}
 
     def work(ctx: ThreadContext) -> None:
+        if distribution == "static":
+            start = worker_index[id(ctx)] * batch
+            stride = pool.n_workers * batch
+            while start < n:
+                body(start, min(start + batch, n), ctx)
+                if stats is not None:
+                    stats.batches_per_worker[worker_index[id(ctx)]] += 1
+                start += stride
+            return
         while True:
             start = counter.fetch_add(batch)
             if start >= n:
@@ -111,6 +132,7 @@ def parallel_reduce(
     initial,
     pool: WorkerPool,
     batch: int = DEFAULT_BATCH,
+    distribution: str = "dynamic",
 ):
     """Fold ``batch_fn`` results over all batches.
 
@@ -127,7 +149,7 @@ def parallel_reduce(
         with lock:
             box[0] = combine(box[0], local)
 
-    parallel_for(n, body, pool, batch=batch)
+    parallel_for(n, body, pool, batch=batch, distribution=distribution)
     return box[0]
 
 
@@ -208,11 +230,15 @@ def parallel_sum_bulk(
 
     def batch_fn(start: int, end: int, ctx: ThreadContext) -> int:
         local = 0
-        idx = np.arange(start, end, dtype=np.int64)
+        first_chunk = start // bitpack.CHUNK_ELEMENTS
+        end_chunk = -(-end // bitpack.CHUNK_ELEMENTS)
+        base = first_chunk * bitpack.CHUNK_ELEMENTS
         for a in arrays:
             replica = a.get_replica(ctx.socket)
-            values = bitpack.gather(replica, idx, a.bits)
-            local += _exact_sum(values)
+            decoded = a.decode_chunks(
+                first_chunk, end_chunk - first_chunk, replica=replica
+            )
+            local += _exact_sum(decoded[start - base:end - base])
         return local
 
     return parallel_reduce(n, batch_fn, lambda a, b: a + b, 0, pool, batch=batch)

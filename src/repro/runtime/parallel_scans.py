@@ -1,0 +1,220 @@
+"""Socket-parallel bulk-span scan operators (the scan engine's top layer).
+
+Each operator runs on a :class:`~repro.runtime.workers.WorkerPool` with
+Callisto-RTS dynamic batch claiming (:func:`repro.runtime.loops.
+parallel_for`): workers repeatedly grab the next chunk-aligned batch
+from a shared atomic counter, select the socket-local replica *at batch
+start* via ``get_replica(ctx.socket)`` — the paper's ``getReplica()``
+discipline (section 4.3) — and decode the batch's chunks in one call
+into the blocked all-width kernel.  Per-batch partials fold into the
+global result exactly like the paper's aggregation loop ("atomically
+incrementing a global sum variable at the end of each loop batch").
+
+Operators:
+
+* :func:`parallel_sum` — exact-integer aggregation over one or more
+  equal-length arrays (the blocked-decode counterpart of
+  :func:`repro.runtime.loops.parallel_sum`);
+* :func:`parallel_count_in_range` / :func:`parallel_select_in_range` —
+  the selection scans of :mod:`repro.core.scan_ops`, parallelized;
+* :func:`parallel_min_max` — fused min/max.
+
+All return bit-identical results to their serial counterparts in both
+``threads`` and ``serial`` pool modes (tests assert this), and every
+worker's replica reads are observable through
+``SmartArray.replica_read_elements``.  Each operator also takes a
+``distribution`` knob ("dynamic" claiming by default; "static"
+round-robin pre-partitioning) — static distribution is deterministic
+even in serial pools, which is how tests pin down exactly which
+socket's replica served which batch.
+
+The cost side lives in :func:`repro.perfmodel.workload.
+blocked_scan_instructions`: the perfmodel charges blocked-decoded scans
+far fewer instructions per element than iterator scans, which is what
+lets the adaptivity see compression as nearly free on the scan path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core import bitpack
+from ..core.map_api import check_superchunk
+from ..core.smart_array import SmartArray
+from .loops import _exact_sum, parallel_for, parallel_reduce
+from .workers import ThreadContext, WorkerPool
+
+#: Default scan batch: one superchunk (64 chunks).  Batches claimed by
+#: :func:`parallel_for` start at multiples of the batch size, so any
+#: multiple of 64 elements keeps every batch chunk-aligned.
+DEFAULT_SCAN_BATCH = 4096
+
+
+def _check_batch(batch: int) -> int:
+    try:
+        return check_superchunk(batch)
+    except ValueError:
+        raise ValueError(
+            f"batch must be a positive multiple of 64, got {batch}"
+        ) from None
+
+
+def _batch_chunks(start: int, end: int) -> Tuple[int, int, int]:
+    """Covering chunk range of ``[start, end)`` and its element base."""
+    first_chunk = start // bitpack.CHUNK_ELEMENTS
+    end_chunk = -(-end // bitpack.CHUNK_ELEMENTS)
+    return first_chunk, end_chunk, first_chunk * bitpack.CHUNK_ELEMENTS
+
+
+def _decode_batch(array: SmartArray, start: int, end: int,
+                  ctx: ThreadContext) -> np.ndarray:
+    """Decode ``[start, end)`` from the socket-local replica."""
+    replica = array.get_replica(ctx.socket)
+    first_chunk, end_chunk, base = _batch_chunks(start, end)
+    decoded = array.decode_chunks(
+        first_chunk, end_chunk - first_chunk, replica=replica
+    )
+    return decoded[start - base:end - base]
+
+
+def _as_arrays(
+    arrays: Union[Sequence[SmartArray], SmartArray], what: str
+) -> List[SmartArray]:
+    if isinstance(arrays, SmartArray):
+        arrays = [arrays]
+    arrays = list(arrays)
+    if not arrays:
+        raise ValueError(f"{what} needs at least one array")
+    n = arrays[0].length
+    for a in arrays:
+        if a.length != n:
+            raise ValueError("all arrays must have the same length")
+    return arrays
+
+
+def _default_pool() -> WorkerPool:
+    from .loops import default_pool
+
+    return default_pool()
+
+
+def parallel_sum(
+    arrays: Union[Sequence[SmartArray], SmartArray],
+    pool: Optional[WorkerPool] = None,
+    batch: int = DEFAULT_SCAN_BATCH,
+    distribution: str = "dynamic",
+) -> int:
+    """Exact-integer aggregation through the bulk-span scan engine.
+
+    Semantically identical to :func:`repro.runtime.loops.parallel_sum`
+    (the per-element iterator loop) and to
+    :func:`repro.core.map_api.sum_range`; each batch is one blocked
+    chunk-range decode per array instead of ``batch`` iterator steps.
+    """
+    pool = pool or _default_pool()
+    batch = _check_batch(batch)
+    arrays = _as_arrays(arrays, "parallel_sum")
+
+    def batch_fn(start: int, end: int, ctx: ThreadContext) -> int:
+        return sum(
+            _exact_sum(_decode_batch(a, start, end, ctx)) for a in arrays
+        )
+
+    return parallel_reduce(
+        arrays[0].length, batch_fn, lambda a, b: a + b, 0, pool,
+        batch=batch, distribution=distribution,
+    )
+
+
+def parallel_count_in_range(
+    array: SmartArray,
+    lo: int,
+    hi: int,
+    pool: Optional[WorkerPool] = None,
+    batch: int = DEFAULT_SCAN_BATCH,
+    distribution: str = "dynamic",
+) -> int:
+    """Parallel COUNT(*) WHERE lo <= value < hi over the whole array."""
+    if hi <= 0 or lo >= hi or array.length == 0:
+        return 0
+    pool = pool or _default_pool()
+    batch = _check_batch(batch)
+    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+
+    def batch_fn(start: int, end: int, ctx: ThreadContext) -> int:
+        span = _decode_batch(array, start, end, ctx)
+        return int(((span >= lo64) & (span < hi64)).sum())
+
+    return parallel_reduce(
+        array.length, batch_fn, lambda a, b: a + b, 0, pool,
+        batch=batch, distribution=distribution,
+    )
+
+
+def parallel_select_in_range(
+    array: SmartArray,
+    lo: int,
+    hi: int,
+    pool: Optional[WorkerPool] = None,
+    batch: int = DEFAULT_SCAN_BATCH,
+    distribution: str = "dynamic",
+) -> np.ndarray:
+    """Parallel selection scan: indices with ``lo <= value < hi``.
+
+    Batches complete in a worker-dependent order, so per-batch index
+    pieces carry their start offset and are stitched back in ascending
+    order at the end — the result is bit-identical to the serial
+    :func:`repro.core.scan_ops.select_in_range`.
+    """
+    if hi <= 0 or lo >= hi or array.length == 0:
+        return np.empty(0, dtype=np.int64)
+    pool = pool or _default_pool()
+    batch = _check_batch(batch)
+    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+    pieces: List[Tuple[int, np.ndarray]] = []
+    lock = threading.Lock()
+
+    def body(start: int, end: int, ctx: ThreadContext) -> None:
+        span = _decode_batch(array, start, end, ctx)
+        local = np.nonzero((span >= lo64) & (span < hi64))[0]
+        if local.size:
+            with lock:
+                pieces.append((start, local + start))
+
+    parallel_for(array.length, body, pool, batch=batch,
+                 distribution=distribution)
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    pieces.sort(key=lambda item: item[0])
+    return np.concatenate([indices for _, indices in pieces])
+
+
+def parallel_min_max(
+    array: SmartArray,
+    pool: Optional[WorkerPool] = None,
+    batch: int = DEFAULT_SCAN_BATCH,
+    distribution: str = "dynamic",
+) -> Tuple[int, int]:
+    """Parallel fused min/max over the whole array."""
+    if array.length == 0:
+        raise ValueError("min_max of an empty range")
+    pool = pool or _default_pool()
+    batch = _check_batch(batch)
+
+    def batch_fn(start: int, end: int,
+                 ctx: ThreadContext) -> Tuple[int, int]:
+        span = _decode_batch(array, start, end, ctx)
+        return int(span.min()), int(span.max())
+
+    def combine(acc, local):
+        if acc is None:
+            return local
+        return min(acc[0], local[0]), max(acc[1], local[1])
+
+    return parallel_reduce(
+        array.length, batch_fn, combine, None, pool,
+        batch=batch, distribution=distribution,
+    )

@@ -23,7 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core import bitpack
+from ..core import bitpack, bitpack_fast
 from ..interop.shared import SharedSmartArray
 
 
@@ -46,8 +46,13 @@ def _worker(
             if start >= length:
                 break
             end = min(start + batch, length)
-            idx = np.arange(start, end, dtype=np.int64)
-            values = bitpack.gather(array._view._words, idx, bits)
+            first_chunk = start // bitpack.CHUNK_ELEMENTS
+            end_chunk = -(-end // bitpack.CHUNK_ELEMENTS)
+            base = first_chunk * bitpack.CHUNK_ELEMENTS
+            decoded = bitpack_fast.unpack_chunk_range(
+                array._view._words, first_chunk, end_chunk - first_chunk, bits
+            )
+            values = decoded[start - base:end - base]
             hi = int((values >> np.uint64(32)).sum(dtype=np.uint64))
             lo = int((values & np.uint64(0xFFFFFFFF)).sum(dtype=np.uint64))
             total += (hi << 32) + lo

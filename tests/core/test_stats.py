@@ -41,7 +41,8 @@ class TestAccessStats:
         assert s.total_operations == 0
         assert set(s.snapshot()) == {
             "scalar_gets", "scalar_inits", "chunk_unpacks",
-            "bulk_elements_read", "bulk_elements_written",
+            "superchunk_decodes", "bulk_elements_read",
+            "bulk_elements_written",
         }
 
     def test_scalar_ops_counted(self, allocator):
