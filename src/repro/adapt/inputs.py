@@ -97,6 +97,13 @@ class ArrayCharacteristics:
             raise ValueError("length must be >= 0")
         if not 1 <= self.element_bits <= 64:
             raise ValueError("element_bits must be in 1..64")
+        if self.scan_engine not in ("iterator", "blocked"):
+            # Fail at construction, not deep inside cost_per_access's
+            # call into scan_engine_instructions mid-selection.
+            raise ValueError(
+                f"scan_engine must be 'iterator' or 'blocked', "
+                f"got {self.scan_engine!r}"
+            )
 
     @property
     def compression_ratio(self) -> float:

@@ -1,0 +1,62 @@
+"""smartcheck: differential fuzz + invariant harness for the smart-array
+stack.
+
+PR 1's bulk-span scan engine made every read path (scan operators, zone
+maps, iterators, parallel scans) a second implementation of the same
+semantics.  This package machine-checks that they all agree: a seeded
+generator (:mod:`repro.check.generator`) produces random operation
+sequences across the full grid of placements x bit widths x superchunk
+sizes x pool modes, a plain-NumPy oracle (:mod:`repro.check.oracle`)
+independently models every operator, the runner
+(:mod:`repro.check.runner`) compares results and standing invariants
+(replica consistency, zone-map bounds, decode accounting), and failing
+sequences shrink to minimal deterministic repros
+(:mod:`repro.check.shrink`).
+
+Entry points::
+
+    python -m repro check --seed 0 --ops 500        # CLI / CI job
+
+    from repro.check import run_check
+    report = run_check(seed=0, ops=500)
+    assert report.ok, report.format()
+"""
+
+from .generator import (
+    BIT_WIDTHS,
+    PLACEMENTS,
+    POOL_MODES,
+    SUPERCHUNKS,
+    ArraySpec,
+    Case,
+    Op,
+    gen_values,
+    generate_cases,
+    make_case,
+)
+from .harness import CheckReport, grid_coverage, run_check
+from .oracle import OracleArray, clamp_range
+from .runner import CaseFailure, CaseRunner, run_case
+from .shrink import shrink_case
+
+__all__ = [
+    "ArraySpec",
+    "BIT_WIDTHS",
+    "Case",
+    "CaseFailure",
+    "CaseRunner",
+    "CheckReport",
+    "Op",
+    "OracleArray",
+    "PLACEMENTS",
+    "POOL_MODES",
+    "SUPERCHUNKS",
+    "clamp_range",
+    "gen_values",
+    "generate_cases",
+    "grid_coverage",
+    "make_case",
+    "run_case",
+    "run_check",
+    "shrink_case",
+]

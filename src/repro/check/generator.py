@@ -1,0 +1,304 @@
+"""Seeded operation-sequence generator for the smartcheck harness.
+
+A *case* is one smart array configuration — length, bit width, NUMA
+placement, superchunk size, worker-pool mode — plus a sequence of
+operations to run against it.  Cases sweep the configuration grid
+deterministically (case ``i`` takes placement ``i % 4``, bit width
+``(i // 4) % 8``, ...), so any budget of at least 32 cases covers the
+full placements x bit-widths cross product, while lengths, values, and
+op parameters come from a seeded :class:`numpy.random.Generator`.
+
+Everything is a pure function of ``(seed, case_index)``: replaying a
+seed regenerates byte-identical cases, which is what makes shrunk
+failures reproducible.  Op arguments are plain Python ints — bulk
+values are carried as a value-seed and regenerated on demand by
+:func:`gen_values`, never stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .oracle import U64_MAX
+
+#: The configuration grid.  Placements cover all four paper modes; bit
+#: widths include both uncompressed specializations (32, 64), the
+#: 1-bit extreme, and the 63/64 boundary widths.
+PLACEMENTS: Tuple[str, ...] = ("default", "pinned", "interleaved",
+                               "replicated")
+BIT_WIDTHS: Tuple[int, ...] = (1, 7, 13, 32, 33, 40, 63, 64)
+SUPERCHUNKS: Tuple[int, ...] = (64, 256, 4096)
+POOL_MODES: Tuple[str, ...] = ("serial", "threads")
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One point of the configuration grid."""
+
+    length: int
+    bits: int
+    placement: str
+    superchunk: int
+    pool_mode: str
+
+    def describe(self) -> str:
+        return (
+            f"length={self.length} bits={self.bits} "
+            f"placement={self.placement} superchunk={self.superchunk} "
+            f"pool={self.pool_mode}"
+        )
+
+
+@dataclass(frozen=True)
+class Op:
+    """One generated operation: a name plus plain-int arguments."""
+
+    name: str
+    args: Tuple[int, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"Op({self.name!r}, {self.args!r})"
+
+
+@dataclass(frozen=True)
+class Case:
+    """A spec plus its op sequence; ``index`` replays it from ``seed``."""
+
+    seed: int
+    index: int
+    spec: ArraySpec
+    ops: Tuple[Op, ...]
+
+    def describe(self) -> str:
+        lines = [f"case {self.index} (seed {self.seed}): "
+                 f"{self.spec.describe()}"]
+        lines += [f"  [{i}] {op!r}" for i, op in enumerate(self.ops)]
+        return "\n".join(lines)
+
+
+def gen_values(vseed: int, n: int, bits: int) -> np.ndarray:
+    """Regenerate the bulk values identified by ``vseed`` (pure)."""
+    rng = np.random.default_rng(vseed)
+    dom_max = (1 << bits) - 1
+    mode = int(rng.integers(0, 3))
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    if mode == 0:  # uniform over the full domain
+        vals = rng.integers(0, dom_max, size=n, dtype=np.uint64,
+                            endpoint=True)
+    elif mode == 1:  # clustered ramp: makes zone maps selective
+        steps = rng.integers(0, 3, size=n, dtype=np.uint64)
+        vals = np.minimum(np.cumsum(steps, dtype=np.uint64),
+                          np.uint64(dom_max))
+    else:  # few distinct values: makes count_equal hit
+        pool = rng.integers(0, dom_max, size=min(4, n), dtype=np.uint64,
+                            endpoint=True)
+        vals = rng.choice(pool, size=n)
+    return vals.astype(np.uint64)
+
+
+def _gen_bound(rng: np.random.Generator, bits: int) -> int:
+    """A predicate bound: boundary values of the data domain and of the
+    uint64 storage domain, or a random in-domain value."""
+    dom = 1 << bits
+    boundary = (0, 1, dom - 1, dom, dom + 1, 1 << 63,
+                U64_MAX, U64_MAX + 1, U64_MAX + 17, -3)
+    t = int(rng.integers(0, len(boundary) + 3))
+    if t < len(boundary):
+        return int(boundary[t])
+    return int(rng.integers(0, dom - 1, dtype=np.uint64, endpoint=True))
+
+
+def _gen_index(rng: np.random.Generator, length: int) -> int:
+    """An element index, occasionally in negative (from-the-end) form."""
+    i = int(rng.integers(0, length))
+    if rng.integers(0, 4) == 0:
+        return i - length
+    return i
+
+
+def _gen_slice(rng: np.random.Generator,
+               length: int) -> Tuple[int, int, int]:
+    start = int(rng.integers(-length - 1, length + 2)) if length else 0
+    stop = int(rng.integers(-length - 1, length + 2)) if length else 0
+    step = int(rng.choice([1, 1, 2, 3, -1, -2]))
+    return start, stop, step
+
+
+def _gen_range(rng: np.random.Generator, length: int) -> Tuple[int, int]:
+    """A valid [start, stop) scan range with 0 <= start <= stop <= length."""
+    a = int(rng.integers(0, length + 1))
+    b = int(rng.integers(0, length + 1))
+    return min(a, b), max(a, b)
+
+
+def _gen_value(rng: np.random.Generator, bits: int) -> int:
+    return int(rng.integers(0, (1 << bits) - 1, dtype=np.uint64,
+                            endpoint=True))
+
+
+#: (name, weight, needs_nonempty).  Weights bias toward the scan
+#: operators the harness exists to cross-check.
+_OP_TABLE = (
+    ("fill", 2, False),
+    ("init", 2, True),
+    ("init_locked", 1, True),
+    ("setitem", 2, True),
+    ("setitem_slice", 2, False),
+    ("setitem_slice_scalar", 1, False),
+    ("scatter", 2, True),
+    ("get", 2, True),
+    ("getitem_slice", 2, False),
+    ("gather", 2, True),
+    ("to_numpy", 1, False),
+    ("decode_chunks", 2, True),
+    ("sum_range", 2, False),
+    ("count_in_range", 4, False),
+    ("select_in_range", 4, False),
+    ("count_equal", 2, False),
+    ("select_mod", 2, False),
+    ("min_max", 2, True),
+    ("iter_take", 3, False),
+    ("take_then_get", 2, True),
+    ("iter_walk", 2, False),
+    ("zonemap_count", 3, True),
+    ("zonemap_select", 3, True),
+    ("zonemap_candidates", 1, True),
+    ("parallel_sum", 1, True),
+    ("parallel_count", 2, True),
+    ("parallel_select", 2, True),
+    ("parallel_min_max", 1, True),
+)
+
+_NAMES = tuple(t[0] for t in _OP_TABLE)
+_WEIGHTS = np.array([t[1] for t in _OP_TABLE], dtype=float)
+_WEIGHTS /= _WEIGHTS.sum()
+_NEEDS_NONEMPTY = {t[0]: t[2] for t in _OP_TABLE}
+
+_PARALLEL_BATCHES = (256, 4096)
+_DISTRIBUTIONS = ("dynamic", "static")
+
+
+def _gen_op(rng: np.random.Generator, spec: ArraySpec) -> Op:
+    length, bits = spec.length, spec.bits
+    while True:
+        name = str(rng.choice(_NAMES, p=_WEIGHTS))
+        if length == 0 and _NEEDS_NONEMPTY[name]:
+            continue
+        break
+    if name == "fill":
+        return Op(name, (int(rng.integers(0, 2**31)),))
+    if name in ("init", "init_locked", "setitem"):
+        idx = _gen_index(rng, length) if name == "setitem" \
+            else int(rng.integers(0, length))
+        return Op(name, (idx, _gen_value(rng, bits)))
+    if name == "setitem_slice":
+        return Op(name, _gen_slice(rng, length)
+                  + (int(rng.integers(0, 2**31)),))
+    if name == "setitem_slice_scalar":
+        return Op(name, _gen_slice(rng, length) + (_gen_value(rng, bits),))
+    if name == "scatter":
+        k = int(rng.integers(1, min(length, 64) + 1))
+        return Op(name, (int(rng.integers(0, 2**31)), k))
+    if name == "get":
+        return Op(name, (_gen_index(rng, length),))
+    if name == "getitem_slice":
+        return Op(name, _gen_slice(rng, length))
+    if name == "gather":
+        k = int(rng.integers(1, min(length, 128) + 1))
+        return Op(name, (int(rng.integers(0, 2**31)), k))
+    if name == "to_numpy":
+        return Op(name)
+    if name == "decode_chunks":
+        n_chunks = -(-length // 64)
+        first = int(rng.integers(0, n_chunks))
+        n = int(rng.integers(1, n_chunks - first + 1))
+        return Op(name, (first, n))
+    if name in ("sum_range", "min_max"):
+        start, stop = _gen_range(rng, length)
+        if name == "min_max" and stop == start:
+            stop = min(length, start + 1)
+            start = max(0, stop - 1)
+        return Op(name, (start, stop, int(rng.integers(0, 2))))
+    if name in ("count_in_range", "select_in_range"):
+        start, stop = _gen_range(rng, length)
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         start, stop, int(rng.integers(0, 2))))
+    if name == "count_equal":
+        v = _gen_bound(rng, bits)
+        return Op(name, (v, int(rng.integers(0, 2))))
+    if name == "select_mod":
+        start, stop = _gen_range(rng, length)
+        m = int(rng.integers(2, 8))
+        return Op(name, (m, int(rng.integers(0, m)), start, stop,
+                         int(rng.integers(0, 2))))
+    if name in ("iter_take", "take_then_get", "iter_walk"):
+        start = int(rng.integers(0, length + 1))
+        if name == "iter_walk":
+            n = int(rng.integers(0, min(length - start, 200) + 1))
+        else:
+            n = int(rng.integers(1, 2 * 4096))
+        if name == "take_then_get":
+            # get() after take() must land in bounds.
+            if start >= length:
+                start = max(0, length - 1)
+            n = int(rng.integers(1, max(1, length - start) + 1))
+            if start + min(n, length - start) >= length:
+                n = max(1, length - start - 1)
+                if n <= 0 or start + n >= length:
+                    return Op("iter_take", (start, 1))
+        return Op(name, (start, n))
+    if name in ("zonemap_count", "zonemap_select", "zonemap_candidates"):
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits)))
+    if name in ("parallel_sum", "parallel_min_max"):
+        return Op(name, (int(rng.choice(_PARALLEL_BATCHES)),
+                         int(rng.integers(0, 2))))
+    if name in ("parallel_count", "parallel_select"):
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.choice(_PARALLEL_BATCHES)),
+                         int(rng.integers(0, 2))))
+    raise AssertionError(f"unhandled op {name}")  # pragma: no cover
+
+
+def _gen_length(rng: np.random.Generator) -> int:
+    kind = int(rng.integers(0, 8))
+    if kind == 0:
+        return 0
+    if kind == 1:  # exact chunk multiples
+        return 64 * int(rng.integers(1, 8))
+    if kind == 2:  # crosses superchunk windows
+        return int(rng.integers(4097, 5200))
+    return int(rng.integers(1, 900))
+
+
+def make_case(seed: int, index: int) -> Case:
+    """Deterministically build case ``index`` of the run for ``seed``."""
+    rng = np.random.default_rng([seed, index])
+    spec = ArraySpec(
+        length=_gen_length(rng),
+        bits=BIT_WIDTHS[(index // len(PLACEMENTS)) % len(BIT_WIDTHS)],
+        placement=PLACEMENTS[index % len(PLACEMENTS)],
+        superchunk=SUPERCHUNKS[index % len(SUPERCHUNKS)],
+        pool_mode=POOL_MODES[index % len(POOL_MODES)],
+    )
+    n_ops = int(rng.integers(6, 13))
+    ops = [Op("fill", (int(rng.integers(0, 2**31)),))]
+    ops += [_gen_op(rng, spec) for _ in range(n_ops - 1)]
+    return Case(seed=seed, index=index, spec=spec, ops=tuple(ops))
+
+
+def generate_cases(seed: int, total_ops: int) -> Iterator[Case]:
+    """Yield cases until their op counts reach ``total_ops``."""
+    budget = total_ops
+    index = 0
+    while budget > 0:
+        case = make_case(seed, index)
+        if len(case.ops) > budget:
+            case = Case(case.seed, case.index, case.spec,
+                        case.ops[:budget])
+        budget -= len(case.ops)
+        index += 1
+        yield case

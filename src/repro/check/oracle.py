@@ -1,0 +1,227 @@
+"""Plain-NumPy oracle for the differential fuzz harness (smartcheck).
+
+The oracle keeps a smart array's logical contents as an ordinary
+``uint64`` NumPy array and reimplements every checked operator with
+nothing but NumPy and Python integers — no bit packing, no chunking, no
+replicas.  Whatever the smart-array stack answers, the oracle answers
+independently; the runner compares the two.
+
+Besides values, the oracle predicts the *accounting* each operation must
+leave behind in :class:`repro.core.stats.AccessStats` and the per-replica
+read counters: how many logical chunk unpacks a superchunk-windowed scan
+performs, how many elements the scan engine decodes, how many scalar
+gets/inits an op issues.  These counts are deterministic even for
+thread-pool parallel scans (dynamic claiming changes *which worker* runs
+a batch, never the batch boundaries), which is what makes the
+conservation invariant checkable under every pool mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+CHUNK = 64
+U64_MAX = (1 << 64) - 1
+
+
+def clamp_range(lo: int, hi: int) -> Optional[Tuple[int, Optional[int]]]:
+    """Clamp ``[lo, hi)`` to the uint64 domain, as Python ints.
+
+    ``None`` means the range matches nothing; a ``None`` upper bound
+    means unbounded above.  Written against the *specified* semantics
+    (docs/API.md), independently of :mod:`repro.core.scan_ops`.
+    """
+    if hi <= 0 or lo >= hi:
+        return None
+    lo = max(int(lo), 0)
+    if lo > U64_MAX:
+        return None
+    return lo, (None if int(hi) > U64_MAX else int(hi))
+
+
+def chunks_for(length: int) -> int:
+    return -(-length // CHUNK)
+
+
+def span_chunks(start: int, stop: int, superchunk: int) -> int:
+    """Chunks decoded by a superchunk-windowed span walk of [start, stop).
+
+    Mirrors the window arithmetic of ``repro.core.map_api.iter_spans``:
+    each step covers the part of one superchunk window intersecting the
+    range, decoding every chunk the part touches.
+    """
+    total = 0
+    pos = start
+    while pos < stop:
+        window_stop = min((pos // superchunk) * superchunk + superchunk, stop)
+        total += -(-window_stop // CHUNK) - pos // CHUNK
+        pos = window_stop
+    return total
+
+
+def take_chunks(start: int, n: int) -> int:
+    """Chunks decoded by ``CompressedIterator.take(n)`` from ``start``.
+
+    The iterator's bulk path always windows by 64 chunks (4096
+    elements), anchored at the chunk containing the cursor.
+    """
+    total = 0
+    pos = start
+    stop = start + n
+    while pos < stop:
+        first_chunk = pos // CHUNK
+        window_stop = min(stop, first_chunk * CHUNK + 64 * CHUNK)
+        total += -(-window_stop // CHUNK) - first_chunk
+        pos = window_stop
+    return total
+
+
+def batch_chunks(length: int, batch: int) -> int:
+    """Chunks decoded by one parallel scan pass over ``[0, length)``.
+
+    Batches start at multiples of ``batch`` (itself a multiple of 64),
+    so no chunk is shared between batches: the pass decodes exactly the
+    array's chunk count.
+    """
+    assert batch % CHUNK == 0
+    return chunks_for(length)
+
+
+class OracleArray:
+    """Ground-truth model of one smart array's logical contents."""
+
+    def __init__(self, length: int, bits: int) -> None:
+        self.length = length
+        self.bits = bits
+        self.values = np.zeros(length, dtype=np.uint64)
+
+    # -- writes ----------------------------------------------------------
+
+    def fill(self, values: np.ndarray) -> None:
+        self.values[:] = values
+
+    def set(self, index: int, value: int) -> None:
+        self.values[index] = np.uint64(value)
+
+    def scatter(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self.values[indices] = values
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, index: int) -> int:
+        return int(self.values[index])
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        return self.values[indices]
+
+    def range_mask(self, lo: int, hi: int) -> np.ndarray:
+        bounds = clamp_range(lo, hi)
+        if bounds is None:
+            return np.zeros(self.length, dtype=bool)
+        lo, hi = bounds
+        mask = self.values >= np.uint64(lo)
+        if hi is not None:
+            mask &= self.values < np.uint64(hi)
+        return mask
+
+    def count_in_range(self, lo: int, hi: int, start: int = 0,
+                       stop: Optional[int] = None) -> int:
+        stop = self.length if stop is None else stop
+        return int(self.range_mask(lo, hi)[start:stop].sum())
+
+    def select_in_range(self, lo: int, hi: int, start: int = 0,
+                        stop: Optional[int] = None) -> np.ndarray:
+        stop = self.length if stop is None else stop
+        mask = self.range_mask(lo, hi)[start:stop]
+        return np.nonzero(mask)[0].astype(np.int64) + start
+
+    def count_equal(self, value: int) -> int:
+        if value < 0 or value > U64_MAX:
+            return 0
+        return int((self.values == np.uint64(value)).sum())
+
+    def select_mod(self, m: int, r: int, start: int, stop: int) -> np.ndarray:
+        mask = (self.values[start:stop] % np.uint64(m)) == np.uint64(r)
+        return np.nonzero(mask)[0].astype(np.int64) + start
+
+    def min_max(self, start: int, stop: int) -> Tuple[int, int]:
+        span = self.values[start:stop]
+        return int(span.min()), int(span.max())
+
+    def sum_range(self, start: int, stop: int) -> int:
+        return int(self.values[start:stop].astype(object).sum()) \
+            if stop > start else 0
+
+    # -- zone-map model ---------------------------------------------------
+
+    def chunk_min_max(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-chunk true (min, max), ignoring padding slots."""
+        n_chunks = chunks_for(self.length)
+        mins = np.zeros(max(1, n_chunks), dtype=np.uint64)
+        maxs = np.zeros(max(1, n_chunks), dtype=np.uint64)
+        for c in range(n_chunks):
+            span = self.values[c * CHUNK:min(self.length, (c + 1) * CHUNK)]
+            mins[c] = span.min()
+            maxs[c] = span.max()
+        return mins[:n_chunks], maxs[:n_chunks]
+
+    def zonemap_candidates(self, lo: int, hi: int) -> np.ndarray:
+        bounds = clamp_range(lo, hi)
+        n_chunks = chunks_for(self.length)
+        if bounds is None or n_chunks == 0:
+            return np.empty(0, dtype=np.int64)
+        lo, hi = bounds
+        mins, maxs = self.chunk_min_max()
+        mask = maxs >= np.uint64(lo)
+        if hi is not None:
+            mask &= mins < np.uint64(hi)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def zonemap_decoded_chunks(self, lo: int, hi: int,
+                               count_only: bool) -> int:
+        """Chunks a zone-mapped scan must decode: the candidates, minus
+        (for counting scans) those whose zone proves full coverage."""
+        candidates = self.zonemap_candidates(lo, hi)
+        if candidates.size == 0:
+            return 0
+        if not count_only:
+            return int(candidates.size)
+        bounds = clamp_range(lo, hi)
+        lo, hi = bounds
+        mins, maxs = self.chunk_min_max()
+        covered = mins[candidates] >= np.uint64(lo)
+        if hi is not None:
+            covered &= maxs[candidates] < np.uint64(hi)
+        return int((~covered).sum())
+
+    # -- iterator accounting ----------------------------------------------
+
+    def walk_unpacks(self, start: int, n: int) -> int:
+        """Scalar chunk unpacks of constructing a compressed iterator at
+        ``start`` and stepping ``n`` times: one load at construction
+        (when in bounds) plus one per chunk boundary crossed in bounds."""
+        if self.bits in (32, 64):
+            return 0
+        loads = 1 if start < self.length else 0
+        for j in range(start + 1, start + n + 1):
+            if j % CHUNK == 0 and j < self.length:
+                loads += 1
+        return loads
+
+    def take_accounting(self, start: int, n: int) -> Dict[str, int]:
+        """Expected stats of iterator-construct-at-start + ``take(n)``."""
+        n_eff = max(0, min(n, self.length - start))
+        if self.bits in (32, 64):
+            return {"chunk_unpacks": 0, "replica_reads": 0}
+        construct = 1 if start < self.length else 0
+        if n_eff == 0:
+            return {"chunk_unpacks": construct, "replica_reads": 0}
+        blocked = take_chunks(start, n_eff)
+        stop = start + n_eff
+        realign = 1 if (stop % CHUNK == 0 and stop < self.length) else 0
+        return {
+            "chunk_unpacks": construct + blocked + realign,
+            "replica_reads": blocked * CHUNK,
+        }

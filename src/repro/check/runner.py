@@ -1,0 +1,461 @@
+"""Case execution: smart-array stack vs. oracle, plus standing invariants.
+
+The runner replays one generated :class:`~repro.check.generator.Case`
+against a freshly allocated smart array and an
+:class:`~repro.check.oracle.OracleArray`, comparing:
+
+* **results** — every operator's return value against the oracle's
+  independent answer;
+* **storage** — after every op, each replica's packed words decode to
+  exactly the oracle's contents (all replicas identical, writes landed
+  everywhere);
+* **zone maps** — a clean zone map's per-chunk min/max equal the true
+  chunk min/max;
+* **accounting** — the deltas of ``chunk_unpacks``, scalar gets/inits,
+  bulk element counters, and the summed ``replica_read_elements`` match
+  the oracle's predicted decode work for the op, under every placement,
+  superchunk size, and pool mode.
+
+Any mismatch (or unexpected exception) is returned as a
+:class:`CaseFailure` naming the op; the shrinker minimizes from there.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core import bitpack, scan_ops
+from ..core.allocate import allocate
+from ..core.iterators import SmartArrayIterator
+from ..core.map_api import sum_range
+from ..core.zonemap import ZoneMap
+from ..numa.allocator import NumaAllocator
+from ..numa.topology import machine_2x8_haswell
+from ..runtime import parallel_scans
+from ..runtime.workers import WorkerPool
+from . import oracle as orc
+from .generator import Case, Op, gen_values
+
+_DISTRIBUTIONS = ("dynamic", "static")
+_SOCKETS = (0, 1)
+
+
+@dataclass(frozen=True)
+class CaseFailure:
+    """One divergence between the smart-array stack and the oracle."""
+
+    case: Case
+    op_index: int
+    op: Op
+    kind: str  # "result" | "storage" | "zonemap" | "accounting" | "exception"
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} divergence at op [{self.op_index}] {self.op!r}\n"
+            f"  {self.detail}\n"
+            f"{self.case.describe()}"
+        )
+
+
+class _Divergence(Exception):
+    """Internal: raised by handlers to abort the op with a failure."""
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(detail)
+        self.kind = kind
+        self.detail = detail
+
+
+def _fmt(value) -> str:
+    text = repr(value)
+    return text if len(text) <= 200 else text[:200] + "..."
+
+
+class CaseRunner:
+    """Executes one case, op by op, with differential + invariant checks."""
+
+    def __init__(self, case: Case, n_workers: int = 4) -> None:
+        self.case = case
+        spec = case.spec
+        self.machine = machine_2x8_haswell()
+        self.allocator = NumaAllocator(self.machine)
+        flags = {}
+        if spec.placement == "pinned":
+            flags["pinned"] = 1
+        elif spec.placement == "interleaved":
+            flags["interleaved"] = True
+        elif spec.placement == "replicated":
+            flags["replicated"] = True
+        self.array = allocate(spec.length, bits=spec.bits,
+                              allocator=self.allocator, **flags)
+        self.oracle = orc.OracleArray(spec.length, spec.bits)
+        self.n_workers = n_workers
+        self._pool: Optional[WorkerPool] = None
+        self._zonemap: Optional[ZoneMap] = None
+        self._zonemap_dirty = True
+
+    # -- helpers -----------------------------------------------------------
+
+    def _pool_for_case(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.machine, n_workers=self.n_workers,
+                                    mode=self.case.spec.pool_mode)
+        return self._pool
+
+    def _snapshot(self) -> Dict[str, int]:
+        s = self.array.stats
+        return {
+            "unpacks": s.chunk_unpacks,
+            "gets": s.scalar_gets,
+            "inits": s.scalar_inits,
+            "bulk_read": s.bulk_elements_read,
+            "bulk_written": s.bulk_elements_written,
+            "replica_reads": sum(self.array.replica_read_elements),
+        }
+
+    def _check_stats(self, before: Dict[str, int],
+                     expected_delta: Dict[str, int], what: str) -> None:
+        after = self._snapshot()
+        actual = {k: after[k] - before[k] for k in before}
+        expected = {k: expected_delta.get(k, 0) for k in before}
+        if actual != expected:
+            diff = {k: (expected[k], actual[k]) for k in actual
+                    if actual[k] != expected[k]}
+            raise _Divergence(
+                "accounting",
+                f"{what}: counter deltas (expected, actual) = {diff}",
+            )
+
+    def _compare(self, actual, expected, what: str) -> None:
+        if isinstance(actual, np.ndarray) or isinstance(expected, np.ndarray):
+            ok = np.array_equal(np.asarray(actual), np.asarray(expected))
+        else:
+            ok = actual == expected
+        if not ok:
+            raise _Divergence(
+                "result",
+                f"{what}: stack={_fmt(actual)} oracle={_fmt(expected)}",
+            )
+
+    def _decode_replica(self, buf: np.ndarray, length: int,
+                        bits: int) -> np.ndarray:
+        # Decodes packed words without touching the array's stats.
+        return bitpack.unpack_array(buf, length, bits)
+
+    def _check_storage(self) -> None:
+        spec = self.case.spec
+        for i, buf in enumerate(self.array.replicas):
+            decoded = self._decode_replica(buf, spec.length, spec.bits)
+            if not np.array_equal(decoded, self.oracle.values):
+                bad = np.nonzero(decoded != self.oracle.values)[0][:5]
+                raise _Divergence(
+                    "storage",
+                    f"replica {i} decodes wrong at indices {bad.tolist()}: "
+                    f"{decoded[bad].tolist()} != oracle "
+                    f"{self.oracle.values[bad].tolist()}",
+                )
+
+    def _check_zonemap_bounds(self) -> None:
+        if self._zonemap is None or self._zonemap_dirty:
+            return
+        if self.case.spec.length == 0:
+            return
+        mins, maxs = self.oracle.chunk_min_max()
+        zm = self._zonemap
+        zmins = self._decode_replica(zm.mins.replicas[0], zm.mins.length,
+                                     zm.mins.bits)
+        zmaxs = self._decode_replica(zm.maxs.replicas[0], zm.maxs.length,
+                                     zm.maxs.bits)
+        if not (np.array_equal(zmins, mins) and np.array_equal(zmaxs, maxs)):
+            raise _Divergence(
+                "zonemap",
+                f"zone bounds drifted from true chunk min/max: "
+                f"mins {_fmt(zmins)} vs {_fmt(mins)}, "
+                f"maxs {_fmt(zmaxs)} vs {_fmt(maxs)}",
+            )
+
+    def _ensure_zonemap(self) -> ZoneMap:
+        if self._zonemap is None or self._zonemap_dirty:
+            spec = self.case.spec
+            before = self._snapshot()
+            self._zonemap = ZoneMap.build(self.array,
+                                          allocator=self.allocator,
+                                          superchunk=spec.superchunk)
+            chunks = orc.chunks_for(spec.length)
+            self._check_stats(
+                before,
+                {"unpacks": chunks, "replica_reads": 64 * chunks},
+                "ZoneMap.build",
+            )
+            self._zonemap_dirty = False
+        return self._zonemap
+
+    def _mark_written(self) -> None:
+        self._zonemap_dirty = True
+
+    # -- op execution ------------------------------------------------------
+
+    def run(self) -> Optional[CaseFailure]:
+        for i, op in enumerate(self.case.ops):
+            try:
+                self._run_op(op)
+                self._check_storage()
+                self._check_zonemap_bounds()
+            except _Divergence as d:
+                return CaseFailure(self.case, i, op, d.kind, d.detail)
+            except Exception:
+                tb = traceback.format_exc().strip().splitlines()
+                return CaseFailure(self.case, i, op, "exception",
+                                   " | ".join(tb[-3:]))
+        return None
+
+    def _run_op(self, op: Op) -> None:
+        spec = self.case.spec
+        length, bits, sc = spec.length, spec.bits, spec.superchunk
+        a, o = self.array, self.oracle
+        args = op.args
+        before = self._snapshot()
+
+        if op.name == "fill":
+            values = gen_values(args[0], length, bits)
+            a.fill(values)
+            o.fill(values)
+            self._mark_written()
+            self._check_stats(before, {"bulk_written": length}, op.name)
+
+        elif op.name in ("init", "init_locked"):
+            idx, value = args
+            getattr(a, op.name)(idx, value)
+            o.set(idx, value)
+            self._mark_written()
+            self._check_stats(before, {"inits": 1}, op.name)
+
+        elif op.name == "setitem":
+            idx, value = args
+            a[idx] = value
+            o.set(idx if idx >= 0 else idx + length, value)
+            self._mark_written()
+            self._check_stats(before, {"inits": 1}, op.name)
+
+        elif op.name in ("setitem_slice", "setitem_slice_scalar"):
+            start, stop, step, last = args
+            sl = slice(start, stop, step)
+            idx = np.arange(*sl.indices(length), dtype=np.int64)
+            if op.name == "setitem_slice":
+                values = gen_values(last, idx.size, bits)
+            else:
+                values = np.full(idx.size, np.uint64(last), dtype=np.uint64)
+            a[sl] = values if op.name == "setitem_slice" else last
+            o.scatter(idx, values)
+            self._mark_written()
+            self._check_stats(before, {"bulk_written": idx.size}, op.name)
+
+        elif op.name == "scatter":
+            vseed, k = args
+            rng = np.random.default_rng(vseed)
+            idx = rng.choice(length, size=k, replace=False).astype(np.int64)
+            values = rng.integers(0, (1 << bits) - 1, size=k,
+                                  dtype=np.uint64, endpoint=True)
+            a.scatter_many(idx, values)
+            o.scatter(idx, values)
+            self._mark_written()
+            self._check_stats(before, {"bulk_written": k}, op.name)
+
+        elif op.name == "get":
+            idx = args[0]
+            self._compare(a[idx], o.get(idx if idx >= 0 else idx + length),
+                          op.name)
+            self._check_stats(before, {"gets": 1}, op.name)
+
+        elif op.name == "getitem_slice":
+            sl = slice(*args)
+            idx = np.arange(*sl.indices(length), dtype=np.int64)
+            self._compare(a[sl], o.gather(idx), op.name)
+            self._check_stats(before, {"bulk_read": idx.size}, op.name)
+
+        elif op.name == "gather":
+            vseed, k = args
+            rng = np.random.default_rng(vseed)
+            idx = rng.choice(length, size=k, replace=True).astype(np.int64)
+            self._compare(a.gather_many(idx), o.gather(idx), op.name)
+            self._check_stats(before, {"bulk_read": k}, op.name)
+
+        elif op.name == "to_numpy":
+            self._compare(a.to_numpy(), o.values, op.name)
+            self._check_stats(
+                before, {"bulk_read": length, "replica_reads": length},
+                op.name)
+
+        elif op.name == "decode_chunks":
+            first, n = args
+            decoded = a.decode_chunks(first, n)
+            logical = o.values[first * 64:min(length, (first + n) * 64)]
+            self._compare(decoded[:logical.size], logical, op.name)
+            self._check_stats(
+                before, {"unpacks": n, "replica_reads": 64 * n}, op.name)
+
+        elif op.name == "sum_range":
+            start, stop, socket = args
+            actual = sum_range(a, start, stop, socket=_SOCKETS[socket],
+                               superchunk=sc)
+            self._compare(actual, o.sum_range(start, stop), op.name)
+            chunks = orc.span_chunks(start, stop, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name in ("count_in_range", "select_in_range"):
+            lo, hi, start, stop, socket = args
+            fn = getattr(scan_ops, op.name)
+            actual = fn(a, lo, hi, start, stop, socket=_SOCKETS[socket],
+                        superchunk=sc)
+            expected = (o.count_in_range(lo, hi, start, stop)
+                        if op.name == "count_in_range"
+                        else o.select_in_range(lo, hi, start, stop))
+            self._compare(actual, expected, op.name)
+            chunks = (orc.span_chunks(start, stop, sc)
+                      if orc.clamp_range(lo, hi) is not None else 0)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "count_equal":
+            value, socket = args
+            actual = scan_ops.count_equal(a, value, socket=_SOCKETS[socket],
+                                          superchunk=sc)
+            self._compare(actual, o.count_equal(value), op.name)
+            chunks = (orc.span_chunks(0, length, sc)
+                      if 0 <= value <= orc.U64_MAX else 0)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "select_mod":
+            m, r, start, stop, socket = args
+            m64, r64 = np.uint64(m), np.uint64(r)
+            actual = scan_ops.select_where(
+                a, lambda span: span % m64 == r64, start, stop,
+                socket=_SOCKETS[socket], superchunk=sc)
+            self._compare(actual, o.select_mod(m, r, start, stop), op.name)
+            chunks = orc.span_chunks(start, stop, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "min_max":
+            start, stop, socket = args
+            actual = scan_ops.min_max(a, start, stop,
+                                      socket=_SOCKETS[socket], superchunk=sc)
+            self._compare(actual, o.min_max(start, stop), op.name)
+            chunks = orc.span_chunks(start, stop, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name in ("iter_take", "take_then_get"):
+            start, n = args
+            it = SmartArrayIterator.allocate(a, start)
+            taken = it.take(n)
+            n_eff = max(0, min(n, length - start))
+            self._compare(taken, o.values[start:start + n_eff], op.name)
+            if it.index != start + n_eff:
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: iterator at {it.index}, "
+                    f"expected {start + n_eff}")
+            if op.name == "take_then_get":
+                self._compare(it.get(), o.get(start + n_eff),
+                              "take_then_get.get")
+            acct = o.take_accounting(start, n)
+            self._check_stats(
+                before,
+                {"unpacks": acct["chunk_unpacks"],
+                 "replica_reads": acct["replica_reads"]},
+                op.name)
+
+        elif op.name == "iter_walk":
+            start, k = args
+            it = SmartArrayIterator.allocate(a, start)
+            walked = np.empty(k, dtype=np.uint64)
+            for j in range(k):
+                walked[j] = it.get()
+                it.next()
+            self._compare(walked, o.values[start:start + k], op.name)
+            self._check_stats(
+                before, {"unpacks": o.walk_unpacks(start, k)}, op.name)
+
+        elif op.name in ("zonemap_count", "zonemap_select",
+                         "zonemap_candidates"):
+            lo, hi = args
+            zm = self._ensure_zonemap()
+            before = self._snapshot()
+            if op.name == "zonemap_candidates":
+                self._compare(zm.candidate_chunks(lo, hi),
+                              o.zonemap_candidates(lo, hi), op.name)
+                self._check_stats(before, {}, op.name)
+            else:
+                count_only = op.name == "zonemap_count"
+                if count_only:
+                    actual = zm.count_in_range(lo, hi, superchunk=sc)
+                    expected = o.count_in_range(lo, hi)
+                else:
+                    actual = zm.select_in_range(lo, hi, superchunk=sc)
+                    expected = o.select_in_range(lo, hi)
+                self._compare(actual, expected, op.name)
+                chunks = o.zonemap_decoded_chunks(lo, hi, count_only)
+                self._check_stats(
+                    before,
+                    {"unpacks": chunks, "replica_reads": 64 * chunks},
+                    op.name)
+
+        elif op.name in ("parallel_sum", "parallel_min_max"):
+            batch, dist = args
+            pool = self._pool_for_case()
+            chunks = orc.chunks_for(length)
+            if op.name == "parallel_sum":
+                actual = parallel_scans.parallel_sum(
+                    a, pool=pool, batch=batch,
+                    distribution=_DISTRIBUTIONS[dist])
+                expected = o.sum_range(0, length)
+            else:
+                actual = parallel_scans.parallel_min_max(
+                    a, pool=pool, batch=batch,
+                    distribution=_DISTRIBUTIONS[dist])
+                expected = o.min_max(0, length)
+            self._compare(actual, expected, op.name)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name in ("parallel_count", "parallel_select"):
+            lo, hi, batch, dist = args
+            pool = self._pool_for_case()
+            if op.name == "parallel_count":
+                actual = parallel_scans.parallel_count_in_range(
+                    a, lo, hi, pool=pool, batch=batch,
+                    distribution=_DISTRIBUTIONS[dist])
+                expected = o.count_in_range(lo, hi)
+            else:
+                actual = parallel_scans.parallel_select_in_range(
+                    a, lo, hi, pool=pool, batch=batch,
+                    distribution=_DISTRIBUTIONS[dist])
+                expected = o.select_in_range(lo, hi)
+            self._compare(actual, expected, op.name)
+            chunks = (orc.chunks_for(length)
+                      if orc.clamp_range(lo, hi) is not None else 0)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        else:  # pragma: no cover - generator and runner share the table
+            raise AssertionError(f"unknown op {op.name!r}")
+
+
+def run_case(case: Case, n_workers: int = 4) -> Optional[CaseFailure]:
+    """Run one case; ``None`` means every check passed."""
+    return CaseRunner(case, n_workers=n_workers).run()

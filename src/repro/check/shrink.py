@@ -1,0 +1,78 @@
+"""Failure minimization: ddmin over op sequences plus spec simplification.
+
+Given a failing case, the shrinker first runs delta debugging over the
+operation list — removing ever-smaller slices while the case still
+fails — and then tries to simplify the configuration itself (thread
+pool to serial, exotic placements to the default) when doing so
+preserves the failure.  The result is the smallest deterministic repro
+the harness can find: typically a fill plus the one operation that
+diverges.
+
+Shrinking re-runs cases, so it is deterministic for the same reason
+replay is: cases are pure data and the runner holds no global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from .generator import Case
+from .runner import CaseFailure, run_case
+
+RunFn = Callable[[Case], Optional[CaseFailure]]
+
+
+def _fails(case: Case, run: RunFn) -> bool:
+    return run(case) is not None
+
+
+def _ddmin_ops(case: Case, run: RunFn, max_runs: int) -> Case:
+    """Classic ddmin over ``case.ops``, bounded by ``max_runs`` re-runs."""
+    ops = list(case.ops)
+    granularity = 2
+    runs = 0
+    while len(ops) > 1 and runs < max_runs:
+        chunk = max(1, len(ops) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(ops) and runs < max_runs:
+            candidate_ops = ops[:start] + ops[start + chunk:]
+            candidate = replace(case, ops=tuple(candidate_ops))
+            runs += 1
+            if candidate_ops and _fails(candidate, run):
+                ops = candidate_ops
+                removed_any = True
+                # Keep scanning from the same offset: the list shrank.
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break
+            granularity = min(len(ops), granularity * 2)
+    return replace(case, ops=tuple(ops))
+
+
+def _simplify_spec(case: Case, run: RunFn) -> Case:
+    """Try cheaper configurations that keep the failure alive."""
+    for field, value in (("pool_mode", "serial"), ("placement", "default")):
+        if getattr(case.spec, field) == value:
+            continue
+        candidate = replace(case, spec=replace(case.spec, **{field: value}))
+        if _fails(candidate, run):
+            case = candidate
+    return case
+
+
+def shrink_case(case: Case, run: RunFn = run_case,
+                max_runs: int = 200) -> Case:
+    """Minimize a failing case; returns it unchanged if shrinking dies.
+
+    The returned case still fails under ``run`` (verified), so the
+    failure reported to the user is always reproducible as printed.
+    """
+    if not _fails(case, run):
+        return case
+    shrunk = _ddmin_ops(case, run, max_runs)
+    shrunk = _simplify_spec(shrunk, run)
+    return shrunk if _fails(shrunk, run) else case

@@ -8,6 +8,7 @@ Usage::
     python -m repro adapt
     python -m repro select --machine 8-core --bits 33
     python -m repro machines
+    python -m repro check --seed 0 --ops 500
 
 Each subcommand prints the same report the corresponding
 ``benchmarks/bench_*.py`` script produces, without needing pytest.
@@ -171,6 +172,20 @@ def _cmd_select(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_check(args) -> str:
+    from .check import run_check
+
+    report = run_check(seed=args.seed, ops=args.ops,
+                       n_workers=args.workers,
+                       shrink=not args.no_shrink)
+    text = report.format()
+    if not report.ok:
+        # Print the full report (shrunk repros included) on stderr and
+        # exit 1 so CI marks the job failed.
+        raise SystemExit(text)
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,6 +219,20 @@ def build_parser() -> argparse.ArgumentParser:
     sel.add_argument("--bits", type=int, default=33)
     sel.add_argument("--language", choices=["C++", "Java"])
 
+    check = sub.add_parser(
+        "check",
+        help="smartcheck: differential fuzz the smart-array stack "
+             "against a NumPy oracle",
+    )
+    check.add_argument("--seed", type=int, default=0,
+                       help="generator seed (replays deterministically)")
+    check.add_argument("--ops", type=int, default=500,
+                       help="total operation budget across cases")
+    check.add_argument("--workers", type=int, default=4,
+                       help="worker-pool size for parallel-scan ops")
+    check.add_argument("--no-shrink", action="store_true",
+                       help="report raw failures without minimizing")
+
     return parser
 
 
@@ -216,6 +245,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "validate": _cmd_validate,
     "paths": _cmd_paths,
+    "check": _cmd_check,
 }
 
 

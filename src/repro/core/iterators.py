@@ -210,5 +210,17 @@ class CompressedIterator(SmartArrayIterator):
                 decoded[pos - base:window_stop - base]
             )
             pos = window_stop
-        self.reset(stop)
+        # Reposition past the consumed range.  Whenever ``stop`` is not
+        # chunk-aligned, the chunk the iterator lands in is already in
+        # the final decoded window — refill the buffer from it instead
+        # of paying reset()'s redundant scalar unpack().
+        self.index = stop
+        self._data_index = stop % bitpack.CHUNK_ELEMENTS
+        if self._data_index:
+            chunk = stop // bitpack.CHUNK_ELEMENTS
+            off = (chunk - first_chunk) * bitpack.CHUNK_ELEMENTS
+            self._buffer[:] = decoded[off:off + bitpack.CHUNK_ELEMENTS]
+            self._chunk = chunk
+        elif stop < self.array.length:
+            self._load_chunk(stop // bitpack.CHUNK_ELEMENTS)
         return out

@@ -12,6 +12,13 @@ per 64 chunks — and honour replica selection):
   vectorized predicates;
 * :func:`min_max` — a fused min/max pass (zone-map construction).
 
+Range predicates accept arbitrary Python integers for ``lo``/``hi`` and
+clamp them to the ``uint64`` storage domain (see
+:func:`clamp_u64_range`): ``lo`` below 0 behaves as 0, ``hi`` above
+``2**64`` behaves as "unbounded above", and ranges empty after clamping
+(including ``lo > 2**64 - 1``) match nothing.  The operators never
+overflow on out-of-domain bounds.
+
 Socket-parallel versions of these operators live in
 :mod:`repro.runtime.parallel_scans`.
 """
@@ -24,6 +31,37 @@ import numpy as np
 
 from .map_api import for_each_chunk, iter_spans
 from .smart_array import SmartArray
+
+#: Largest value a smart array can store (elements are 64-bit words).
+U64_MAX = (1 << 64) - 1
+
+
+def clamp_u64_range(lo: int, hi: int) -> Optional[Tuple[np.uint64,
+                                                        Optional[np.uint64]]]:
+    """Clamp the half-open predicate range ``[lo, hi)`` to ``uint64``.
+
+    Returns ``None`` when no storable value can match — ``hi <= 0``,
+    ``lo >= hi``, or ``lo`` above :data:`U64_MAX` — otherwise
+    ``(lo64, hi64)`` where ``hi64 is None`` means the range is
+    unbounded above (``hi > 2**64 - 1`` admits every value ``>= lo``).
+    Converting unclamped bounds with ``np.uint64`` would raise
+    ``OverflowError`` beyond the 64-bit boundary; every range operator
+    goes through this helper instead.
+    """
+    if hi <= 0 or lo >= hi:
+        return None
+    lo = max(int(lo), 0)
+    if lo > U64_MAX:
+        return None
+    hi64 = None if int(hi) > U64_MAX else np.uint64(hi)
+    return np.uint64(lo), hi64
+
+
+def _range_mask(span: np.ndarray, lo64: np.uint64,
+                hi64: Optional[np.uint64]) -> np.ndarray:
+    if hi64 is None:
+        return span >= lo64
+    return (span >= lo64) & (span < hi64)
 
 
 def select_where(
@@ -65,12 +103,17 @@ def select_in_range(
     socket: int = 0,
     superchunk: Optional[int] = None,
 ) -> np.ndarray:
-    """Indices with ``lo <= value < hi`` (the classic selection scan)."""
-    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
-    if hi <= 0 or lo >= hi:
+    """Indices with ``lo <= value < hi`` (the classic selection scan).
+
+    Bounds clamp to the ``uint64`` domain (:func:`clamp_u64_range`):
+    ``hi`` at or above ``2**64`` selects everything ``>= lo``.
+    """
+    bounds = clamp_u64_range(lo, hi)
+    if bounds is None:
         return np.empty(0, dtype=np.int64)
+    lo64, hi64 = bounds
     return select_where(
-        array, lambda span: (span >= lo64) & (span < hi64), start, stop,
+        array, lambda span: _range_mask(span, lo64, hi64), start, stop,
         socket, superchunk,
     )
 
@@ -84,14 +127,18 @@ def count_in_range(
     socket: int = 0,
     superchunk: Optional[int] = None,
 ) -> int:
-    """COUNT(*) WHERE lo <= value < hi, without materializing indices."""
-    if hi <= 0 or lo >= hi:
+    """COUNT(*) WHERE lo <= value < hi, without materializing indices.
+
+    Bounds clamp to the ``uint64`` domain (:func:`clamp_u64_range`).
+    """
+    bounds = clamp_u64_range(lo, hi)
+    if bounds is None:
         return 0
-    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+    lo64, hi64 = bounds
     stop = array.length if stop is None else stop
     total = 0
     for _, span in iter_spans(array, start, stop, socket, superchunk):
-        total += int(((span >= lo64) & (span < hi64)).sum())
+        total += int(_range_mask(span, lo64, hi64).sum())
     return total
 
 
@@ -101,8 +148,13 @@ def count_equal(
     socket: int = 0,
     superchunk: Optional[int] = None,
 ) -> int:
-    """Occurrences of ``value`` in the whole array."""
-    if value < 0:
+    """Occurrences of ``value`` in the whole array.
+
+    Values outside the ``uint64`` domain (negative or above
+    ``2**64 - 1``) cannot be stored, so they count 0 instead of
+    overflowing on conversion.
+    """
+    if value < 0 or value > U64_MAX:
         return 0
     v = np.uint64(value)
     total = 0

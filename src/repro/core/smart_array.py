@@ -154,8 +154,14 @@ class SmartArray(abc.ABC):
         return tuple(self._replica_reads)
 
     def reset_replica_reads(self) -> None:
-        """Zero the per-replica read counters (start of a measured region)."""
-        self._replica_reads = [0] * self.n_replicas
+        """Zero the per-replica read counters (start of a measured region).
+
+        Takes the same lock as :meth:`_note_replica_read`: swapping the
+        counter list unsynchronized would let a concurrent scan
+        increment the stale list, silently dropping its reads.
+        """
+        with self._replica_reads_lock:
+            self._replica_reads = [0] * self.n_replicas
 
     def _note_replica_read(self, buf: np.ndarray, n_elements: int) -> None:
         # += on a list slot is not atomic; parallel scans update from
@@ -238,7 +244,9 @@ class SmartArray(abc.ABC):
         total_chunks = bitpack.chunks_for(self._length)
         if n_chunks < 0:
             raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
-        if chunk < 0 or chunk + n_chunks > total_chunks:
+        if chunk < 0:
+            raise IndexOutOfRangeError(chunk, total_chunks)
+        if chunk + n_chunks > total_chunks:
             raise IndexOutOfRangeError(chunk + n_chunks, total_chunks)
         buf = self._resolve_replica(replica)
         self.stats.chunk_unpacks += n_chunks
@@ -309,7 +317,16 @@ class SmartArray(abc.ABC):
             index += self._length
         return self.get(bitpack.check_index(index, self._length))
 
-    def __setitem__(self, index: int, value: int) -> None:
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, slice):
+            # Mirror __getitem__: slices route through the vectorized
+            # bulk path.  Scalars broadcast across the slice.
+            idx = np.arange(*index.indices(self._length), dtype=np.int64)
+            values = np.asarray(value, dtype=np.uint64)
+            if values.ndim == 0:
+                values = np.broadcast_to(values, idx.shape)
+            self.scatter_many(idx, values)
+            return
         if index < 0:
             index += self._length
         self.init(bitpack.check_index(index, self._length), value)

@@ -28,6 +28,7 @@ import numpy as np
 from . import bitpack
 from .allocate import allocate
 from .map_api import SUPERCHUNK_ELEMENTS, check_superchunk
+from .scan_ops import _range_mask, clamp_u64_range
 from .smart_array import SmartArray
 
 
@@ -103,13 +104,22 @@ class ZoneMap:
         return self.mins.length
 
     def candidate_chunks(self, lo: int, hi: int) -> np.ndarray:
-        """Chunks whose [min, max] zone intersects ``[lo, hi)``."""
-        if hi <= 0 or lo >= hi or self.n_chunks == 0:
+        """Chunks whose [min, max] zone intersects ``[lo, hi)``.
+
+        Bounds clamp to the ``uint64`` domain exactly like the scan
+        operators (:func:`repro.core.scan_ops.clamp_u64_range`), so a
+        ``hi`` at or above ``2**64`` keeps every chunk with
+        ``max >= lo`` instead of overflowing.
+        """
+        bounds = clamp_u64_range(lo, hi)
+        if bounds is None or self.n_chunks == 0:
             return np.empty(0, dtype=np.int64)
+        lo64, hi64 = bounds
         mins = self.mins.to_numpy()
         maxs = self.maxs.to_numpy()
-        lo64 = np.uint64(max(lo, 0))
-        mask = (maxs >= lo64) & (mins < np.uint64(hi))
+        mask = maxs >= lo64
+        if hi64 is not None:
+            mask &= mins < hi64
         return np.nonzero(mask)[0].astype(np.int64)
 
     def count_in_range(self, lo: int, hi: int, socket: int = 0,
@@ -125,8 +135,10 @@ class ZoneMap:
             return 0
         mins = self.mins.to_numpy()
         maxs = self.maxs.to_numpy()
-        lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
-        covered = (mins[candidates] >= lo64) & (maxs[candidates] < hi64)
+        lo64, hi64 = clamp_u64_range(lo, hi)
+        covered = mins[candidates] >= lo64
+        if hi64 is not None:
+            covered &= maxs[candidates] < hi64
         total = 0
         for chunk in candidates[covered]:
             start = int(chunk) * bitpack.CHUNK_ELEMENTS
@@ -140,7 +152,7 @@ class ZoneMap:
             start = first * bitpack.CHUNK_ELEMENTS
             end = min(self.array.length, start + n * bitpack.CHUNK_ELEMENTS)
             span = decoded[:end - start]
-            total += int(((span >= lo64) & (span < hi64)).sum())
+            total += int(_range_mask(span, lo64, hi64).sum())
         return total
 
     def select_in_range(self, lo: int, hi: int, socket: int = 0,
@@ -149,7 +161,7 @@ class ZoneMap:
         candidates = self.candidate_chunks(lo, hi)
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64)
-        lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+        lo64, hi64 = clamp_u64_range(lo, hi)
         out: List[np.ndarray] = []
         max_run = check_superchunk(superchunk) // bitpack.CHUNK_ELEMENTS
         replica = self.array.get_replica(socket)
@@ -160,7 +172,7 @@ class ZoneMap:
             start = first * bitpack.CHUNK_ELEMENTS
             end = min(self.array.length, start + n * bitpack.CHUNK_ELEMENTS)
             span = decoded[:end - start]
-            local = np.nonzero((span >= lo64) & (span < hi64))[0]
+            local = np.nonzero(_range_mask(span, lo64, hi64))[0]
             if local.size:
                 out.append(local + start)
         if not out:

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..core import bitpack
 from ..core.map_api import check_superchunk
+from ..core.scan_ops import _range_mask, clamp_u64_range
 from ..core.smart_array import SmartArray
 from .loops import _exact_sum, parallel_for, parallel_reduce
 from .workers import ThreadContext, WorkerPool
@@ -137,16 +138,21 @@ def parallel_count_in_range(
     batch: int = DEFAULT_SCAN_BATCH,
     distribution: str = "dynamic",
 ) -> int:
-    """Parallel COUNT(*) WHERE lo <= value < hi over the whole array."""
-    if hi <= 0 or lo >= hi or array.length == 0:
+    """Parallel COUNT(*) WHERE lo <= value < hi over the whole array.
+
+    Bounds clamp to the ``uint64`` domain exactly like the serial
+    operator (:func:`repro.core.scan_ops.clamp_u64_range`).
+    """
+    bounds = clamp_u64_range(lo, hi)
+    if bounds is None or array.length == 0:
         return 0
     pool = pool or _default_pool()
     batch = _check_batch(batch)
-    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+    lo64, hi64 = bounds
 
     def batch_fn(start: int, end: int, ctx: ThreadContext) -> int:
         span = _decode_batch(array, start, end, ctx)
-        return int(((span >= lo64) & (span < hi64)).sum())
+        return int(_range_mask(span, lo64, hi64).sum())
 
     return parallel_reduce(
         array.length, batch_fn, lambda a, b: a + b, 0, pool,
@@ -169,17 +175,18 @@ def parallel_select_in_range(
     order at the end — the result is bit-identical to the serial
     :func:`repro.core.scan_ops.select_in_range`.
     """
-    if hi <= 0 or lo >= hi or array.length == 0:
+    bounds = clamp_u64_range(lo, hi)
+    if bounds is None or array.length == 0:
         return np.empty(0, dtype=np.int64)
     pool = pool or _default_pool()
     batch = _check_batch(batch)
-    lo64, hi64 = np.uint64(max(lo, 0)), np.uint64(max(hi, 0))
+    lo64, hi64 = bounds
     pieces: List[Tuple[int, np.ndarray]] = []
     lock = threading.Lock()
 
     def body(start: int, end: int, ctx: ThreadContext) -> None:
         span = _decode_batch(array, start, end, ctx)
-        local = np.nonzero((span >= lo64) & (span < hi64))[0]
+        local = np.nonzero(_range_mask(span, lo64, hi64))[0]
         if local.size:
             with lock:
                 pieces.append((start, local + start))

@@ -1,0 +1,119 @@
+"""Unit tests for the smartcheck oracle's accounting predictions.
+
+The oracle's chunk-count formulas are themselves a model of the scan
+engine; these tests pin them to the real engine's observed counters so
+a drift in either side shows up as a failure here, not as harness
+noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import oracle as orc
+from repro.core.allocate import allocate
+from repro.core.iterators import SmartArrayIterator
+from repro.core.map_api import iter_spans
+from repro.numa.allocator import NumaAllocator
+from repro.numa.topology import machine_2x8_haswell
+
+
+def _array(length, bits=13):
+    allocator = NumaAllocator(machine_2x8_haswell())
+    values = np.arange(length, dtype=np.uint64) % (1 << min(bits, 62))
+    return allocate(length, bits=bits, allocator=allocator, values=values)
+
+
+class TestClampRange:
+    def test_empty_ranges(self):
+        assert orc.clamp_range(5, 5) is None
+        assert orc.clamp_range(7, 3) is None
+        assert orc.clamp_range(-10, 0) is None
+        assert orc.clamp_range(orc.U64_MAX + 1, orc.U64_MAX + 9) is None
+
+    def test_negative_lo_clamps_to_zero(self):
+        assert orc.clamp_range(-5, 10) == (0, 10)
+
+    def test_unbounded_above(self):
+        lo, hi = orc.clamp_range(3, 1 << 64)
+        assert lo == 3 and hi is None
+
+    def test_exact_top(self):
+        assert orc.clamp_range(0, orc.U64_MAX) == (0, orc.U64_MAX)
+
+
+class TestSpanChunks:
+    @pytest.mark.parametrize("length", [1, 63, 64, 65, 300, 4096, 4100])
+    @pytest.mark.parametrize("superchunk", [64, 256, 4096])
+    def test_matches_engine(self, length, superchunk):
+        sa = _array(length)
+        for start, stop in [(0, length), (1, length), (0, length - 1),
+                            (length // 3, 2 * length // 3)]:
+            if stop < start:
+                continue
+            sa.stats.reset()
+            for _ in iter_spans(sa, start, stop, superchunk=superchunk):
+                pass
+            assert sa.stats.chunk_unpacks == orc.span_chunks(
+                start, stop, superchunk)
+
+    def test_empty_range(self):
+        assert orc.span_chunks(10, 10, 64) == 0
+
+
+class TestTakeAccounting:
+    @pytest.mark.parametrize("start,n", [
+        (0, 1), (0, 64), (0, 65), (63, 2), (100, 500), (0, 4096),
+        (10, 4096), (485, 8),
+    ])
+    def test_matches_engine(self, start, n):
+        sa = _array(5000, bits=13)
+        it = SmartArrayIterator.allocate(sa, start)
+        o = orc.OracleArray(5000, 13)
+        sa.stats.reset()
+        sa.reset_replica_reads()
+        it2 = SmartArrayIterator.allocate(sa, start)
+        it2.take(n)
+        acct = o.take_accounting(start, n)
+        assert sa.stats.chunk_unpacks == acct["chunk_unpacks"]
+        assert sum(sa.replica_read_elements) == acct["replica_reads"]
+        del it
+
+    def test_uncompressed_widths_never_unpack(self):
+        for bits in (32, 64):
+            o = orc.OracleArray(1000, bits)
+            assert o.take_accounting(5, 100) == {
+                "chunk_unpacks": 0, "replica_reads": 0}
+
+
+class TestWalkUnpacks:
+    @pytest.mark.parametrize("start,n", [(0, 0), (0, 1), (0, 64), (0, 65),
+                                         (63, 1), (63, 2), (120, 200)])
+    def test_matches_engine(self, start, n):
+        sa = _array(300, bits=7)
+        o = orc.OracleArray(300, 7)
+        sa.stats.reset()
+        it = SmartArrayIterator.allocate(sa, start)
+        for _ in range(n):
+            it.get()
+            it.next()
+        assert sa.stats.chunk_unpacks == o.walk_unpacks(start, n)
+
+
+class TestOracleOperators:
+    def test_boundary_counts(self):
+        o = orc.OracleArray(4, 64)
+        o.fill(np.array([0, 1, orc.U64_MAX, orc.U64_MAX - 1],
+                        dtype=np.uint64))
+        assert o.count_in_range(0, 1 << 64) == 4
+        assert o.count_in_range(orc.U64_MAX, 1 << 65) == 1
+        assert o.count_in_range(1 << 64, 1 << 65) == 0
+        assert o.count_equal(1 << 64) == 0
+        assert o.count_equal(orc.U64_MAX) == 1
+        assert o.sum_range(0, 4) == 1 + orc.U64_MAX + orc.U64_MAX - 1
+
+    def test_chunk_min_max_ignores_padding(self):
+        o = orc.OracleArray(65, 8)
+        o.values[:] = 200
+        o.values[64] = 3
+        mins, maxs = o.chunk_min_max()
+        assert mins.tolist() == [200, 3] and maxs.tolist() == [200, 3]
