@@ -26,10 +26,12 @@ from .generator import (
     BIT_WIDTHS,
     PLACEMENTS,
     POOL_MODES,
+    PROFILES,
     SUPERCHUNKS,
     ArraySpec,
     Case,
     Op,
+    companion_bits,
     gen_values,
     generate_cases,
     make_case,
@@ -50,8 +52,10 @@ __all__ = [
     "OracleArray",
     "PLACEMENTS",
     "POOL_MODES",
+    "PROFILES",
     "SUPERCHUNKS",
     "clamp_range",
+    "companion_bits",
     "gen_values",
     "generate_cases",
     "grid_coverage",

@@ -63,6 +63,12 @@ class Op:
         return f"Op({self.name!r}, {self.args!r})"
 
 
+#: Generation profiles: ``mixed`` sweeps every op (query ops included
+#: at modest weight); ``query`` is write-light and query-heavy, for the
+#: dedicated CI job exercising the query engine's differential checks.
+PROFILES: Tuple[str, ...] = ("mixed", "query")
+
+
 @dataclass(frozen=True)
 class Case:
     """A spec plus its op sequence; ``index`` replays it from ``seed``."""
@@ -71,12 +77,23 @@ class Case:
     index: int
     spec: ArraySpec
     ops: Tuple[Op, ...]
+    profile: str = "mixed"
 
     def describe(self) -> str:
-        lines = [f"case {self.index} (seed {self.seed}): "
-                 f"{self.spec.describe()}"]
+        lines = [f"case {self.index} (seed {self.seed}, "
+                 f"profile {self.profile}): {self.spec.describe()}"]
         lines += [f"  [{i}] {op!r}" for i, op in enumerate(self.ops)]
         return "\n".join(lines)
+
+
+def companion_bits(bits: int) -> int:
+    """Bit width of the value column query ops pair with the main
+    array (deterministic offset through the width grid, so key and
+    value widths differ in almost every case)."""
+    if bits in BIT_WIDTHS:
+        i = BIT_WIDTHS.index(bits)
+        return BIT_WIDTHS[(i + 3) % len(BIT_WIDTHS)]
+    return bits
 
 
 def gen_values(vseed: int, n: int, bits: int) -> np.ndarray:
@@ -140,6 +157,18 @@ def _gen_value(rng: np.random.Generator, bits: int) -> int:
                             endpoint=True))
 
 
+#: Query-engine ops: differential checks of the morsel executor against
+#: the oracle, over a two-column table (the case's array as the key
+#: column plus a deterministically derived value column).
+_QUERY_OPS = (
+    ("query_filter_sum", 3, False),
+    ("query_filter_count", 2, False),
+    ("query_and_count", 2, False),
+    ("query_or_select", 2, False),
+    ("query_group_sum", 2, False),
+    ("query_filter_minmax", 2, False),
+)
+
 #: (name, weight, needs_nonempty).  Weights bias toward the scan
 #: operators the harness exists to cross-check.
 _OP_TABLE = (
@@ -171,21 +200,38 @@ _OP_TABLE = (
     ("parallel_count", 2, True),
     ("parallel_select", 2, True),
     ("parallel_min_max", 1, True),
-)
+) + tuple((name, 1, nonempty) for name, _, nonempty in _QUERY_OPS)
 
-_NAMES = tuple(t[0] for t in _OP_TABLE)
-_WEIGHTS = np.array([t[1] for t in _OP_TABLE], dtype=float)
-_WEIGHTS /= _WEIGHTS.sum()
-_NEEDS_NONEMPTY = {t[0]: t[2] for t in _OP_TABLE}
+#: The query profile keeps writes (so zone maps go stale and rebuild)
+#: but spends most of the budget on query ops.
+_QUERY_OP_TABLE = (
+    ("fill", 3, False),
+    ("setitem", 1, True),
+    ("scatter", 1, True),
+) + _QUERY_OPS
+
+_PROFILE_TABLES = {"mixed": _OP_TABLE, "query": _QUERY_OP_TABLE}
+
+
+def _profile_dist(profile: str):
+    table = _PROFILE_TABLES[profile]
+    names = tuple(t[0] for t in table)
+    weights = np.array([t[1] for t in table], dtype=float)
+    return names, weights / weights.sum()
+
+
+_NEEDS_NONEMPTY = {t[0]: t[2] for t in _OP_TABLE + _QUERY_OP_TABLE}
 
 _PARALLEL_BATCHES = (256, 4096)
 _DISTRIBUTIONS = ("dynamic", "static")
 
 
-def _gen_op(rng: np.random.Generator, spec: ArraySpec) -> Op:
+def _gen_op(rng: np.random.Generator, spec: ArraySpec,
+            profile: str = "mixed") -> Op:
     length, bits = spec.length, spec.bits
+    names, weights = _profile_dist(profile)
     while True:
-        name = str(rng.choice(_NAMES, p=_WEIGHTS))
+        name = str(rng.choice(names, p=weights))
         if length == 0 and _NEEDS_NONEMPTY[name]:
             continue
         break
@@ -260,6 +306,17 @@ def _gen_op(rng: np.random.Generator, spec: ArraySpec) -> Op:
         return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
                          int(rng.choice(_PARALLEL_BATCHES)),
                          int(rng.integers(0, 2))))
+    if name in ("query_filter_sum", "query_filter_count",
+                "query_filter_minmax"):
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name in ("query_and_count", "query_or_select"):
+        vbits = companion_bits(bits)
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         _gen_bound(rng, vbits), _gen_bound(rng, vbits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name == "query_group_sum":
+        return Op(name, (int(rng.integers(0, 2)), int(rng.integers(0, 2))))
     raise AssertionError(f"unhandled op {name}")  # pragma: no cover
 
 
@@ -274,8 +331,12 @@ def _gen_length(rng: np.random.Generator) -> int:
     return int(rng.integers(1, 900))
 
 
-def make_case(seed: int, index: int) -> Case:
+def make_case(seed: int, index: int, profile: str = "mixed") -> Case:
     """Deterministically build case ``index`` of the run for ``seed``."""
+    if profile not in _PROFILE_TABLES:
+        raise ValueError(
+            f"profile must be one of {PROFILES}, got {profile!r}"
+        )
     rng = np.random.default_rng([seed, index])
     spec = ArraySpec(
         length=_gen_length(rng),
@@ -286,19 +347,21 @@ def make_case(seed: int, index: int) -> Case:
     )
     n_ops = int(rng.integers(6, 13))
     ops = [Op("fill", (int(rng.integers(0, 2**31)),))]
-    ops += [_gen_op(rng, spec) for _ in range(n_ops - 1)]
-    return Case(seed=seed, index=index, spec=spec, ops=tuple(ops))
+    ops += [_gen_op(rng, spec, profile) for _ in range(n_ops - 1)]
+    return Case(seed=seed, index=index, spec=spec, ops=tuple(ops),
+                profile=profile)
 
 
-def generate_cases(seed: int, total_ops: int) -> Iterator[Case]:
+def generate_cases(seed: int, total_ops: int,
+                   profile: str = "mixed") -> Iterator[Case]:
     """Yield cases until their op counts reach ``total_ops``."""
     budget = total_ops
     index = 0
     while budget > 0:
-        case = make_case(seed, index)
+        case = make_case(seed, index, profile)
         if len(case.ops) > budget:
             case = Case(case.seed, case.index, case.spec,
-                        case.ops[:budget])
+                        case.ops[:budget], profile=case.profile)
         budget -= len(case.ops)
         index += 1
         yield case

@@ -22,6 +22,7 @@ class CheckReport:
 
     seed: int
     ops_requested: int
+    profile: str = "mixed"
     ops_run: int = 0
     cases_run: int = 0
     placements_seen: Set[str] = field(default_factory=set)
@@ -36,8 +37,9 @@ class CheckReport:
 
     def format(self) -> str:
         lines = [
-            f"smartcheck: seed={self.seed} ops={self.ops_run}"
-            f"/{self.ops_requested} cases={self.cases_run}",
+            f"smartcheck: seed={self.seed} profile={self.profile} "
+            f"ops={self.ops_run}/{self.ops_requested} "
+            f"cases={self.cases_run}",
             f"  grid: {len(self.placements_seen)} placements "
             f"({', '.join(sorted(self.placements_seen))}), "
             f"{len(self.bit_widths_seen)} bit widths "
@@ -54,22 +56,26 @@ class CheckReport:
                 lines.append(failure.describe())
                 lines.append(
                     f"replay: python -m repro check --seed {self.seed} "
-                    f"--ops {self.ops_requested}"
+                    f"--ops {self.ops_requested} "
+                    f"--profile {self.profile}"
                 )
         return "\n".join(lines)
 
 
 def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
               max_failures: int = 5,
-              shrink: bool = True) -> CheckReport:
+              shrink: bool = True,
+              profile: str = "mixed") -> CheckReport:
     """Run the differential fuzz harness for an op budget.
 
+    ``profile`` selects the op mix: ``"mixed"`` (everything) or
+    ``"query"`` (query-engine heavy; the CI query job's setting).
     Stops early once ``max_failures`` distinct failing cases were found
     (each already shrunk): the budget is better spent on the report
     than on piling up repetitions of the same bug.
     """
-    report = CheckReport(seed=seed, ops_requested=ops)
-    for case in generate_cases(seed, ops):
+    report = CheckReport(seed=seed, ops_requested=ops, profile=profile)
+    for case in generate_cases(seed, ops, profile):
         report.cases_run += 1
         report.ops_run += len(case.ops)
         report.placements_seen.add(case.spec.placement)

@@ -168,16 +168,22 @@ class OracleArray:
         return mins[:n_chunks], maxs[:n_chunks]
 
     def zonemap_candidates(self, lo: int, hi: int) -> np.ndarray:
-        bounds = clamp_range(lo, hi)
+        return np.nonzero(self.zonemap_candidate_mask(lo, hi))[0] \
+            .astype(np.int64)
+
+    def zonemap_candidate_mask(self, lo: int, hi: int) -> np.ndarray:
+        """Per-chunk candidate mask for ``[lo, hi)`` — the boolean form
+        the query planner composes under AND/OR."""
         n_chunks = chunks_for(self.length)
+        bounds = clamp_range(lo, hi)
         if bounds is None or n_chunks == 0:
-            return np.empty(0, dtype=np.int64)
+            return np.zeros(n_chunks, dtype=bool)
         lo, hi = bounds
         mins, maxs = self.chunk_min_max()
         mask = maxs >= np.uint64(lo)
         if hi is not None:
             mask &= mins < np.uint64(hi)
-        return np.nonzero(mask)[0].astype(np.int64)
+        return mask
 
     def zonemap_decoded_chunks(self, lo: int, hi: int,
                                count_only: bool) -> int:

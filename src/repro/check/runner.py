@@ -32,13 +32,15 @@ from ..core import bitpack, scan_ops
 from ..core.allocate import allocate
 from ..core.iterators import SmartArrayIterator
 from ..core.map_api import sum_range
+from ..core.table import SmartTable
 from ..core.zonemap import ZoneMap
 from ..numa.allocator import NumaAllocator
 from ..numa.topology import machine_2x8_haswell
+from ..query import Query, col, in_range
 from ..runtime import parallel_scans
 from ..runtime.workers import WorkerPool
 from . import oracle as orc
-from .generator import Case, Op, gen_values
+from .generator import Case, Op, companion_bits, gen_values
 
 _DISTRIBUTIONS = ("dynamic", "static")
 _SOCKETS = (0, 1)
@@ -95,9 +97,16 @@ class CaseRunner:
                               allocator=self.allocator, **flags)
         self.oracle = orc.OracleArray(spec.length, spec.bits)
         self.n_workers = n_workers
+        self._flags = flags
         self._pool: Optional[WorkerPool] = None
         self._zonemap: Optional[ZoneMap] = None
         self._zonemap_dirty = True
+        # Query-op state: a two-column table pairing the case's array
+        # ("k") with a deterministically derived value column ("v").
+        self._table: Optional[SmartTable] = None
+        self._companion = None
+        self._oracle_v: Optional[orc.OracleArray] = None
+        self._table_k_dirty = True
 
     # -- helpers -----------------------------------------------------------
 
@@ -109,7 +118,7 @@ class CaseRunner:
 
     def _snapshot(self) -> Dict[str, int]:
         s = self.array.stats
-        return {
+        snap = {
             "unpacks": s.chunk_unpacks,
             "gets": s.scalar_gets,
             "inits": s.scalar_inits,
@@ -117,6 +126,14 @@ class CaseRunner:
             "bulk_written": s.bulk_elements_written,
             "replica_reads": sum(self.array.replica_read_elements),
         }
+        if self._companion is not None:
+            cs = self._companion.stats
+            snap["v_unpacks"] = cs.chunk_unpacks
+            snap["v_replica_reads"] = sum(
+                self._companion.replica_read_elements
+            )
+            snap["v_bulk_written"] = cs.bulk_elements_written
+        return snap
 
     def _check_stats(self, before: Dict[str, int],
                      expected_delta: Dict[str, int], what: str) -> None:
@@ -197,6 +214,126 @@ class CaseRunner:
 
     def _mark_written(self) -> None:
         self._zonemap_dirty = True
+        self._table_k_dirty = True
+
+    # -- query-op helpers --------------------------------------------------
+
+    def _ensure_query_table(self) -> SmartTable:
+        """Build the two-column table on first query op (lazy: cases
+        without query ops never pay for the companion column)."""
+        if self._table is None:
+            spec = self.case.spec
+            vbits = companion_bits(spec.bits)
+            vseed = int(np.random.default_rng(
+                [self.case.seed, self.case.index, 0x51]).integers(0, 2**31))
+            values = gen_values(vseed, spec.length, vbits)
+            self._companion = allocate(spec.length, bits=vbits,
+                                       allocator=self.allocator,
+                                       **self._flags)
+            self._companion.fill(values)
+            self._oracle_v = orc.OracleArray(spec.length, vbits)
+            self._oracle_v.fill(values)
+            self._table = SmartTable({"k": self.array,
+                                      "v": self._companion})
+        return self._table
+
+    def _ensure_query_zonemaps(self) -> None:
+        """(Re)build the table's cached zone maps, charging each build's
+        exact decode cost, so query plans always prune on fresh maps."""
+        table = self._ensure_query_table()
+        spec = self.case.spec
+        if spec.length == 0:
+            return
+        chunks = orc.chunks_for(spec.length)
+        if table.zone_map("k") is None or self._table_k_dirty:
+            before = self._snapshot()
+            table.build_zone_map("k", allocator=self.allocator,
+                                 superchunk=spec.superchunk)
+            self._check_stats(
+                before,
+                {"unpacks": chunks, "replica_reads": 64 * chunks},
+                "build_zone_map(k)")
+            self._table_k_dirty = False
+        if table.zone_map("v") is None:  # the value column is never written
+            before = self._snapshot()
+            table.build_zone_map("v", allocator=self.allocator,
+                                 superchunk=spec.superchunk)
+            self._check_stats(
+                before,
+                {"v_unpacks": chunks, "v_replica_reads": 64 * chunks},
+                "build_zone_map(v)")
+
+    def _query_chunk_mask(self, ranges_k, ranges_v, union: bool) -> int:
+        """Candidate-chunk count the planner must arrive at, predicted
+        from the oracles' true per-chunk min/max.
+
+        Each ``in_range(lo, hi)`` predicate decomposes (as the planner
+        sees it) into ``>= lo`` and ``< hi`` leaves whose candidate
+        masks intersect; multiple columns combine by intersection (AND)
+        or union (OR).
+        """
+        n_chunks = orc.chunks_for(self.case.spec.length)
+        if n_chunks == 0:
+            return 0
+
+        def column_mask(oracle: orc.OracleArray, lo: int, hi: int):
+            ge = oracle.zonemap_candidate_mask(lo, 1 << 64)
+            lt = oracle.zonemap_candidate_mask(0, hi)
+            return ge & lt
+
+        mask = None
+        for lo, hi in ranges_k:
+            m = column_mask(self.oracle, lo, hi)
+            mask = m if mask is None else (
+                (mask | m) if union else (mask & m))
+        for lo, hi in ranges_v:
+            m = column_mask(self._oracle_v, lo, hi)
+            mask = m if mask is None else (
+                (mask | m) if union else (mask & m))
+        if mask is None:
+            return n_chunks
+        return int(mask.sum())
+
+    def _check_query(self, op: Op, query: Query, expected,
+                     expected_chunks: int, par: int, dist: int) -> None:
+        """Run ``query`` and check result, plan, and decode accounting."""
+        spec = self.case.spec
+        pool = self._pool_for_case() if par else None
+        before = self._snapshot()
+        result = query.run(pool=pool, distribution=_DISTRIBUTIONS[dist],
+                           morsel=spec.superchunk)
+        if result.kind == "aggregate":
+            self._compare(tuple(result.aggregates.values()), expected,
+                          op.name)
+        elif result.kind == "groups":
+            actual = {k: tuple(v.values())
+                      for k, v in result.groups.items()}
+            self._compare(actual, expected, op.name)
+        else:
+            self._compare(result.rows, expected[0], f"{op.name}.rows")
+            self._compare(result.columns["v"], expected[1],
+                          f"{op.name}.values")
+        plan = result.plan
+        if plan.chunks_candidate != expected_chunks:
+            raise _Divergence(
+                "result",
+                f"{op.name}: plan kept {plan.chunks_candidate} candidate "
+                f"chunks, oracle predicts {expected_chunks}")
+        for name in plan.needed_columns:
+            if result.stats.decoded_chunks[name] != expected_chunks:
+                raise _Divergence(
+                    "accounting",
+                    f"{op.name}: stats.decoded_chunks[{name!r}] = "
+                    f"{result.stats.decoded_chunks[name]}, expected "
+                    f"{expected_chunks}")
+        delta = {}
+        if "k" in plan.needed_columns:
+            delta["unpacks"] = expected_chunks
+            delta["replica_reads"] = 64 * expected_chunks
+        if "v" in plan.needed_columns:
+            delta["v_unpacks"] = expected_chunks
+            delta["v_replica_reads"] = 64 * expected_chunks
+        self._check_stats(before, delta, op.name)
 
     # -- op execution ------------------------------------------------------
 
@@ -452,8 +589,75 @@ class CaseRunner:
                 before, {"unpacks": chunks, "replica_reads": 64 * chunks},
                 op.name)
 
+        elif op.name.startswith("query_"):
+            self._run_query_op(op)
+
         else:  # pragma: no cover - generator and runner share the table
             raise AssertionError(f"unknown op {op.name!r}")
+
+    def _run_query_op(self, op: Op) -> None:
+        spec = self.case.spec
+        table = self._ensure_query_table()
+        self._ensure_query_zonemaps()
+        o, ov = self.oracle, self._oracle_v
+
+        if op.name in ("query_filter_sum", "query_filter_count",
+                       "query_filter_minmax"):
+            lo, hi, par, dist = op.args
+            mask = o.range_mask(lo, hi)
+            chunks = self._query_chunk_mask([(lo, hi)], [], union=False)
+            q = Query(table).where(in_range("k", lo, hi))
+            vals = ov.values[mask]
+            if op.name == "query_filter_sum":
+                q = q.sum("v")
+                expected = (
+                    int(vals.astype(object).sum()) if vals.size else 0,
+                )
+            elif op.name == "query_filter_count":
+                q = q.count()
+                expected = (int(mask.sum()),)
+            else:
+                q = q.min("v").max("v")
+                expected = (
+                    int(vals.min()) if vals.size else None,
+                    int(vals.max()) if vals.size else None,
+                )
+            self._check_query(op, q, expected, chunks, par, dist)
+
+        elif op.name == "query_and_count":
+            lo1, hi1, lo2, hi2, par, dist = op.args
+            mask = o.range_mask(lo1, hi1) & ov.range_mask(lo2, hi2)
+            chunks = self._query_chunk_mask([(lo1, hi1)], [(lo2, hi2)],
+                                            union=False)
+            q = Query(table).where(
+                in_range("k", lo1, hi1) & in_range("v", lo2, hi2)
+            ).count()
+            self._check_query(op, q, (int(mask.sum()),), chunks, par, dist)
+
+        elif op.name == "query_or_select":
+            lo1, hi1, lo2, hi2, par, dist = op.args
+            mask = o.range_mask(lo1, hi1) | ov.range_mask(lo2, hi2)
+            chunks = self._query_chunk_mask([(lo1, hi1)], [(lo2, hi2)],
+                                            union=True)
+            q = Query(table).where(
+                in_range("k", lo1, hi1) | in_range("v", lo2, hi2)
+            ).select("v")
+            rows = np.nonzero(mask)[0].astype(np.int64)
+            self._check_query(op, q, (rows, ov.values[rows]), chunks,
+                              par, dist)
+
+        elif op.name == "query_group_sum":
+            par, dist = op.args
+            chunks = orc.chunks_for(spec.length)
+            q = Query(table).group_by("k").sum("v")
+            groups: Dict[int, int] = {}
+            for kk, vv in zip(o.values.tolist(), ov.values.tolist()):
+                groups[kk] = groups.get(kk, 0) + vv
+            expected = {k: (v,) for k, v in groups.items()}
+            self._check_query(op, q, expected, chunks, par, dist)
+
+        else:  # pragma: no cover - generator and runner share the table
+            raise AssertionError(f"unknown query op {op.name!r}")
 
 
 def run_case(case: Case, n_workers: int = 4) -> Optional[CaseFailure]:

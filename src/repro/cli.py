@@ -9,6 +9,8 @@ Usage::
     python -m repro select --machine 8-core --bits 33
     python -m repro machines
     python -m repro check --seed 0 --ops 500
+    python -m repro check --seed 0 --ops 400 --profile query
+    python -m repro query
 
 Each subcommand prints the same report the corresponding
 ``benchmarks/bench_*.py`` script produces, without needing pytest.
@@ -177,13 +179,59 @@ def _cmd_check(args) -> str:
 
     report = run_check(seed=args.seed, ops=args.ops,
                        n_workers=args.workers,
-                       shrink=not args.no_shrink)
+                       shrink=not args.no_shrink,
+                       profile=args.profile)
     text = report.format()
     if not report.ok:
         # Print the full report (shrunk repros included) on stderr and
         # exit 1 so CI marks the job failed.
         raise SystemExit(text)
     return text
+
+
+def _cmd_query(args) -> str:
+    import numpy as np
+
+    from .core.table import SmartTable
+    from .query import Query, col, in_range
+    from .runtime.loops import default_pool
+
+    rng = np.random.default_rng(42)
+    n = args.rows
+    # Timestamps arrive roughly ordered, so zone maps prune hard;
+    # region/amount are the paper's aggregation-shaped payload columns.
+    data = {
+        "ts": np.sort(rng.integers(0, 1 << 32, n)).astype(np.uint64),
+        "region": rng.integers(0, 12, n).astype(np.uint64),
+        "amount": rng.integers(0, 1 << 20, n).astype(np.uint64),
+    }
+    table = SmartTable.from_arrays(data, replicated=True)
+    table.build_zone_map("ts")
+    lo, hi = 1 << 28, 1 << 29
+    lines = [table.describe(), ""]
+
+    q = Query(table).where(in_range("ts", lo, hi)).sum("amount").count()
+    lines += [f"query: SUM(amount), COUNT(*) WHERE {lo} <= ts < {hi}", "",
+              q.explain(), ""]
+    result = q.run()
+    lines += ["serial run:",
+              f"  {result.describe()}",
+              *("  " + l for l in result.stats.describe().splitlines()), ""]
+
+    pool = default_pool(args.workers)
+    par = Query(table).where(in_range("ts", lo, hi)).sum("amount") \
+        .count().run(pool=pool)
+    lines += [f"morsel-parallel run ({args.workers} workers):",
+              f"  {par.describe()}",
+              *("  " + l for l in par.stats.describe().splitlines()), ""]
+
+    g = Query(table).where(col("ts") >= lo).group_by("region") \
+        .sum("amount").run(pool=pool)
+    lines += [f"group-by run: SUM(amount) GROUP BY region WHERE ts >= {lo}",
+              f"  {g.describe()}"]
+    for key in list(g.groups)[:6]:
+        lines.append(f"    region {key}: {g.groups[key]['sum(amount)']:,}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker-pool size for parallel-scan ops")
     check.add_argument("--no-shrink", action="store_true",
                        help="report raw failures without minimizing")
+    check.add_argument("--profile", default="mixed",
+                       choices=["mixed", "query"],
+                       help="op mix: everything, or query-engine heavy")
+
+    query = sub.add_parser(
+        "query",
+        help="query-engine demo: build a table, run queries, print "
+             "explain() and execution stats",
+    )
+    query.add_argument("--rows", type=int, default=200_000,
+                       help="table size (default 200k)")
+    query.add_argument("--workers", type=int, default=8,
+                       help="worker-pool size for the parallel run")
 
     return parser
 
@@ -246,6 +307,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "paths": _cmd_paths,
     "check": _cmd_check,
+    "query": _cmd_query,
 }
 
 

@@ -43,6 +43,7 @@ class SmartTable:
             )
         self._columns = dict(columns)
         self._length = lengths.pop()
+        self._zone_maps: Dict[str, "ZoneMap"] = {}  # noqa: F821
 
     # -- construction ------------------------------------------------------
 
@@ -106,6 +107,15 @@ class SmartTable:
         """Projection; shares the underlying arrays (no copy)."""
         return SmartTable({n: self.column(n) for n in names})
 
+    def query(self) -> "Query":  # noqa: F821
+        """Start a fluent query (see :mod:`repro.query`)::
+
+            table.query().where(col("k") >= 10).sum("v").run()
+        """
+        from ..query import Query
+
+        return Query(self)
+
     def filter(self, name: str, predicate: Callable[[np.ndarray], np.ndarray]
                ) -> np.ndarray:
         """Row indices where ``predicate(decoded_column)`` is true."""
@@ -118,10 +128,13 @@ class SmartTable:
                      zone_map=None) -> np.ndarray:
         """Row indices with ``lo <= column < hi``.
 
-        Runs the chunked selection scan (never a full decode), and with
-        a pre-built :class:`~repro.core.zonemap.ZoneMap` for the column
-        skips non-candidate chunks entirely.
+        Runs the chunked selection scan (never a full decode).  With a
+        zone map — passed explicitly or previously cached via
+        :meth:`build_zone_map` — non-candidate chunks are skipped
+        entirely.
         """
+        if zone_map is None:
+            zone_map = self._zone_maps.get(name)
         if zone_map is not None:
             if zone_map.array is not self.column(name):
                 raise ValueError(
@@ -132,54 +145,117 @@ class SmartTable:
 
         return select_in_range(self.column(name), lo, hi)
 
+    # -- zone-map cache ----------------------------------------------------
+
+    def build_zone_map(self, name: str, allocator=None,
+                       superchunk=None) -> "ZoneMap":  # noqa: F821
+        """Build (or rebuild) and cache a zone map for ``name``.
+
+        Cached maps are consulted by :meth:`filter_range` and by the
+        query planner's predicate pushdown.  They index the column's
+        *current* contents; after writing to the column, call this again
+        (or :meth:`invalidate_zone_maps`) — a stale map may keep pruned
+        chunks that now match.
+        """
+        from .zonemap import ZoneMap
+
+        zm = ZoneMap.build(self.column(name), allocator=allocator,
+                           superchunk=superchunk)
+        self._zone_maps[name] = zm
+        return zm
+
+    def zone_map(self, name: str):
+        """The cached zone map for ``name``, or ``None``."""
+        self.column(name)
+        return self._zone_maps.get(name)
+
+    def invalidate_zone_maps(self, name: Optional[str] = None) -> None:
+        """Drop the cached zone map for ``name`` (or all of them)."""
+        if name is None:
+            self._zone_maps.clear()
+        else:
+            self._zone_maps.pop(name, None)
+
     # -- aggregates ----------------------------------------------------------------
 
-    def _values(self, name: str, rows: Optional[np.ndarray]) -> np.ndarray:
-        column = self.column(name)
-        if rows is None:
-            return column.to_numpy()
-        return column.gather_many(np.ascontiguousarray(rows, dtype=np.int64))
+    def _gathered(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Row-selection values (random access path: ``gather_many``)."""
+        return self.column(name).gather_many(
+            np.ascontiguousarray(rows, dtype=np.int64)
+        )
 
     def sum(self, name: str, rows: Optional[np.ndarray] = None) -> int:
         from ..runtime.loops import _exact_sum
 
-        return _exact_sum(self._values(name, rows))
+        if rows is not None:
+            return _exact_sum(self._gathered(name, rows))
+        # Whole-column path: stream superchunk spans through the
+        # blocked kernel — never materializes the column.
+        from .map_api import sum_range
+
+        return sum_range(self.column(name))
 
     def min(self, name: str, rows: Optional[np.ndarray] = None) -> int:
-        values = self._values(name, rows)
-        if values.size == 0:
+        if rows is not None:
+            values = self._gathered(name, rows)
+            if values.size == 0:
+                raise ValueError("min of an empty selection")
+            return int(values.min())
+        if self._length == 0:
             raise ValueError("min of an empty selection")
-        return int(values.min())
+        from .scan_ops import min_max
+
+        return min_max(self.column(name))[0]
 
     def max(self, name: str, rows: Optional[np.ndarray] = None) -> int:
-        values = self._values(name, rows)
-        if values.size == 0:
+        if rows is not None:
+            values = self._gathered(name, rows)
+            if values.size == 0:
+                raise ValueError("max of an empty selection")
+            return int(values.max())
+        if self._length == 0:
             raise ValueError("max of an empty selection")
-        return int(values.max())
+        from .scan_ops import min_max
+
+        return min_max(self.column(name))[1]
 
     def mean(self, name: str, rows: Optional[np.ndarray] = None) -> float:
-        values = self._values(name, rows)
-        if values.size == 0:
+        n = self._length if rows is None else len(rows)
+        if n == 0:
             raise ValueError("mean of an empty selection")
-        return self.sum(name, rows) / values.size
+        return self.sum(name, rows) / n
 
     def group_by_sum(
         self, key: str, value: str
     ) -> Dict[int, int]:
-        """SELECT key, SUM(value) GROUP BY key (exact arithmetic)."""
-        keys = self.column(key).to_numpy()
-        values = self.column(value).to_numpy()
-        uniq, inverse = np.unique(keys, return_inverse=True)
-        out: Dict[int, int] = {}
-        # Split by group and sum exactly; bincount would wrap uint64.
-        order = np.argsort(inverse, kind="stable")
-        sorted_vals = values[order]
-        bounds = np.searchsorted(inverse[order], np.arange(uniq.size + 1))
+        """SELECT key, SUM(value) GROUP BY key (exact arithmetic).
+
+        Streams both columns one superchunk span at a time through the
+        blocked kernel — peak extra memory is two span buffers, not two
+        decoded columns — accumulating exact per-group partial sums
+        (bincount would wrap uint64).
+        """
+        from .map_api import iter_spans
         from ..runtime.loops import _exact_sum
 
-        for g in range(uniq.size):
-            out[int(uniq[g])] = _exact_sum(sorted_vals[bounds[g]:bounds[g + 1]])
-        return out
+        key_col = self.column(key)
+        value_col = self.column(value)
+        out: Dict[int, int] = {}
+        # Each generator owns its buffer, so zipping spans is safe.
+        for (_, keys), (_, values) in zip(
+            iter_spans(key_col), iter_spans(value_col)
+        ):
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            sorted_vals = values[order]
+            uniq, starts = np.unique(sorted_keys, return_index=True)
+            bounds = np.append(starts, keys.size)
+            for g in range(uniq.size):
+                k = int(uniq[g])
+                out[k] = out.get(k, 0) + _exact_sum(
+                    sorted_vals[bounds[g]:bounds[g + 1]]
+                )
+        return dict(sorted(out.items()))
 
     # -- accounting ------------------------------------------------------------
 

@@ -1,0 +1,335 @@
+"""Morsel-driven query execution on the worker pool.
+
+The executor runs a :class:`~repro.query.planner.PhysicalPlan` the way
+morsel-driven engines do: the row space is split into superchunk-
+aligned *morsels* (so no chunk straddles two morsels), workers claim
+morsels via Callisto's dynamic batch-claiming counter
+(:func:`repro.runtime.loops.parallel_for` with ``batch=1``), and every
+read inside a morsel goes through the socket-local replica of the
+claiming worker (``array.get_replica(ctx.socket)``) — the paper's
+``getReplica()``-at-batch-start discipline lifted to whole morsels.
+
+Inside a morsel the pipeline is fully fused: candidate chunks (after
+zone-map pruning) are decoded in consecutive runs through the blocked
+kernel *once per needed column*, the predicate is evaluated span-at-a-
+time on the decoded buffers, and aggregates/group partials/row output
+fold directly off the mask — no operator-at-a-time materialization.
+
+The full predicate is always re-evaluated on decoded spans; pruning
+only decides *which chunks to decode*.  That keeps correctness
+independent of the pruning analysis (a chunk the zone maps could not
+rule out still filters exactly) and makes the decode accounting
+precise: per needed column, executing a query adds exactly
+``chunks_candidate`` to ``stats.chunk_unpacks`` and
+``64 * chunks_candidate`` to the column's summed
+``replica_read_elements`` — which is what ``explain()`` predicted.
+
+Determinism: morsel boundaries and per-morsel work are independent of
+the claiming order, and partials merge in morsel order, so results —
+including group dicts and row order — are bit-identical between
+serial and threaded pools and between dynamic and static distribution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import bitpack
+from ..core.zonemap import _chunk_runs
+from ..runtime.loops import _exact_sum, parallel_for
+from ..runtime.workers import ThreadContext, WorkerPool
+from .logical import AggSpec
+from .planner import PhysicalPlan
+from .stats import MorselPartial, QueryResult, QueryStats
+
+
+def _new_agg_partials(specs) -> List[object]:
+    out: List[object] = []
+    for spec in specs:
+        if spec.kind in ("sum", "count"):
+            out.append(0)
+        elif spec.kind in ("min", "max"):
+            out.append(None)
+        else:  # mean: (sum, count)
+            out.append((0, 0))
+    return out
+
+
+def _fold_agg(partials: List[object], specs, env: Dict[str, np.ndarray],
+              mask: Optional[np.ndarray], n_matched: int) -> None:
+    """Fold one decoded span into per-spec partials, in place."""
+    for slot, spec in enumerate(specs):
+        if spec.kind == "count":
+            partials[slot] += n_matched
+            continue
+        values = env[spec.column]
+        if mask is not None:
+            values = values[mask]
+        if values.size == 0:
+            continue
+        if spec.kind == "sum":
+            partials[slot] += _exact_sum(values)
+        elif spec.kind == "min":
+            lo = int(values.min())
+            cur = partials[slot]
+            partials[slot] = lo if cur is None else min(cur, lo)
+        elif spec.kind == "max":
+            hi = int(values.max())
+            cur = partials[slot]
+            partials[slot] = hi if cur is None else max(cur, hi)
+        else:  # mean
+            s, c = partials[slot]
+            partials[slot] = (s + _exact_sum(values), c + values.size)
+
+
+def _merge_agg(into: List[object], other: List[object], specs) -> None:
+    for slot, spec in enumerate(specs):
+        if spec.kind in ("sum", "count"):
+            into[slot] += other[slot]
+        elif spec.kind in ("min", "max"):
+            if other[slot] is not None:
+                into[slot] = (
+                    other[slot] if into[slot] is None
+                    else (min if spec.kind == "min" else max)(
+                        into[slot], other[slot]
+                    )
+                )
+        else:
+            into[slot] = (
+                into[slot][0] + other[slot][0],
+                into[slot][1] + other[slot][1],
+            )
+
+
+def _finalize_agg(partials: List[object], specs) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for slot, spec in enumerate(specs):
+        if spec.kind == "mean":
+            s, c = partials[slot]
+            out[spec.name] = s / c if c else None
+        else:
+            out[spec.name] = partials[slot]
+    return out
+
+
+def _fold_groups(groups: Dict[int, List[object]], specs,
+                 keys: np.ndarray, env: Dict[str, np.ndarray],
+                 mask: Optional[np.ndarray]) -> None:
+    """Group one decoded span by key and fold per-group partials."""
+    if mask is not None:
+        keys = keys[mask]
+    if keys.size == 0:
+        return
+    # Sort-and-slice (the exact-arithmetic idiom group_by_sum uses):
+    # one argsort per span, then contiguous per-group slices.
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    uniq, starts = np.unique(sorted_keys, return_index=True)
+    bounds = np.append(starts, keys.size)
+    masked_cols = {
+        spec.column: (env[spec.column][mask] if mask is not None
+                      else env[spec.column])[order]
+        for spec in specs if spec.column is not None
+    }
+    for g in range(uniq.size):
+        key = int(uniq[g])
+        lo, hi = int(bounds[g]), int(bounds[g + 1])
+        partials = groups.get(key)
+        if partials is None:
+            partials = groups[key] = _new_agg_partials(specs)
+        genv = {name: vals[lo:hi] for name, vals in masked_cols.items()}
+        _fold_agg(partials, specs, genv, None, hi - lo)
+
+
+def execute(plan: PhysicalPlan, pool: Optional[WorkerPool] = None,
+            distribution: str = "dynamic") -> QueryResult:
+    """Run ``plan`` and return a :class:`QueryResult`.
+
+    ``pool=None`` runs serially on socket 0 (no worker pool, no
+    threads); with a pool, morsels are claimed dynamically (``batch=1``)
+    or round-robin (``distribution="static"``) and each worker reads
+    its socket-local replicas.  Results are bit-identical either way.
+    """
+    query = plan.query
+    query.validate()
+    table = plan.table
+    specs = list(query.aggregates)
+    group_key = query.group_key
+    projection = query.projection
+    is_rows = not specs
+    t0 = time.perf_counter()
+
+    stats = QueryStats(
+        morsels_total=len(plan.morsels),
+        chunks_total=plan.chunks_total,
+        chunks_candidate=plan.chunks_candidate,
+        est_instructions=plan.est_instructions,
+        n_workers=pool.n_workers if pool is not None else 1,
+        distribution=distribution if pool is not None else "serial",
+    )
+    for name in plan.needed_columns:
+        stats._bits[name] = table[name].bits
+
+    n_morsels = len(plan.morsels)
+    partials: List[Optional[MorselPartial]] = [None] * n_morsels
+    max_chunks = plan.morsel_elements // bitpack.CHUNK_ELEMENTS
+    predicate = query.predicate
+    n_rows = table.n_rows
+
+    def run_morsel(index: int, ctx: Optional[ThreadContext]) -> None:
+        start, stop = plan.morsels[index]
+        part = MorselPartial(morsel=index)
+        partials[index] = part
+        candidates = plan.morsel_candidates(start, stop)
+        if candidates.size == 0:
+            return
+        socket = ctx.socket if ctx is not None else 0
+        replicas = {
+            name: table[name].get_replica(socket)
+            for name in plan.needed_columns
+        }
+        bufs = {
+            name: np.empty(plan.morsel_elements, dtype=np.uint64)
+            for name in plan.needed_columns
+        }
+        if specs:
+            part.agg = _new_agg_partials(specs)
+            if group_key is not None:
+                part.groups = {}
+        else:
+            idx_pieces: List[np.ndarray] = []
+            val_pieces: Dict[str, List[np.ndarray]] = {
+                name: [] for name in (projection or ())
+            }
+        for first, count in _chunk_runs(candidates, max_chunks):
+            base = first * bitpack.CHUNK_ELEMENTS
+            end = min(n_rows, base + count * bitpack.CHUNK_ELEMENTS)
+            env: Dict[str, np.ndarray] = {}
+            for name in plan.needed_columns:
+                decoded = table[name].decode_chunks(
+                    first, count, replica=replicas[name], out=bufs[name]
+                )
+                env[name] = decoded[:end - base]
+            part.decoded_chunks += count
+            span_len = end - base
+            part.rows_scanned += span_len
+            if predicate is not None:
+                mask = predicate.evaluate(env)
+                n_matched = int(mask.sum())
+            else:
+                mask = None
+                n_matched = span_len
+            part.rows_matched += n_matched
+            if n_matched == 0:
+                continue
+            if specs:
+                if group_key is not None:
+                    _fold_groups(part.groups, specs, env[group_key],
+                                 env, mask)
+                else:
+                    _fold_agg(part.agg, specs, env, mask, n_matched)
+            else:
+                local = (np.nonzero(mask)[0] if mask is not None
+                         else np.arange(span_len))
+                idx_pieces.append(local.astype(np.int64) + base)
+                for name in projection or ():
+                    vals = env[name]
+                    val_pieces[name].append(
+                        (vals[mask] if mask is not None else vals).copy()
+                    )
+        if not specs:
+            if idx_pieces:
+                part.indices = np.concatenate(idx_pieces)
+                part.values = {
+                    name: np.concatenate(pieces)
+                    for name, pieces in val_pieces.items()
+                }
+            else:
+                part.indices = np.empty(0, dtype=np.int64)
+                part.values = {
+                    name: np.empty(0, dtype=np.uint64)
+                    for name in (projection or ())
+                }
+
+    # Only morsels with candidate chunks are ever visited; fully pruned
+    # morsels cost nothing at execution time (their partial stays None).
+    work = (plan.active_morsels if plan.active_morsels is not None
+            else range(n_morsels))
+    if pool is None:
+        for index in work:
+            run_morsel(int(index), None)
+    else:
+        def body(lo: int, hi: int, ctx: ThreadContext) -> None:
+            for i in range(lo, hi):
+                run_morsel(int(work[i]), ctx)
+
+        parallel_for(len(work), body, pool, batch=1,
+                     distribution=distribution)
+
+    # -- merge in morsel order (deterministic regardless of claiming) --
+    agg_total = _new_agg_partials(specs)
+    group_total: Dict[int, List[object]] = {}
+    idx_all: List[np.ndarray] = []
+    val_all: Dict[str, List[np.ndarray]] = {
+        name: [] for name in (projection or ())
+    }
+    for part in partials:
+        if part is None:  # fully pruned at plan time, never visited
+            stats.morsels_pruned += 1
+            continue
+        stats.rows_scanned += part.rows_scanned
+        stats.rows_matched += part.rows_matched
+        if part.decoded_chunks == 0:
+            stats.morsels_pruned += 1
+        else:
+            stats.morsels_executed += 1
+        for name in plan.needed_columns:
+            stats.decoded_chunks[name] = (
+                stats.decoded_chunks.get(name, 0) + part.decoded_chunks
+            )
+        if specs:
+            if group_key is not None and part.groups:
+                for key in sorted(part.groups):
+                    into = group_total.get(key)
+                    if into is None:
+                        into = group_total[key] = _new_agg_partials(specs)
+                    _merge_agg(into, part.groups[key], specs)
+            elif part.agg:
+                _merge_agg(agg_total, part.agg, specs)
+        elif part.indices is not None:
+            idx_all.append(part.indices)
+            for name in (projection or ()):
+                val_all[name].append(part.values[name])
+    for name in plan.needed_columns:
+        stats.decoded_elements[name] = (
+            stats.decoded_chunks.get(name, 0) * bitpack.CHUNK_ELEMENTS
+        )
+        stats.decoded_chunks.setdefault(name, 0)
+    stats.wall_time_s = time.perf_counter() - t0
+
+    if specs:
+        if group_key is not None:
+            groups = {
+                key: _finalize_agg(group_total[key], specs)
+                for key in sorted(group_total)
+            }
+            return QueryResult("groups", stats, plan, groups=groups)
+        return QueryResult(
+            "aggregate", stats, plan,
+            aggregates=_finalize_agg(agg_total, specs),
+        )
+    rows = (np.concatenate(idx_all) if idx_all
+            else np.empty(0, dtype=np.int64))
+    columns = {
+        name: (np.concatenate(pieces) if pieces
+               else np.empty(0, dtype=np.uint64))
+        for name, pieces in val_all.items()
+    }
+    if query.limit_rows is not None and rows.size > query.limit_rows:
+        rows = rows[:query.limit_rows]
+        columns = {name: vals[:query.limit_rows]
+                   for name, vals in columns.items()}
+    return QueryResult("rows", stats, plan, rows=rows, columns=columns)

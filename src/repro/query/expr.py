@@ -1,0 +1,402 @@
+"""Expression AST over smart-table columns (the query engine's language).
+
+Expressions are built with operator overloading over :func:`col` /
+:func:`lit` handles and evaluated *span-at-a-time*: :meth:`Expr.evaluate`
+receives a mapping from column name to a decoded ``uint64`` span and
+returns a NumPy array of the same length, so one evaluation covers a
+whole morsel's worth of rows with no per-element Python.
+
+Two expression sorts exist and the constructors enforce them:
+
+* **value expressions** — column refs, integer literals, and wrapping
+  ``uint64`` arithmetic (``+``, ``-``, ``*``, the storage domain's
+  native modulo-2**64 semantics);
+* **boolean expressions** — comparisons between value expressions, and
+  ``&`` / ``|`` / ``~`` over boolean expressions.
+
+Comparisons against out-of-domain literals follow the same clamping
+contract as the scan operators (:func:`repro.core.scan_ops.
+clamp_u64_range`): ``x >= -3`` is everywhere-true, ``x < 2**64 + 17``
+is everywhere-true, ``x == 2**64`` is everywhere-false — no
+``OverflowError`` anywhere in the predicate path.
+
+The planner pushes *sargable* comparisons (column vs. literal) down to
+zone-map chunk pruning; :meth:`Compare.as_range` is the extraction
+point, returning the half-open ``[lo, hi)`` window in the same
+convention the zone maps consume (``hi >= 2**64`` means unbounded
+above).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+U64_MAX = (1 << 64) - 1
+
+#: Comparison mirror for operand-swapped forms (lit <op> col).
+_SWAP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+class Expr:
+    """Base expression node; subclasses implement evaluate/describe."""
+
+    #: True for boolean-sorted expressions (comparisons, AND/OR/NOT).
+    boolean = False
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Names of every column the expression reads."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    # -- value operators (wrapping uint64 arithmetic) ---------------------
+
+    def __add__(self, other) -> "Arith":
+        return Arith("+", self, _coerce(other))
+
+    def __radd__(self, other) -> "Arith":
+        return Arith("+", _coerce(other), self)
+
+    def __sub__(self, other) -> "Arith":
+        return Arith("-", self, _coerce(other))
+
+    def __rsub__(self, other) -> "Arith":
+        return Arith("-", _coerce(other), self)
+
+    def __mul__(self, other) -> "Arith":
+        return Arith("*", self, _coerce(other))
+
+    def __rmul__(self, other) -> "Arith":
+        return Arith("*", _coerce(other), self)
+
+    # -- comparisons ------------------------------------------------------
+
+    def __lt__(self, other) -> "Compare":
+        return Compare("<", self, _coerce(other))
+
+    def __le__(self, other) -> "Compare":
+        return Compare("<=", self, _coerce(other))
+
+    def __gt__(self, other) -> "Compare":
+        return Compare(">", self, _coerce(other))
+
+    def __ge__(self, other) -> "Compare":
+        return Compare(">=", self, _coerce(other))
+
+    def __eq__(self, other) -> "Compare":  # type: ignore[override]
+        return Compare("==", self, _coerce(other))
+
+    def __ne__(self, other) -> "Compare":  # type: ignore[override]
+        return Compare("!=", self, _coerce(other))
+
+    # Overriding __eq__ kills default hashing; identity hash keeps
+    # expressions usable as dict keys (they are immutable trees).
+    __hash__ = object.__hash__
+
+    # -- boolean connectives ----------------------------------------------
+
+    def __and__(self, other) -> "And":
+        return And(self, other)
+
+    def __or__(self, other) -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _coerce(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return Lit(int(value))
+    raise TypeError(
+        f"cannot use {type(value).__name__} in a query expression; "
+        f"expected an Expr or an int"
+    )
+
+
+def _check_value_sort(expr: Expr, where: str) -> Expr:
+    if expr.boolean:
+        raise TypeError(
+            f"{where} needs a value expression, got the boolean "
+            f"{expr.describe()}"
+        )
+    return expr
+
+
+def _check_bool_sort(expr: Expr, where: str) -> Expr:
+    if not isinstance(expr, Expr):
+        raise TypeError(
+            f"{where} needs a boolean expression, got {type(expr).__name__}"
+        )
+    if not expr.boolean:
+        raise TypeError(
+            f"{where} needs a boolean expression (a comparison), got the "
+            f"value expression {expr.describe()}"
+        )
+    return expr
+
+
+class Col(Expr):
+    """Reference to a table column by name."""
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"column name must be a non-empty str, got {name!r}")
+        self.name = name
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(
+                f"column {self.name!r} not decoded; have {sorted(env)}"
+            ) from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def describe(self) -> str:
+        return self.name
+
+
+class Lit(Expr):
+    """Integer literal.
+
+    Arbitrary Python ints are allowed so predicates can name
+    out-of-domain bounds (the comparison operators clamp); *arithmetic*
+    over a literal requires it to be storable (0..2**64-1), enforced by
+    :class:`Arith`.
+    """
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        # Only reached from Arith, which has validated the domain.
+        return np.uint64(self.value)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def describe(self) -> str:
+        return str(self.value)
+
+
+class Arith(Expr):
+    """Wrapping uint64 arithmetic: ``+``, ``-``, ``*`` (modulo 2**64)."""
+
+    _OPS = {"+": np.add, "-": np.subtract, "*": np.multiply}
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unsupported arithmetic op {op!r}")
+        self.op = op
+        self.left = _check_value_sort(left, f"arithmetic {op!r}")
+        self.right = _check_value_sort(right, f"arithmetic {op!r}")
+        for side in (self.left, self.right):
+            if isinstance(side, Lit) and not 0 <= side.value <= U64_MAX:
+                raise ValueError(
+                    f"arithmetic literal {side.value} outside the uint64 "
+                    f"storage domain"
+                )
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            return self._OPS[self.op](
+                self.left.evaluate(env), self.right.evaluate(env)
+            )
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+class Compare(Expr):
+    """Comparison of two value expressions; clamps literal bounds."""
+
+    boolean = True
+    _OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unsupported comparison {op!r}")
+        self.op = op
+        self.left = _check_value_sort(left, f"comparison {op!r}")
+        self.right = _check_value_sort(right, f"comparison {op!r}")
+
+    def _literal_side(self) -> Optional[Tuple[Expr, str, int]]:
+        """(value_expr, normalized_op, literal) when one side is a Lit."""
+        if isinstance(self.right, Lit) and not isinstance(self.left, Lit):
+            return self.left, self.op, self.right.value
+        if isinstance(self.left, Lit) and not isinstance(self.right, Lit):
+            return self.right, _SWAP[self.op], self.left.value
+        return None
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        lit = self._literal_side()
+        if lit is None:
+            left = self.left.evaluate(env)
+            right = self.right.evaluate(env)
+            if isinstance(self.left, Lit) and isinstance(self.right, Lit):
+                # Constant fold; broadcast needs a span for the shape.
+                raise ValueError(
+                    f"constant comparison {self.describe()} references no "
+                    f"column"
+                )
+            return _NUMPY_CMP[self.op](left, right)
+        value_expr, op, bound = lit
+        span = np.asarray(value_expr.evaluate(env))
+        return _clamped_compare(span, op, bound)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+    def as_range(self) -> Optional[Tuple[str, int, int]]:
+        """``(column, lo, hi)`` when this is a sargable bare-column
+        predicate, else ``None``.
+
+        The window is half-open in the zone-map convention: ``hi`` at or
+        above ``2**64`` means unbounded above; the caller clamps with
+        :func:`repro.core.scan_ops.clamp_u64_range`.  ``!=`` is not
+        sargable (its match set is not one interval).
+        """
+        lit = self._literal_side()
+        if lit is None:
+            return None
+        value_expr, op, bound = lit
+        if not isinstance(value_expr, Col):
+            return None
+        name = value_expr.name
+        if op == ">=":
+            return name, bound, 1 << 64
+        if op == ">":
+            return name, bound + 1, 1 << 64
+        if op == "<":
+            return name, 0, bound
+        if op == "<=":
+            return name, 0, bound + 1
+        if op == "==":
+            return name, bound, bound + 1
+        return None
+
+
+_NUMPY_CMP = {
+    "<": np.less, "<=": np.less_equal, ">": np.greater,
+    ">=": np.greater_equal, "==": np.equal, "!=": np.not_equal,
+}
+
+
+def _clamped_compare(span: np.ndarray, op: str, bound: int) -> np.ndarray:
+    """Compare a uint64 span against an arbitrary-int bound, clamping
+    to the storage domain instead of overflowing on conversion."""
+    if op in (">", "<="):
+        # Normalize onto >= / < so only two clamp shapes exist.
+        return _clamped_compare(span, ">=" if op == ">" else "<", bound + 1)
+    if op == ">=":
+        if bound <= 0:
+            return np.ones(span.shape, dtype=bool)
+        if bound > U64_MAX:
+            return np.zeros(span.shape, dtype=bool)
+        return span >= np.uint64(bound)
+    if op == "<":
+        if bound <= 0:
+            return np.zeros(span.shape, dtype=bool)
+        if bound > U64_MAX:
+            return np.ones(span.shape, dtype=bool)
+        return span < np.uint64(bound)
+    if op == "==":
+        if not 0 <= bound <= U64_MAX:
+            return np.zeros(span.shape, dtype=bool)
+        return span == np.uint64(bound)
+    if op == "!=":
+        if not 0 <= bound <= U64_MAX:
+            return np.ones(span.shape, dtype=bool)
+        return span != np.uint64(bound)
+    raise AssertionError(op)  # pragma: no cover
+
+
+class And(Expr):
+    """Conjunction of two boolean expressions."""
+
+    boolean = True
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = _check_bool_sort(left, "AND")
+        self.right = _check_bool_sort(right, "AND")
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.left.evaluate(env) & self.right.evaluate(env)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} & {self.right.describe()})"
+
+
+class Or(Expr):
+    """Disjunction of two boolean expressions."""
+
+    boolean = True
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = _check_bool_sort(left, "OR")
+        self.right = _check_bool_sort(right, "OR")
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.left.evaluate(env) | self.right.evaluate(env)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} | {self.right.describe()})"
+
+
+class Not(Expr):
+    """Negation of a boolean expression."""
+
+    boolean = True
+
+    def __init__(self, child: Expr) -> None:
+        self.child = _check_bool_sort(child, "NOT")
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        return ~self.child.evaluate(env)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.child.columns()
+
+    def describe(self) -> str:
+        return f"~{self.child.describe()}"
+
+
+def col(name: str) -> Col:
+    """Column handle: ``col("price") >= 100``."""
+    return Col(name)
+
+
+def lit(value: int) -> Lit:
+    """Explicit literal handle (ints coerce automatically)."""
+    return Lit(value)
+
+
+def in_range(name: str, lo: int, hi: int) -> Expr:
+    """Sugar for the scan operators' half-open range: ``lo <= col < hi``."""
+    return (Col(name) >= lo) & (Col(name) < hi)

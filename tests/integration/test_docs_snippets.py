@@ -117,3 +117,35 @@ class TestApiGuideSnippets:
             measurement,
         )
         assert result.configuration.placement is not None
+
+    def test_query_engine_forms(self):
+        # The API guide's "Query engine" section, verbatim in spirit.
+        from repro.core import SmartTable
+        from repro.query import Query, col, in_range
+        from repro.runtime import default_pool
+
+        rng = np.random.default_rng(3)
+        ts = np.sort(rng.integers(0, 50_000, 5000)).astype(np.uint64)
+        amount = rng.integers(0, 1000, 5000).astype(np.uint64)
+        t = SmartTable.from_arrays(
+            {"ts": ts, "amount": amount, "region": amount % np.uint64(4)},
+            replicated=True,
+        )
+        t.build_zone_map("ts")
+
+        q = Query(t).where(in_range("ts", 10_000, 20_000)) \
+            .sum("amount").count()
+        assert "pushed-down predicates" in q.explain()
+        result = q.run()
+        mask = (ts >= 10_000) & (ts < 20_000)
+        assert result["sum(amount)"] == int(amount[mask].sum())
+        assert result["count(*)"] == int(mask.sum())
+
+        par = q.run(pool=default_pool(8))
+        assert par.aggregates == result.aggregates
+
+        groups = Query(t).group_by("region").sum("amount").run().groups
+        assert set(groups) == set(np.unique(amount % np.uint64(4)).tolist())
+        rows = Query(t).where(col("ts") >= 10_000).select("amount") \
+            .limit(5).run().rows
+        assert rows.size == 5

@@ -1,0 +1,166 @@
+"""Tests for the query expression AST (clamped comparison semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.query import And, Col, Compare, Lit, Not, Or, col, in_range, lit
+
+U64_MAX = (1 << 64) - 1
+
+
+@pytest.fixture
+def span():
+    return np.array([0, 1, 5, 100, U64_MAX], dtype=np.uint64)
+
+
+def env_of(span):
+    return {"x": span}
+
+
+class TestComparisons:
+    def test_basic_operators(self, span):
+        env = env_of(span)
+        np.testing.assert_array_equal(
+            (col("x") >= 5).evaluate(env), span >= 5
+        )
+        np.testing.assert_array_equal(
+            (col("x") < 100).evaluate(env), span < 100
+        )
+        np.testing.assert_array_equal(
+            (col("x") > 1).evaluate(env), span > 1
+        )
+        np.testing.assert_array_equal(
+            (col("x") <= 5).evaluate(env), span <= 5
+        )
+        np.testing.assert_array_equal(
+            (col("x") == 100).evaluate(env), span == 100
+        )
+        np.testing.assert_array_equal(
+            (col("x") != 100).evaluate(env), span != 100
+        )
+
+    def test_swapped_literal_side(self, span):
+        # lit <op> col normalizes onto the mirrored operator.
+        env = env_of(span)
+        np.testing.assert_array_equal(
+            (lit(5) <= col("x")).evaluate(env), span >= 5
+        )
+        np.testing.assert_array_equal(
+            (lit(100) > col("x")).evaluate(env), span < 100
+        )
+
+    def test_out_of_domain_bounds_clamp(self, span):
+        env = env_of(span)
+        assert (col("x") >= -3).evaluate(env).all()
+        assert not (col("x") < -3).evaluate(env).any()
+        assert (col("x") < (1 << 64) + 17).evaluate(env).all()
+        assert not (col("x") >= (1 << 64) + 17).evaluate(env).any()
+        assert not (col("x") == 1 << 64).evaluate(env).any()
+        assert (col("x") != 1 << 64).evaluate(env).all()
+        # uint64 boundary itself still compares exactly.
+        np.testing.assert_array_equal(
+            (col("x") == U64_MAX).evaluate(env), span == U64_MAX
+        )
+        assert (col("x") <= U64_MAX).evaluate(env).all()
+        assert not (col("x") > U64_MAX).evaluate(env).any()
+
+    def test_column_vs_column(self, span):
+        env = {"x": span, "y": span[::-1].copy()}
+        np.testing.assert_array_equal(
+            (col("x") < col("y")).evaluate(env), span < env["y"]
+        )
+
+
+class TestAsRange:
+    def test_each_operator(self):
+        assert (col("x") >= 5).as_range() == ("x", 5, 1 << 64)
+        assert (col("x") > 5).as_range() == ("x", 6, 1 << 64)
+        assert (col("x") < 9).as_range() == ("x", 0, 9)
+        assert (col("x") <= 9).as_range() == ("x", 0, 10)
+        assert (col("x") == 7).as_range() == ("x", 7, 8)
+
+    def test_swapped_side(self):
+        assert (lit(5) <= col("x")).as_range() == ("x", 5, 1 << 64)
+
+    def test_not_sargable(self):
+        assert (col("x") != 7).as_range() is None
+        assert (col("x") < col("y")).as_range() is None
+        assert ((col("x") + 1) < 9).as_range() is None
+
+
+class TestArithmetic:
+    def test_wraps_modulo_2_64(self, span):
+        env = env_of(span)
+        out = (col("x") + 1).evaluate(env)
+        np.testing.assert_array_equal(
+            out, (span + np.uint64(1)).astype(np.uint64)
+        )
+        assert int(out[-1]) == 0  # U64_MAX + 1 wraps
+
+    def test_arith_in_predicate(self, span):
+        env = env_of(span)
+        np.testing.assert_array_equal(
+            ((col("x") * 2) >= 10).evaluate(env),
+            (span * np.uint64(2)) >= 10,
+        )
+
+    def test_out_of_domain_arith_literal_rejected(self):
+        with pytest.raises(ValueError):
+            col("x") + (1 << 64)
+        with pytest.raises(ValueError):
+            col("x") - (-1)
+
+
+class TestConnectives:
+    def test_and_or_not(self, span):
+        env = env_of(span)
+        ge, lt = col("x") >= 5, col("x") < 100
+        np.testing.assert_array_equal(
+            (ge & lt).evaluate(env), (span >= 5) & (span < 100)
+        )
+        np.testing.assert_array_equal(
+            (ge | lt).evaluate(env), (span >= 5) | (span < 100)
+        )
+        np.testing.assert_array_equal(
+            (~ge).evaluate(env), ~(span >= 5)
+        )
+
+    def test_in_range_sugar(self, span):
+        expr = in_range("x", 5, 100)
+        assert isinstance(expr, And)
+        np.testing.assert_array_equal(
+            expr.evaluate(env_of(span)), (span >= 5) & (span < 100)
+        )
+
+    def test_sort_enforcement(self):
+        with pytest.raises(TypeError):
+            And(col("x"), col("x") >= 1)  # value expr under AND
+        with pytest.raises(TypeError):
+            Or(col("x") >= 1, col("y"))
+        with pytest.raises(TypeError):
+            Not(col("x"))
+        with pytest.raises(TypeError):
+            Compare("<", col("x") >= 1, Lit(3))  # boolean under compare
+
+
+class TestNodeBasics:
+    def test_columns(self):
+        expr = in_range("a", 1, 2) | (col("b") == col("c"))
+        assert expr.columns() == frozenset({"a", "b", "c"})
+
+    def test_expressions_are_hashable(self):
+        # __eq__ builds Compare nodes, so hashing must be identity-based.
+        e = col("x") >= 5
+        assert {e: 1}[e] == 1
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            col("x") >= "five"
+
+    def test_col_name_validation(self):
+        with pytest.raises(ValueError):
+            Col("")
+
+    def test_describe_round_trip(self):
+        expr = (col("x") >= 5) & ~(col("y") < 3)
+        assert expr.describe() == "((x >= 5) & ~(y < 3))"
