@@ -29,6 +29,8 @@ from dataclasses import dataclass, replace
 from typing import Deque, List, Optional
 
 from ..numa.counters import PerfCounters
+from ..obs.registry import registry as _obs_registry
+from ..obs.trace import trace
 from .inputs import ArrayCharacteristics, MachineCapabilities, WorkloadMeasurement
 from .selector import Configuration, SelectionResult, select_configuration
 
@@ -129,7 +131,21 @@ class AdaptiveController:
         Re-selection happens only with a full window (dwell time) and
         only when drift exceeds the threshold; a re-selection that picks
         the same configuration just re-anchors the detector.
+
+        ``PerfCounters`` validates finiteness at construction, so the
+        drift detector never compares against NaN — a NaN would make
+        every ``rel() > threshold`` test silently False and freeze the
+        controller in its current configuration.
         """
+        with trace("adapt.observe", index=self._n_seen):
+            decision = self._observe(counters)
+        reg = _obs_registry()
+        reg.counter("adapt.observations").add(1)
+        if decision is not None:
+            reg.counter("adapt.reconfigurations").add(1)
+        return decision
+
+    def _observe(self, counters: PerfCounters) -> Optional[Reconfiguration]:
         self._observations.append(counters)
         self._n_seen += 1
         if len(self._observations) < self.window:

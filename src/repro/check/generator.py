@@ -65,8 +65,11 @@ class Op:
 
 #: Generation profiles: ``mixed`` sweeps every op (query ops included
 #: at modest weight); ``query`` is write-light and query-heavy, for the
-#: dedicated CI job exercising the query engine's differential checks.
-PROFILES: Tuple[str, ...] = ("mixed", "query")
+#: dedicated CI job exercising the query engine's differential checks;
+#: ``obs`` draws from the mixed table with parallel and query ops
+#: up-weighted and runs every case under tracing, cross-checking the
+#: registry and per-span counter deltas against the oracle accounting.
+PROFILES: Tuple[str, ...] = ("mixed", "query", "obs")
 
 
 @dataclass(frozen=True)
@@ -210,7 +213,20 @@ _QUERY_OP_TABLE = (
     ("scatter", 1, True),
 ) + _QUERY_OPS
 
-_PROFILE_TABLES = {"mixed": _OP_TABLE, "query": _QUERY_OP_TABLE}
+#: The obs profile leans on the ops whose counters move from worker
+#: threads (parallel scans, query executor) — the lost-update surface
+#: the observability invariant exists to catch.
+_OBS_OP_TABLE = tuple(
+    (name, weight * (3 if name.startswith(("parallel_", "query_")) else 1),
+     nonempty)
+    for name, weight, nonempty in _OP_TABLE
+)
+
+_PROFILE_TABLES = {
+    "mixed": _OP_TABLE,
+    "query": _QUERY_OP_TABLE,
+    "obs": _OBS_OP_TABLE,
+}
 
 
 def _profile_dist(profile: str):

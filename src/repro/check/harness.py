@@ -68,8 +68,11 @@ def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
               profile: str = "mixed") -> CheckReport:
     """Run the differential fuzz harness for an op budget.
 
-    ``profile`` selects the op mix: ``"mixed"`` (everything) or
-    ``"query"`` (query-engine heavy; the CI query job's setting).
+    ``profile`` selects the op mix: ``"mixed"`` (everything),
+    ``"query"`` (query-engine heavy; the CI query job's setting), or
+    ``"obs"`` (parallel/query heavy, every case traced, with the
+    registry and per-span counter deltas cross-checked against the
+    oracle accounting; the CI obs job's setting).
     Stops early once ``max_failures`` distinct failing cases were found
     (each already shrunk): the budget is better spent on the report
     than on piling up repetitions of the same bug.

@@ -36,6 +36,8 @@ from ..core.table import SmartTable
 from ..core.zonemap import ZoneMap
 from ..numa.allocator import NumaAllocator
 from ..numa.topology import machine_2x8_haswell
+from ..obs.registry import registry as _obs_registry
+from ..obs.trace import TRACER, tracing
 from ..query import Query, col, in_range
 from ..runtime import parallel_scans
 from ..runtime.workers import WorkerPool
@@ -53,7 +55,8 @@ class CaseFailure:
     case: Case
     op_index: int
     op: Op
-    kind: str  # "result" | "storage" | "zonemap" | "accounting" | "exception"
+    # "result" | "storage" | "zonemap" | "accounting" | "obs" | "exception"
+    kind: str
     detail: str
 
     def describe(self) -> str:
@@ -107,6 +110,10 @@ class CaseRunner:
         self._companion = None
         self._oracle_v: Optional[orc.OracleArray] = None
         self._table_k_dirty = True
+        # The obs profile runs every op inside a trace span and
+        # cross-checks the registry / per-span counter deltas against
+        # the same oracle-predicted accounting `_check_stats` enforces.
+        self._obs = case.profile == "obs"
 
     # -- helpers -----------------------------------------------------------
 
@@ -338,9 +345,18 @@ class CaseRunner:
     # -- op execution ------------------------------------------------------
 
     def run(self) -> Optional[CaseFailure]:
+        if self._obs:
+            with tracing():
+                return self._run_ops()
+        return self._run_ops()
+
+    def _run_ops(self) -> Optional[CaseFailure]:
         for i, op in enumerate(self.case.ops):
             try:
-                self._run_op(op)
+                if self._obs:
+                    self._run_op_traced(i, op)
+                else:
+                    self._run_op(op)
                 self._check_storage()
                 self._check_zonemap_bounds()
             except _Divergence as d:
@@ -350,6 +366,70 @@ class CaseRunner:
                 return CaseFailure(self.case, i, op, "exception",
                                    " | ".join(tb[-3:]))
         return None
+
+    # -- obs-profile invariants --------------------------------------------
+
+    #: snapshot key -> (registry metric name, uses the companion array)
+    _OBS_METRICS = {
+        "unpacks": ("core.chunk_unpacks", False),
+        "gets": ("core.scalar_gets", False),
+        "inits": ("core.scalar_inits", False),
+        "bulk_read": ("core.bulk_elements_read", False),
+        "bulk_written": ("core.bulk_elements_written", False),
+        "replica_reads": ("core.replica_read_elements", False),
+        "v_unpacks": ("core.chunk_unpacks", True),
+        "v_replica_reads": ("core.replica_read_elements", True),
+        "v_bulk_written": ("core.bulk_elements_written", True),
+    }
+
+    def _run_op_traced(self, i: int, op: Op) -> None:
+        before = self._snapshot()
+        with TRACER.span("check.op", op=op.name, index=i) as span:
+            self._run_op(op)
+        after = self._snapshot()
+        # 1. The span's captured registry deltas must equal the stats
+        #    deltas the oracle checks validated — a lost update in the
+        #    trace-capture path (or a double count only visible through
+        #    the registry) diverges here.
+        for key in before:
+            name, companion = self._OBS_METRICS[key]
+            label = (self._companion if companion
+                     else self.array).stats.array_label
+            span_delta = int(span.counter_total(name, array=label))
+            stats_delta = after[key] - before[key]
+            if span_delta != stats_delta:
+                raise _Divergence(
+                    "obs",
+                    f"{op.name}: span delta for {name}[array={label}] = "
+                    f"{span_delta}, stats delta = {stats_delta}")
+        # 2. The registry's absolute values must agree with the
+        #    AccessStats view — catches registry bookkeeping bugs
+        #    (e.g. a finalizer dropping a live array's counters, which
+        #    would make value() read a fresh zeroed counter).
+        reg = _obs_registry()
+        arrays = [self.array]
+        if self._companion is not None:
+            arrays.append(self._companion)
+        for arr in arrays:
+            label = arr.stats.array_label
+            snap = arr.stats.snapshot()
+            for field, expected in snap.items():
+                got = int(reg.value(f"core.{field}", array=label))
+                if got != expected:
+                    raise _Divergence(
+                        "obs",
+                        f"{op.name}: registry core.{field}[array={label}]"
+                        f" = {got}, AccessStats reads {expected}")
+            reg_reads = sum(
+                int(v) for v in reg.values(
+                    "core.replica_read_elements", array=label
+                ).values()
+            )
+            if reg_reads != sum(arr.replica_read_elements):
+                raise _Divergence(
+                    "obs",
+                    f"{op.name}: registry replica reads {reg_reads} != "
+                    f"array view {sum(arr.replica_read_elements)}")
 
     def _run_op(self, op: Op) -> None:
         spec = self.case.spec

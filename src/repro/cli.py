@@ -11,6 +11,8 @@ Usage::
     python -m repro check --seed 0 --ops 500
     python -m repro check --seed 0 --ops 400 --profile query
     python -m repro query
+    python -m repro trace scan --rows 200000 --workers 4
+    python -m repro trace query --json
 
 Each subcommand prints the same report the corresponding
 ``benchmarks/bench_*.py`` script produces, without needing pytest.
@@ -234,6 +236,162 @@ def _cmd_query(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args) -> str:
+    import numpy as np
+
+    from .obs import (
+        TRACER,
+        measurement_from_json,
+        prometheus_text,
+        registry,
+        render_span_tree,
+        trace_to_json,
+        tracing,
+    )
+
+    reg = registry()
+    reg.reset()
+    TRACER.clear()
+
+    lines: List[str] = []
+    bridge_span: Optional[str] = None
+    bridge_bits = 64
+    bridge_length = 0
+
+    if args.demo == "scan":
+        from .core.allocate import allocate
+        from .core.map_api import sum_range
+        from .runtime.loops import default_pool
+        from .runtime.parallel_scans import parallel_sum
+
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1 << 20, args.rows).astype(np.uint64)
+        array = allocate(args.rows, bits=20, values=values, replicated=True)
+        pool = default_pool(args.workers)
+        with tracing():
+            serial = sum_range(array)
+            threaded = parallel_sum(array, pool=pool)
+        lines.append(
+            f"scan demo: n={args.rows:,} bits={array.bits} "
+            f"serial={serial:,} threaded={threaded:,} "
+            f"({'match' if serial == threaded else 'MISMATCH'})"
+        )
+        bridge_span = "scan.parallel_sum"
+        bridge_bits, bridge_length = array.bits, array.length
+
+    elif args.demo == "query":
+        from .core.table import SmartTable
+        from .query import Query, in_range
+        from .runtime.loops import default_pool
+
+        rng = np.random.default_rng(42)
+        n = args.rows
+        data = {
+            "ts": np.sort(rng.integers(0, 1 << 32, n)).astype(np.uint64),
+            "amount": rng.integers(0, 1 << 20, n).astype(np.uint64),
+        }
+        table = SmartTable.from_arrays(data, replicated=True)
+        table.build_zone_map("ts")
+        lo, hi = 1 << 28, 1 << 30
+        pool = default_pool(args.workers)
+        with tracing():
+            q = Query(table).where(in_range("ts", lo, hi)).sum("amount")
+            serial = q.run()
+            threaded = Query(table).where(in_range("ts", lo, hi)) \
+                .sum("amount").run(pool=pool)
+        s_sum = serial.scalar()
+        t_sum = threaded.scalar()
+        lines.append(
+            f"query demo: n={n:,} SUM(amount) WHERE {lo} <= ts < {hi}: "
+            f"serial={s_sum:,} threaded={t_sum:,} "
+            f"({'match' if s_sum == t_sum else 'MISMATCH'})"
+        )
+        bridge_span = "query.execute"
+        col = table.column("amount")
+        bridge_bits, bridge_length = col.bits, col.length
+
+    else:  # adapt
+        from .numa.counters import PerfCounters
+
+        machine = machine_by_name("18-core")
+        case = AdaptivityCase(benchmark="aggregation", machine=machine,
+                              bits=33, language="C++")
+        base = profiling_measurement(case)
+        from .adapt.dynamic import AdaptiveController
+
+        controller = AdaptiveController(
+            MachineCapabilities(machine), case_array(case), base, window=2
+        )
+        anchor = base.counters
+        with tracing():
+            for i in range(6):
+                # Ramp the instruction rate while bandwidth collapses:
+                # the workload turns compute-bound, which drifts far
+                # past the threshold and flips the selector away from
+                # its bandwidth-motivated choice.
+                factor = 1.0 + 0.8 * i
+                drifted = PerfCounters(
+                    time_s=anchor.time_s,
+                    instructions=anchor.instructions * factor,
+                    bytes_from_memory=anchor.bytes_from_memory / factor,
+                    memory_bandwidth_gbs=(
+                        anchor.memory_bandwidth_gbs / factor
+                    ),
+                    memory_bound=i < 2,
+                    label=f"obs{i}",
+                )
+                controller.observe(drifted)
+        lines.append(
+            f"adapt demo: {controller.observations_seen} observations, "
+            f"{len(controller.reconfigurations)} reconfiguration(s), "
+            f"now {controller.configuration.describe()}"
+        )
+
+    spans = TRACER.pop_finished()
+    if args.json:
+        return trace_to_json(spans)
+
+    lines += ["", "span tree:"]
+    for root in spans:
+        lines.extend(
+            "  " + row for row in render_span_tree(root).splitlines()
+        )
+
+    lines += ["", "metrics registry (prometheus excerpt):"]
+    prom = [row for row in prometheus_text(reg).splitlines()
+            if not row.startswith("#")]
+    lines.extend("  " + row for row in prom[:20])
+    if len(prom) > 20:
+        lines.append(f"  ... {len(prom) - 20} more series")
+
+    if bridge_span is not None:
+        # Close the loop the obs bridge exists for: dump the trace to
+        # JSON, replay it into a WorkloadMeasurement, and re-run the
+        # paper's selector on the recording.
+        dump = trace_to_json(spans)
+        measurement = measurement_from_json(
+            dump, span_name=bridge_span, bits=bridge_bits
+        )
+        machine = machine_by_name("18-core")
+        from .adapt.inputs import ArrayCharacteristics
+
+        chars = ArrayCharacteristics(
+            length=bridge_length, element_bits=bridge_bits,
+            scan_engine="blocked",
+        )
+        result = select_configuration(
+            MachineCapabilities(machine), chars, measurement
+        )
+        lines += [
+            "",
+            f"bridge replay (span {bridge_span!r} -> JSON -> "
+            f"WorkloadMeasurement):",
+            f"  {measurement.counters.summary()}",
+            f"  selector decision: {result.configuration.describe()}",
+        ]
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,8 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-shrink", action="store_true",
                        help="report raw failures without minimizing")
     check.add_argument("--profile", default="mixed",
-                       choices=["mixed", "query"],
-                       help="op mix: everything, or query-engine heavy")
+                       choices=["mixed", "query", "obs"],
+                       help="op mix: everything, query-engine heavy, or "
+                            "traced with observability cross-checks")
 
     query = sub.add_parser(
         "query",
@@ -293,6 +452,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="table size (default 200k)")
     query.add_argument("--workers", type=int, default=8,
                        help="worker-pool size for the parallel run")
+
+    tr = sub.add_parser(
+        "trace",
+        help="run a demo workload under tracing and render the span "
+             "tree, registry metrics, and selector replay",
+    )
+    tr.add_argument("demo", choices=["scan", "query", "adapt"],
+                    help="workload to trace: parallel scan, query "
+                         "engine, or the adaptive controller")
+    tr.add_argument("--rows", type=int, default=100_000,
+                    help="array/table size (default 100k)")
+    tr.add_argument("--workers", type=int, default=4,
+                    help="worker-pool size for the threaded runs")
+    tr.add_argument("--json", action="store_true",
+                    help="emit the raw JSON trace dump instead of the "
+                         "rendered report")
 
     return parser
 
@@ -308,6 +483,7 @@ _COMMANDS = {
     "paths": _cmd_paths,
     "check": _cmd_check,
     "query": _cmd_query,
+    "trace": _cmd_trace,
 }
 
 

@@ -178,15 +178,18 @@ def sum_range(
 ) -> int:
     """Exact-integer aggregation over a range — the branch-free
     counterpart of the Function 4 iterator loop."""
+    from ..obs.trace import trace
     from ..runtime.loops import _exact_sum
 
-    return map_reduce(
-        array,
-        lambda span: span,
-        lambda acc, span: acc + _exact_sum(span),
-        0,
-        start=start,
-        stop=stop,
-        socket=socket,
-        superchunk=superchunk,
-    )
+    with trace("scan.sum_range", array=array.stats.array_label,
+               socket=socket):
+        return map_reduce(
+            array,
+            lambda span: span,
+            lambda acc, span: acc + _exact_sum(span),
+            0,
+            start=start,
+            stop=stop,
+            socket=socket,
+            superchunk=superchunk,
+        )

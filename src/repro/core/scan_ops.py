@@ -31,6 +31,7 @@ import numpy as np
 
 from .map_api import for_each_chunk, iter_spans
 from .smart_array import SmartArray
+from ..obs.trace import trace
 
 #: Largest value a smart array can store (elements are 64-bit words).
 U64_MAX = (1 << 64) - 1
@@ -88,10 +89,12 @@ def select_where(
         if local.size:
             hits.append(local + pos)
 
-    for_each_chunk(array, visit, start, stop, socket, superchunk)
-    if not hits:
-        return np.empty(0, dtype=np.int64)
-    return np.concatenate(hits)
+    with trace("scan.select_where", array=array.stats.array_label,
+               socket=socket):
+        for_each_chunk(array, visit, start, stop, socket, superchunk)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
 
 
 def select_in_range(
@@ -137,8 +140,10 @@ def count_in_range(
     lo64, hi64 = bounds
     stop = array.length if stop is None else stop
     total = 0
-    for _, span in iter_spans(array, start, stop, socket, superchunk):
-        total += int(_range_mask(span, lo64, hi64).sum())
+    with trace("scan.count_in_range", array=array.stats.array_label,
+               socket=socket):
+        for _, span in iter_spans(array, start, stop, socket, superchunk):
+            total += int(_range_mask(span, lo64, hi64).sum())
     return total
 
 
@@ -158,8 +163,11 @@ def count_equal(
         return 0
     v = np.uint64(value)
     total = 0
-    for _, span in iter_spans(array, 0, array.length, socket, superchunk):
-        total += int((span == v).sum())
+    with trace("scan.count_equal", array=array.stats.array_label,
+               socket=socket):
+        for _, span in iter_spans(array, 0, array.length, socket,
+                                  superchunk):
+            total += int((span == v).sum())
     return total
 
 
@@ -174,10 +182,12 @@ def min_max(
     stop = array.length if stop is None else stop
     if stop <= start:
         raise ValueError("min_max of an empty range")
-    spans = iter_spans(array, start, stop, socket, superchunk)
-    _, first = next(spans)
-    lo, hi = int(first.min()), int(first.max())
-    for _, span in spans:
-        lo = min(lo, int(span.min()))
-        hi = max(hi, int(span.max()))
-    return lo, hi
+    with trace("scan.min_max", array=array.stats.array_label,
+               socket=socket):
+        spans = iter_spans(array, start, stop, socket, superchunk)
+        _, first = next(spans)
+        lo, hi = int(first.min()), int(first.max())
+        for _, span in spans:
+            lo = min(lo, int(span.min()))
+            hi = max(hi, int(span.max()))
+        return lo, hi

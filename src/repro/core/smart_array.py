@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import weakref
 from typing import Optional, Sequence
 
 import numpy as np
@@ -36,6 +37,8 @@ from .errors import IndexOutOfRangeError, ReplicaError
 from .placement import Placement
 from .stats import AccessStats
 from ..numa.allocator import Allocation
+from ..obs.registry import registry as _obs_registry
+from ..obs.trace import TRACER
 
 
 class SmartArray(abc.ABC):
@@ -61,14 +64,29 @@ class SmartArray(abc.ABC):
         self._bits = bitpack.check_bits(bits)
         self._allocation = allocation
         self._init_locks = [threading.Lock() for _ in range(self._LOCK_STRIPES)]
-        #: Deterministic operation counters (see repro.core.stats).
+        #: Deterministic operation counters (see repro.core.stats) — a
+        #: view over labelled counters in the default metrics registry.
         self.stats = AccessStats()
         #: Elements decoded per replica by the bulk-span scan engine —
         #: lets tests prove that every worker read its socket-local
         #: replica (the paper's ``getReplica()``-at-batch-start
-        #: discipline), not just that results came out right.
-        self._replica_reads = [0] * allocation.n_replicas
+        #: discipline), not just that results came out right.  One
+        #: registry counter per replica, all sharing one lock so
+        #: :meth:`reset_replica_reads` stays atomic as a group.
         self._replica_reads_lock = threading.Lock()
+        reg = _obs_registry()
+        self._replica_read_counters = [
+            reg.counter(
+                "core.replica_read_elements",
+                lock=self._replica_reads_lock,
+                array=self.stats.array_label, replica=i,
+            )
+            for i in range(allocation.n_replicas)
+        ]
+        self._replica_finalizer = weakref.finalize(
+            self, reg.drop,
+            tuple(c.key for c in self._replica_read_counters),
+        )
 
     # -- basic properties (paper: getLength, getBits, placement flags) --
 
@@ -151,26 +169,26 @@ class SmartArray(abc.ABC):
     @property
     def replica_read_elements(self) -> Sequence[int]:
         """Per-replica decoded-element counts (scan-engine reads only)."""
-        return tuple(self._replica_reads)
+        return tuple(c.value for c in self._replica_read_counters)
 
     def reset_replica_reads(self) -> None:
         """Zero the per-replica read counters (start of a measured region).
 
-        Takes the same lock as :meth:`_note_replica_read`: swapping the
-        counter list unsynchronized would let a concurrent scan
-        increment the stale list, silently dropping its reads.
+        Takes the lock shared by every replica's counter: resetting the
+        counters individually would let a concurrent scan land between
+        two resets and leave the group inconsistent.
         """
         with self._replica_reads_lock:
-            self._replica_reads = [0] * self.n_replicas
+            for counter in self._replica_read_counters:
+                counter.store_under_lock(0)
 
     def _note_replica_read(self, buf: np.ndarray, n_elements: int) -> None:
-        # += on a list slot is not atomic; parallel scans update from
-        # many worker threads, and the counters must stay exact for the
-        # tests that account for every decoded element.
+        # Registry counters make the add atomic; parallel scans update
+        # from many worker threads, and the counters must stay exact
+        # for the tests that account for every decoded element.
         for i, replica in enumerate(self.replicas):
             if replica is buf:
-                with self._replica_reads_lock:
-                    self._replica_reads[i] += n_elements
+                self._replica_read_counters[i].add(n_elements)
                 return
 
     def _resolve_replica(self, replica) -> np.ndarray:
@@ -249,8 +267,23 @@ class SmartArray(abc.ABC):
         if chunk + n_chunks > total_chunks:
             raise IndexOutOfRangeError(chunk + n_chunks, total_chunks)
         buf = self._resolve_replica(replica)
-        self.stats.chunk_unpacks += n_chunks
-        self.stats.superchunk_decodes += 1
+        # Only nest a decode span under an already-open operator span on
+        # this thread: worker threads with no open span contribute their
+        # counter deltas to the operator span via the registry without
+        # spamming the trace with root-level decode spans.
+        if TRACER.enabled and TRACER.current_span() is not None:
+            with TRACER.span(
+                "scan.superchunk_decode", array=self.stats.array_label,
+                chunk=chunk, n_chunks=n_chunks, bits=self._bits,
+            ):
+                self.stats.note_superchunk_decode(n_chunks)
+                self._note_replica_read(
+                    buf, n_chunks * bitpack.CHUNK_ELEMENTS
+                )
+                return unpack_chunk_range(
+                    buf, chunk, n_chunks, self._bits, out=out
+                )
+        self.stats.note_superchunk_decode(n_chunks)
         self._note_replica_read(buf, n_chunks * bitpack.CHUNK_ELEMENTS)
         return unpack_chunk_range(buf, chunk, n_chunks, self._bits, out=out)
 
@@ -264,7 +297,7 @@ class SmartArray(abc.ABC):
         packed = bitpack.pack_array(values, self._bits)
         for buf in self.replicas:
             np.copyto(buf, packed)
-        self.stats.bulk_elements_written += values.size
+        self.stats.add("bulk_elements_written", values.size)
 
     def to_numpy(self, replica=None) -> np.ndarray:
         """Decode the full logical contents as a ``uint64`` array.
@@ -276,7 +309,7 @@ class SmartArray(abc.ABC):
         from .bitpack_fast import unpack_array_fast
 
         buf = self._resolve_replica(replica)
-        self.stats.bulk_elements_read += self._length
+        self.stats.add("bulk_elements_read", self._length)
         self._note_replica_read(buf, self._length)
         return unpack_array_fast(buf, self._length, self._bits)
 
@@ -289,7 +322,7 @@ class SmartArray(abc.ABC):
         ):
             bad = indices[(indices < 0) | (indices >= self._length)][0]
             raise IndexOutOfRangeError(int(bad), self._length)
-        self.stats.bulk_elements_read += indices.size
+        self.stats.add("bulk_elements_read", indices.size)
         return bitpack.gather(buf, indices, self._bits)
 
     def scatter_many(self, indices, values) -> None:
@@ -302,7 +335,7 @@ class SmartArray(abc.ABC):
             raise IndexOutOfRangeError(int(bad), self._length)
         for buf in self.replicas:
             bitpack.scatter(buf, indices, values, self._bits)
-        self.stats.bulk_elements_written += indices.size
+        self.stats.add("bulk_elements_written", indices.size)
 
     # -- pythonic conveniences ----------------------------------------------
 
@@ -361,12 +394,12 @@ class BitCompressedArray(SmartArray):
     def get(self, index: int, replica=None) -> int:
         bitpack.check_index(index, self._length)
         buf = self._resolve_replica(replica)
-        self.stats.scalar_gets += 1
+        self.stats.add("scalar_gets")
         return bitpack.get_scalar(buf, index, self._bits)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
-        self.stats.scalar_inits += 1
+        self.stats.add("scalar_inits")
         bitpack.init_scalar(self.replicas, index, value, self._bits)
 
     def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
@@ -374,7 +407,7 @@ class BitCompressedArray(SmartArray):
         if not 0 <= chunk < max(1, n_chunks):
             raise IndexOutOfRangeError(chunk, n_chunks)
         buf = self._resolve_replica(replica)
-        self.stats.chunk_unpacks += 1
+        self.stats.add("chunk_unpacks")
         return bitpack.unpack_chunk_scalar(buf, chunk, self._bits, out=out)
 
 
@@ -389,13 +422,13 @@ class Uncompressed64Array(BitCompressedArray):
     def get(self, index: int, replica=None) -> int:
         bitpack.check_index(index, self._length)
         buf = self._resolve_replica(replica)
-        self.stats.scalar_gets += 1
+        self.stats.add("scalar_gets")
         return int(buf[index])
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
         value = bitpack.check_value(value, 64)
-        self.stats.scalar_inits += 1
+        self.stats.add("scalar_inits")
         for buf in self.replicas:
             buf[index] = np.uint64(value)
 
@@ -406,7 +439,7 @@ class Uncompressed64Array(BitCompressedArray):
         buf = self._resolve_replica(replica)
         if out is None:
             out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
-        self.stats.chunk_unpacks += 1
+        self.stats.add("chunk_unpacks")
         start = chunk * bitpack.CHUNK_ELEMENTS
         out[:] = buf[start:start + bitpack.CHUNK_ELEMENTS]
         return out
@@ -426,13 +459,13 @@ class Uncompressed32Array(BitCompressedArray):
     def get(self, index: int, replica=None) -> int:
         bitpack.check_index(index, self._length)
         buf = self._resolve_replica(replica)
-        self.stats.scalar_gets += 1
+        self.stats.add("scalar_gets")
         return int(self._u32(buf)[index])
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
         value = bitpack.check_value(value, 32)
-        self.stats.scalar_inits += 1
+        self.stats.add("scalar_inits")
         for buf in self.replicas:
             self._u32(buf)[index] = np.uint32(value)
 
@@ -443,7 +476,7 @@ class Uncompressed32Array(BitCompressedArray):
         buf = self._resolve_replica(replica)
         if out is None:
             out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
-        self.stats.chunk_unpacks += 1
+        self.stats.add("chunk_unpacks")
         start = chunk * bitpack.CHUNK_ELEMENTS
         out[:] = self._u32(buf)[start:start + bitpack.CHUNK_ELEMENTS]
         return out

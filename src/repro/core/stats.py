@@ -8,14 +8,42 @@ unpacks, and bulk element transfers it has served.  Tests use these to
 e.g. that a full iterator scan over a compressed array performs exactly
 ``ceil(n / 64)`` unpacks (the chunk-amortization property of section
 4.3), or that the 64-bit specialization never unpacks at all.
+
+Since the observability PR, :class:`AccessStats` is a *view over the
+metrics registry* (:mod:`repro.obs.registry`): each field is a labelled
+registry counter (``core.chunk_unpacks{array=a3}``) shared with the
+trace layer and the exporters.  The attribute API is unchanged —
+``stats.chunk_unpacks`` reads, ``stats.chunk_unpacks = 0`` and even
+``stats.chunk_unpacks += 1`` still work for tests — but the *array
+internals never use ``+=``*: plain augmented assignment is a
+LOAD/ADD/STORE race under worker threads, so every internal increment
+goes through :meth:`add` / :meth:`add_many`, which take the stats
+lock.  All six counters share one lock so multi-field bumps (a
+superchunk decode moves two fields) cost a single acquisition.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+import threading
+import weakref
+from typing import Dict, Optional
+
+from ..obs.registry import MetricsRegistry, registry as default_registry
+
+#: Field names, in snapshot order.
+FIELDS = (
+    "scalar_gets",
+    "scalar_inits",
+    "chunk_unpacks",
+    "superchunk_decodes",
+    "bulk_elements_read",
+    "bulk_elements_written",
+)
+
+_array_ids = itertools.count()
 
 
-@dataclass
 class AccessStats:
     """Operation counters for one smart array (all replicas combined).
 
@@ -28,42 +56,93 @@ class AccessStats:
     paid for.
     """
 
-    scalar_gets: int = 0
-    scalar_inits: int = 0
-    chunk_unpacks: int = 0
-    superchunk_decodes: int = 0
-    bulk_elements_read: int = 0
-    bulk_elements_written: int = 0
+    __slots__ = ("array_label", "_lock", "_counters", "_finalizer",
+                 "__weakref__")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 array_label: Optional[str] = None) -> None:
+        reg = registry if registry is not None else default_registry()
+        label = array_label if array_label is not None \
+            else f"a{next(_array_ids)}"
+        self.array_label = label
+        lock = threading.Lock()
+        self._lock = lock
+        self._counters = {
+            f: reg.counter(f"core.{f}", lock=lock, array=label)
+            for f in FIELDS
+        }
+        # Arrays are allocated by the thousand in tests and benchmarks;
+        # drop this view's registry entries when the stats object goes
+        # away so the registry does not grow without bound.
+        self._finalizer = weakref.finalize(
+            self, reg.drop, tuple(c.key for c in self._counters.values())
+        )
+
+    # -- the audited mutation path ----------------------------------------
+
+    def add(self, field: str, n: int = 1) -> None:
+        """Atomically add ``n`` to ``field`` (the internal fast path)."""
+        self._counters[field].add(n)
+
+    def add_many(self, **deltas: int) -> None:
+        """Bump several fields under one lock acquisition."""
+        with self._lock:
+            counters = self._counters
+            for field, n in deltas.items():
+                counters[field].add_under_lock(n)
+
+    def note_superchunk_decode(self, n_chunks: int) -> None:
+        """One blocked range-decode of ``n_chunks`` chunks: a fused
+        two-field bump (the decode hot path, hence the single lock)."""
+        with self._lock:
+            self._counters["chunk_unpacks"].add_under_lock(n_chunks)
+            self._counters["superchunk_decodes"].add_under_lock(1)
 
     def reset(self) -> None:
-        """Zero every counter (start of a measured region)."""
-        self.scalar_gets = 0
-        self.scalar_inits = 0
-        self.chunk_unpacks = 0
-        self.superchunk_decodes = 0
-        self.bulk_elements_read = 0
-        self.bulk_elements_written = 0
+        """Zero every counter (start of a measured region), atomically
+        with respect to concurrent :meth:`add` / :meth:`add_many`."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.store_under_lock(0)
+
+    # -- views -------------------------------------------------------------
 
     @property
     def total_operations(self) -> int:
-        return (
-            self.scalar_gets
-            + self.scalar_inits
-            + self.chunk_unpacks
-            + self.bulk_elements_read
-            + self.bulk_elements_written
-        )
+        """Sum of all six counters.
 
-    def snapshot(self) -> dict:
-        return {
-            "scalar_gets": self.scalar_gets,
-            "scalar_inits": self.scalar_inits,
-            "chunk_unpacks": self.chunk_unpacks,
-            "superchunk_decodes": self.superchunk_decodes,
-            "bulk_elements_read": self.bulk_elements_read,
-            "bulk_elements_written": self.bulk_elements_written,
-        }
+        ``superchunk_decodes`` is included: a blocked range-decode call
+        is an operation the array served, exactly like the chunk
+        unpacks it batches.  (It was historically omitted here while
+        :meth:`snapshot` counted it — the observability PR reconciled
+        the definition on the inclusive side.)
+        """
+        with self._lock:
+            return sum(c._value for c in self._counters.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {f: self._counters[f]._value for f in FIELDS}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
         return f"AccessStats({parts or 'idle'})"
+
+
+def _field_property(field: str) -> property:
+    def _get(self: AccessStats) -> int:
+        return self._counters[field].value
+
+    def _set(self: AccessStats, value: int) -> None:
+        # Assignment compatibility (tests do ``stats.chunk_unpacks = 0``
+        # or ``+= 1``).  The store is atomic, but ``+=`` through this
+        # setter is still a read-modify-write in the *caller's*
+        # bytecode — concurrent writers must use add()/add_many().
+        self._counters[field].store(int(value))
+
+    return property(_get, _set, doc=f"Registry counter core.{field}.")
+
+
+for _field in FIELDS:
+    setattr(AccessStats, _field, _field_property(_field))
+del _field

@@ -30,6 +30,8 @@ from .allocate import allocate
 from .map_api import SUPERCHUNK_ELEMENTS, check_superchunk
 from .scan_ops import _range_mask, clamp_u64_range
 from .smart_array import SmartArray
+from ..obs.registry import registry as _obs_registry
+from ..obs.trace import trace
 
 
 def _chunk_runs(chunks: np.ndarray, max_run: int) -> Iterator[Tuple[int, int]]:
@@ -70,6 +72,13 @@ class ZoneMap:
         Python loop.
         """
         n_chunks = bitpack.chunks_for(array.length)
+        with trace("zonemap.build", array=array.stats.array_label,
+                   chunks=n_chunks):
+            return cls._build(array, n_chunks, allocator, superchunk)
+
+    @classmethod
+    def _build(cls, array: SmartArray, n_chunks: int, allocator,
+               superchunk) -> "ZoneMap":
         chunks_per_step = check_superchunk(superchunk) // bitpack.CHUNK_ELEMENTS
         mins = np.zeros(max(1, n_chunks), dtype=np.uint64)
         maxs = np.zeros(max(1, n_chunks), dtype=np.uint64)
@@ -120,7 +129,16 @@ class ZoneMap:
         mask = maxs >= lo64
         if hi64 is not None:
             mask &= mins < hi64
-        return np.nonzero(mask)[0].astype(np.int64)
+        candidates = np.nonzero(mask)[0].astype(np.int64)
+        # Observable skipping: every pruning decision lands in the
+        # registry, labelled by the array it spared from decoding.
+        reg = _obs_registry()
+        label = self.array.stats.array_label
+        reg.counter("zonemap.chunks_candidate",
+                    array=label).add(candidates.size)
+        reg.counter("zonemap.chunks_pruned",
+                    array=label).add(self.n_chunks - candidates.size)
+        return candidates
 
     def count_in_range(self, lo: int, hi: int, socket: int = 0,
                        superchunk=None) -> int:
@@ -130,6 +148,12 @@ class ZoneMap:
         at all (their zone proves every element matches); the rest are
         decoded in consecutive runs through the blocked kernel.
         """
+        with trace("zonemap.count_in_range",
+                   array=self.array.stats.array_label, socket=socket):
+            return self._count_in_range(lo, hi, socket, superchunk)
+
+    def _count_in_range(self, lo: int, hi: int, socket: int,
+                        superchunk) -> int:
         candidates = self.candidate_chunks(lo, hi)
         if candidates.size == 0:
             return 0
@@ -158,6 +182,12 @@ class ZoneMap:
     def select_in_range(self, lo: int, hi: int, socket: int = 0,
                         superchunk=None) -> np.ndarray:
         """Matching indices, decoding candidate-chunk runs only."""
+        with trace("zonemap.select_in_range",
+                   array=self.array.stats.array_label, socket=socket):
+            return self._select_in_range(lo, hi, socket, superchunk)
+
+    def _select_in_range(self, lo: int, hi: int, socket: int,
+                         superchunk) -> np.ndarray:
         candidates = self.candidate_chunks(lo, hi)
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64)

@@ -10,6 +10,7 @@ simulated runs emit and our adaptivity consumes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -49,6 +50,14 @@ class PerfCounters:
     label: str = ""
 
     def __post_init__(self) -> None:
+        # Finiteness first: ``NaN <= 0`` is False, so the sign checks
+        # alone would let NaN slip through and poison every downstream
+        # rate (exec_rate, drift detection) with silent non-comparisons.
+        for name in ("time_s", "instructions", "bytes_from_memory",
+                     "memory_bandwidth_gbs", "interconnect_gbs"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value}")
         if self.time_s <= 0:
             raise ValueError(f"time must be positive, got {self.time_s}")
         if self.instructions < 0 or self.bytes_from_memory < 0:
@@ -78,8 +87,10 @@ class PerfCounters:
         element count for the streaming workloads in the paper, while
         rates stay fixed.
         """
-        if factor <= 0:
-            raise ValueError("scale factor must be positive")
+        if not math.isfinite(factor) or factor <= 0:
+            # NaN fails every comparison, so `factor <= 0` alone would
+            # accept it and scale every total to NaN.
+            raise ValueError(f"scale factor must be positive, got {factor}")
         return replace(
             self,
             time_s=self.time_s * factor,

@@ -1,0 +1,78 @@
+"""Unified observability: metrics registry, trace spans, exporters.
+
+One audited path for every software counter in the reproduction:
+
+* :mod:`repro.obs.registry` — thread-safe named counters / gauges /
+  histograms with per-array and per-socket labels;
+* :mod:`repro.obs.trace` — nestable trace spans with per-span counter
+  deltas, near-zero cost while disabled;
+* :mod:`repro.obs.export` — JSON trace dumps, prometheus-style text,
+  terminal span trees;
+* :mod:`repro.obs.bridge` — finished traces replayed into the §6
+  selector's ``WorkloadMeasurement`` (loaded lazily: the bridge pulls
+  in the adaptivity stack, which ``repro.core`` must not require).
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    registry,
+    split_key,
+)
+from .trace import TRACER, Span, Tracer, trace, tracing
+from .export import (
+    prometheus_text,
+    render_span_tree,
+    span_from_dict,
+    span_to_dict,
+    spans_from_json,
+    trace_to_json,
+)
+
+_BRIDGE_EXPORTS = (
+    "counters_from_span",
+    "elements_read",
+    "measurement_from_json",
+    "measurement_from_span",
+)
+
+
+def __getattr__(name):
+    # Lazy bridge import: repro.core.stats imports repro.obs, and the
+    # bridge imports repro.adapt/numa/perfmodel — eager loading here
+    # would cycle.  PEP 562 keeps `from repro.obs import
+    # measurement_from_span` working without the eager import.
+    if name in _BRIDGE_EXPORTS:
+        from . import bridge
+
+        return getattr(bridge, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "registry",
+    "split_key",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "trace",
+    "tracing",
+    "prometheus_text",
+    "render_span_tree",
+    "span_from_dict",
+    "span_to_dict",
+    "spans_from_json",
+    "trace_to_json",
+    "counters_from_span",
+    "elements_read",
+    "measurement_from_json",
+    "measurement_from_span",
+]

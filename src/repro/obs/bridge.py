@@ -1,0 +1,120 @@
+"""Trace → ``WorkloadMeasurement``: replay adaptivity from recordings.
+
+The paper's §6 selector consumes hardware-counter measurements of a
+running workload.  Our traces carry the software equivalent — decoded
+elements per replica, chunk unpacks, wall time — so a finished span can
+be converted into the exact :class:`~repro.adapt.inputs.
+WorkloadMeasurement` record ``select_configuration`` and the
+``AdaptiveController`` accept.  That closes the loop the ISSUE asks
+for: record a scan or query under tracing, dump the JSON, and replay
+the placement/compression decision offline from the recording.
+
+Imports deliberately go to ``repro.adapt.inputs`` / ``repro.numa.
+counters`` (leaf modules), not the ``repro.adapt`` package, so that
+``repro.core`` importing :mod:`repro.obs` never cycles back through
+the adaptivity package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..adapt.inputs import WorkloadMeasurement
+from ..numa.counters import PerfCounters
+from ..perfmodel.workload import blocked_scan_instructions
+from .export import spans_from_json
+from .trace import Span
+
+#: Floor for replayed wall times: a trace recorded on a fast machine
+#: may time a tiny demo span at microseconds; rates stay finite.
+MIN_TIME_S = 1e-9
+
+
+def elements_read(span: Span) -> int:
+    """Elements the span's subtree read, preferring replica accounting.
+
+    ``core.replica_read_elements`` counts every element the bulk scan
+    engine decoded per replica; scalar/gather paths land in
+    ``core.bulk_elements_read``.  The span's own counter deltas already
+    include its children, so no tree walk is needed.
+    """
+    n = span.counter_total("core.replica_read_elements")
+    if n == 0:
+        n = span.counter_total("core.bulk_elements_read")
+    return int(n)
+
+
+def counters_from_span(span: Span, bits: int = 64,
+                       label: str = "") -> PerfCounters:
+    """Simulated :class:`PerfCounters` for one finished span.
+
+    Instruction counts come from the calibrated blocked-scan cost model
+    (the same model the planner uses), bytes from the packed footprint
+    of the elements read, bandwidth from bytes over the span duration.
+    """
+    n_elements = elements_read(span)
+    time_s = max(span.duration_s, MIN_TIME_S)
+    instructions = blocked_scan_instructions(n_elements, bits)
+    bytes_from_memory = n_elements * bits / 8.0
+    bandwidth_gbs = bytes_from_memory / time_s / 1e9
+    return PerfCounters(
+        time_s=time_s,
+        instructions=instructions,
+        bytes_from_memory=bytes_from_memory,
+        memory_bandwidth_gbs=bandwidth_gbs,
+        memory_bound=True,
+        label=label or span.name,
+    )
+
+
+def measurement_from_span(
+    span: Span,
+    bits: int = 64,
+    read_only: bool = True,
+    accesses_per_element: float = 1.0,
+    random_access_fraction: float = 0.0,
+    label: str = "",
+) -> WorkloadMeasurement:
+    """Convert one finished span into a selector-ready measurement.
+
+    ``bits`` is the element width of the dominant array (packed bytes
+    and the instruction model depend on it); ``accesses_per_element``
+    is the programmer-provided amortization characteristic (Fig. 13).
+    """
+    counters = counters_from_span(span, bits=bits, label=label)
+    n_elements = elements_read(span)
+    return WorkloadMeasurement(
+        counters=counters,
+        read_only=read_only,
+        mostly_reads=True,
+        linear_accesses_per_element=float(accesses_per_element),
+        random_access_fraction=float(random_access_fraction),
+        accesses_per_second=n_elements / counters.time_s,
+    )
+
+
+def measurement_from_json(
+    text: str,
+    span_name: Optional[str] = None,
+    **kwargs,
+) -> WorkloadMeasurement:
+    """Replay a JSON trace dump into a measurement.
+
+    Picks the first root span (or the first span named ``span_name``
+    anywhere in any tree) and converts it via
+    :func:`measurement_from_span`.
+    """
+    spans = spans_from_json(text)
+    if not spans:
+        raise ValueError("trace contains no spans")
+    target: Optional[Span] = None
+    if span_name is None:
+        target = spans[0]
+    else:
+        for root in spans:
+            target = root.find(span_name)
+            if target is not None:
+                break
+        if target is None:
+            raise ValueError(f"no span named {span_name!r} in trace")
+    return measurement_from_span(target, **kwargs)

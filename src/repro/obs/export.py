@@ -1,0 +1,164 @@
+"""Exporters: JSON trace dumps, prometheus-style text, span-tree views.
+
+Three consumers, three formats:
+
+* :func:`trace_to_json` / :func:`spans_from_json` — lossless round-trip
+  of finished span trees (names, labels, timings, counter deltas), the
+  format the ``python -m repro trace`` CLI writes and the
+  :mod:`repro.obs.bridge` replays into ``WorkloadMeasurement``\\ s.
+* :func:`prometheus_text` — the registry rendered in the text
+  exposition format (``# TYPE`` comments, ``name{label="v"} value``
+  lines, cumulative histogram buckets), so a scrape endpoint or a
+  human gets the same numbers the tests assert on.
+* :func:`render_span_tree` — an indented terminal view of one span
+  tree with durations and the top counter deltas per span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span
+
+# -- JSON traces -----------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    return {
+        "name": span.name,
+        "labels": dict(span.labels),
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "duration_s": span.duration_s,
+        "error": span.error,
+        "counters": dict(span.counters),
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(data: Dict[str, object]) -> Span:
+    span = Span(str(data["name"]),
+                {str(k): str(v) for k, v in (data.get("labels") or {}).items()})
+    span.start_s = float(data.get("start_s", 0.0))
+    end = data.get("end_s")
+    span.end_s = float(end) if end is not None else float(
+        span.start_s + float(data.get("duration_s", 0.0))
+    )
+    error = data.get("error")
+    span.error = str(error) if error is not None else None
+    span.counters = {
+        str(k): float(v) for k, v in (data.get("counters") or {}).items()
+    }
+    span.children = [span_from_dict(c) for c in data.get("children") or []]
+    return span
+
+
+def trace_to_json(spans: List[Span], indent: Optional[int] = 2) -> str:
+    """Serialize finished root spans to a JSON document."""
+    return json.dumps(
+        {"version": 1, "spans": [span_to_dict(s) for s in spans]},
+        indent=indent,
+    )
+
+
+def spans_from_json(text: str) -> List[Span]:
+    """Parse a :func:`trace_to_json` document back into span trees."""
+    data = json.loads(text)
+    if isinstance(data, dict):
+        items = data.get("spans", [])
+    else:  # bare list of spans is accepted too
+        items = data
+    return [span_from_dict(item) for item in items]
+
+
+# -- prometheus-style text -------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return "repro_" + out
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{labels[k]}"' for k in sorted(labels)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_text(reg: MetricsRegistry) -> str:
+    """Render every registered metric in the text exposition format."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for metric in reg.metrics():
+        pname = _prom_name(metric.name)
+        if seen_types.get(pname) is None:
+            lines.append(f"# TYPE {pname} {metric.kind}")
+            seen_types[pname] = metric.kind
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{pname}{_prom_labels(metric.labels)} "
+                f"{_fmt_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            for bound, count in metric.bucket_counts():
+                le = "+Inf" if bound == float("inf") else repr(bound)
+                extra = 'le="%s"' % le
+                lines.append(
+                    f"{pname}_bucket"
+                    f"{_prom_labels(metric.labels, extra)} {count}"
+                )
+            lines.append(
+                f"{pname}_sum{_prom_labels(metric.labels)} {metric.sum!r}"
+            )
+            lines.append(
+                f"{pname}_count{_prom_labels(metric.labels)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- terminal span tree ----------------------------------------------------
+
+
+def _span_line(span: Span, max_counters: int) -> str:
+    label_str = ""
+    if span.labels:
+        label_str = " [" + " ".join(
+            f"{k}={span.labels[k]}" for k in sorted(span.labels)
+        ) + "]"
+    line = f"{span.name}{label_str}  {span.duration_s * 1e3:.3f} ms"
+    if span.error:
+        line += f"  !{span.error}"
+    if span.counters:
+        shown = sorted(span.counters.items(),
+                       key=lambda kv: (-abs(kv[1]), kv[0]))[:max_counters]
+        parts = ", ".join(f"{k}={_fmt_value(v)}" for k, v in shown)
+        if len(span.counters) > max_counters:
+            parts += f", ... +{len(span.counters) - max_counters} more"
+        line += f"  ({parts})"
+    return line
+
+
+def render_span_tree(span: Span, max_counters: int = 6) -> str:
+    """Indented one-span-per-line view of a span tree with counters."""
+    lines: List[str] = []
+
+    def visit(node: Span, depth: int) -> None:
+        lines.append("  " * depth + _span_line(node, max_counters))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(span, 0)
+    return "\n".join(lines)

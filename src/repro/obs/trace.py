@@ -1,0 +1,233 @@
+"""Nestable trace spans with per-span counter deltas.
+
+``with trace("scan.superchunk_decode", array="a3", socket=1):`` opens a
+span: a named, labelled, timed region that records how every registry
+counter moved while it was open.  Spans nest per thread (a
+``threading.local`` stack), so an operator span contains its decode
+spans, and a query span contains its plan and execute spans.
+
+Cost model: tracing is **off by default** and the disabled path is one
+attribute load and a truthiness check (``if TRACER.enabled:`` at the
+instrumentation site, or the shared no-op context manager returned by
+:func:`trace`).  Hot loops — the superchunk decode kernel — guard with
+``TRACER.enabled`` explicitly so they never build a label dict when
+tracing is off; that is what keeps the disabled-tracing overhead on the
+scan benchmarks within noise.
+
+When enabled, each span captures a registry snapshot at entry and exit
+and stores the nonzero difference in ``span.counters`` — so a finished
+trace carries exactly which arrays decoded how many chunks and which
+replicas served the elements, which is what the
+:mod:`repro.obs.bridge` turns back into a ``WorkloadMeasurement``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .registry import MetricsRegistry, registry, split_key
+
+
+class Span:
+    """One finished or in-flight traced region."""
+
+    __slots__ = ("name", "labels", "start_s", "end_s", "children",
+                 "counters", "error", "_entry_snapshot")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.start_s: float = 0.0
+        self.end_s: Optional[float] = None
+        self.children: List[Span] = []
+        #: Nonzero registry-counter deltas over the span's lifetime,
+        #: keyed ``"name{label=value,...}"`` (children included — a
+        #: parent's deltas cover everything its children did).
+        self.counters: Dict[str, float] = {}
+        self.error: Optional[str] = None
+        self._entry_snapshot: Optional[Dict[str, float]] = None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return max(0.0, end - self.start_s)
+
+    def counter_total(self, name: str, **labels) -> float:
+        """Sum this span's deltas for metric ``name`` across label sets
+        matching every given label (e.g. ``array="a3"``)."""
+        want = {k: str(v) for k, v in labels.items()}
+        total = 0.0
+        for key, delta in self.counters.items():
+            kname, klabels = split_key(key)
+            if kname != name:
+                continue
+            if any(klabels.get(k) != v for k, v in want.items()):
+                continue
+            total += delta
+        return total
+
+    def walk(self):
+        """Yield this span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end_s is None else f"{self.duration_s:.6f}s"
+        return f"<Span {self.name} {state} children={len(self.children)}>"
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self._span)
+        return False  # never swallow
+
+
+class Tracer:
+    """Global span collector with per-thread span stacks."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.capture_counters = True
+        self._registry: Optional[MetricsRegistry] = None
+        self._local = threading.local()
+        self._finished: List[Span] = []
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, reg: Optional[MetricsRegistry] = None,
+               capture_counters: bool = True) -> None:
+        self._registry = reg if reg is not None else registry()
+        self.capture_counters = capture_counters
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished = []
+
+    # -- span plumbing -----------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **labels):
+        """Open a span context (no-op, allocation-free-ish when off)."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        span = Span(name, {k: str(v) for k, v in labels.items()})
+        return _SpanContext(self, span)
+
+    def _push(self, span: Span) -> None:
+        if self.capture_counters and self._registry is not None:
+            span._entry_snapshot = self._registry.snapshot()
+        span.start_s = time.perf_counter()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        if span._entry_snapshot is not None and self._registry is not None:
+            span.counters = self._registry.delta(span._entry_snapshot)
+            span._entry_snapshot = None
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._finished.append(span)
+
+    # -- results -----------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished_spans(self) -> List[Span]:
+        """Root spans completed so far (any thread), in finish order."""
+        with self._lock:
+            return list(self._finished)
+
+    def pop_finished(self) -> List[Span]:
+        """Return and forget the completed root spans."""
+        with self._lock:
+            out = self._finished
+            self._finished = []
+        return out
+
+
+#: Process-wide tracer; instrumentation sites check ``TRACER.enabled``.
+TRACER = Tracer()
+
+
+def trace(name: str, **labels):
+    """``with trace("query.execute", table="t"):`` — open a span on the
+    global tracer (a shared no-op context when tracing is disabled)."""
+    return TRACER.span(name, **labels)
+
+
+class tracing:
+    """Enable tracing for a region: ``with tracing() as t: ...``.
+
+    Yields the global :data:`TRACER`; on exit, tracing is disabled but
+    finished spans stay collected until :meth:`Tracer.pop_finished`.
+    """
+
+    def __init__(self, reg: Optional[MetricsRegistry] = None,
+                 capture_counters: bool = True) -> None:
+        self._reg = reg
+        self._capture = capture_counters
+
+    def __enter__(self) -> Tracer:
+        TRACER.enable(self._reg, capture_counters=self._capture)
+        return TRACER
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        TRACER.disable()
+        return False

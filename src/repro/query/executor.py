@@ -39,6 +39,8 @@ import numpy as np
 
 from ..core import bitpack
 from ..core.zonemap import _chunk_runs
+from ..obs.registry import registry as _obs_registry
+from ..obs.trace import trace
 from ..runtime.loops import _exact_sum, parallel_for
 from ..runtime.workers import ThreadContext, WorkerPool
 from .logical import AggSpec
@@ -153,6 +155,14 @@ def execute(plan: PhysicalPlan, pool: Optional[WorkerPool] = None,
     or round-robin (``distribution="static"``) and each worker reads
     its socket-local replicas.  Results are bit-identical either way.
     """
+    with trace("query.execute",
+               workers=pool.n_workers if pool is not None else 1,
+               distribution=distribution if pool is not None else "serial"):
+        return _execute(plan, pool, distribution)
+
+
+def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
+             distribution: str) -> QueryResult:
     query = plan.query
     query.validate()
     table = plan.table
@@ -309,6 +319,22 @@ def execute(plan: PhysicalPlan, pool: Optional[WorkerPool] = None,
         )
         stats.decoded_chunks.setdefault(name, 0)
     stats.wall_time_s = time.perf_counter() - t0
+
+    # QueryStats registers into the observability registry: the same
+    # totals the tests assert on become scrapeable and show up in the
+    # enclosing query.execute span's counter deltas.  All of these are
+    # deterministic (identical for serial and threaded pools).
+    reg = _obs_registry()
+    reg.counter("query.executions").add(1)
+    reg.counter("query.morsels_executed").add(stats.morsels_executed)
+    reg.counter("query.morsels_pruned").add(stats.morsels_pruned)
+    reg.counter("query.rows_scanned").add(stats.rows_scanned)
+    reg.counter("query.rows_matched").add(stats.rows_matched)
+    for name in plan.needed_columns:
+        reg.counter("query.decoded_chunks", column=name).add(
+            stats.decoded_chunks.get(name, 0)
+        )
+    reg.histogram("query.wall_time_s").observe(stats.wall_time_s)
 
     if specs:
         if group_key is not None:

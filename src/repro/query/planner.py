@@ -51,6 +51,8 @@ from ..core.scan_ops import clamp_u64_range
 from ..core.smart_array import SmartArray
 from ..core.zonemap import ZoneMap
 from ..numa.counters import PerfCounters
+from ..obs.registry import registry as _obs_registry
+from ..obs.trace import trace
 from ..perfmodel.workload import blocked_scan_instructions
 from .expr import And, Compare, Expr, Not, Or
 from .logical import Query
@@ -307,6 +309,25 @@ def plan_query(
         raise ValueError(
             f"prune must be 'auto', 'build', or 'off', got {prune!r}"
         )
+    with trace("query.plan", prune=prune):
+        plan = _plan_query(query, morsel, prune, pool,
+                           accesses_per_element, consult_selector)
+        reg = _obs_registry()
+        reg.counter("query.plans").add(1)
+        reg.counter("query.chunks_candidate").add(plan.chunks_candidate)
+        reg.counter("query.chunks_pruned").add(plan.chunks_pruned)
+        reg.counter("query.morsels_pruned_at_plan").add(plan.morsels_pruned)
+        return plan
+
+
+def _plan_query(
+    query: Query,
+    morsel: Optional[int],
+    prune: str,
+    pool,
+    accesses_per_element: float,
+    consult_selector: bool,
+) -> PhysicalPlan:
     table = query.table
     n_rows = table.n_rows
     morsel_elements = check_superchunk(

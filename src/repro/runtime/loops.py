@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.iterators import SmartArrayIterator
 from ..core.smart_array import SmartArray
+from ..obs.registry import registry as _obs_registry
 from .atomics import AtomicCounter
 from .workers import ThreadContext, WorkerPool
 
@@ -102,6 +103,13 @@ def parallel_for(
     if stats is not None:
         stats.batches_per_worker = [0] * pool.n_workers
     worker_index = {id(ctx): i for i, ctx in enumerate(pool.contexts)}
+    # One registry counter per loop run (looked up once, bumped per
+    # executed batch): both schedules run exactly ceil(n / batch)
+    # bodies, so the claim totals match between serial and threaded
+    # pools — the counter-parity property the tests pin down.
+    claims = _obs_registry().counter(
+        "runtime.batches_claimed", distribution=distribution
+    )
 
     def work(ctx: ThreadContext) -> None:
         if distribution == "static":
@@ -109,6 +117,7 @@ def parallel_for(
             stride = pool.n_workers * batch
             while start < n:
                 body(start, min(start + batch, n), ctx)
+                claims.add(1)
                 if stats is not None:
                     stats.batches_per_worker[worker_index[id(ctx)]] += 1
                 start += stride
@@ -119,6 +128,7 @@ def parallel_for(
                 return
             end = min(start + batch, n)
             body(start, end, ctx)
+            claims.add(1)
             if stats is not None:
                 stats.batches_per_worker[worker_index[id(ctx)]] += 1
 

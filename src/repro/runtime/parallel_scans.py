@@ -45,6 +45,7 @@ from ..core import bitpack
 from ..core.map_api import check_superchunk
 from ..core.scan_ops import _range_mask, clamp_u64_range
 from ..core.smart_array import SmartArray
+from ..obs.trace import trace
 from .loops import _exact_sum, parallel_for, parallel_reduce
 from .workers import ThreadContext, WorkerPool
 
@@ -124,10 +125,12 @@ def parallel_sum(
             _exact_sum(_decode_batch(a, start, end, ctx)) for a in arrays
         )
 
-    return parallel_reduce(
-        arrays[0].length, batch_fn, lambda a, b: a + b, 0, pool,
-        batch=batch, distribution=distribution,
-    )
+    with trace("scan.parallel_sum", n=arrays[0].length, batch=batch,
+               distribution=distribution, workers=pool.n_workers):
+        return parallel_reduce(
+            arrays[0].length, batch_fn, lambda a, b: a + b, 0, pool,
+            batch=batch, distribution=distribution,
+        )
 
 
 def parallel_count_in_range(
@@ -154,10 +157,13 @@ def parallel_count_in_range(
         span = _decode_batch(array, start, end, ctx)
         return int(_range_mask(span, lo64, hi64).sum())
 
-    return parallel_reduce(
-        array.length, batch_fn, lambda a, b: a + b, 0, pool,
-        batch=batch, distribution=distribution,
-    )
+    with trace("scan.parallel_count_in_range", array=array.stats.array_label,
+               batch=batch, distribution=distribution,
+               workers=pool.n_workers):
+        return parallel_reduce(
+            array.length, batch_fn, lambda a, b: a + b, 0, pool,
+            batch=batch, distribution=distribution,
+        )
 
 
 def parallel_select_in_range(
@@ -191,8 +197,11 @@ def parallel_select_in_range(
             with lock:
                 pieces.append((start, local + start))
 
-    parallel_for(array.length, body, pool, batch=batch,
-                 distribution=distribution)
+    with trace("scan.parallel_select_in_range",
+               array=array.stats.array_label, batch=batch,
+               distribution=distribution, workers=pool.n_workers):
+        parallel_for(array.length, body, pool, batch=batch,
+                     distribution=distribution)
     if not pieces:
         return np.empty(0, dtype=np.int64)
     pieces.sort(key=lambda item: item[0])
@@ -221,7 +230,10 @@ def parallel_min_max(
             return local
         return min(acc[0], local[0]), max(acc[1], local[1])
 
-    return parallel_reduce(
-        array.length, batch_fn, combine, None, pool,
-        batch=batch, distribution=distribution,
-    )
+    with trace("scan.parallel_min_max", array=array.stats.array_label,
+               batch=batch, distribution=distribution,
+               workers=pool.n_workers):
+        return parallel_reduce(
+            array.length, batch_fn, combine, None, pool,
+            batch=batch, distribution=distribution,
+        )

@@ -1,0 +1,149 @@
+"""Tests for smartcheck's observability profile (the obs sweep's CI
+invariant).
+
+The ``obs`` profile runs every case under tracing and cross-checks two
+independent accounting paths against each other and against the NumPy
+oracle: the per-span registry-counter deltas, and the live registry
+values behind each array's ``AccessStats`` view.  A counter that loses
+updates, double counts, or survives its array's finalizer shows up as
+an ``obs`` divergence with a deterministic replay seed.
+"""
+
+import pytest
+
+from repro.check import generate_cases, make_case, run_check
+from repro.check.runner import run_case
+from repro.cli import main
+from repro.obs.registry import Counter
+
+PARALLEL_OPS = {
+    "parallel_sum", "parallel_count", "parallel_select",
+    "parallel_min_max",
+}
+
+
+class TestAcceptance:
+    def test_seed0_obs_profile_zero_divergences(self):
+        report = run_check(seed=0, ops=400, profile="obs")
+        assert report.ok, report.format()
+        assert report.ops_run == 400
+        assert report.profile == "obs"
+        assert "profile=obs" in report.format()
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_other_seeds_pass(self, seed):
+        report = run_check(seed=seed, ops=150, profile="obs")
+        assert report.ok, report.format()
+
+
+class TestGenerator:
+    def test_obs_profile_leans_parallel_and_query(self):
+        names = {
+            op.name
+            for case in generate_cases(0, 500, profile="obs")
+            for op in case.ops
+        }
+        assert names & PARALLEL_OPS
+        assert any(name.startswith("query_") for name in names)
+
+    def test_profile_recorded_and_deterministic(self):
+        a = make_case(7, 3, profile="obs")
+        b = make_case(7, 3, profile="obs")
+        assert a == b
+        assert a.profile == "obs"
+
+    def test_case_rerun_same_outcome(self):
+        case = make_case(5, 2, profile="obs")
+        assert run_case(case) is None
+        assert run_case(case) is None
+
+
+class TestPlantedBugs:
+    def test_detects_dropped_counter_updates(self, monkeypatch):
+        # Plant the exact bug the sweep fixed: increments silently
+        # dropped (as a lost update would under the old unlocked +=).
+        # The registry no longer matches either the span deltas or the
+        # oracle's predicted accounting.
+        orig = Counter.add
+        state = {"n": 0}
+
+        def lossy_add(self, n=1):
+            state["n"] += 1
+            if state["n"] % 7 == 0:
+                return  # update lost
+            orig(self, n)
+
+        monkeypatch.setattr(Counter, "add", lossy_add)
+        report = run_check(seed=0, ops=300, profile="obs",
+                           max_failures=1, shrink=False)
+        assert not report.ok
+        assert report.failures[0].kind in ("obs", "accounting")
+
+    def test_detects_double_counting(self, monkeypatch):
+        orig = Counter.add
+
+        def doubling_add(self, n=1):
+            orig(self, 2 * n)
+
+        monkeypatch.setattr(Counter, "add", doubling_add)
+        report = run_check(seed=0, ops=300, profile="obs",
+                           max_failures=1, shrink=False)
+        assert not report.ok
+        assert report.failures[0].kind in ("obs", "accounting")
+
+    def test_failure_replays_clean_after_unpatching(self, monkeypatch):
+        orig = Counter.add
+        monkeypatch.setattr(Counter, "add",
+                            lambda self, n=1: orig(self, 2 * n))
+        report = run_check(seed=0, ops=300, profile="obs",
+                           max_failures=1, shrink=False)
+        assert not report.ok
+        monkeypatch.setattr(Counter, "add", orig)
+        assert run_case(report.failures[0].case) is None
+
+
+class TestCli:
+    def test_check_obs_profile_flag(self, capsys):
+        assert main(["check", "--seed", "0", "--ops", "120",
+                     "--profile", "obs"]) == 0
+        out = capsys.readouterr().out
+        assert "profile=obs" in out
+        assert "PASS" in out
+
+    def test_trace_scan_subcommand(self, capsys):
+        assert main(["trace", "scan", "--rows", "20000",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out
+        assert "scan.parallel_sum" in out
+        assert "scan.superchunk_decode" in out
+        assert "repro_core_chunk_unpacks" in out
+        assert "selector decision:" in out
+        assert "MISMATCH" not in out
+
+    def test_trace_query_subcommand(self, capsys):
+        assert main(["trace", "query", "--rows", "20000",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "query.plan" in out
+        assert "query.execute" in out
+        assert "selector decision:" in out
+
+    def test_trace_adapt_subcommand(self, capsys):
+        assert main(["trace", "adapt"]) == 0
+        out = capsys.readouterr().out
+        assert "adapt.observe" in out
+        assert "repro_adapt_observations 6" in out
+
+    def test_trace_json_flag_round_trips(self, capsys):
+        import json
+
+        from repro.obs import measurement_from_json
+
+        assert main(["trace", "scan", "--rows", "20000", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["version"] == 1
+        m = measurement_from_json(out, span_name="scan.parallel_sum",
+                                  bits=20)
+        assert m.accesses_per_second > 0

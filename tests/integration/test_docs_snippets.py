@@ -149,3 +149,62 @@ class TestApiGuideSnippets:
         rows = Query(t).where(col("ts") >= 10_000).select("amount") \
             .limit(5).run().rows
         assert rows.size == 5
+
+    def test_observability_forms(self):
+        # The API guide's "Observability" section, verbatim in spirit.
+        import repro
+        from repro.obs import (
+            TRACER,
+            measurement_from_json,
+            prometheus_text,
+            registry,
+            render_span_tree,
+            trace,
+            trace_to_json,
+            tracing,
+        )
+
+        reg = registry()
+        reg.counter("docs.example", array="a0").add(64)
+        assert reg.value("docs.example", array="a0") == 64
+        assert "docs.example{array=a0}" in reg.values("docs.")
+        reg.gauge("docs.pool_workers").set(8)
+        reg.histogram("docs.wall_time_s").observe(0.012)
+        snap = reg.snapshot()
+        reg.counter("docs.example", array="a0").add(1)
+        assert reg.delta(snap)["docs.example{array=a0}"] == 1
+
+        TRACER.clear()
+        values = np.arange(5000, dtype=np.uint64) % 997
+        sa = repro.allocate(5000, bits=10, values=values, replicated=True)
+        from repro.runtime import default_pool, parallel_sum_blocked
+
+        with tracing():
+            with trace("docs.region", array=sa.stats.array_label):
+                total = parallel_sum_blocked(sa, pool=default_pool(2))
+        assert total == int(values.sum())
+        spans = TRACER.pop_finished()
+        span = spans[0]
+        assert span.name == "docs.region"
+        assert span.duration_s >= 0
+        assert span.counter_total(
+            "core.chunk_unpacks", array=sa.stats.array_label) > 0
+
+        assert "docs.region" in render_span_tree(span)
+        assert "repro_docs_example" in prometheus_text(reg)
+        dump = trace_to_json(spans)
+        m = measurement_from_json(dump, span_name="scan.parallel_sum",
+                                  bits=sa.bits)
+        from repro.adapt import MachineCapabilities, select_configuration
+        from repro.adapt.inputs import ArrayCharacteristics
+        from repro.numa import machine_2x18_haswell
+
+        result = select_configuration(
+            MachineCapabilities(machine_2x18_haswell()),
+            ArrayCharacteristics(length=len(sa), element_bits=sa.bits,
+                                 scan_engine="blocked"),
+            m,
+        )
+        assert result.configuration.placement is not None
+        reg.drop(["docs.example{array=a0}", "docs.pool_workers",
+                  "docs.wall_time_s"])

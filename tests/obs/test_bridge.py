@@ -1,0 +1,131 @@
+"""Tests for the trace -> WorkloadMeasurement bridge: adaptivity
+decisions replayed offline from recorded traces."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import MachineCapabilities, select_configuration
+from repro.adapt.inputs import ArrayCharacteristics, WorkloadMeasurement
+from repro.numa import machine_2x18_haswell
+from repro.obs import (
+    TRACER,
+    counters_from_span,
+    elements_read,
+    measurement_from_json,
+    measurement_from_span,
+    trace_to_json,
+    tracing,
+)
+from repro.obs.trace import Span
+
+
+def span_with(counters, duration_s=0.01):
+    span = Span("scan.parallel_sum", {})
+    span.start_s, span.end_s = 0.0, duration_s
+    span.counters = dict(counters)
+    return span
+
+
+class TestElementsRead:
+    def test_prefers_replica_accounting(self):
+        span = span_with({
+            "core.replica_read_elements{array=a0,replica=0}": 600.0,
+            "core.replica_read_elements{array=a0,replica=1}": 400.0,
+            "core.bulk_elements_read{array=a0}": 123.0,
+        })
+        assert elements_read(span) == 1000
+
+    def test_falls_back_to_bulk_reads(self):
+        span = span_with({"core.bulk_elements_read{array=a0}": 123.0})
+        assert elements_read(span) == 123
+
+    def test_no_reads_is_zero(self):
+        assert elements_read(span_with({})) == 0
+
+
+class TestCountersFromSpan:
+    def test_shapes_and_rates(self):
+        span = span_with(
+            {"core.replica_read_elements{array=a0,replica=0}": 1 << 20},
+            duration_s=0.5,
+        )
+        pc = counters_from_span(span, bits=16)
+        n = 1 << 20
+        assert pc.time_s == pytest.approx(0.5)
+        assert pc.bytes_from_memory == pytest.approx(n * 2)
+        assert pc.memory_bandwidth_gbs == pytest.approx(n * 2 / 0.5 / 1e9)
+        assert pc.instructions > 0
+        assert pc.label == "scan.parallel_sum"
+
+    def test_tiny_duration_floored_not_divided_by_zero(self):
+        span = span_with({"core.bulk_elements_read{array=a0}": 10.0},
+                         duration_s=0.0)
+        pc = counters_from_span(span)
+        assert pc.time_s > 0
+        assert np.isfinite(pc.memory_bandwidth_gbs)
+
+
+class TestMeasurement:
+    def test_measurement_validates_and_selector_accepts(self):
+        span = span_with(
+            {"core.replica_read_elements{array=a0,replica=0}": 1 << 18},
+            duration_s=0.01,
+        )
+        m = measurement_from_span(span, bits=20,
+                                  accesses_per_element=3.0)
+        assert isinstance(m, WorkloadMeasurement)
+        assert m.accesses_per_second == pytest.approx(
+            (1 << 18) / m.counters.time_s)
+        caps = MachineCapabilities(machine_2x18_haswell())
+        chars = ArrayCharacteristics(length=1 << 18, element_bits=20,
+                                     scan_engine="blocked")
+        result = select_configuration(caps, chars, m)
+        assert result.configuration.placement is not None
+
+    def test_from_json_picks_named_span(self):
+        root = Span("outer", {})
+        root.start_s, root.end_s = 0.0, 1.0
+        inner = span_with({"core.bulk_elements_read{array=a0}": 50.0})
+        root.children.append(inner)
+        text = trace_to_json([root])
+        m = measurement_from_json(text, span_name="scan.parallel_sum")
+        assert m.accesses_per_second == pytest.approx(
+            50 / m.counters.time_s)
+
+    def test_from_json_defaults_to_first_root(self):
+        text = trace_to_json([span_with(
+            {"core.bulk_elements_read{array=a0}": 7.0})])
+        m = measurement_from_json(text)
+        assert m.accesses_per_second > 0
+
+    def test_from_json_errors(self):
+        with pytest.raises(ValueError):
+            measurement_from_json(trace_to_json([]))
+        with pytest.raises(ValueError):
+            measurement_from_json(
+                trace_to_json([span_with({})]), span_name="absent")
+
+
+class TestLiveRoundTrip:
+    """Record a real traced scan, dump it, and replay the decision."""
+
+    def test_recorded_scan_replays_into_selector(self):
+        from repro.core import allocate, sum_range
+
+        TRACER.clear()
+        values = (np.arange(5000) % 1000).astype(np.uint64)
+        array = allocate(5000, bits=10, values=values, replicated=True)
+        with tracing():
+            total = sum_range(array)
+        assert total == int(values.sum())
+        spans = TRACER.pop_finished()
+        text = trace_to_json(spans)
+        m = measurement_from_json(text, span_name="scan.sum_range",
+                                  bits=array.bits)
+        assert m.accesses_per_second > 0
+        caps = MachineCapabilities(machine_2x18_haswell())
+        chars = ArrayCharacteristics(length=array.length,
+                                     element_bits=array.bits,
+                                     scan_engine="blocked")
+        result = select_configuration(caps, chars, m)
+        assert result.configuration.bits in (array.bits, 64)

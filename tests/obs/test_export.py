@@ -1,0 +1,106 @@
+"""Tests for the exporters: JSON round-trip, prometheus text, and the
+terminal span-tree renderer."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    prometheus_text,
+    render_span_tree,
+    span_from_dict,
+    span_to_dict,
+    spans_from_json,
+    trace_to_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Span
+
+
+def sample_span():
+    root = Span("query.execute", {"workers": "4"})
+    root.start_s, root.end_s = 10.0, 10.5
+    root.counters = {"query.rows_scanned": 4096.0,
+                     "core.chunk_unpacks{array=a0}": 64.0}
+    child = Span("scan.superchunk_decode", {"array": "a0"})
+    child.start_s, child.end_s = 10.1, 10.2
+    child.error = "ValueError: nope"
+    root.children.append(child)
+    return root
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        root = sample_span()
+        text = trace_to_json([root])
+        back = spans_from_json(text)
+        assert len(back) == 1
+        got = back[0]
+        assert span_to_dict(got) == span_to_dict(root)
+        assert got.children[0].error == "ValueError: nope"
+        assert got.counters["query.rows_scanned"] == 4096.0
+        assert got.duration_s == pytest.approx(0.5)
+
+    def test_document_shape(self):
+        doc = json.loads(trace_to_json([sample_span()]))
+        assert doc["version"] == 1
+        assert isinstance(doc["spans"], list)
+
+    def test_bare_list_accepted(self):
+        spans = spans_from_json(json.dumps([span_to_dict(sample_span())]))
+        assert spans[0].name == "query.execute"
+
+    def test_open_span_gets_end_from_duration(self):
+        data = {"name": "s", "duration_s": 2.0, "start_s": 1.0}
+        span = span_from_dict(data)
+        assert span.end_s == pytest.approx(3.0)
+        assert span.duration_s == pytest.approx(2.0)
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("core.chunk_unpacks", array="a0").add(3)
+        reg.gauge("pool.workers").set(8)
+        h = reg.histogram("query.wall_time_s", buckets=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(5.0)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_core_chunk_unpacks counter" in text
+        assert 'repro_core_chunk_unpacks{array="a0"} 3' in text
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "repro_pool_workers 8" in text
+        # Cumulative buckets with the +Inf overflow bucket last.
+        assert 'repro_query_wall_time_s_bucket{le="0.1"} 1' in text
+        assert 'repro_query_wall_time_s_bucket{le="1.0"} 1' in text
+        assert 'repro_query_wall_time_s_bucket{le="+Inf"} 2' in text
+        assert "repro_query_wall_time_s_count 2" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_metric_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.with/chars").add(1)
+        text = prometheus_text(reg)
+        assert "repro_weird_name_with_chars 1" in text
+
+
+class TestRenderSpanTree:
+    def test_tree_structure_and_contents(self):
+        text = render_span_tree(sample_span())
+        lines = text.splitlines()
+        assert lines[0].startswith("query.execute [workers=4]")
+        assert "500.000 ms" in lines[0]
+        assert "query.rows_scanned=4096" in lines[0]
+        assert lines[1].startswith("  scan.superchunk_decode [array=a0]")
+        assert "!ValueError: nope" in lines[1]
+
+    def test_counter_overflow_elided(self):
+        span = Span("s", {})
+        span.start_s, span.end_s = 0.0, 1.0
+        span.counters = {f"c{i}": float(i + 1) for i in range(10)}
+        text = render_span_tree(span, max_counters=3)
+        assert "... +7 more" in text
+        # The largest deltas are the ones shown.
+        assert "c9=10" in text and "c0=1" not in text

@@ -1,0 +1,179 @@
+"""Tests for the trace-span API: nesting, counter deltas, thread
+behaviour, and the disabled fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    Tracer,
+    _NULL_CONTEXT,
+    trace,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with tracing off and no spans."""
+    TRACER.disable()
+    TRACER.clear()
+    yield
+    TRACER.disable()
+    TRACER.clear()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_context(self):
+        assert TRACER.span("anything", array="a0") is _NULL_CONTEXT
+        assert trace("anything") is _NULL_CONTEXT
+
+    def test_null_context_yields_none_and_propagates(self):
+        with trace("x") as span:
+            assert span is None
+        with pytest.raises(RuntimeError):
+            with trace("x"):
+                raise RuntimeError("boom")
+        assert TRACER.finished_spans() == []
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        with tracing():
+            with trace("outer", kind="demo"):
+                with trace("inner.a"):
+                    pass
+                with trace("inner.b"):
+                    with trace("leaf"):
+                        pass
+        roots = TRACER.pop_finished()
+        assert [s.name for s in roots] == ["outer"]
+        outer = roots[0]
+        assert outer.labels == {"kind": "demo"}
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        assert [s.name for s in outer.walk()] == [
+            "outer", "inner.a", "inner.b", "leaf",
+        ]
+        assert outer.find("leaf").name == "leaf"
+        assert outer.find("absent") is None
+
+    def test_durations_are_ordered(self):
+        with tracing():
+            with trace("outer"):
+                with trace("inner"):
+                    pass
+        outer = TRACER.pop_finished()[0]
+        inner = outer.children[0]
+        assert outer.end_s is not None and inner.end_s is not None
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_counter_deltas_attach_to_span(self):
+        reg = MetricsRegistry()
+        c = reg.counter("work.done", array="a0")
+        c.add(10)  # pre-span activity must not leak into the delta
+        with tracing(reg):
+            with trace("op") as span:
+                c.add(5)
+                reg.counter("work.other").add(2)
+        assert span.counters == {
+            "work.done{array=a0}": 5, "work.other": 2,
+        }
+        assert span.counter_total("work.done") == 5
+        assert span.counter_total("work.done", array="a0") == 5
+        assert span.counter_total("work.done", array="a1") == 0
+
+    def test_parent_delta_covers_children(self):
+        reg = MetricsRegistry()
+        with tracing(reg):
+            with trace("outer") as outer:
+                with trace("inner"):
+                    reg.counter("n").add(3)
+        assert outer.counters == {"n": 3}
+        assert outer.children[0].counters == {"n": 3}
+
+    def test_counter_total_sums_label_sets(self):
+        span = Span("s", {})
+        span.counters = {
+            "core.replica_read_elements{array=a0,replica=0}": 10.0,
+            "core.replica_read_elements{array=a0,replica=1}": 7.0,
+            "core.replica_read_elements{array=a1,replica=0}": 99.0,
+        }
+        assert span.counter_total(
+            "core.replica_read_elements", array="a0") == 17.0
+        assert span.counter_total("core.replica_read_elements") == 116.0
+
+    def test_error_recorded_and_not_swallowed(self):
+        with tracing():
+            with pytest.raises(ValueError):
+                with trace("failing"):
+                    raise ValueError("bad input")
+        span = TRACER.pop_finished()[0]
+        assert span.error == "ValueError: bad input"
+        assert span.end_s is not None
+
+    def test_capture_counters_off(self):
+        reg = MetricsRegistry()
+        with tracing(reg, capture_counters=False):
+            with trace("op") as span:
+                reg.counter("n").add(1)
+        assert span.counters == {}
+
+    def test_pop_finished_forgets(self):
+        with tracing():
+            with trace("a"):
+                pass
+        assert len(TRACER.pop_finished()) == 1
+        assert TRACER.pop_finished() == []
+
+    def test_current_span(self):
+        assert TRACER.current_span() is None
+        with tracing():
+            with trace("outer"):
+                with trace("inner"):
+                    assert TRACER.current_span().name == "inner"
+                assert TRACER.current_span().name == "outer"
+        assert TRACER.current_span() is None
+
+
+class TestThreading:
+    def test_span_stacks_are_per_thread(self):
+        tracer = Tracer()
+        tracer.enable(MetricsRegistry())
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name):
+                seen[name] = tracer.current_span().name
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        with tracer.span("main-root"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Worker roots never nest under this thread's span.
+            assert tracer.current_span().name == "main-root"
+        roots = {s.name for s in tracer.finished_spans()}
+        assert roots == {"t0", "t1", "t2", "t3", "main-root"}
+        assert seen == {f"t{i}": f"t{i}" for i in range(4)}
+
+    def test_worker_counters_land_in_open_span_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("bumped.by.workers")
+        tracer = Tracer()
+        tracer.enable(reg)
+        with tracer.span("root") as root:
+            threads = [
+                threading.Thread(target=lambda: c.add(100))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert root.counters == {"bumped.by.workers": 400}
