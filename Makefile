@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean all
+.PHONY: install test bench figures examples live clean all
 
 install:
 	pip install -e .
@@ -19,6 +19,11 @@ figures:
 
 examples:
 	for f in examples/*.py; do $(PYTHON) $$f; done
+
+# Live-adaptation demo (daemon-driven online migration) + its report.
+live:
+	$(PYTHON) -m repro live
+	cd benchmarks && $(PYTHON) bench_live_adaptation.py
 
 artifacts: ## the final paper-trail outputs
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -56,19 +56,27 @@ class AdaptiveController:
         window: int = 4,
         drift_threshold: float = 0.25,
         free_bytes_per_socket: Optional[int] = None,
+        cooldown: int = 0,
     ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         if drift_threshold <= 0:
             raise ValueError("drift_threshold must be positive")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
         self.caps = caps
         self.array = array
         self.base_measurement = base_measurement
         self.window = window
         self.drift_threshold = drift_threshold
         self.free_bytes_per_socket = free_bytes_per_socket
+        #: Observations ignored after an apply completes, before the
+        #: detector re-arms (post-migration counters are transients).
+        self.cooldown = cooldown
         self._observations: Deque[PerfCounters] = deque(maxlen=window)
         self._n_seen = 0
+        self._in_flight = False
+        self._cooldown_remaining = 0
         self.reconfigurations: List[Reconfiguration] = []
         # Initial selection from the base profiling measurement.
         self._anchor = base_measurement.counters
@@ -85,6 +93,51 @@ class AdaptiveController:
     @property
     def observations_seen(self) -> int:
         return self._n_seen
+
+    @property
+    def in_flight(self) -> bool:
+        """True while an emitted decision is being applied.
+
+        Set automatically when :meth:`observe` returns a decision (or
+        explicitly via :meth:`begin_apply`), cleared by
+        :meth:`finish_apply` / :meth:`abort_apply`.  While set, drift
+        never emits a second, overlapping reconfiguration — the bug this
+        guard fixes is a migration racing a fresh decision to migrate
+        the same array somewhere else.
+        """
+        return self._in_flight
+
+    # -- apply lifecycle -------------------------------------------------
+
+    def begin_apply(self) -> None:
+        """Mark the current configuration as being applied out-of-band
+        (e.g. the live daemon realizing the *initial* selection, which
+        is not emitted through :meth:`observe`)."""
+        self._in_flight = True
+
+    def finish_apply(self) -> None:
+        """The applied configuration is live: re-arm after ``cooldown``.
+
+        Drops the buffered window — observations taken while the
+        migration was copying reflect neither the old nor the new
+        configuration steady state.
+        """
+        self._in_flight = False
+        self._cooldown_remaining = self.cooldown
+        self._observations.clear()
+
+    def abort_apply(self, restore: Optional[Configuration] = None) -> None:
+        """The apply failed or was rolled back.
+
+        ``restore`` re-points the controller at the configuration that
+        is actually live again, so the next drift does not diff against
+        a configuration that was never (or is no longer) in place.
+        """
+        self._in_flight = False
+        self._cooldown_remaining = self.cooldown
+        self._observations.clear()
+        if restore is not None:
+            self._current = replace(self._current, configuration=restore)
 
     # -- the control loop ----------------------------------------------------
 
@@ -146,8 +199,17 @@ class AdaptiveController:
         return decision
 
     def _observe(self, counters: PerfCounters) -> Optional[Reconfiguration]:
-        self._observations.append(counters)
         self._n_seen += 1
+        # In-flight gate: while a decision is being applied, drift (which
+        # the migration itself usually *causes*) must not stack a second
+        # reconfiguration on top.  The cooldown then discards the first
+        # post-apply observations, which mix both configurations.
+        if self._in_flight:
+            return None
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+            return None
+        self._observations.append(counters)
         if len(self._observations) < self.window:
             return None
         smoothed = self._smoothed()
@@ -180,4 +242,7 @@ class AdaptiveController:
             reason=reason,
         )
         self.reconfigurations.append(decision)
+        # The decision is now "being applied" until the caller reports
+        # finish_apply()/abort_apply() — see :attr:`in_flight`.
+        self._in_flight = True
         return decision

@@ -68,8 +68,12 @@ class Op:
 #: dedicated CI job exercising the query engine's differential checks;
 #: ``obs`` draws from the mixed table with parallel and query ops
 #: up-weighted and runs every case under tracing, cross-checking the
-#: registry and per-span counter deltas against the oracle accounting.
-PROFILES: Tuple[str, ...] = ("mixed", "query", "obs")
+#: registry and per-span counter deltas against the oracle accounting;
+#: ``live`` interleaves scans, writes, and queries with randomly
+#: injected online migrations (placement and bit-width changes through
+#: :mod:`repro.live`), checking bit-identical results and that no op
+#: ever observes a half-migrated generation.
+PROFILES: Tuple[str, ...] = ("mixed", "query", "obs", "live")
 
 
 @dataclass(frozen=True)
@@ -222,10 +226,49 @@ _OBS_OP_TABLE = tuple(
     for name, weight, nonempty in _OP_TABLE
 )
 
+#: Per-step chunk budgets for generated migrations: 1 maximizes the
+#: number of intermediate states readers can race with; 64 finishes
+#: most arrays in a couple of steps (the swap-heavy path).
+_MIGRATE_BUDGETS = (1, 4, 64)
+
+#: Online-migration ops (live profile only).  ``migrate`` steps a
+#: migration to completion with a full storage check between every
+#: step; ``migrate_during_scan`` races scans on the main thread against
+#: a stepping thread; ``migrate_with_writes`` interleaves point writes
+#: (dual-write coverage); ``migrate_abort`` narrows below the data's
+#: width and expects a clean abort with no ledger leak.
+_LIVE_MIGRATE_OPS = (
+    ("migrate", 4, False),
+    ("migrate_during_scan", 3, False),
+    ("migrate_with_writes", 3, True),
+    ("migrate_abort", 1, False),
+)
+
+#: The live profile keeps a lean read/scan/write subset (every op the
+#: migration machinery can disturb) and injects migrations between and
+#: *during* them.
+_LIVE_OP_TABLE = (
+    ("fill", 2, False),
+    ("setitem", 2, True),
+    ("scatter", 1, True),
+    ("get", 2, True),
+    ("to_numpy", 2, False),
+    ("decode_chunks", 2, True),
+    ("sum_range", 3, False),
+    ("count_in_range", 3, False),
+    ("select_in_range", 2, False),
+    ("min_max", 2, True),
+    ("iter_take", 2, False),
+    ("parallel_sum", 1, True),
+    ("parallel_count", 2, True),
+    ("query_filter_count", 1, False),
+) + _LIVE_MIGRATE_OPS
+
 _PROFILE_TABLES = {
     "mixed": _OP_TABLE,
     "query": _QUERY_OP_TABLE,
     "obs": _OBS_OP_TABLE,
+    "live": _LIVE_OP_TABLE,
 }
 
 
@@ -236,7 +279,9 @@ def _profile_dist(profile: str):
     return names, weights / weights.sum()
 
 
-_NEEDS_NONEMPTY = {t[0]: t[2] for t in _OP_TABLE + _QUERY_OP_TABLE}
+_NEEDS_NONEMPTY = {
+    t[0]: t[2] for t in _OP_TABLE + _QUERY_OP_TABLE + _LIVE_OP_TABLE
+}
 
 _PARALLEL_BATCHES = (256, 4096)
 _DISTRIBUTIONS = ("dynamic", "static")
@@ -333,6 +378,28 @@ def _gen_op(rng: np.random.Generator, spec: ArraySpec,
                          int(rng.integers(0, 2)), int(rng.integers(0, 2))))
     if name == "query_group_sum":
         return Op(name, (int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name in ("migrate", "migrate_during_scan"):
+        # (target placement, pin socket, raw target bits, chunk budget).
+        # The runner widens raw bits to whatever the data needs, so
+        # these always complete; migrate_abort covers narrowing.
+        return Op(name, (
+            int(rng.integers(0, len(PLACEMENTS))),
+            int(rng.integers(0, 2)),
+            int(BIT_WIDTHS[int(rng.integers(0, len(BIT_WIDTHS)))]),
+            int(rng.choice(_MIGRATE_BUDGETS)),
+        ))
+    if name == "migrate_with_writes":
+        return Op(name, (
+            int(rng.integers(0, len(PLACEMENTS))),
+            int(rng.integers(0, 2)),
+            int(BIT_WIDTHS[int(rng.integers(0, len(BIT_WIDTHS)))]),
+            int(rng.choice(_MIGRATE_BUDGETS)),
+            int(rng.integers(0, 2**31)),
+            int(rng.integers(1, 5)),
+        ))
+    if name == "migrate_abort":
+        return Op(name, (int(rng.integers(0, len(PLACEMENTS))),
+                         int(rng.integers(0, 2))))
     raise AssertionError(f"unhandled op {name}")  # pragma: no cover
 
 

@@ -22,18 +22,22 @@ Any mismatch (or unexpected exception) is returned as a
 
 from __future__ import annotations
 
+import threading
 import traceback
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
+from ..adapt.selector import Configuration
 from ..core import bitpack, scan_ops
 from ..core.allocate import allocate
 from ..core.iterators import SmartArrayIterator
 from ..core.map_api import sum_range
+from ..core.placement import Placement
 from ..core.table import SmartTable
 from ..core.zonemap import ZoneMap
+from ..live import LiveMigrator, MigrationBudget
 from ..numa.allocator import NumaAllocator
 from ..numa.topology import machine_2x8_haswell
 from ..obs.registry import registry as _obs_registry
@@ -42,7 +46,7 @@ from ..query import Query, col, in_range
 from ..runtime import parallel_scans
 from ..runtime.workers import WorkerPool
 from . import oracle as orc
-from .generator import Case, Op, companion_bits, gen_values
+from .generator import PLACEMENTS, Case, Op, companion_bits, gen_values
 
 _DISTRIBUTIONS = ("dynamic", "static")
 _SOCKETS = (0, 1)
@@ -114,6 +118,10 @@ class CaseRunner:
         # cross-checks the registry / per-span counter deltas against
         # the same oracle-predicted accounting `_check_stats` enforces.
         self._obs = case.profile == "obs"
+        # The live profile injects online migrations; the migrator is
+        # shared across a case's ops so in-flight detection is real.
+        self._live = case.profile == "live"
+        self._migrator: Optional[LiveMigrator] = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -123,6 +131,17 @@ class CaseRunner:
                                     mode=self.case.spec.pool_mode)
         return self._pool
 
+    def _replica_reads_total(self, arr) -> int:
+        # Under the live profile the replica *count* changes across
+        # migrations (e.g. replicated -> pinned drops a counter from the
+        # array's current view), so total decode accounting sums every
+        # replica counter the array ever registered.
+        if self._live:
+            return int(sum(_obs_registry().values(
+                "core.replica_read_elements", array=arr.stats.array_label
+            ).values()))
+        return sum(arr.replica_read_elements)
+
     def _snapshot(self) -> Dict[str, int]:
         s = self.array.stats
         snap = {
@@ -131,13 +150,13 @@ class CaseRunner:
             "inits": s.scalar_inits,
             "bulk_read": s.bulk_elements_read,
             "bulk_written": s.bulk_elements_written,
-            "replica_reads": sum(self.array.replica_read_elements),
+            "replica_reads": self._replica_reads_total(self.array),
         }
         if self._companion is not None:
             cs = self._companion.stats
             snap["v_unpacks"] = cs.chunk_unpacks
-            snap["v_replica_reads"] = sum(
-                self._companion.replica_read_elements
+            snap["v_replica_reads"] = self._replica_reads_total(
+                self._companion
             )
             snap["v_bulk_written"] = cs.bulk_elements_written
         return snap
@@ -172,9 +191,15 @@ class CaseRunner:
         return bitpack.unpack_array(buf, length, bits)
 
     def _check_storage(self) -> None:
+        # Decode at the generation's width, not the spec's: live
+        # migrations re-compress, and a reader must only ever see a
+        # (buffer, bits) pair from one consistent generation — which is
+        # exactly what resolving both through one generation object
+        # checks.
         spec = self.case.spec
-        for i, buf in enumerate(self.array.replicas):
-            decoded = self._decode_replica(buf, spec.length, spec.bits)
+        gen = self.array.generation
+        for i, buf in enumerate(gen.buffers):
+            decoded = self._decode_replica(buf, spec.length, gen.bits)
             if not np.array_equal(decoded, self.oracle.values):
                 bad = np.nonzero(decoded != self.oracle.values)[0][:5]
                 raise _Divergence(
@@ -431,6 +456,20 @@ class CaseRunner:
                     f"{op.name}: registry replica reads {reg_reads} != "
                     f"array view {sum(arr.replica_read_elements)}")
 
+    def _fit_current(self, values):
+        """Mask generated write values to the array's *current* width.
+
+        Generated values target the spec's width; under the live profile
+        a migration may have narrowed the array since, and writes must
+        fit the live generation (the stack raises ValueOverflowError
+        otherwise, by design)."""
+        if not self._live or self.array.bits >= self.case.spec.bits:
+            return values
+        mask = (1 << self.array.bits) - 1
+        if isinstance(values, np.ndarray):
+            return values & np.uint64(mask)
+        return int(values) & mask
+
     def _run_op(self, op: Op) -> None:
         spec = self.case.spec
         length, bits, sc = spec.length, spec.bits, spec.superchunk
@@ -439,7 +478,7 @@ class CaseRunner:
         before = self._snapshot()
 
         if op.name == "fill":
-            values = gen_values(args[0], length, bits)
+            values = self._fit_current(gen_values(args[0], length, bits))
             a.fill(values)
             o.fill(values)
             self._mark_written()
@@ -447,6 +486,7 @@ class CaseRunner:
 
         elif op.name in ("init", "init_locked"):
             idx, value = args
+            value = self._fit_current(value)
             getattr(a, op.name)(idx, value)
             o.set(idx, value)
             self._mark_written()
@@ -454,6 +494,7 @@ class CaseRunner:
 
         elif op.name == "setitem":
             idx, value = args
+            value = self._fit_current(value)
             a[idx] = value
             o.set(idx if idx >= 0 else idx + length, value)
             self._mark_written()
@@ -476,8 +517,9 @@ class CaseRunner:
             vseed, k = args
             rng = np.random.default_rng(vseed)
             idx = rng.choice(length, size=k, replace=False).astype(np.int64)
-            values = rng.integers(0, (1 << bits) - 1, size=k,
-                                  dtype=np.uint64, endpoint=True)
+            values = self._fit_current(
+                rng.integers(0, (1 << bits) - 1, size=k,
+                             dtype=np.uint64, endpoint=True))
             a.scatter_many(idx, values)
             o.scatter(idx, values)
             self._mark_written()
@@ -672,8 +714,159 @@ class CaseRunner:
         elif op.name.startswith("query_"):
             self._run_query_op(op)
 
+        elif op.name.startswith("migrate"):
+            self._run_migrate_op(op, before)
+
         else:  # pragma: no cover - generator and runner share the table
             raise AssertionError(f"unknown op {op.name!r}")
+
+    # -- live-profile migration ops ----------------------------------------
+
+    def _migrator_for_case(self) -> LiveMigrator:
+        if self._migrator is None:
+            self._migrator = LiveMigrator(self.allocator)
+        return self._migrator
+
+    def _live_placement(self, placement_idx: int, socket: int) -> Placement:
+        name = PLACEMENTS[placement_idx % len(PLACEMENTS)]
+        if name == "pinned":
+            return Placement.single_socket(socket)
+        if name == "interleaved":
+            return Placement.interleaved()
+        if name == "replicated":
+            return Placement.replicated()
+        return Placement.os_default()
+
+    def _needed_bits(self) -> int:
+        values = self.oracle.values
+        return bitpack.max_bits_needed(values) if values.size else 1
+
+    def _run_migrate_op(self, op: Op, before: Dict[str, int]) -> None:
+        spec = self.case.spec
+        length, sc = spec.length, spec.superchunk
+        a, o = self.array, self.oracle
+        migrator = self._migrator_for_case()
+
+        if op.name in ("migrate", "migrate_with_writes"):
+            if op.name == "migrate":
+                pidx, socket, raw_bits, budget = op.args
+                vseed = n_writes = 0
+            else:
+                pidx, socket, raw_bits, budget, vseed, n_writes = op.args
+            tbits = max(raw_bits, self._needed_bits())
+            target = Configuration(self._live_placement(pidx, socket), tbits)
+            migration = migrator.start(
+                a, target, budget=MigrationBudget(max_chunks_per_step=budget)
+            )
+            rng = np.random.default_rng(vseed)
+            writes = 0
+            while True:
+                alive = migration.step()
+                if writes < n_writes and length:
+                    # Dual-write coverage: the value must fit both the
+                    # live generation and the migration target.
+                    idx = int(rng.integers(0, length))
+                    value = int(rng.integers(
+                        0, (1 << min(a.bits, tbits)) - 1,
+                        dtype=np.uint64, endpoint=True))
+                    a[idx] = value
+                    o.set(idx, value)
+                    writes += 1
+                    self._mark_written()
+                # Between *every* step the live generation must decode
+                # to exactly the oracle — no half-migrated state.
+                self._check_storage()
+                if not alive:
+                    break
+            if migration.state != "completed":
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: migration ended {migration.state!r} "
+                    f"({migration.abort_reason})")
+            if a.bits != tbits or a.placement != target.placement:
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: array is {a.bits}b "
+                    f"{a.placement.describe()} after migrating to "
+                    f"{target.describe()}")
+            # The oracle's accounting model follows the live width.
+            o.bits = a.bits
+            self._check_stats(before, {"inits": writes}, op.name)
+
+        elif op.name == "migrate_during_scan":
+            pidx, socket, raw_bits, budget = op.args
+            tbits = max(raw_bits, self._needed_bits())
+            target = Configuration(self._live_placement(pidx, socket), tbits)
+            migration = migrator.start(
+                a, target, budget=MigrationBudget(max_chunks_per_step=budget)
+            )
+            errors = []
+
+            def drive() -> None:
+                try:
+                    while migration.step():
+                        pass
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            stepper = threading.Thread(target=drive, name="check-migrate")
+            stepper.start()
+            try:
+                expected_sum = o.sum_range(0, length)
+                for _ in range(3):
+                    self._compare(
+                        sum_range(a, 0, length, superchunk=sc),
+                        expected_sum, op.name)
+            finally:
+                stepper.join()
+            if errors:
+                raise errors[0]
+            if migration.state != "completed":
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: migration ended {migration.state!r} "
+                    f"({migration.abort_reason})")
+            o.bits = a.bits
+            chunks = 3 * orc.span_chunks(0, length, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "migrate_abort":
+            pidx, socket = op.args
+            needed = self._needed_bits()
+            if needed <= 1:
+                return  # cannot narrow below 1 bit; nothing to abort
+            ledger = self.allocator.ledger
+            free_before = [ledger.free_bytes(s)
+                           for s in range(self.machine.n_sockets)]
+            bits_before = a.bits
+            target = Configuration(
+                self._live_placement(pidx, socket), needed - 1)
+            migration = migrator.start(a, target)
+            while migration.step():
+                pass
+            if migration.state != "aborted":
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: narrowing to {needed - 1}b ended "
+                    f"{migration.state!r}, expected aborted")
+            if a.bits != bits_before:
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: aborted migration changed width "
+                    f"{bits_before} -> {a.bits}")
+            free_after = [ledger.free_bytes(s)
+                          for s in range(self.machine.n_sockets)]
+            if free_after != free_before:
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: aborted migration leaked ledger bytes "
+                    f"{free_before} -> {free_after}")
+            self._check_stats(before, {}, op.name)
+
+        else:  # pragma: no cover - generator and runner share the table
+            raise AssertionError(f"unknown migrate op {op.name!r}")
 
     def _run_query_op(self, op: Op) -> None:
         spec = self.case.spec

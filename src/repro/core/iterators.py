@@ -18,6 +18,8 @@ calling thread's socket — exactly the paper's factory.
 from __future__ import annotations
 
 import abc
+import weakref
+
 import numpy as np
 
 from . import bitpack
@@ -45,7 +47,21 @@ class SmartArrayIterator(abc.ABC):
             )
         self.array = array
         self.socket = socket
-        self.replica = array.get_replica(socket)
+        # Pin the storage generation for the iterator's lifetime: a live
+        # migration can swap the array's storage mid-walk, and the
+        # iterator must keep decoding the snapshot it started on (the
+        # array's unpack()/decode_chunks() resolve a pinned buffer to
+        # its own generation's bit width).  The pin drains when the
+        # iterator is garbage collected.
+        if hasattr(array, "pin_generation"):
+            self._generation = array.pin_generation()
+            self.replica = self._generation.buffer_for_socket(socket)
+            self._unpinner = weakref.finalize(
+                self, self._generation.unpin
+            )
+        else:  # array-likes without generations (plain wrappers)
+            self._generation = None
+            self.replica = array.get_replica(socket)
         self.index = index
         self._position(index)
 

@@ -85,20 +85,34 @@ def iter_spans(
             f"range [{start}, {stop}) invalid for length {array.length}"
         )
     step = check_superchunk(superchunk)
-    replica = array.get_replica(socket)
-    buf = np.empty(step, dtype=np.uint64)
-    pos = start
-    while pos < stop:
-        window_start = (pos // step) * step
-        window_stop = min(window_start + step, stop)
-        first_chunk = pos // bitpack.CHUNK_ELEMENTS
-        end_chunk = -(-window_stop // bitpack.CHUNK_ELEMENTS)
-        decoded = array.decode_chunks(
-            first_chunk, end_chunk - first_chunk, replica=replica, out=buf
-        )
-        base = first_chunk * bitpack.CHUNK_ELEMENTS
-        yield pos, decoded[pos - base:window_stop - base]
-        pos = window_stop
+    # Pin the storage generation for the whole iteration: every span of
+    # one scan decodes the same snapshot even if a live migration swaps
+    # the array's storage mid-scan (decode_chunks resolves the pinned
+    # buffer to its own generation's bit width).
+    if hasattr(array, "pin_generation"):
+        gen = array.pin_generation()
+        replica = gen.buffer_for_socket(socket)
+    else:
+        gen = None
+        replica = array.get_replica(socket)
+    try:
+        buf = np.empty(step, dtype=np.uint64)
+        pos = start
+        while pos < stop:
+            window_start = (pos // step) * step
+            window_stop = min(window_start + step, stop)
+            first_chunk = pos // bitpack.CHUNK_ELEMENTS
+            end_chunk = -(-window_stop // bitpack.CHUNK_ELEMENTS)
+            decoded = array.decode_chunks(
+                first_chunk, end_chunk - first_chunk, replica=replica,
+                out=buf
+            )
+            base = first_chunk * bitpack.CHUNK_ELEMENTS
+            yield pos, decoded[pos - base:window_stop - base]
+            pos = window_stop
+    finally:
+        if gen is not None:
+            gen.unpin()
 
 
 def _chunks(array: SmartArray, start: int, stop: int, socket: int,

@@ -41,6 +41,122 @@ from ..obs.registry import registry as _obs_registry
 from ..obs.trace import TRACER
 
 
+class StorageGeneration:
+    """One immutable storage configuration of a smart array.
+
+    A generation couples a bit width with the allocation holding the
+    packed words for that width: the pair must be read together, because
+    decoding a buffer with the wrong width produces garbage that looks
+    like data.  Live migration (see :mod:`repro.live`) installs a new
+    generation atomically; readers that captured the old one keep
+    decoding it with the old width until they finish.
+
+    Generations are reference-counted through :meth:`pin` / :meth:`unpin`
+    so a retired generation's allocation is reclaimed only once the last
+    in-flight reader drains (``on_drain`` fires exactly once, when
+    ``retired`` and the pin count reaches zero).
+    """
+
+    def __init__(self, epoch: int, bits: int, allocation: Allocation,
+                 on_drain=None) -> None:
+        self.epoch = int(epoch)
+        self.bits = bitpack.check_bits(bits)
+        self.allocation = allocation
+        self._on_drain = on_drain
+        self._pins = 0
+        self._retired = False
+        self._drained = False
+        self._lock = threading.Lock()
+
+    @property
+    def buffers(self) -> Sequence[np.ndarray]:
+        return self.allocation.buffers
+
+    @property
+    def n_replicas(self) -> int:
+        return self.allocation.n_replicas
+
+    def buffer_for_socket(self, socket: int) -> np.ndarray:
+        return self.allocation.buffer_for_socket(socket)
+
+    @property
+    def pin_count(self) -> int:
+        return self._pins
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    def pin(self) -> "StorageGeneration":
+        with self._lock:
+            self._pins += 1
+        return self
+
+    def unpin(self) -> None:
+        fire = False
+        with self._lock:
+            if self._pins <= 0:
+                raise ValueError("unpin without matching pin")
+            self._pins -= 1
+            if self._retired and self._pins == 0 and not self._drained:
+                self._drained = True
+                fire = True
+        if fire and self._on_drain is not None:
+            self._on_drain(self)
+
+    def retire(self) -> None:
+        fire = False
+        with self._lock:
+            self._retired = True
+            if self._pins == 0 and not self._drained:
+                self._drained = True
+                fire = True
+        if fire and self._on_drain is not None:
+            self._on_drain(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StorageGeneration epoch={self.epoch} bits={self.bits} "
+            f"pins={self._pins} retired={self._retired}>"
+        )
+
+
+def _scalar_get(buf: np.ndarray, index: int, bits: int) -> int:
+    """Generic element load at any width (subclass fast paths bypass it)."""
+    if bits == 64:
+        return int(buf[index])
+    if bits == 32:
+        return int(buf.view(np.uint32)[index])
+    return bitpack.get_scalar(buf, index, bits)
+
+
+def _scalar_init(buffers, index: int, value: int, bits: int) -> None:
+    """Generic element store at any width into every buffer."""
+    if bits == 64:
+        value = bitpack.check_value(value, 64)
+        for buf in buffers:
+            buf[index] = np.uint64(value)
+    elif bits == 32:
+        value = bitpack.check_value(value, 32)
+        for buf in buffers:
+            buf.view(np.uint32)[index] = np.uint32(value)
+    else:
+        bitpack.init_scalar(buffers, index, value, bits)
+
+
+def _scalar_unpack(buf: np.ndarray, chunk: int, bits: int,
+                   out=None) -> np.ndarray:
+    """Generic chunk unpack at any width."""
+    if bits in (32, 64):
+        if out is None:
+            out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        start = chunk * bitpack.CHUNK_ELEMENTS
+        src = buf if bits == 64 else buf.view(np.uint32)
+        out[:] = src[start:start + bitpack.CHUNK_ELEMENTS]
+        return out
+    return bitpack.unpack_chunk_scalar(buf, chunk, bits, out=out)
+
+
 class SmartArray(abc.ABC):
     """Abstract smart array (paper Fig. 9, left box).
 
@@ -61,8 +177,20 @@ class SmartArray(abc.ABC):
         if length < 0:
             raise ValueError(f"length must be >= 0, got {length}")
         self._length = int(length)
-        self._bits = bitpack.check_bits(bits)
-        self._allocation = allocation
+        #: Generation 0: the configuration the array was allocated with.
+        #: ``_bits`` / ``_allocation`` are read through the active
+        #: generation so live migration can swap both atomically.
+        self._generation = StorageGeneration(0, bits, allocation)
+        self._gen_lock = threading.RLock()
+        #: Single write gate: every mutation (init/fill/scatter) and
+        #: every migration copy step serializes here, which is what
+        #: makes dual-writing into an in-flight migration's target
+        #: race-free.  See docs/API.md "Live adaptation: write policy".
+        self._write_gate = threading.Lock()
+        #: The in-flight migration (repro.live.Migration) or None.
+        self._migration = None
+        #: Retired generations still pinned by in-flight readers.
+        self._retired_generations = []
         self._init_locks = [threading.Lock() for _ in range(self._LOCK_STRIPES)]
         #: Deterministic operation counters (see repro.core.stats) — a
         #: view over labelled counters in the default metrics registry.
@@ -75,17 +203,38 @@ class SmartArray(abc.ABC):
         #: :meth:`reset_replica_reads` stays atomic as a group.
         self._replica_reads_lock = threading.Lock()
         reg = _obs_registry()
-        self._replica_read_counters = [
-            reg.counter(
-                "core.replica_read_elements",
-                lock=self._replica_reads_lock,
-                array=self.stats.array_label, replica=i,
+        self._pin_counter = reg.counter(
+            "live.reader_pins", array=self.stats.array_label,
+        )
+        self._replica_read_counters = []
+        self._replica_finalizer = None
+        self._bind_replica_counters(allocation.n_replicas)
+
+    def _bind_replica_counters(self, n_replicas: int) -> None:
+        """(Re)create per-replica read counters for ``n_replicas``.
+
+        Called at construction and again when a migration installs a
+        generation with a different replica count.  Counters are only
+        ever added (registry counters are cheap and the finalizer drops
+        every key this array ever registered), so counts survive a
+        replicated -> single -> replicated round trip.
+        """
+        reg = _obs_registry()
+        while len(self._replica_read_counters) < n_replicas:
+            i = len(self._replica_read_counters)
+            self._replica_read_counters.append(
+                reg.counter(
+                    "core.replica_read_elements",
+                    lock=self._replica_reads_lock,
+                    array=self.stats.array_label, replica=i,
+                )
             )
-            for i in range(allocation.n_replicas)
-        ]
+        if self._replica_finalizer is not None:
+            self._replica_finalizer.detach()
         self._replica_finalizer = weakref.finalize(
             self, reg.drop,
-            tuple(c.key for c in self._replica_read_counters),
+            tuple(c.key for c in self._replica_read_counters)
+            + (self._pin_counter.key,),
         )
 
     # -- basic properties (paper: getLength, getBits, placement flags) --
@@ -99,12 +248,80 @@ class SmartArray(abc.ABC):
         return self._length
 
     @property
+    def _bits(self) -> int:
+        return self._generation.bits
+
+    @property
+    def _allocation(self) -> Allocation:
+        return self._generation.allocation
+
+    @property
     def bits(self) -> int:
         return self._bits
 
     def get_bits(self) -> int:
         """Paper-style accessor; same as :attr:`bits`."""
         return self._bits
+
+    # -- storage generations (live-migration support) -----------------------
+
+    @property
+    def generation(self) -> StorageGeneration:
+        """The active storage generation (epoch-stamped bits+allocation)."""
+        return self._generation
+
+    @property
+    def generation_epoch(self) -> int:
+        return self._generation.epoch
+
+    def pin_generation(self) -> StorageGeneration:
+        """Pin and return the active generation for a read operation.
+
+        The caller must :meth:`StorageGeneration.unpin` when done (use
+        ``try/finally``).  While pinned, the generation's buffers and
+        bit width stay a consistent snapshot even if a live migration
+        swaps the array underneath; the allocation is not reclaimed
+        until every pin drains.
+        """
+        with self._gen_lock:
+            gen = self._generation.pin()
+        self._pin_counter.add(1)
+        return gen
+
+    @property
+    def migration(self):
+        """The in-flight live migration, or None."""
+        return self._migration
+
+    def _install_generation(self, new_gen: StorageGeneration,
+                            reclaim=None) -> StorageGeneration:
+        """Atomically swap the active generation (migration commit point).
+
+        Retires the old generation; when its pin count drains,
+        ``reclaim(old_gen)`` runs (after the generation has been removed
+        from the retired list).  Also re-shapes the concrete class and
+        the per-replica counters to the new configuration.  Returns the
+        old generation.
+        """
+        with self._gen_lock:
+            old = self._generation
+            self._generation = new_gen
+            self.__class__ = concrete_class_for_bits(new_gen.bits)
+            self._bind_replica_counters(new_gen.n_replicas)
+            self._retired_generations.append(old)
+
+            def _drain(gen, _reclaim=reclaim):
+                with self._gen_lock:
+                    try:
+                        self._retired_generations.remove(gen)
+                    except ValueError:
+                        pass
+                if _reclaim is not None:
+                    _reclaim(gen)
+
+            old._on_drain = _drain
+            old.retire()
+        return old
 
     @property
     def placement(self) -> Placement:
@@ -169,7 +386,9 @@ class SmartArray(abc.ABC):
     @property
     def replica_read_elements(self) -> Sequence[int]:
         """Per-replica decoded-element counts (scan-engine reads only)."""
-        return tuple(c.value for c in self._replica_read_counters)
+        return tuple(
+            c.value for c in self._replica_read_counters[:self.n_replicas]
+        )
 
     def reset_replica_reads(self) -> None:
         """Zero the per-replica read counters (start of a measured region).
@@ -182,29 +401,50 @@ class SmartArray(abc.ABC):
             for counter in self._replica_read_counters:
                 counter.store_under_lock(0)
 
-    def _note_replica_read(self, buf: np.ndarray, n_elements: int) -> None:
+    def _note_replica_read(self, buf: np.ndarray, n_elements: int,
+                           gen: Optional[StorageGeneration] = None) -> None:
         # Registry counters make the add atomic; parallel scans update
         # from many worker threads, and the counters must stay exact
         # for the tests that account for every decoded element.
-        for i, replica in enumerate(self.replicas):
+        buffers = (gen or self._generation).buffers
+        for i, replica in enumerate(buffers):
             if replica is buf:
-                self._replica_read_counters[i].add(n_elements)
+                if i < len(self._replica_read_counters):
+                    self._replica_read_counters[i].add(n_elements)
                 return
 
-    def _resolve_replica(self, replica) -> np.ndarray:
+    def _read_view(self, replica):
+        """Resolve ``replica`` to ``(generation, buffer)`` — read together.
+
+        ``None`` / an index resolve against the *active* generation.  A
+        buffer object resolves against the active generation first and
+        then against retired-but-pinned generations, so a reader that
+        captured a buffer before a migration swap keeps decoding it at
+        that generation's bit width (never the new width against old
+        words — the torn-read failure mode).
+        """
+        gen = self._generation
         if replica is None:
-            return self.replicas[0]
+            return gen, gen.buffers[0]
         if isinstance(replica, (int, np.integer)):
             idx = int(replica)
-            if not 0 <= idx < self.n_replicas:
+            if not 0 <= idx < gen.n_replicas:
                 raise ReplicaError(
-                    f"replica {idx} out of range for {self.n_replicas} replicas"
+                    f"replica {idx} out of range for {gen.n_replicas} replicas"
                 )
-            return self.replicas[idx]
-        for buf in self.replicas:
+            return gen, gen.buffers[idx]
+        for buf in gen.buffers:
             if buf is replica:
-                return buf
+                return gen, buf
+        with self._gen_lock:
+            for old in self._retired_generations:
+                for buf in old.buffers:
+                    if buf is replica:
+                        return old, buf
         raise ReplicaError("replica buffer does not belong to this smart array")
+
+    def _resolve_replica(self, replica) -> np.ndarray:
+        return self._read_view(replica)[1]
 
     # -- element API (paper Functions 1-3) ---------------------------------
 
@@ -266,7 +506,7 @@ class SmartArray(abc.ABC):
             raise IndexOutOfRangeError(chunk, total_chunks)
         if chunk + n_chunks > total_chunks:
             raise IndexOutOfRangeError(chunk + n_chunks, total_chunks)
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         # Only nest a decode span under an already-open operator span on
         # this thread: worker threads with no open span contribute their
         # counter deltas to the operator span via the registry without
@@ -274,18 +514,18 @@ class SmartArray(abc.ABC):
         if TRACER.enabled and TRACER.current_span() is not None:
             with TRACER.span(
                 "scan.superchunk_decode", array=self.stats.array_label,
-                chunk=chunk, n_chunks=n_chunks, bits=self._bits,
+                chunk=chunk, n_chunks=n_chunks, bits=gen.bits,
             ):
                 self.stats.note_superchunk_decode(n_chunks)
                 self._note_replica_read(
-                    buf, n_chunks * bitpack.CHUNK_ELEMENTS
+                    buf, n_chunks * bitpack.CHUNK_ELEMENTS, gen
                 )
                 return unpack_chunk_range(
-                    buf, chunk, n_chunks, self._bits, out=out
+                    buf, chunk, n_chunks, gen.bits, out=out
                 )
         self.stats.note_superchunk_decode(n_chunks)
-        self._note_replica_read(buf, n_chunks * bitpack.CHUNK_ELEMENTS)
-        return unpack_chunk_range(buf, chunk, n_chunks, self._bits, out=out)
+        self._note_replica_read(buf, n_chunks * bitpack.CHUNK_ELEMENTS, gen)
+        return unpack_chunk_range(buf, chunk, n_chunks, gen.bits, out=out)
 
     def fill(self, values) -> None:
         """Initialize the whole array from ``values`` (vectorized Function 2)."""
@@ -294,9 +534,13 @@ class SmartArray(abc.ABC):
             raise ValueError(
                 f"expected {self._length} values, got {values.size}"
             )
-        packed = bitpack.pack_array(values, self._bits)
-        for buf in self.replicas:
-            np.copyto(buf, packed)
+        with self._write_gate:
+            gen = self._generation
+            packed = bitpack.pack_array(values, gen.bits)
+            for buf in gen.buffers:
+                np.copyto(buf, packed)
+            if self._migration is not None:
+                self._migration.mirror_fill(values)
         self.stats.add("bulk_elements_written", values.size)
 
     def to_numpy(self, replica=None) -> np.ndarray:
@@ -308,14 +552,14 @@ class SmartArray(abc.ABC):
         """
         from .bitpack_fast import unpack_array_fast
 
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         self.stats.add("bulk_elements_read", self._length)
-        self._note_replica_read(buf, self._length)
-        return unpack_array_fast(buf, self._length, self._bits)
+        self._note_replica_read(buf, self._length, gen)
+        return unpack_array_fast(buf, self._length, gen.bits)
 
     def gather_many(self, indices, replica=None) -> np.ndarray:
         """Vectorized random-access read (bulk Function 1)."""
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         if indices.size and (
             int(indices.min()) < 0 or int(indices.max()) >= self._length
@@ -323,7 +567,7 @@ class SmartArray(abc.ABC):
             bad = indices[(indices < 0) | (indices >= self._length)][0]
             raise IndexOutOfRangeError(int(bad), self._length)
         self.stats.add("bulk_elements_read", indices.size)
-        return bitpack.gather(buf, indices, self._bits)
+        return bitpack.gather(buf, indices, gen.bits)
 
     def scatter_many(self, indices, values) -> None:
         """Vectorized write into every replica (bulk Function 2)."""
@@ -333,8 +577,12 @@ class SmartArray(abc.ABC):
         ):
             bad = indices[(indices < 0) | (indices >= self._length)][0]
             raise IndexOutOfRangeError(int(bad), self._length)
-        for buf in self.replicas:
-            bitpack.scatter(buf, indices, values, self._bits)
+        with self._write_gate:
+            gen = self._generation
+            for buf in gen.buffers:
+                bitpack.scatter(buf, indices, values, gen.bits)
+            if self._migration is not None:
+                self._migration.mirror_scatter(indices, values)
         self.stats.add("bulk_elements_written", indices.size)
 
     # -- pythonic conveniences ----------------------------------------------
@@ -393,22 +641,26 @@ class BitCompressedArray(SmartArray):
 
     def get(self, index: int, replica=None) -> int:
         bitpack.check_index(index, self._length)
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         self.stats.add("scalar_gets")
-        return bitpack.get_scalar(buf, index, self._bits)
+        return _scalar_get(buf, index, gen.bits)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
         self.stats.add("scalar_inits")
-        bitpack.init_scalar(self.replicas, index, value, self._bits)
+        with self._write_gate:
+            gen = self._generation
+            bitpack.init_scalar(gen.buffers, index, value, gen.bits)
+            if self._migration is not None:
+                self._migration.mirror_write(index, value)
 
     def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
         n_chunks = bitpack.chunks_for(self._length)
         if not 0 <= chunk < max(1, n_chunks):
             raise IndexOutOfRangeError(chunk, n_chunks)
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         self.stats.add("chunk_unpacks")
-        return bitpack.unpack_chunk_scalar(buf, chunk, self._bits, out=out)
+        return _scalar_unpack(buf, chunk, gen.bits, out=out)
 
 
 class Uncompressed64Array(BitCompressedArray):
@@ -421,28 +673,29 @@ class Uncompressed64Array(BitCompressedArray):
 
     def get(self, index: int, replica=None) -> int:
         bitpack.check_index(index, self._length)
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         self.stats.add("scalar_gets")
-        return int(buf[index])
+        if gen.bits == 64:
+            return int(buf[index])
+        return _scalar_get(buf, index, gen.bits)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
         value = bitpack.check_value(value, 64)
         self.stats.add("scalar_inits")
-        for buf in self.replicas:
-            buf[index] = np.uint64(value)
+        with self._write_gate:
+            gen = self._generation
+            _scalar_init(gen.buffers, index, value, gen.bits)
+            if self._migration is not None:
+                self._migration.mirror_write(index, value)
 
     def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
         n_chunks = bitpack.chunks_for(self._length)
         if not 0 <= chunk < max(1, n_chunks):
             raise IndexOutOfRangeError(chunk, n_chunks)
-        buf = self._resolve_replica(replica)
-        if out is None:
-            out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        gen, buf = self._read_view(replica)
         self.stats.add("chunk_unpacks")
-        start = chunk * bitpack.CHUNK_ELEMENTS
-        out[:] = buf[start:start + bitpack.CHUNK_ELEMENTS]
-        return out
+        return _scalar_unpack(buf, chunk, gen.bits, out=out)
 
 
 class Uncompressed32Array(BitCompressedArray):
@@ -458,28 +711,29 @@ class Uncompressed32Array(BitCompressedArray):
 
     def get(self, index: int, replica=None) -> int:
         bitpack.check_index(index, self._length)
-        buf = self._resolve_replica(replica)
+        gen, buf = self._read_view(replica)
         self.stats.add("scalar_gets")
-        return int(self._u32(buf)[index])
+        if gen.bits == 32:
+            return int(self._u32(buf)[index])
+        return _scalar_get(buf, index, gen.bits)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
         value = bitpack.check_value(value, 32)
         self.stats.add("scalar_inits")
-        for buf in self.replicas:
-            self._u32(buf)[index] = np.uint32(value)
+        with self._write_gate:
+            gen = self._generation
+            _scalar_init(gen.buffers, index, value, gen.bits)
+            if self._migration is not None:
+                self._migration.mirror_write(index, value)
 
     def unpack(self, chunk: int, replica=None, out=None) -> np.ndarray:
         n_chunks = bitpack.chunks_for(self._length)
         if not 0 <= chunk < max(1, n_chunks):
             raise IndexOutOfRangeError(chunk, n_chunks)
-        buf = self._resolve_replica(replica)
-        if out is None:
-            out = np.empty(bitpack.CHUNK_ELEMENTS, dtype=np.uint64)
+        gen, buf = self._read_view(replica)
         self.stats.add("chunk_unpacks")
-        start = chunk * bitpack.CHUNK_ELEMENTS
-        out[:] = self._u32(buf)[start:start + bitpack.CHUNK_ELEMENTS]
-        return out
+        return _scalar_unpack(buf, chunk, gen.bits, out=out)
 
 
 def concrete_class_for_bits(bits: int):

@@ -165,9 +165,21 @@ class SmartTable:
         return zm
 
     def zone_map(self, name: str):
-        """The cached zone map for ``name``, or ``None``."""
-        self.column(name)
-        return self._zone_maps.get(name)
+        """The cached zone map for ``name``, or ``None``.
+
+        A map built against an older storage generation of the column
+        (i.e. before a live migration) is dropped, not returned: the
+        planner must never prune against metadata whose epoch does not
+        match the storage it will decode.
+        """
+        column = self.column(name)
+        zm = self._zone_maps.get(name)
+        if zm is not None and (
+            zm.built_epoch != getattr(column, "generation_epoch", 0)
+        ):
+            del self._zone_maps[name]
+            return None
+        return zm
 
     def invalidate_zone_maps(self, name: Optional[str] = None) -> None:
         """Drop the cached zone map for ``name`` (or all of them)."""

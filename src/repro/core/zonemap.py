@@ -59,6 +59,12 @@ class ZoneMap:
         self.array = array
         self.mins = mins
         self.maxs = maxs
+        #: Storage-generation epoch of ``array`` when the map was built.
+        #: A live migration bumps the epoch; cached maps from an older
+        #: epoch are dropped by ``SmartTable.zone_map`` (the zone
+        #: *contents* survive a value-preserving migration, but the
+        #: epoch is the cheap, conservative invalidation signal).
+        self.built_epoch = getattr(array, "generation_epoch", 0)
 
     @classmethod
     def build(cls, array: SmartArray, allocator=None,

@@ -1,0 +1,39 @@
+"""Live adaptation runtime: online migration under concurrent readers.
+
+The paper's §6 adaptivity is evaluated *offline* — the selector picks a
+placement and a compression decision from a profiling run, and applying
+it to a running system is left as future work.  This package closes the
+loop on smart arrays:
+
+* :class:`LiveMigrator` / :class:`Migration` — an incremental engine
+  that re-homes a live :class:`~repro.core.smart_array.SmartArray` to a
+  new placement and/or bit width, a budgeted batch of chunks (or pages)
+  at a time, while concurrent readers keep scanning consistent data
+  through pinned storage generations;
+* :class:`LiveAdaptationDaemon` — a background controller that turns
+  :class:`~repro.obs.registry.MetricsRegistry` deltas into selector
+  measurements, consults the §6 selector through
+  :class:`~repro.adapt.dynamic.AdaptiveController` (with hysteresis and
+  cooldown), applies accepted reconfigurations through the migrator,
+  verifies post-migration throughput, and rolls back a regression.
+
+See docs/API.md "Live adaptation" for the generation/pinning model, the
+write policy, and rollback semantics.
+"""
+
+from .migrator import (
+    LiveMigrator,
+    Migration,
+    MigrationBudget,
+    MigrationError,
+)
+from .daemon import AdaptationEvent, LiveAdaptationDaemon
+
+__all__ = [
+    "AdaptationEvent",
+    "LiveAdaptationDaemon",
+    "LiveMigrator",
+    "Migration",
+    "MigrationBudget",
+    "MigrationError",
+]

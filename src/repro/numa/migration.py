@@ -171,3 +171,79 @@ class AutoNumaSimulator:
         total = counts.sum()
         local = counts[np.arange(pages.size), pages].sum()
         return float(local) / total if total else 1.0
+
+
+# -- explicit incremental page moves (live-migration reuse) ---------------
+#
+# The AutoNUMA simulator above moves pages toward *sampled* accessors.
+# Live adaptation (repro.live) needs the same page-move mechanism but
+# with an explicit destination: change a single-buffer allocation's
+# placement in place, a budgeted batch of pages at a time, with the
+# memory ledger kept exact at every step.  This is the simulated
+# equivalent of Linux's ``move_pages(2)``.
+
+
+def desired_page_sockets(placement, n_pages: int,
+                         machine: MachineSpec) -> np.ndarray:
+    """Per-page target sockets realizing ``placement`` over ``n_pages``.
+
+    Mirrors the :class:`PageMap` constructors: pinned puts every page on
+    the placement's socket, interleaved round-robins, and os_default
+    lands on socket 0 (the single-threaded first-toucher).  Replicated
+    placements have one page map *per socket* and are reached by
+    copying, not by moving pages, so they are rejected here.
+    """
+    if placement.is_replicated:
+        raise ValueError(
+            "replicated placement needs one buffer per socket; "
+            "move_pages only re-homes a single buffer"
+        )
+    if placement.is_pinned:
+        machine.validate_socket(placement.socket)
+        return np.full(n_pages, placement.socket, dtype=np.int32)
+    if placement.is_interleaved:
+        sockets = np.arange(n_pages, dtype=np.int64) % machine.n_sockets
+        return sockets.astype(np.int32)
+    return np.zeros(n_pages, dtype=np.int32)
+
+
+def move_pages(ledger, page_map: PageMap, desired: np.ndarray,
+               max_pages: Optional[int] = None) -> int:
+    """Move up to ``max_pages`` pages of ``page_map`` toward ``desired``.
+
+    Mutates ``page_map`` in place and keeps ``ledger`` exact per page:
+    the destination socket is charged *before* the source is released,
+    so a full destination raises :class:`AllocationError` without
+    touching the page.  Returns the number of pages moved; call again
+    until :func:`pages_remaining` reports zero.
+    """
+    desired = np.asarray(desired, dtype=np.int32)
+    if desired.size != page_map.n_pages:
+        raise ValueError(
+            f"desired has {desired.size} entries for "
+            f"{page_map.n_pages} pages"
+        )
+    mismatched = np.nonzero(page_map.page_to_socket != desired)[0]
+    if max_pages is not None:
+        if max_pages < 1:
+            raise ValueError(f"max_pages must be >= 1, got {max_pages}")
+        mismatched = mismatched[:max_pages]
+    moved = 0
+    for i in mismatched:
+        src = int(page_map.page_to_socket[i])
+        dst = int(desired[i])
+        ledger.charge(
+            PageMap(page_map.page_bytes, np.array([dst], dtype=np.int32))
+        )
+        ledger.release(
+            PageMap(page_map.page_bytes, np.array([src], dtype=np.int32))
+        )
+        page_map.page_to_socket[i] = dst
+        moved += 1
+    return moved
+
+
+def pages_remaining(page_map: PageMap, desired: np.ndarray) -> int:
+    """Pages of ``page_map`` not yet on their ``desired`` socket."""
+    desired = np.asarray(desired, dtype=np.int32)
+    return int(np.count_nonzero(page_map.page_to_socket != desired))

@@ -197,72 +197,83 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
         if candidates.size == 0:
             return
         socket = ctx.socket if ctx is not None else 0
+        # Pin each needed column's storage generation for the morsel:
+        # a live migration swapping a column mid-query cannot tear a
+        # morsel, and the next morsel reads the freshest generation.
+        gens = {
+            name: table[name].pin_generation()
+            for name in plan.needed_columns
+        }
         replicas = {
-            name: table[name].get_replica(socket)
+            name: gens[name].buffer_for_socket(socket)
             for name in plan.needed_columns
         }
         bufs = {
             name: np.empty(plan.morsel_elements, dtype=np.uint64)
             for name in plan.needed_columns
         }
-        if specs:
-            part.agg = _new_agg_partials(specs)
-            if group_key is not None:
-                part.groups = {}
-        else:
-            idx_pieces: List[np.ndarray] = []
-            val_pieces: Dict[str, List[np.ndarray]] = {
-                name: [] for name in (projection or ())
-            }
-        for first, count in _chunk_runs(candidates, max_chunks):
-            base = first * bitpack.CHUNK_ELEMENTS
-            end = min(n_rows, base + count * bitpack.CHUNK_ELEMENTS)
-            env: Dict[str, np.ndarray] = {}
-            for name in plan.needed_columns:
-                decoded = table[name].decode_chunks(
-                    first, count, replica=replicas[name], out=bufs[name]
-                )
-                env[name] = decoded[:end - base]
-            part.decoded_chunks += count
-            span_len = end - base
-            part.rows_scanned += span_len
-            if predicate is not None:
-                mask = predicate.evaluate(env)
-                n_matched = int(mask.sum())
-            else:
-                mask = None
-                n_matched = span_len
-            part.rows_matched += n_matched
-            if n_matched == 0:
-                continue
+        try:
             if specs:
+                part.agg = _new_agg_partials(specs)
                 if group_key is not None:
-                    _fold_groups(part.groups, specs, env[group_key],
-                                 env, mask)
-                else:
-                    _fold_agg(part.agg, specs, env, mask, n_matched)
+                    part.groups = {}
             else:
-                local = (np.nonzero(mask)[0] if mask is not None
-                         else np.arange(span_len))
-                idx_pieces.append(local.astype(np.int64) + base)
-                for name in projection or ():
-                    vals = env[name]
-                    val_pieces[name].append(
-                        (vals[mask] if mask is not None else vals).copy()
+                idx_pieces: List[np.ndarray] = []
+                val_pieces: Dict[str, List[np.ndarray]] = {
+                    name: [] for name in (projection or ())
+                }
+            for first, count in _chunk_runs(candidates, max_chunks):
+                base = first * bitpack.CHUNK_ELEMENTS
+                end = min(n_rows, base + count * bitpack.CHUNK_ELEMENTS)
+                env: Dict[str, np.ndarray] = {}
+                for name in plan.needed_columns:
+                    decoded = table[name].decode_chunks(
+                        first, count, replica=replicas[name], out=bufs[name]
                     )
-        if not specs:
-            if idx_pieces:
-                part.indices = np.concatenate(idx_pieces)
-                part.values = {
-                    name: np.concatenate(pieces)
-                    for name, pieces in val_pieces.items()
-                }
-            else:
-                part.indices = np.empty(0, dtype=np.int64)
-                part.values = {
-                    name: np.empty(0, dtype=np.uint64)
-                    for name in (projection or ())
-                }
+                    env[name] = decoded[:end - base]
+                part.decoded_chunks += count
+                span_len = end - base
+                part.rows_scanned += span_len
+                if predicate is not None:
+                    mask = predicate.evaluate(env)
+                    n_matched = int(mask.sum())
+                else:
+                    mask = None
+                    n_matched = span_len
+                part.rows_matched += n_matched
+                if n_matched == 0:
+                    continue
+                if specs:
+                    if group_key is not None:
+                        _fold_groups(part.groups, specs, env[group_key],
+                                     env, mask)
+                    else:
+                        _fold_agg(part.agg, specs, env, mask, n_matched)
+                else:
+                    local = (np.nonzero(mask)[0] if mask is not None
+                             else np.arange(span_len))
+                    idx_pieces.append(local.astype(np.int64) + base)
+                    for name in projection or ():
+                        vals = env[name]
+                        val_pieces[name].append(
+                            (vals[mask] if mask is not None else vals).copy()
+                        )
+            if not specs:
+                if idx_pieces:
+                    part.indices = np.concatenate(idx_pieces)
+                    part.values = {
+                        name: np.concatenate(pieces)
+                        for name, pieces in val_pieces.items()
+                    }
+                else:
+                    part.indices = np.empty(0, dtype=np.int64)
+                    part.values = {
+                        name: np.empty(0, dtype=np.uint64)
+                        for name in (projection or ())
+                    }
+        finally:
+            for gen in gens.values():
+                gen.unpin()
 
     # Only morsels with candidate chunks are ever visited; fully pruned
     # morsels cost nothing at execution time (their partial stays None).

@@ -101,6 +101,12 @@ class ColumnDecision:
     recommended: Optional[str]  # selector's configuration, None if skipped
     matches_actual: Optional[bool]
     selection: Optional[SelectionResult] = field(repr=False, default=None)
+    #: Storage-generation epoch the plan was made against.  A live
+    #: migration bumps the column's epoch, so a mismatch at execution
+    #: time means the plan describes a configuration that no longer
+    #: exists (the executor still reads consistently — it re-resolves
+    #: the active generation per morsel).
+    generation: int = 0
 
     def describe(self) -> str:
         rec = ""
@@ -108,7 +114,8 @@ class ColumnDecision:
             verdict = "matches" if self.matches_actual else "differs"
             rec = f"; selector recommends {self.recommended} ({verdict})"
         return (
-            f"{self.name}: {self.bits}b {self.placement}, engine={self.engine}, "
+            f"{self.name}: {self.bits}b {self.placement} (gen "
+            f"{self.generation}), engine={self.engine}, "
             f"{self.read_policy}{rec}"
         )
 
@@ -174,6 +181,7 @@ def _decide_column(name: str, array: SmartArray, n_rows: int,
             name=name, bits=array.bits, placement=placement,
             n_replicas=array.n_replicas, engine="blocked",
             read_policy=read_policy, recommended=None, matches_actual=None,
+            generation=getattr(array, "generation_epoch", 0),
         )
     chars = ArrayCharacteristics(
         length=n_rows,
@@ -209,6 +217,7 @@ def _decide_column(name: str, array: SmartArray, n_rows: int,
         n_replicas=array.n_replicas, engine="blocked",
         read_policy=read_policy, recommended=config.describe(),
         matches_actual=matches, selection=selection,
+        generation=getattr(array, "generation_epoch", 0),
     )
 
 

@@ -73,13 +73,23 @@ def _batch_chunks(start: int, end: int) -> Tuple[int, int, int]:
 
 def _decode_batch(array: SmartArray, start: int, end: int,
                   ctx: ThreadContext) -> np.ndarray:
-    """Decode ``[start, end)`` from the socket-local replica."""
-    replica = array.get_replica(ctx.socket)
-    first_chunk, end_chunk, base = _batch_chunks(start, end)
-    decoded = array.decode_chunks(
-        first_chunk, end_chunk - first_chunk, replica=replica
-    )
-    return decoded[start - base:end - base]
+    """Decode ``[start, end)`` from the socket-local replica.
+
+    Pins the storage generation per batch: a live migration swapping
+    the array mid-scan cannot tear a batch (the pinned buffer decodes
+    at its own generation's bit width), and each new batch picks up the
+    freshest generation.
+    """
+    gen = array.pin_generation()
+    try:
+        replica = gen.buffer_for_socket(ctx.socket)
+        first_chunk, end_chunk, base = _batch_chunks(start, end)
+        decoded = array.decode_chunks(
+            first_chunk, end_chunk - first_chunk, replica=replica
+        )
+        return decoded[start - base:end - base]
+    finally:
+        gen.unpin()
 
 
 def _as_arrays(

@@ -108,3 +108,92 @@ class TestController:
         for _ in range(20):
             controller.observe(cpu_bound)
         assert len(controller.reconfigurations) == 1
+
+
+CPU_BOUND = dict(time_s=0.5, inst=2e11, gb=4.0, memory_bound=False)
+
+
+def make_controller(window=3, cooldown=0):
+    caps = MachineCapabilities(machine_2x18_haswell())
+    array = ArrayCharacteristics(length=10**9, element_bits=33)
+    return AdaptiveController(caps, array, base_measurement(), window=window,
+                              drift_threshold=0.25, cooldown=cooldown)
+
+
+class TestApplyLifecycle:
+    """The in-flight gate and post-apply cooldown.
+
+    Regression tests for the overlapping-reconfiguration bug: drift
+    observed while a migration is still being applied (drift the
+    migration itself usually causes) must not stack a second decision
+    on top of the in-flight one.
+    """
+
+    def test_in_flight_gate_emits_at_most_one_decision(self):
+        controller = make_controller()
+        decisions = []
+        # Tight loop of heavily drifting observations with the apply
+        # never reported finished — only ONE decision may come out.
+        for _ in range(30):
+            d = controller.observe(counters(**CPU_BOUND))
+            if d is not None:
+                decisions.append(d)
+        assert len(decisions) == 1
+        assert len(controller.reconfigurations) == 1
+        assert controller.in_flight
+
+    def test_decision_sets_in_flight(self):
+        controller = make_controller()
+        assert not controller.in_flight
+        for _ in range(3):
+            decision = controller.observe(counters(**CPU_BOUND))
+        assert decision is not None
+        assert controller.in_flight
+
+    def test_finish_apply_cooldown_then_rearm(self):
+        controller = make_controller(window=3, cooldown=2)
+        for _ in range(3):
+            controller.observe(counters(**CPU_BOUND))
+        assert controller.reconfigurations[-1].observation_index == 3
+        controller.finish_apply()
+        assert not controller.in_flight
+        # Back to the original memory-bound load: observations 4-5 are
+        # swallowed by the cooldown, 6-8 refill the window, and the
+        # second decision lands exactly at observation 8.
+        for _ in range(5):
+            controller.observe(counters())
+        assert len(controller.reconfigurations) == 2
+        assert controller.reconfigurations[-1].observation_index == 8
+
+    def test_begin_apply_blocks_decisions(self):
+        controller = make_controller()
+        controller.begin_apply()
+        for _ in range(10):
+            assert controller.observe(counters(**CPU_BOUND)) is None
+        assert controller.reconfigurations == []
+        controller.finish_apply()
+        for _ in range(3):
+            decision = controller.observe(counters(**CPU_BOUND))
+        assert decision is not None
+
+    def test_abort_apply_restores_configuration(self):
+        controller = make_controller()
+        for _ in range(3):
+            decision = controller.observe(counters(**CPU_BOUND))
+        old = decision.old
+        assert controller.configuration == decision.new
+        controller.abort_apply(restore=old)
+        assert controller.configuration == old
+        assert not controller.in_flight
+
+    def test_abort_apply_without_restore_keeps_configuration(self):
+        controller = make_controller()
+        for _ in range(3):
+            decision = controller.observe(counters(**CPU_BOUND))
+        controller.abort_apply()
+        assert controller.configuration == decision.new
+        assert not controller.in_flight
+
+    def test_cooldown_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(cooldown=-1)

@@ -208,3 +208,56 @@ class TestApiGuideSnippets:
         assert result.configuration.placement is not None
         reg.drop(["docs.example{array=a0}", "docs.pool_workers",
                   "docs.wall_time_s"])
+
+    def test_live_adaptation_forms(self):
+        # The API guide's "Live adaptation" section, verbatim in spirit.
+        import numpy as np
+
+        from repro import allocate, machine_2x8_haswell
+        from repro.adapt import Configuration, MachineCapabilities
+        from repro.core.placement import Placement
+        from repro.live import (
+            LiveAdaptationDaemon,
+            LiveMigrator,
+            MigrationBudget,
+        )
+        from repro.numa import NumaAllocator
+
+        machine = machine_2x8_haswell()
+        alloc = NumaAllocator(machine)
+        values = np.random.default_rng(0).integers(
+            0, 2**33, size=50_000, dtype=np.uint64
+        )
+        sa = allocate(len(values), bits=64, allocator=alloc, values=values)
+
+        migrator = LiveMigrator(alloc)
+        target = Configuration(Placement.replicated(), bits=33)
+        m = migrator.start(
+            sa, target, budget=MigrationBudget(max_chunks_per_step=256)
+        )
+        while m.step():
+            assert sa.get(123) == int(values[123])
+        assert m.state == "completed" and sa.bits == 33
+
+        gen = sa.generation
+        assert gen.epoch == 1 and gen.bits == 33
+        pinned = sa.pin_generation()
+        pinned.unpin()
+
+        sa2 = allocate(len(values), bits=64, allocator=alloc, values=values)
+        daemon = LiveAdaptationDaemon(
+            sa2, MachineCapabilities(machine), LiveMigrator(alloc),
+            budget=MigrationBudget(max_chunks_per_step=512),
+            window=3,
+            drift_threshold=0.25,
+            cooldown=3,
+            regression_threshold=0.5,
+            verify_ticks=2,
+        )
+        for _ in range(10):
+            assert sa2.to_numpy().sum() >= 0
+            daemon.tick(elapsed_s=0.01)
+        timeline = daemon.format_timeline()
+        for kind in ("measure", "decide", "migrate_done", "accept"):
+            assert kind in timeline
+        assert sa2.bits == 33 and sa2.placement.is_replicated

@@ -1,0 +1,164 @@
+"""Tests for explicit incremental page moves (numa.migration).
+
+These are the primitives the live migrator's "move" mode is built on:
+`desired_page_sockets` / `move_pages` / `pages_remaining`.  The focus
+is the concurrent-migration edge cases: budget truncation, per-page
+ledger exactness, failure atomicity, and degenerate (0-page) maps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AllocationError
+from repro.core.placement import Placement
+from repro.numa.migration import (
+    desired_page_sockets,
+    move_pages,
+    pages_remaining,
+)
+from repro.numa.pages import MemoryLedger, PageMap
+from repro.numa.topology import machine_2x8_haswell
+
+PAGE = 4096
+
+
+@pytest.fixture
+def machine():
+    return machine_2x8_haswell()
+
+
+@pytest.fixture
+def ledger(machine):
+    return MemoryLedger(machine)
+
+
+def pinned_map(n_pages, socket=0):
+    return PageMap.pinned(n_pages * PAGE, socket, PAGE)
+
+
+class TestDesiredPageSockets:
+    def test_pinned(self, machine):
+        desired = desired_page_sockets(
+            Placement.single_socket(1), 10, machine)
+        assert np.array_equal(desired, np.full(10, 1, dtype=np.int32))
+
+    def test_interleaved_round_robins(self, machine):
+        desired = desired_page_sockets(Placement.interleaved(), 7, machine)
+        assert np.array_equal(
+            desired, np.arange(7) % machine.n_sockets)
+
+    def test_os_default_first_touches_socket_zero(self, machine):
+        desired = desired_page_sockets(Placement.os_default(), 5, machine)
+        assert np.array_equal(desired, np.zeros(5, dtype=np.int32))
+
+    def test_replicated_rejected(self, machine):
+        with pytest.raises(ValueError, match="replicated"):
+            desired_page_sockets(Placement.replicated(), 5, machine)
+
+    def test_pinned_validates_socket(self, machine):
+        with pytest.raises(ValueError):
+            desired_page_sockets(
+                Placement.single_socket(99), 5, machine)
+
+    def test_zero_pages(self, machine):
+        desired = desired_page_sockets(Placement.interleaved(), 0, machine)
+        assert desired.size == 0
+
+
+class TestMovePages:
+    def test_moves_to_completion(self, machine, ledger):
+        page_map = pinned_map(10, socket=0)
+        ledger.charge(page_map)
+        desired = desired_page_sockets(Placement.interleaved(), 10, machine)
+        moved = move_pages(ledger, page_map, desired)
+        assert moved == pages_remaining(pinned_map(10), desired)
+        assert pages_remaining(page_map, desired) == 0
+        assert np.array_equal(page_map.page_to_socket, desired)
+
+    def test_budget_truncates(self, machine, ledger):
+        page_map = pinned_map(10, socket=0)
+        ledger.charge(page_map)
+        desired = np.full(10, 1, dtype=np.int32)
+        assert move_pages(ledger, page_map, desired, max_pages=4) == 4
+        assert pages_remaining(page_map, desired) == 6
+        assert move_pages(ledger, page_map, desired, max_pages=4) == 4
+        assert move_pages(ledger, page_map, desired, max_pages=4) == 2
+        assert pages_remaining(page_map, desired) == 0
+
+    def test_ledger_exact_after_each_batch(self, machine, ledger):
+        page_map = pinned_map(8, socket=0)
+        ledger.charge(page_map)
+        desired = np.full(8, 1, dtype=np.int32)
+        moved_total = 0
+        while pages_remaining(page_map, desired):
+            moved_total += move_pages(ledger, page_map, desired, max_pages=3)
+            assert ledger.used_bytes[0] == (8 - moved_total) * PAGE
+            assert ledger.used_bytes[1] == moved_total * PAGE
+        assert sum(ledger.used_bytes) == 8 * PAGE
+
+    def test_full_destination_leaves_page_untouched(self, machine, ledger):
+        page_map = pinned_map(4, socket=0)
+        ledger.charge(page_map)
+        # Fill socket 1 completely so any charge there must fail.
+        free = ledger.free_bytes(1)
+        ledger.charge(PageMap.pinned(free, 1, PAGE))
+        desired = np.full(4, 1, dtype=np.int32)
+        before = list(ledger.used_bytes)
+        with pytest.raises(AllocationError):
+            move_pages(ledger, page_map, desired)
+        # Charge-before-release: the failed page never left socket 0 and
+        # the ledger balances are exactly as before the attempt.
+        assert np.array_equal(page_map.page_to_socket,
+                              np.zeros(4, dtype=np.int32))
+        assert list(ledger.used_bytes) == before
+
+    def test_partial_progress_survives_failure(self, machine, ledger):
+        page_map = pinned_map(4, socket=0)
+        ledger.charge(page_map)
+        # Room for exactly two more pages on socket 1.
+        ledger.charge(PageMap.pinned(ledger.free_bytes(1) - 2 * PAGE, 1, PAGE))
+        desired = np.full(4, 1, dtype=np.int32)
+        with pytest.raises(AllocationError):
+            move_pages(ledger, page_map, desired)
+        assert pages_remaining(page_map, desired) == 2
+        assert page_map.bytes_on_socket(1) == 2 * PAGE
+
+    def test_shape_mismatch_rejected(self, machine, ledger):
+        page_map = pinned_map(4)
+        with pytest.raises(ValueError, match="entries"):
+            move_pages(ledger, page_map, np.zeros(3, dtype=np.int32))
+
+    def test_bad_budget_rejected(self, machine, ledger):
+        page_map = pinned_map(4)
+        desired = np.full(4, 1, dtype=np.int32)
+        with pytest.raises(ValueError, match="max_pages"):
+            move_pages(ledger, page_map, desired, max_pages=0)
+
+    def test_already_in_place_is_noop(self, machine, ledger):
+        page_map = pinned_map(4, socket=1)
+        ledger.charge(page_map)
+        before = list(ledger.used_bytes)
+        desired = np.full(4, 1, dtype=np.int32)
+        assert move_pages(ledger, page_map, desired) == 0
+        assert list(ledger.used_bytes) == before
+
+    def test_zero_page_map(self, machine, ledger):
+        page_map = PageMap(PAGE, np.zeros(0, dtype=np.int32))
+        desired = np.zeros(0, dtype=np.int32)
+        assert move_pages(ledger, page_map, desired) == 0
+        assert pages_remaining(page_map, desired) == 0
+
+    def test_there_and_back_restores_ledger(self, machine, ledger):
+        # A -> B -> A in budgeted batches restores the exact page map
+        # and ledger accounting.
+        page_map = pinned_map(10, socket=0)
+        ledger.charge(page_map)
+        start_used = list(ledger.used_bytes)
+        start_sockets = page_map.page_to_socket.copy()
+        there = desired_page_sockets(Placement.interleaved(), 10, machine)
+        back = desired_page_sockets(Placement.single_socket(0), 10, machine)
+        for desired in (there, back):
+            while pages_remaining(page_map, desired):
+                move_pages(ledger, page_map, desired, max_pages=3)
+        assert np.array_equal(page_map.page_to_socket, start_sockets)
+        assert list(ledger.used_bytes) == start_used
