@@ -23,6 +23,7 @@ class CheckReport:
     seed: int
     ops_requested: int
     profile: str = "mixed"
+    codegen: str = "both"
     ops_run: int = 0
     cases_run: int = 0
     placements_seen: Set[str] = field(default_factory=set)
@@ -38,6 +39,7 @@ class CheckReport:
     def format(self) -> str:
         lines = [
             f"smartcheck: seed={self.seed} profile={self.profile} "
+            f"codegen={self.codegen} "
             f"ops={self.ops_run}/{self.ops_requested} "
             f"cases={self.cases_run}",
             f"  grid: {len(self.placements_seen)} placements "
@@ -65,7 +67,8 @@ class CheckReport:
 def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
               max_failures: int = 5,
               shrink: bool = True,
-              profile: str = "mixed") -> CheckReport:
+              profile: str = "mixed",
+              codegen: str = "both") -> CheckReport:
     """Run the differential fuzz harness for an op budget.
 
     ``profile`` selects the op mix: ``"mixed"`` (everything),
@@ -73,11 +76,16 @@ def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
     ``"obs"`` (parallel/query heavy, every case traced, with the
     registry and per-span counter deltas cross-checked against the
     oracle accounting; the CI obs job's setting).
+    ``codegen`` picks the query-op execution paths: ``"both"`` proves
+    compiled == interpreted on every supported shape, ``"on"`` forces
+    the compiled path alone (the codegen CI job), ``"off"`` the
+    interpreter alone.
     Stops early once ``max_failures`` distinct failing cases were found
     (each already shrunk): the budget is better spent on the report
     than on piling up repetitions of the same bug.
     """
-    report = CheckReport(seed=seed, ops_requested=ops, profile=profile)
+    report = CheckReport(seed=seed, ops_requested=ops, profile=profile,
+                         codegen=codegen)
     for case in generate_cases(seed, ops, profile):
         report.cases_run += 1
         report.ops_run += len(case.ops)
@@ -85,12 +93,15 @@ def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
         report.bit_widths_seen.add(case.spec.bits)
         report.pool_modes_seen.add(case.spec.pool_mode)
         report.superchunks_seen.add(case.spec.superchunk)
-        failure = run_case(case, n_workers=n_workers)
+        failure = run_case(case, n_workers=n_workers, codegen=codegen)
         if failure is None:
             continue
         if shrink:
-            shrunk = shrink_case(case, lambda c: run_case(c, n_workers))
-            refailure = run_case(shrunk, n_workers=n_workers)
+            shrunk = shrink_case(
+                case, lambda c: run_case(c, n_workers, codegen=codegen)
+            )
+            refailure = run_case(shrunk, n_workers=n_workers,
+                                 codegen=codegen)
             failure = refailure if refailure is not None else failure
         report.failures.append(failure)
         if len(report.failures) >= max_failures:

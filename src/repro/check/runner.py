@@ -42,7 +42,7 @@ from ..numa.allocator import NumaAllocator
 from ..numa.topology import machine_2x8_haswell
 from ..obs.registry import registry as _obs_registry
 from ..obs.trace import TRACER, tracing
-from ..query import Query, col, in_range
+from ..query import Query, col, in_range, unsupported_reason
 from ..runtime import parallel_scans
 from ..runtime.workers import WorkerPool
 from . import oracle as orc
@@ -59,7 +59,8 @@ class CaseFailure:
     case: Case
     op_index: int
     op: Op
-    # "result" | "storage" | "zonemap" | "accounting" | "obs" | "exception"
+    # "result" | "storage" | "zonemap" | "accounting" | "obs" |
+    # "codegen" | "exception"
     kind: str
     detail: str
 
@@ -88,8 +89,17 @@ def _fmt(value) -> str:
 class CaseRunner:
     """Executes one case, op by op, with differential + invariant checks."""
 
-    def __init__(self, case: Case, n_workers: int = 4) -> None:
+    def __init__(self, case: Case, n_workers: int = 4,
+                 codegen: str = "both") -> None:
+        if codegen not in ("both", "on", "off"):
+            raise ValueError(
+                f"codegen must be 'both', 'on', or 'off', got {codegen!r}"
+            )
         self.case = case
+        #: Query-op execution paths: ``"both"`` cross-checks compiled
+        #: against interpreted on every supported shape, ``"on"`` runs
+        #: only the compiled path (forced), ``"off"`` only interpreted.
+        self.codegen = codegen
         spec = case.spec
         self.machine = machine_2x8_haswell()
         self.allocator = NumaAllocator(self.machine)
@@ -328,44 +338,76 @@ class CaseRunner:
 
     def _check_query(self, op: Op, query: Query, expected,
                      expected_chunks: int, par: int, dist: int) -> None:
-        """Run ``query`` and check result, plan, and decode accounting."""
+        """Run ``query`` and check result, plan, and decode accounting.
+
+        The query runs once per requested codegen path (``"both"`` —
+        the default — runs interpreted then compiled for every shape
+        the kernel template supports), every path is checked against
+        the oracle *and* against the exact per-path accounting deltas,
+        and the paths' results must be bit-identical to each other —
+        a miscompiled kernel diverges here with kind ``"codegen"``.
+        """
         spec = self.case.spec
         pool = self._pool_for_case() if par else None
-        before = self._snapshot()
-        result = query.run(pool=pool, distribution=_DISTRIBUTIONS[dist],
-                           morsel=spec.superchunk)
-        if result.kind == "aggregate":
-            self._compare(tuple(result.aggregates.values()), expected,
-                          op.name)
-        elif result.kind == "groups":
-            actual = {k: tuple(v.values())
-                      for k, v in result.groups.items()}
-            self._compare(actual, expected, op.name)
-        else:
-            self._compare(result.rows, expected[0], f"{op.name}.rows")
-            self._compare(result.columns["v"], expected[1],
-                          f"{op.name}.values")
-        plan = result.plan
-        if plan.chunks_candidate != expected_chunks:
-            raise _Divergence(
-                "result",
-                f"{op.name}: plan kept {plan.chunks_candidate} candidate "
-                f"chunks, oracle predicts {expected_chunks}")
-        for name in plan.needed_columns:
-            if result.stats.decoded_chunks[name] != expected_chunks:
+        compilable = unsupported_reason(query) is None
+        if self.codegen == "off" or not compilable:
+            paths = ["off"]
+        elif self.codegen == "on":
+            paths = ["on"]
+        else:  # "both"
+            paths = ["off", "on"]
+
+        baseline = None
+        for mode in paths:
+            before = self._snapshot()
+            result = query.run(pool=pool, distribution=_DISTRIBUTIONS[dist],
+                               morsel=spec.superchunk, codegen=mode)
+            if mode == "on" and result.plan.mode != "compiled":
                 raise _Divergence(
-                    "accounting",
-                    f"{op.name}: stats.decoded_chunks[{name!r}] = "
-                    f"{result.stats.decoded_chunks[name]}, expected "
-                    f"{expected_chunks}")
-        delta = {}
-        if "k" in plan.needed_columns:
-            delta["unpacks"] = expected_chunks
-            delta["replica_reads"] = 64 * expected_chunks
-        if "v" in plan.needed_columns:
-            delta["v_unpacks"] = expected_chunks
-            delta["v_replica_reads"] = 64 * expected_chunks
-        self._check_stats(before, delta, op.name)
+                    "codegen",
+                    f"{op.name}: codegen='on' planned mode "
+                    f"{result.plan.mode!r}")
+            if result.kind == "aggregate":
+                self._compare(tuple(result.aggregates.values()), expected,
+                              f"{op.name}[{result.plan.mode}]")
+            elif result.kind == "groups":
+                actual = {k: tuple(v.values())
+                          for k, v in result.groups.items()}
+                self._compare(actual, expected, f"{op.name}[{result.plan.mode}]")
+            else:
+                self._compare(result.rows, expected[0], f"{op.name}.rows")
+                self._compare(result.columns["v"], expected[1],
+                              f"{op.name}.values")
+            plan = result.plan
+            if plan.chunks_candidate != expected_chunks:
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: plan kept {plan.chunks_candidate} candidate "
+                    f"chunks, oracle predicts {expected_chunks}")
+            for name in plan.needed_columns:
+                if result.stats.decoded_chunks[name] != expected_chunks:
+                    raise _Divergence(
+                        "accounting",
+                        f"{op.name}[{plan.mode}]: "
+                        f"stats.decoded_chunks[{name!r}] = "
+                        f"{result.stats.decoded_chunks[name]}, expected "
+                        f"{expected_chunks}")
+            delta = {}
+            if "k" in plan.needed_columns:
+                delta["unpacks"] = expected_chunks
+                delta["replica_reads"] = 64 * expected_chunks
+            if "v" in plan.needed_columns:
+                delta["v_unpacks"] = expected_chunks
+                delta["v_replica_reads"] = 64 * expected_chunks
+            self._check_stats(before, delta, f"{op.name}[{plan.mode}]")
+            if baseline is None:
+                baseline = result
+            elif result.aggregates != baseline.aggregates:
+                raise _Divergence(
+                    "codegen",
+                    f"{op.name}: compiled aggregates "
+                    f"{_fmt(result.aggregates)} != interpreted "
+                    f"{_fmt(baseline.aggregates)}")
 
     # -- op execution ------------------------------------------------------
 
@@ -933,6 +975,7 @@ class CaseRunner:
             raise AssertionError(f"unknown query op {op.name!r}")
 
 
-def run_case(case: Case, n_workers: int = 4) -> Optional[CaseFailure]:
+def run_case(case: Case, n_workers: int = 4,
+             codegen: str = "both") -> Optional[CaseFailure]:
     """Run one case; ``None`` means every check passed."""
-    return CaseRunner(case, n_workers=n_workers).run()
+    return CaseRunner(case, n_workers=n_workers, codegen=codegen).run()

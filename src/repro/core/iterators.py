@@ -27,6 +27,7 @@ from .smart_array import (
     SmartArray,
     Uncompressed32Array,
     Uncompressed64Array,
+    queue_unpin,
 )
 
 
@@ -56,8 +57,10 @@ class SmartArrayIterator(abc.ABC):
         if hasattr(array, "pin_generation"):
             self._generation = array.pin_generation()
             self.replica = self._generation.buffer_for_socket(socket)
+            # queue_unpin, not unpin: the finalizer may fire mid-GC on
+            # a thread already holding the generation/array locks.
             self._unpinner = weakref.finalize(
-                self, self._generation.unpin
+                self, queue_unpin, self._generation
             )
         else:  # array-likes without generations (plain wrappers)
             self._generation = None

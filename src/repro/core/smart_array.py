@@ -26,6 +26,7 @@ element-for-element against the scalar kernels in the test suite.
 from __future__ import annotations
 
 import abc
+import collections
 import threading
 import weakref
 from typing import Optional, Sequence
@@ -39,6 +40,32 @@ from .stats import AccessStats
 from ..numa.allocator import Allocation
 from ..obs.registry import registry as _obs_registry
 from ..obs.trace import TRACER
+
+
+#: Generation unpins requested from weakref finalizers.  A finalizer
+#: runs on whatever thread triggers garbage collection — possibly one
+#: currently holding the generation's own lock or its array's
+#: ``_gen_lock`` (the drain callback takes both) — so finalizers must
+#: never call :meth:`StorageGeneration.unpin` synchronously: a plain
+#: ``threading.Lock`` is not reentrant and the thread would deadlock on
+#: itself.  ``deque.append`` is atomic, so queueing needs no lock.
+_DEFERRED_UNPINS: "collections.deque" = collections.deque()
+
+
+def queue_unpin(generation: "StorageGeneration") -> None:
+    """GC-safe unpin for weakref finalizers: defer, never block."""
+    _DEFERRED_UNPINS.append(generation)
+
+
+def flush_deferred_unpins() -> None:
+    """Apply queued finalizer unpins.  Called from pin/install paths
+    *before* any generation or array lock is taken."""
+    while True:
+        try:
+            gen = _DEFERRED_UNPINS.popleft()
+        except IndexError:
+            return
+        gen.unpin()
 
 
 class StorageGeneration:
@@ -283,6 +310,7 @@ class SmartArray(abc.ABC):
         swaps the array underneath; the allocation is not reclaimed
         until every pin drains.
         """
+        flush_deferred_unpins()
         with self._gen_lock:
             gen = self._generation.pin()
         self._pin_counter.add(1)
@@ -303,6 +331,7 @@ class SmartArray(abc.ABC):
         the per-replica counters to the new configuration.  Returns the
         old generation.
         """
+        flush_deferred_unpins()
         with self._gen_lock:
             old = self._generation
             self._generation = new_gen

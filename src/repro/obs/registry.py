@@ -29,6 +29,7 @@ it without cycles.
 
 from __future__ import annotations
 
+import collections
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -235,6 +236,22 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[str, object] = {}
+        # Drops requested while the lock was already held (GC running a
+        # per-array finalizer *inside* one of this registry's locked
+        # regions lands on the owning thread — blocking there would
+        # self-deadlock).  deque.append is atomic, so queueing needs no
+        # lock; entries are applied on the next locked operation.
+        self._pending_drops: "collections.deque" = collections.deque()
+
+    def _apply_pending_drops_locked(self) -> None:
+        """Apply deferred :meth:`drop` requests.  Caller holds ``_lock``."""
+        while True:
+            try:
+                keys = self._pending_drops.popleft()
+            except IndexError:
+                return
+            for key in keys:
+                self._metrics.pop(key, None)
 
     # -- get-or-create -----------------------------------------------------
 
@@ -244,6 +261,7 @@ class MetricsRegistry:
         metric = self._metrics.get(key)
         if metric is None:
             with self._lock:
+                self._apply_pending_drops_locked()
                 metric = self._metrics.get(key)
                 if metric is None:
                     metric = cls(name, labels, **kwargs)
@@ -278,6 +296,7 @@ class MetricsRegistry:
     def metrics(self) -> List[object]:
         """Stable-ordered list of all registered metrics."""
         with self._lock:
+            self._apply_pending_drops_locked()
             return [self._metrics[k] for k in sorted(self._metrics)]
 
     def snapshot(self) -> Dict[str, float]:
@@ -341,14 +360,29 @@ class MetricsRegistry:
 
     def drop(self, keys: Iterable[str]) -> None:
         """Forget metrics by key (used by per-array finalizers so the
-        registry does not grow without bound as arrays are collected)."""
-        with self._lock:
+        registry does not grow without bound as arrays are collected).
+
+        GC-safe: finalizers can fire on whatever thread happens to
+        trigger a collection — including one currently *inside* a
+        locked region of this registry — so this never blocks on the
+        lock.  If the lock is unavailable the drop is queued and
+        applied by the next locked operation.
+        """
+        keys = tuple(keys)
+        if not self._lock.acquire(blocking=False):
+            self._pending_drops.append(keys)
+            return
+        try:
+            self._apply_pending_drops_locked()
             for key in keys:
                 self._metrics.pop(key, None)
+        finally:
+            self._lock.release()
 
     def clear(self) -> None:
         """Forget every metric (test isolation)."""
         with self._lock:
+            self._pending_drops.clear()
             self._metrics.clear()
 
     def __len__(self) -> int:

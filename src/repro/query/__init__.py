@@ -16,6 +16,13 @@ the Callisto-style worker pool with socket-local replica reads.
     result.scalar(), result.stats.describe()
 """
 
+from .codegen import (
+    CODEGEN_ENV_VAR,
+    CODEGEN_MODES,
+    CompiledKernel,
+    compile_query,
+    unsupported_reason,
+)
 from .executor import execute
 from .expr import (
     And,
@@ -33,6 +40,7 @@ from .expr import (
 )
 from .logical import AGG_KINDS, AggSpec, Query
 from .planner import (
+    COMPILED_MORSEL_ELEMENTS,
     ColumnDecision,
     DEFAULT_MORSEL_ELEMENTS,
     PhysicalPlan,
@@ -46,9 +54,13 @@ __all__ = [
     "AggSpec",
     "And",
     "Arith",
+    "CODEGEN_ENV_VAR",
+    "CODEGEN_MODES",
+    "COMPILED_MORSEL_ELEMENTS",
     "Col",
     "ColumnDecision",
     "Compare",
+    "CompiledKernel",
     "DEFAULT_MORSEL_ELEMENTS",
     "Expr",
     "Lit",
@@ -61,11 +73,13 @@ __all__ = [
     "QueryStats",
     "U64_MAX",
     "col",
+    "compile_query",
     "execute",
     "in_range",
     "lit",
     "plan_query",
     "query_table",
+    "unsupported_reason",
 ]
 
 

@@ -23,6 +23,16 @@ precise: per needed column, executing a query adds exactly
 ``chunks_candidate`` to ``stats.chunk_unpacks`` and
 ``64 * chunks_candidate`` to the column's summed
 ``replica_read_elements`` — which is what ``explain()`` predicted.
+(The one deliberate exception: a ``limit()`` row query stops claiming
+morsels once the completed morsel prefix covers the row budget, so it
+may decode *fewer* chunks — see :class:`_LimitTracker`.)
+
+Compiled plans (``plan.mode == "compiled"``, see
+:mod:`repro.query.codegen`) run a generated fused kernel per morsel on
+this same machinery — same pinned generations, same replica buffers,
+same ``decode_chunks`` accounting, same morsel-order merge — so serial,
+threaded, interpreted, and compiled runs all produce bit-identical
+results.
 
 Determinism: morsel boundaries and per-morsel work are independent of
 the claiming order, and partials merge in morsel order, so results —
@@ -32,6 +42,7 @@ serial and threaded pools and between dynamic and static distribution.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -146,6 +157,44 @@ def _fold_groups(groups: Dict[int, List[object]], specs,
         _fold_agg(partials, specs, genv, None, hi - lo)
 
 
+class _LimitTracker:
+    """Early-exit bookkeeping for ``limit()`` row queries.
+
+    Rows are returned in morsel order and truncated to the budget, so a
+    morsel only contributes when some earlier morsel still needs rows.
+    The tracker maintains the *completed prefix* of the work list: once
+    every work position below ``prefix`` has finished and their matched
+    rows cover the budget, the result is fully determined — any morsel
+    not yet started can be skipped without decoding a single chunk.
+    Skipping never changes the result (the skipped morsels' rows would
+    have been truncated away), so serial and threaded runs stay
+    bit-identical; threads that already started simply finish and their
+    surplus rows are dropped at merge time as before.
+    """
+
+    def __init__(self, limit: int, n_work: int) -> None:
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._done = [False] * n_work
+        self._matched = [0] * n_work
+        self._prefix = 0
+        self._prefix_rows = 0
+        #: Read without the lock (a stale False only delays a skip).
+        self.satisfied = limit == 0
+
+    def record(self, pos: int, matched: int) -> None:
+        """Work position ``pos`` finished with ``matched`` rows."""
+        with self._lock:
+            self._done[pos] = True
+            self._matched[pos] = matched
+            while self._prefix < len(self._done) and self._done[self._prefix]:
+                self._prefix_rows += self._matched[self._prefix]
+                self._prefix += 1
+                if self._prefix_rows >= self._limit:
+                    self.satisfied = True
+                    return
+
+
 def execute(plan: PhysicalPlan, pool: Optional[WorkerPool] = None,
             distribution: str = "dynamic") -> QueryResult:
     """Run ``plan`` and return a :class:`QueryResult`.
@@ -179,6 +228,7 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
         est_instructions=plan.est_instructions,
         n_workers=pool.n_workers if pool is not None else 1,
         distribution=distribution if pool is not None else "serial",
+        mode=plan.mode,
     )
     for name in plan.needed_columns:
         stats._bits[name] = table[name].bits
@@ -189,12 +239,28 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
     predicate = query.predicate
     n_rows = table.n_rows
 
-    def run_morsel(index: int, ctx: Optional[ThreadContext]) -> None:
+    # Only morsels with candidate chunks are ever visited; fully pruned
+    # morsels cost nothing at execution time (their partial stays None).
+    work = (plan.active_morsels if plan.active_morsels is not None
+            else range(n_morsels))
+    limiter = (
+        _LimitTracker(query.limit_rows, len(work))
+        if is_rows and query.limit_rows is not None else None
+    )
+    limit_skipped = [False] * n_morsels
+
+    def run_morsel(index: int, pos: int,
+                   ctx: Optional[ThreadContext]) -> None:
+        if limiter is not None and limiter.satisfied:
+            limit_skipped[index] = True
+            return
         start, stop = plan.morsels[index]
         part = MorselPartial(morsel=index)
         partials[index] = part
         candidates = plan.morsel_candidates(start, stop)
         if candidates.size == 0:
+            if limiter is not None:
+                limiter.record(pos, 0)
             return
         socket = ctx.socket if ctx is not None else 0
         # Pin each needed column's storage generation for the morsel:
@@ -212,7 +278,28 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
             name: np.empty(plan.morsel_elements, dtype=np.uint64)
             for name in plan.needed_columns
         }
+        # The compiled kernel's aggregate folds are specialized on the
+        # planned bit widths; if a live migration swapped a column's
+        # width between plan and this morsel's pin, fall back to the
+        # interpreter for the morsel (results are identical either way).
+        kernel = plan.kernel
+        if kernel is not None and any(
+            gens[name].bits != kernel.column_bits[name]
+            for name in plan.needed_columns
+        ):
+            kernel = None
         try:
+            if kernel is not None:
+                args: List[object] = []
+                for name in plan.needed_columns:
+                    args += (table[name].decode_chunks,
+                             replicas[name], bufs[name])
+                (part.rows_scanned, part.rows_matched,
+                 part.decoded_chunks, part.agg) = kernel.fn(
+                    list(_chunk_runs(candidates, max_chunks)),
+                    n_rows, *args,
+                )
+                return
             if specs:
                 part.agg = _new_agg_partials(specs)
                 if group_key is not None:
@@ -274,18 +361,16 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
         finally:
             for gen in gens.values():
                 gen.unpin()
+        if limiter is not None:
+            limiter.record(pos, part.rows_matched)
 
-    # Only morsels with candidate chunks are ever visited; fully pruned
-    # morsels cost nothing at execution time (their partial stays None).
-    work = (plan.active_morsels if plan.active_morsels is not None
-            else range(n_morsels))
     if pool is None:
-        for index in work:
-            run_morsel(int(index), None)
+        for pos, index in enumerate(work):
+            run_morsel(int(index), pos, None)
     else:
         def body(lo: int, hi: int, ctx: ThreadContext) -> None:
             for i in range(lo, hi):
-                run_morsel(int(work[i]), ctx)
+                run_morsel(int(work[i]), i, ctx)
 
         parallel_for(len(work), body, pool, batch=1,
                      distribution=distribution)
@@ -297,9 +382,14 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
     val_all: Dict[str, List[np.ndarray]] = {
         name: [] for name in (projection or ())
     }
-    for part in partials:
-        if part is None:  # fully pruned at plan time, never visited
-            stats.morsels_pruned += 1
+    for index, part in enumerate(partials):
+        if part is None:
+            # Fully pruned at plan time — or skipped because a limit()
+            # budget was already satisfied by earlier morsels.
+            if limit_skipped[index]:
+                stats.morsels_skipped += 1
+            else:
+                stats.morsels_pruned += 1
             continue
         stats.rows_scanned += part.rows_scanned
         stats.rows_matched += part.rows_matched
@@ -339,6 +429,7 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
     reg.counter("query.executions").add(1)
     reg.counter("query.morsels_executed").add(stats.morsels_executed)
     reg.counter("query.morsels_pruned").add(stats.morsels_pruned)
+    reg.counter("query.morsels_skipped_limit").add(stats.morsels_skipped)
     reg.counter("query.rows_scanned").add(stats.rows_scanned)
     reg.counter("query.rows_matched").add(stats.rows_matched)
     for name in plan.needed_columns:

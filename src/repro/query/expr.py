@@ -236,6 +236,14 @@ class Compare(Expr):
         self.op = op
         self.left = _check_value_sort(left, f"comparison {op!r}")
         self.right = _check_value_sort(right, f"comparison {op!r}")
+        # A comparison that reads no column has no span to broadcast
+        # over; catching it here (construction) beats the old behavior
+        # of a ValueError mid-execution inside a worker thread.
+        if not (self.left.columns() | self.right.columns()):
+            raise ValueError(
+                f"constant comparison {self.describe()} references no "
+                f"column; fold the constant before building the predicate"
+            )
 
     def _literal_side(self) -> Optional[Tuple[Expr, str, int]]:
         """(value_expr, normalized_op, literal) when one side is a Lit."""
@@ -248,14 +256,10 @@ class Compare(Expr):
     def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
         lit = self._literal_side()
         if lit is None:
+            # Both sides reference columns (or column arithmetic): the
+            # constructor rejected the no-column case.
             left = self.left.evaluate(env)
             right = self.right.evaluate(env)
-            if isinstance(self.left, Lit) and isinstance(self.right, Lit):
-                # Constant fold; broadcast needs a span for the shape.
-                raise ValueError(
-                    f"constant comparison {self.describe()} references no "
-                    f"column"
-                )
             return _NUMPY_CMP[self.op](left, right)
         value_expr, op, bound = lit
         span = np.asarray(value_expr.evaluate(env))

@@ -54,6 +54,12 @@ from ..numa.counters import PerfCounters
 from ..obs.registry import registry as _obs_registry
 from ..obs.trace import trace
 from ..perfmodel.workload import blocked_scan_instructions
+from .codegen import (
+    CompiledKernel,
+    compile_query,
+    resolve_mode,
+    unsupported_reason,
+)
 from .expr import And, Compare, Expr, Not, Or
 from .logical import Query
 
@@ -61,6 +67,15 @@ from .logical import Query
 #: granule — every morsel boundary is a chunk boundary, so no chunk is
 #: ever decoded by two morsels.
 DEFAULT_MORSEL_ELEMENTS = 4096
+
+#: Default morsel for compiled plans: 16 superchunks.  The blocked
+#: decoder runs a fixed number of shift/mask passes per run regardless
+#: of run length, and the fused kernel touches each span a constant
+#: number of times, so larger runs amortize per-call overhead without
+#: changing any result (aggregation is exact integer arithmetic,
+#: independent of morsel boundaries).  An explicit ``morsel=`` knob
+#: still wins in either mode.
+COMPILED_MORSEL_ELEMENTS = 65536
 
 #: Analytics tables are scanned repeatedly over their lifetime; the
 #: selector's replication rules need an accesses-per-element estimate to
@@ -241,6 +256,15 @@ class PhysicalPlan:
     pushed: List[PushedPredicate]
     decisions: Dict[str, ColumnDecision]
     est_instructions: float
+    #: ``"compiled"`` or ``"interpreted"`` — how the executor will
+    #: evaluate predicate + aggregates (see :mod:`repro.query.codegen`).
+    mode: str = "interpreted"
+    #: Why the plan interprets (knob setting or unsupported shape);
+    #: ``None`` when compiled.
+    codegen_reason: Optional[str] = None
+    #: The generated kernel (source + callable) when ``mode`` is
+    #: ``"compiled"``.
+    kernel: Optional[CompiledKernel] = None
 
     @property
     def table(self):
@@ -294,6 +318,17 @@ class PhysicalPlan:
         lines.append(
             f"  estimated scan instructions: {self.est_instructions:,.0f}"
         )
+        if self.mode == "compiled":
+            lines.append("  execution mode: compiled (fused kernel)")
+            if self.kernel is not None:
+                lines.append("  generated kernel:")
+                lines += [
+                    "    " + src_line
+                    for src_line in self.kernel.source.rstrip().splitlines()
+                ]
+        else:
+            reason = f" ({self.codegen_reason})" if self.codegen_reason else ""
+            lines.append(f"  execution mode: interpreted{reason}")
         return "\n".join(lines)
 
 
@@ -304,6 +339,7 @@ def plan_query(
     pool=None,
     accesses_per_element: float = DEFAULT_ACCESSES_PER_ELEMENT,
     consult_selector: bool = True,
+    codegen: Optional[str] = None,
 ) -> PhysicalPlan:
     """Build the physical plan for ``query``.
 
@@ -312,6 +348,12 @@ def plan_query(
     builds and caches any missing map for a sargable column first (one
     extra scan per column — worth it for repeated queries), ``"off"``
     disables pruning.
+
+    ``codegen`` controls fused-kernel compilation: ``"auto"`` compiles
+    every supported shape (aggregates without ``group_by``), ``"on"``
+    errors when the shape cannot compile, ``"off"`` always interprets.
+    ``None`` defers to :meth:`Query.codegen`, then the
+    ``REPRO_QUERY_CODEGEN`` env var, then ``"auto"``.
     """
     query.validate()
     if prune not in ("auto", "build", "off"):
@@ -320,9 +362,12 @@ def plan_query(
         )
     with trace("query.plan", prune=prune):
         plan = _plan_query(query, morsel, prune, pool,
-                           accesses_per_element, consult_selector)
+                           accesses_per_element, consult_selector, codegen)
         reg = _obs_registry()
         reg.counter("query.plans").add(1)
+        reg.counter("query.plans_compiled").add(
+            1 if plan.mode == "compiled" else 0
+        )
         reg.counter("query.chunks_candidate").add(plan.chunks_candidate)
         reg.counter("query.chunks_pruned").add(plan.chunks_pruned)
         reg.counter("query.morsels_pruned_at_plan").add(plan.morsels_pruned)
@@ -336,12 +381,32 @@ def _plan_query(
     pool,
     accesses_per_element: float,
     consult_selector: bool,
+    codegen: Optional[str] = None,
 ) -> PhysicalPlan:
     table = query.table
     n_rows = table.n_rows
-    morsel_elements = check_superchunk(
-        DEFAULT_MORSEL_ELEMENTS if morsel is None else morsel
-    )
+
+    # Compile-vs-interpret decision comes first: compiled plans default
+    # to larger morsels (an explicit ``morsel=`` knob wins regardless).
+    requested = resolve_mode(codegen, query.codegen_mode)
+    if requested == "off":
+        mode, codegen_reason = "interpreted", "codegen knob off"
+    else:
+        codegen_reason = unsupported_reason(query)
+        if codegen_reason is None:
+            mode = "compiled"
+        elif requested == "on":
+            raise ValueError(
+                f"codegen='on' but this query cannot compile: "
+                f"{codegen_reason}"
+            )
+        else:
+            mode = "interpreted"
+
+    if morsel is None:
+        morsel = (COMPILED_MORSEL_ELEMENTS if mode == "compiled"
+                  else DEFAULT_MORSEL_ELEMENTS)
+    morsel_elements = check_superchunk(morsel)
     n_chunks = bitpack.chunks_for(n_rows)
 
     # Needed columns, in first-use order: filter, group key, aggregates,
@@ -428,6 +493,15 @@ def _plan_query(
             scan_elements, array.bits
         )
 
+    kernel: Optional[CompiledKernel] = None
+    if mode == "compiled":
+        kernel = compile_query(
+            query,
+            tuple(needed),
+            {name: table[name].bits for name in needed},
+            morsel_elements,
+        )
+
     return PhysicalPlan(
         query=query,
         needed_columns=tuple(needed),
@@ -442,6 +516,9 @@ def _plan_query(
         pushed=pushed,
         decisions=decisions,
         est_instructions=est_instructions,
+        mode=mode,
+        codegen_reason=codegen_reason,
+        kernel=kernel,
     )
 
 

@@ -31,6 +31,10 @@ class QueryStats:
     morsels_total: int = 0
     morsels_pruned: int = 0
     morsels_executed: int = 0
+    #: Morsels never visited because a ``limit()`` row budget was
+    #: already satisfied by the completed morsel prefix (their chunks
+    #: are counted in ``chunks_candidate`` but never decoded).
+    morsels_skipped: int = 0
     chunks_total: int = 0
     chunks_candidate: int = 0
     #: Chunks actually decoded, per needed column (candidate chunks
@@ -47,6 +51,9 @@ class QueryStats:
     est_instructions: float = 0.0
     n_workers: int = 1
     distribution: str = "dynamic"
+    #: How predicate + aggregates were evaluated: ``"interpreted"``
+    #: (AST walk per span) or ``"compiled"`` (generated fused kernel).
+    mode: str = "interpreted"
 
     @property
     def chunks_pruned(self) -> int:
@@ -101,10 +108,15 @@ class QueryStats:
         )
 
     def describe(self) -> str:
+        skipped = (
+            f"{self.morsels_skipped} skipped (limit), "
+            if self.morsels_skipped else ""
+        )
         lines = [
             f"morsels: {self.morsels_executed} executed, "
-            f"{self.morsels_pruned} pruned, {self.morsels_total} total "
-            f"({self.n_workers} workers, {self.distribution})",
+            f"{self.morsels_pruned} pruned, {skipped}"
+            f"{self.morsels_total} total "
+            f"({self.n_workers} workers, {self.distribution}, {self.mode})",
             f"chunks: {self.chunks_candidate} candidate / "
             f"{self.chunks_pruned} pruned / {self.chunks_total} total",
             f"rows: {self.rows_matched:,} matched of {self.rows_scanned:,} "

@@ -35,6 +35,15 @@ class TestAcceptance:
         assert report.profile == "query"
         assert "profile=query" in report.format()
 
+    def test_seed0_codegen_forced_on_passes(self):
+        # Acceptance gate for the compiled path: every compilable case
+        # runs through the generated kernels only, checked against the
+        # oracle and the accounting deltas.
+        report = run_check(seed=0, ops=500, profile="query",
+                           codegen="on")
+        assert report.ok, report.format()
+        assert "codegen=on" in report.format()
+
     @pytest.mark.parametrize("seed", [3, 11])
     def test_other_seeds_pass(self, seed):
         report = run_check(seed=seed, ops=150, profile="query")
@@ -113,6 +122,41 @@ class TestPlantedBugs:
         assert report.failures[0].kind == "result"
         monkeypatch.setattr(executor, "_merge_agg", orig)
         assert run_case(report.failures[0].case) is None
+
+    def test_detects_miscompiled_constant(self, monkeypatch):
+        # A codegen bug that embeds every literal off by one produces
+        # kernels that disagree with the interpreted path on the same
+        # case; the cross-path comparison (or the oracle check on the
+        # compiled run) must flag it.
+        import repro.query.codegen as codegen
+
+        orig = codegen._literal_u64
+        monkeypatch.setattr(
+            codegen, "_literal_u64",
+            lambda value: f"np.uint64({(value + 1) % (1 << 64)})",
+        )
+        report = run_check(seed=0, ops=400, profile="query",
+                           max_failures=1)
+        assert not report.ok
+        assert report.failures[0].kind in ("codegen", "result")
+        # The same case is clean once the compiler is fixed.
+        monkeypatch.setattr(codegen, "_literal_u64", orig)
+        assert run_case(report.failures[0].case) is None
+
+    def test_forced_codegen_catches_miscompile_without_baseline(
+            self, monkeypatch):
+        # Even with codegen="on" (no interpreted twin to diff against)
+        # the NumPy oracle still catches the wrong constants.
+        import repro.query.codegen as codegen
+
+        monkeypatch.setattr(
+            codegen, "_literal_u64",
+            lambda value: f"np.uint64({(value + 1) % (1 << 64)})",
+        )
+        report = run_check(seed=0, ops=400, profile="query",
+                           max_failures=1, codegen="on")
+        assert not report.ok
+        assert report.failures[0].kind == "result"
 
     def test_replay_line_names_profile(self, monkeypatch):
         import repro.query.executor as executor

@@ -492,6 +492,107 @@ class TestPerfCountersValidation:
                          memory_bandwidth_gbs=1.0)
 
 
+class TestFinalizerDeadlocks:
+    """weakref finalizers run on whatever thread triggers a GC — which
+    can be a thread already *inside* a locked region of the registry
+    (any registry method allocates under ``_lock``) or of an array's
+    generation machinery.  ``threading.Lock`` is not reentrant, so a
+    finalizer that blocks on such a lock hangs the process with a
+    single thread stuck in a futex wait.  Finalizer entry points must
+    therefore never block: ``MetricsRegistry.drop`` defers when the
+    lock is contended, and iterator unpins go through a deferral
+    queue."""
+
+    def test_registry_drop_never_blocks_on_held_lock(self):
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("a", array="a0")
+        reg.counter("b")
+        # Simulate GC firing inside a locked registry region: the lock
+        # is held (by anyone) when the finalizer calls drop().
+        assert reg._lock.acquire(timeout=1)
+        try:
+            done = []
+
+            def finalizer_path():
+                reg.drop(["a{array=a0}"])  # must not block
+                done.append(True)
+
+            t = threading.Thread(target=finalizer_path)
+            t.start()
+            t.join(timeout=5)
+            assert done, "drop() blocked on the held registry lock"
+        finally:
+            reg._lock.release()
+        # The deferred drop lands on the next locked operation.
+        reg.counter("c")
+        assert "a{array=a0}" not in {m.key for m in reg.metrics()}
+        assert {m.key for m in reg.metrics()} == {"b", "c"}
+
+    def test_registry_drop_still_prompt_when_uncontended(self):
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("a", array="a0")
+        reg.drop(["a{array=a0}"])
+        assert len(reg) == 0
+
+    def test_iterator_finalizer_defers_unpin(self):
+        import gc
+
+        from repro.core.smart_array import flush_deferred_unpins
+
+        arr = allocate(640, bits=13,
+                       values=gen_values(1, 640, 13),
+                       allocator=_allocator())
+        it = SmartArrayIterator.allocate(arr, 0)
+        gen = it._generation
+        assert gen.pin_count == 1
+        del it
+        gc.collect()
+        # The finalizer queued the unpin instead of taking generation
+        # locks mid-GC; the pin drains at the next flush point.
+        flush_deferred_unpins()
+        assert gen.pin_count == 0
+
+    def test_queued_unpin_flushes_on_next_pin(self):
+        import gc
+
+        arr = allocate(640, bits=13,
+                       values=gen_values(2, 640, 13),
+                       allocator=_allocator())
+        it = SmartArrayIterator.allocate(arr, 0)
+        gen = it._generation
+        del it
+        gc.collect()
+        reader = arr.pin_generation()  # flush point
+        try:
+            assert gen.pin_count == (1 if reader is gen else 0)
+        finally:
+            reader.unpin()
+
+    def test_queue_unpin_safe_while_generation_lock_held(self):
+        from repro.core.smart_array import (
+            flush_deferred_unpins,
+            queue_unpin,
+        )
+
+        arr = allocate(64, bits=7,
+                       values=gen_values(3, 64, 7),
+                       allocator=_allocator())
+        gen = arr.pin_generation()
+        # GC can fire while this thread holds the generation's lock;
+        # queueing must not touch it.
+        assert gen._lock.acquire(timeout=1)
+        try:
+            queue_unpin(gen)  # must not block
+        finally:
+            gen._lock.release()
+        flush_deferred_unpins()
+        assert gen.pin_count == 0
+
+
 class TestGenValuesPurity:
     """The harness repros above depend on ``gen_values`` being a pure
     function of (vseed, n, bits); pin that here so recorded repros keep

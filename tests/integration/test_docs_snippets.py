@@ -150,6 +150,44 @@ class TestApiGuideSnippets:
             .limit(5).run().rows
         assert rows.size == 5
 
+    def test_compiled_kernel_forms(self):
+        # The API guide's "Compiled kernels" section, verbatim in spirit.
+        from repro.core import SmartTable
+        from repro.query import Query, col, in_range, lit
+
+        rng = np.random.default_rng(3)
+        ts = np.sort(rng.integers(0, 50_000, 5000)).astype(np.uint64)
+        amount = rng.integers(0, 1000, 5000).astype(np.uint64)
+        t = SmartTable.from_arrays(
+            {"ts": ts, "amount": amount}, replicated=True
+        )
+        t.build_zone_map("ts")
+
+        q = Query(t).where(in_range("ts", 10_000, 20_000)).sum("amount")
+        r = q.run()
+        assert r.stats.mode == "compiled"
+        assert q.run(codegen="off").aggregates == r.aggregates
+        assert q.codegen("on").run().aggregates == r.aggregates
+
+        explained = q.plan().explain()
+        assert "execution mode: compiled (fused kernel)" in explained
+        assert "def kernel(" in explained
+
+        rows_q = Query(t).select("amount").limit(5)
+        plan = rows_q.plan()
+        assert plan.mode == "interpreted"
+        assert plan.codegen_reason is not None
+        assert "execution mode: interpreted" in plan.explain()
+
+        # The section's execution-detail notes: constant comparisons
+        # fail at construction; limit() skips morsels once satisfied.
+        with pytest.raises(ValueError, match="references no column"):
+            lit(3) < lit(5)
+        limited = Query(t).where(col("ts") >= 0).select("amount") \
+            .limit(5).run()
+        assert limited.rows.size == 5
+        assert limited.stats.morsels_skipped > 0
+
     def test_observability_forms(self):
         # The API guide's "Observability" section, verbatim in spirit.
         import repro

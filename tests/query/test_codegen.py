@@ -1,0 +1,329 @@
+"""Fused-kernel codegen: compiled == interpreted, knobs, edge cases.
+
+Every equivalence test runs the same query through both executor paths
+(``codegen="on"`` vs ``codegen="off"``) and against a Python-int oracle,
+asserting bit-identical aggregates — the compiled kernel must be
+indistinguishable from the AST interpreter on results and accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.table import SmartTable
+from repro.query import (
+    COMPILED_MORSEL_ELEMENTS,
+    DEFAULT_MORSEL_ELEMENTS,
+    Query,
+    col,
+    in_range,
+    lit,
+    unsupported_reason,
+)
+from repro.query.codegen import compile_query, _KERNEL_CACHE
+from repro.runtime import default_pool
+
+U64_MAX = (1 << 64) - 1
+N = 6000
+
+
+def make_table(bits, n=N, seed=0, sorted_keys=False):
+    """Two-column table whose columns genuinely need ``bits`` bits."""
+    rng = np.random.default_rng(seed)
+    hi = 1 << bits
+    k = rng.integers(0, hi, n, dtype=np.uint64)
+    v = rng.integers(0, hi, n, dtype=np.uint64)
+    # Pin the storage width: min/max values present in both columns.
+    k[0], k[1] = 0, hi - 1
+    v[0], v[1] = hi - 1, 0
+    if sorted_keys:
+        k = np.sort(k)
+    t = SmartTable.from_arrays({"k": k, "v": v}, replicated=True)
+    assert t["k"].bits == bits and t["v"].bits == bits
+    return t, k, v
+
+
+def oracle_aggs(k, v, mask):
+    """Exact aggregates via Python ints (no uint64 overflow)."""
+    sel = v[mask]
+    total = int(sel.astype(object).sum()) if sel.size else 0
+    return {
+        "sum(v)": total,
+        "count(*)": int(mask.sum()),
+        "min(v)": int(sel.min()) if sel.size else None,
+        "max(v)": int(sel.max()) if sel.size else None,
+        "mean(v)": total / sel.size if sel.size else None,
+    }
+
+
+def full_query(t):
+    return (Query(t).sum("v").count().min("v").max("v").mean("v"))
+
+
+def assert_both_paths(t, k, v, predicate, mask, pool=None):
+    """compiled == interpreted == oracle for the full aggregate set."""
+    q_on = full_query(t).codegen("on")
+    q_off = full_query(t).codegen("off")
+    if predicate is not None:
+        q_on.where(predicate())
+        q_off.where(predicate())
+    compiled = q_on.run(pool=pool)
+    interpreted = q_off.run(pool=pool)
+    assert compiled.plan.mode == "compiled"
+    assert interpreted.plan.mode == "interpreted"
+    assert compiled.aggregates == interpreted.aggregates
+    assert compiled.aggregates == oracle_aggs(k, v, mask)
+    return compiled
+
+
+class TestBitWidths:
+    @pytest.mark.parametrize("bits", [1, 7, 13, 33, 63, 64])
+    def test_compiled_matches_interpreted(self, bits):
+        t, k, v = make_table(bits)
+        lo, hi = (1 << bits) // 4, ((1 << bits) * 3) // 4
+        if bits == 1:
+            lo, hi = 0, 1
+        assert_both_paths(
+            t, k, v,
+            lambda: in_range("k", lo, hi),
+            (k >= lo) & (k < hi),
+        )
+
+    @pytest.mark.parametrize("bits", [33, 63, 64])
+    def test_wide_sums_are_exact(self, bits):
+        # Values near the top of the domain: a naive uint64 span sum
+        # would wrap; the 32-bit-halves fold must stay exact.
+        rng = np.random.default_rng(1)
+        top = 1 << bits
+        vals = np.uint64(top - 1) - rng.integers(0, 1000, N).astype(np.uint64)
+        vals[0] = np.uint64(top - 1)
+        t = SmartTable.from_arrays({"k": vals, "v": vals}, replicated=True)
+        assert t["v"].bits == bits
+        assert_both_paths(t, vals, vals, None, np.ones(N, dtype=bool))
+
+
+class TestWrappingArithmetic:
+    def test_add_sub_mul_wrap_at_uint64_boundary(self):
+        t, k, v = make_table(64, seed=3)
+        with np.errstate(over="ignore"):
+            for build, np_mask in [
+                (lambda: (col("k") + 5) < 3,
+                 (k + np.uint64(5)) < np.uint64(3)),
+                (lambda: (col("k") - 7) >= U64_MAX - 6,
+                 (k - np.uint64(7)) >= np.uint64(U64_MAX - 6)),
+                (lambda: (col("k") * 2) < col("k"),
+                 (k * np.uint64(2)) < k),
+                (lambda: (col("k") + col("v")) == (col("v") + col("k")),
+                 np.ones(N, dtype=bool)),
+            ]:
+                assert_both_paths(t, k, v, build, np_mask)
+
+    def test_literal_arithmetic_operand(self):
+        # Arith(Lit, Lit) as one compare side: a uint64 scalar at
+        # runtime, constant in the generated source.
+        t, k, v = make_table(33, seed=4)
+        assert_both_paths(
+            t, k, v,
+            lambda: col("k") < (lit(1 << 30) + lit(1 << 30)),
+            k < np.uint64(1 << 31),
+        )
+
+
+class TestOutOfDomainBounds:
+    def test_clamped_constants_fold(self):
+        t, k, v = make_table(13, seed=5)
+        everything = np.ones(N, dtype=bool)
+        nothing = np.zeros(N, dtype=bool)
+        cases = [
+            (lambda: col("k") >= -3, everything),
+            (lambda: col("k") < (1 << 64) + 17, everything),
+            (lambda: col("k") == 1 << 64, nothing),
+            (lambda: col("k") != 1 << 65, everything),
+            (lambda: col("k") > U64_MAX, nothing),
+            (lambda: col("k") <= -1, nothing),
+        ]
+        for build, mask in cases:
+            assert_both_paths(t, k, v, build, mask)
+
+    def test_folded_constants_simplify_connectives(self):
+        # TRUE & p -> p, FALSE | p -> p, ~TRUE -> FALSE: the generated
+        # mask must shed everywhere-true/false branches yet agree with
+        # the interpreter's full array algebra.
+        t, k, v = make_table(13, seed=6)
+        p = (k >= 100) & (k < 4000)
+        compiled = assert_both_paths(
+            t, k, v,
+            lambda: ((col("k") >= -3) & in_range("k", 100, 4000))
+                    | (col("k") == 1 << 64),
+            p,
+        )
+        source = compiled.plan.kernel.source
+        # The everywhere-true/false leaves must not survive into code.
+        assert "np.uint64(0)" not in source
+        assert source.count("mask = ") == 1
+
+    def test_everywhere_false_predicate(self):
+        t, k, v = make_table(13, seed=7)
+        compiled = assert_both_paths(
+            t, k, v,
+            lambda: col("k") > U64_MAX,
+            np.zeros(N, dtype=bool),
+        )
+        # Decodes still happen (accounting parity) but no fold runs.
+        assert compiled.stats.rows_matched == 0
+        assert compiled.stats.decoded_chunks["k"] > 0
+
+
+class TestBooleanNesting:
+    def test_and_or_not_nesting(self):
+        t, k, v = make_table(13, seed=8)
+        km, vm = k, v
+        cases = [
+            (lambda: ~in_range("k", 100, 5000),
+             ~((km >= 100) & (km < 5000))),
+            (lambda: (~(col("k") < 2000)) | ((col("v") >= 1000)
+                                             & ~(col("v") < 3000)),
+             (~(km < 2000)) | ((vm >= 1000) & ~(vm < 3000))),
+            (lambda: ~(~(col("k") >= 1000) | ~(col("v") < 6000)),
+             ~(~(km >= 1000) | ~(vm < 6000))),
+            (lambda: (col("k") == col("v")) | (col("k") != 5),
+             (km == vm) | (km != 5)),
+        ]
+        for build, mask in cases:
+            assert_both_paths(t, k, v, build, mask)
+
+
+class TestCandidateMasks:
+    def test_empty_candidates_after_pruning(self):
+        # Zone maps prune every chunk: the kernel never runs, partials
+        # stay empty, and both paths agree on the empty aggregates.
+        t, k, v = make_table(13, sorted_keys=True, seed=9)
+        t.build_zone_map("k")
+        beyond = 1 << 13
+        compiled = assert_both_paths(
+            t, k, v,
+            lambda: col("k") >= beyond,
+            np.zeros(N, dtype=bool),
+        )
+        assert compiled.plan.chunks_candidate == 0
+        assert compiled.stats.decoded_chunks["k"] == 0
+
+    def test_full_candidates_no_predicate(self):
+        t, k, v = make_table(13, seed=10)
+        compiled = assert_both_paths(
+            t, k, v, None, np.ones(N, dtype=bool),
+        )
+        assert compiled.plan.chunks_candidate == compiled.plan.chunks_total
+        assert compiled.stats.rows_matched == N
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("distribution", ["dynamic", "static"])
+    def test_compiled_parallel_bit_identical(self, distribution):
+        t, k, v = make_table(33, sorted_keys=True, seed=11)
+        t.build_zone_map("k")
+        lo, hi = 1 << 30, 1 << 32
+        q = full_query(t).where(in_range("k", lo, hi)).codegen("on")
+        serial = q.run()
+        par = q.run(pool=default_pool(8), distribution=distribution)
+        assert serial.aggregates == par.aggregates
+        assert par.aggregates == oracle_aggs(k, v, (k >= lo) & (k < hi))
+
+
+class TestAccountingParity:
+    def test_compiled_decodes_exactly_candidate_chunks(self):
+        t, k, v = make_table(33, sorted_keys=True, seed=12)
+        t.build_zone_map("k")
+        q = (Query(t).where(in_range("k", 1 << 30, 1 << 32))
+             .sum("v").codegen("on"))
+        before_k = t["k"].stats.chunk_unpacks
+        before_v = t["v"].stats.chunk_unpacks
+        result = q.run(morsel=DEFAULT_MORSEL_ELEMENTS)
+        expected = result.plan.chunks_candidate
+        assert t["k"].stats.chunk_unpacks - before_k == expected
+        assert t["v"].stats.chunk_unpacks - before_v == expected
+        assert result.stats.decoded_chunks == {"k": expected, "v": expected}
+
+
+class TestKnobs:
+    def test_query_knob_and_plan_kwarg_precedence(self):
+        t, k, v = make_table(13, seed=13)
+        q = Query(t).sum("v").codegen("off")
+        assert q.plan().mode == "interpreted"
+        # The planner kwarg beats the query's fluent setting.
+        assert q.plan(codegen="on").mode == "compiled"
+
+    def test_env_var_default(self, monkeypatch):
+        t, k, v = make_table(13, seed=14)
+        monkeypatch.setenv("REPRO_QUERY_CODEGEN", "off")
+        plan = Query(t).sum("v").plan()
+        assert plan.mode == "interpreted"
+        assert plan.codegen_reason == "codegen knob off"
+        monkeypatch.setenv("REPRO_QUERY_CODEGEN", "banana")
+        with pytest.raises(ValueError, match="REPRO_QUERY_CODEGEN"):
+            Query(t).sum("v").plan()
+
+    def test_auto_compiles_supported_interprets_rest(self):
+        t, k, v = make_table(13, seed=15)
+        assert Query(t).sum("v").plan().mode == "compiled"
+        rows = Query(t).where(col("k") >= 5).select("v").plan()
+        assert rows.mode == "interpreted"
+        assert "row queries" in rows.codegen_reason
+        grouped = Query(t).group_by("k").sum("v").plan()
+        assert grouped.mode == "interpreted"
+        assert "group_by" in grouped.codegen_reason
+
+    def test_forcing_on_for_unsupported_shape_errors(self):
+        t, k, v = make_table(13, seed=16)
+        with pytest.raises(ValueError, match="cannot compile"):
+            Query(t).group_by("k").sum("v").plan(codegen="on")
+        with pytest.raises(ValueError, match="codegen mode"):
+            Query(t).sum("v").codegen("sometimes")
+
+    def test_unsupported_reason_surface(self):
+        t, k, v = make_table(13, seed=17)
+        assert unsupported_reason(Query(t).sum("v")) is None
+        assert unsupported_reason(Query(t).select("v")) is not None
+        assert unsupported_reason(Query(t).group_by("k").count()) is not None
+
+    def test_compiled_default_morsel_is_larger(self):
+        t, k, v = make_table(13, seed=18)
+        assert Query(t).sum("v").plan().morsel_elements == \
+            COMPILED_MORSEL_ELEMENTS
+        assert Query(t).sum("v").plan(codegen="off").morsel_elements == \
+            DEFAULT_MORSEL_ELEMENTS
+        # An explicit knob wins in either mode.
+        assert Query(t).sum("v").plan(morsel=256).morsel_elements == 256
+
+
+class TestExplainAndCache:
+    def test_explain_reports_mode_and_source(self):
+        t, k, v = make_table(13, seed=19)
+        q = Query(t).where(col("k") >= 100).sum("v")
+        text = q.explain()
+        assert "execution mode: compiled (fused kernel)" in text
+        assert "def kernel(" in text
+        assert "np.uint64(100)" in text
+        off = q.explain(codegen="off")
+        assert "execution mode: interpreted (codegen knob off)" in off
+        assert "def kernel(" not in off
+
+    def test_identical_plans_share_compiled_functions(self):
+        t, k, v = make_table(13, seed=20)
+        q = Query(t).where(col("k") >= 100).sum("v")
+        k1 = q.plan().kernel
+        k2 = q.plan().kernel
+        assert k1.source == k2.source
+        assert k1.fn is k2.fn
+        assert k1.source in _KERNEL_CACHE
+
+    def test_zero_column_kernel_compiles(self):
+        # A bare count(*) on an empty table needs no columns at all;
+        # the generated signature must still be valid.
+        t = SmartTable.from_arrays(
+            {"k": np.empty(0, dtype=np.uint64)}, replicated=True
+        )
+        plan = Query(t).count().plan(codegen="on")
+        assert plan.mode == "compiled"
+        assert plan.needed_columns == ()
+        result = Query(t).count().run(codegen="on")
+        assert result["count(*)"] == 0

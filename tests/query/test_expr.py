@@ -111,6 +111,32 @@ class TestArithmetic:
             col("x") - (-1)
 
 
+class TestConstantComparisons:
+    # Regression: these used to construct fine and blow up with a
+    # ValueError only at evaluate() time, mid-query inside a worker
+    # thread.  Now the constructor rejects any comparison that reads
+    # no column.
+    def test_lit_vs_lit_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="references no column"):
+            Compare("==", Lit(1), Lit(1))
+        with pytest.raises(ValueError, match="references no column"):
+            lit(3) < lit(5)
+
+    def test_constant_arith_comparisons_rejected(self):
+        # Arith(Lit, Lit) vs Lit previously slipped past the lit-lit
+        # check and produced a scalar (shapeless) mask at runtime.
+        with pytest.raises(ValueError, match="references no column"):
+            (lit(2) + lit(3)) == 5
+        with pytest.raises(ValueError, match="references no column"):
+            Compare("<", Lit(1) * Lit(2), Lit(4) - Lit(1))
+
+    def test_column_comparisons_still_fine(self, span):
+        env = env_of(span)
+        m = (col("x") < (lit(2) + lit(3))).evaluate(env)
+        np.testing.assert_array_equal(m, span < np.uint64(5))
+        assert (Col("x") == Lit(5)).evaluate(env).shape == span.shape
+
+
 class TestConnectives:
     def test_and_or_not(self, span):
         env = env_of(span)

@@ -7,6 +7,7 @@ from repro.core import bitpack
 from repro.core.table import SmartTable
 from repro.query import (
     DEFAULT_MORSEL_ELEMENTS,
+    COMPILED_MORSEL_ELEMENTS,
     Query,
     col,
     in_range,
@@ -128,12 +129,19 @@ class TestPruneModes:
 
 class TestPlanShape:
     def test_morsels_are_superchunk_aligned(self, table):
-        plan = Query(table).count().plan()
+        # Interpreted plans keep the one-superchunk default; compiled
+        # plans default larger (COMPILED_MORSEL_ELEMENTS) to amortize
+        # per-run decode overhead.  Both stay superchunk-aligned.
+        plan = Query(table).count().plan(codegen="off")
         assert plan.morsel_elements == DEFAULT_MORSEL_ELEMENTS
         for start, stop in plan.morsels[:-1]:
             assert start % DEFAULT_MORSEL_ELEMENTS == 0
             assert stop - start == DEFAULT_MORSEL_ELEMENTS
         assert plan.morsels[-1][1] == N
+        compiled = Query(table).count().plan(codegen="on")
+        assert compiled.morsel_elements == COMPILED_MORSEL_ELEMENTS
+        assert compiled.morsel_elements % 64 == 0
+        assert compiled.morsels[-1][1] == N
 
     def test_morsel_knob_validated(self, table):
         with pytest.raises(ValueError):

@@ -151,6 +151,65 @@ class TestRowQueries:
         )
 
 
+class TestLimitEarlyExit:
+    """Regression: limit() used to decode and filter every candidate
+    morsel before truncating; now morsel claiming stops once the
+    completed morsel prefix covers the row budget."""
+
+    def _limited(self, table, n, pool=None, distribution="dynamic"):
+        return (
+            Query(table).where(col("k") >= LO).select("v").limit(n)
+            .run(pool=pool, distribution=distribution)
+        )
+
+    def test_skips_morsels_and_saves_decodes(self, table, data):
+        full_mask = data["k"] >= LO
+        before = table["k"].stats.chunk_unpacks
+        result = self._limited(table, 5)
+        decoded = table["k"].stats.chunk_unpacks - before
+        # The serial path claims morsels in order, so it decodes a
+        # strict prefix of the candidate chunks and skips the rest.
+        assert 0 < decoded < result.plan.chunks_candidate
+        assert result.stats.morsels_skipped > 0
+        assert result.stats.decoded_chunks["k"] == decoded
+        np.testing.assert_array_equal(
+            result.rows, np.nonzero(full_mask)[0][:5].astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            result["v"], data["v"][full_mask][:5]
+        )
+
+    def test_limit_zero_decodes_nothing(self, table):
+        before = table["k"].stats.chunk_unpacks
+        result = self._limited(table, 0)
+        assert result.n_rows == 0
+        assert table["k"].stats.chunk_unpacks - before == 0
+        assert result.stats.morsels_executed == 0
+
+    @pytest.mark.parametrize("distribution", ["dynamic", "static"])
+    def test_threaded_prefix_is_bit_identical(self, table, data, pool,
+                                              distribution):
+        serial = self._limited(table, 9)
+        threaded = self._limited(table, 9, pool=pool,
+                                 distribution=distribution)
+        np.testing.assert_array_equal(serial.rows, threaded.rows)
+        np.testing.assert_array_equal(serial["v"], threaded["v"])
+        full_mask = data["k"] >= LO
+        np.testing.assert_array_equal(
+            threaded.rows, np.nonzero(full_mask)[0][:9].astype(np.int64)
+        )
+
+    def test_unsatisfiable_limit_scans_everything(self, table, data):
+        # Budget larger than the match count: no skipping possible.
+        full_mask = data["k"] >= LO
+        want = int(full_mask.sum()) + 10
+        result = self._limited(table, want)
+        assert result.n_rows == int(full_mask.sum())
+        assert result.stats.morsels_skipped == 0
+        assert result.stats.decoded_chunks["k"] == \
+            result.plan.chunks_candidate
+
+
 class TestParallelDeterminism:
     @pytest.mark.parametrize("distribution", ["dynamic", "static"])
     def test_aggregate_identical_serial_vs_pool(self, table, pool,
