@@ -72,8 +72,12 @@ class Op:
 #: ``live`` interleaves scans, writes, and queries with randomly
 #: injected online migrations (placement and bit-width changes through
 #: :mod:`repro.live`), checking bit-identical results and that no op
-#: ever observes a half-migrated generation.
-PROFILES: Tuple[str, ...] = ("mixed", "query", "obs", "live")
+#: ever observes a half-migrated generation; ``sql`` renders random
+#: SQL statements, compiles them through :mod:`repro.sql`, and checks
+#: the bound plan and its results/accounting are identical to the
+#: directly-built fluent-``Query`` twin (plus malformed statements
+#: that must fail with positioned errors, never tracebacks).
+PROFILES: Tuple[str, ...] = ("mixed", "query", "obs", "live", "sql")
 
 
 @dataclass(frozen=True)
@@ -264,12 +268,46 @@ _LIVE_OP_TABLE = (
     ("query_filter_count", 1, False),
 ) + _LIVE_MIGRATE_OPS
 
+#: SQL-frontend twins of the query ops: identical argument shapes plus
+#: a trailing *style* int that fuzzes the SQL surface (keyword case,
+#: whitespace, ``=`` vs ``==``, trailing semicolon) without changing
+#: the statement's meaning.  The runner renders the SQL text, compiles
+#: it through :mod:`repro.sql`, asserts the bound logical plan matches
+#: the fluent twin's, then reuses the full query differential checks
+#: (oracle results, candidate chunks, exact decode accounting, codegen
+#: cross-check).  ``sql_error`` draws from a malformed-statement table
+#: and expects a positioned :class:`~repro.sql.SqlError`.
+_SQL_OPS = (
+    ("sql_filter_sum", 3, False),
+    ("sql_filter_count", 2, False),
+    ("sql_and_count", 2, False),
+    ("sql_or_select", 2, False),
+    ("sql_group_sum", 2, False),
+    ("sql_filter_minmax", 2, False),
+    ("sql_error", 1, False),
+)
+
+#: Like the query profile: keep writes so zone maps go stale and
+#: rebuild under SQL-built plans too.
+_SQL_OP_TABLE = (
+    ("fill", 3, False),
+    ("setitem", 1, True),
+    ("scatter", 1, True),
+) + _SQL_OPS
+
 _PROFILE_TABLES = {
     "mixed": _OP_TABLE,
     "query": _QUERY_OP_TABLE,
     "obs": _OBS_OP_TABLE,
     "live": _LIVE_OP_TABLE,
+    "sql": _SQL_OP_TABLE,
 }
+
+#: How many surface styles the runner's SQL renderer implements.
+N_SQL_STYLES = 6
+
+#: How many malformed-statement templates the runner knows.
+N_SQL_ERROR_TEMPLATES = 10
 
 
 def _profile_dist(profile: str):
@@ -280,7 +318,8 @@ def _profile_dist(profile: str):
 
 
 _NEEDS_NONEMPTY = {
-    t[0]: t[2] for t in _OP_TABLE + _QUERY_OP_TABLE + _LIVE_OP_TABLE
+    t[0]: t[2]
+    for t in _OP_TABLE + _QUERY_OP_TABLE + _LIVE_OP_TABLE + _SQL_OP_TABLE
 }
 
 _PARALLEL_BATCHES = (256, 4096)
@@ -378,6 +417,22 @@ def _gen_op(rng: np.random.Generator, spec: ArraySpec,
                          int(rng.integers(0, 2)), int(rng.integers(0, 2))))
     if name == "query_group_sum":
         return Op(name, (int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name in ("sql_filter_sum", "sql_filter_count",
+                "sql_filter_minmax"):
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2)),
+                         int(rng.integers(0, N_SQL_STYLES))))
+    if name in ("sql_and_count", "sql_or_select"):
+        vbits = companion_bits(bits)
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         _gen_bound(rng, vbits), _gen_bound(rng, vbits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2)),
+                         int(rng.integers(0, N_SQL_STYLES))))
+    if name == "sql_group_sum":
+        return Op(name, (int(rng.integers(0, 2)), int(rng.integers(0, 2)),
+                         int(rng.integers(0, N_SQL_STYLES))))
+    if name == "sql_error":
+        return Op(name, (int(rng.integers(0, N_SQL_ERROR_TEMPLATES)),))
     if name in ("migrate", "migrate_during_scan"):
         # (target placement, pin socket, raw target bits, chunk budget).
         # The runner widens raw bits to whatever the data needs, so

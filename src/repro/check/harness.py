@@ -72,10 +72,13 @@ def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
     """Run the differential fuzz harness for an op budget.
 
     ``profile`` selects the op mix: ``"mixed"`` (everything),
-    ``"query"`` (query-engine heavy; the CI query job's setting), or
+    ``"query"`` (query-engine heavy; the CI query job's setting),
     ``"obs"`` (parallel/query heavy, every case traced, with the
     registry and per-span counter deltas cross-checked against the
-    oracle accounting; the CI obs job's setting).
+    oracle accounting; the CI obs job's setting), ``"live"``
+    (scans/queries racing online migrations), or ``"sql"`` (random SQL
+    statements compiled and proven plan- and bit-identical to their
+    directly-built fluent twins; the CI sql job's setting).
     ``codegen`` picks the query-op execution paths: ``"both"`` proves
     compiled == interpreted on every supported shape, ``"on"`` forces
     the compiled path alone (the codegen CI job), ``"off"`` the

@@ -45,6 +45,7 @@ from ..obs.trace import TRACER, tracing
 from ..query import Query, col, in_range, unsupported_reason
 from ..runtime import parallel_scans
 from ..runtime.workers import WorkerPool
+from ..sql import SqlError, compile_sql
 from . import oracle as orc
 from .generator import PLACEMENTS, Case, Op, companion_bits, gen_values
 
@@ -60,7 +61,7 @@ class CaseFailure:
     op_index: int
     op: Op
     # "result" | "storage" | "zonemap" | "accounting" | "obs" |
-    # "codegen" | "exception"
+    # "codegen" | "sql" | "exception"
     kind: str
     detail: str
 
@@ -756,6 +757,9 @@ class CaseRunner:
         elif op.name.startswith("query_"):
             self._run_query_op(op)
 
+        elif op.name.startswith("sql_"):
+            self._run_sql_op(op)
+
         elif op.name.startswith("migrate"):
             self._run_migrate_op(op, before)
 
@@ -973,6 +977,189 @@ class CaseRunner:
 
         else:  # pragma: no cover - generator and runner share the table
             raise AssertionError(f"unknown query op {op.name!r}")
+
+    # -- sql-profile ops ---------------------------------------------------
+
+    def _run_sql_op(self, op: Op) -> None:
+        """SQL-frontend twin of a query op.
+
+        Renders a SQL statement for the op's arguments (surface style
+        fuzzed by the trailing style int), compiles it through
+        :func:`repro.sql.compile_sql`, asserts the bound logical plan
+        is *identical* to the directly-built fluent twin's, then runs
+        the bound query through the full query differential checks —
+        oracle results, planner candidate chunks, exact decode
+        accounting, compiled-vs-interpreted cross-check — so a SQL
+        statement and its twin are provably bit-identical end to end.
+        """
+        table = self._ensure_query_table()
+        if op.name == "sql_error":
+            self._run_sql_error_op(op, table)
+            return
+        self._ensure_query_zonemaps()
+        o, ov = self.oracle, self._oracle_v
+        spec = self.case.spec
+        style = op.args[-1]
+        sql = _render_sql_op(op.name, op.args, style)
+
+        if op.name in ("sql_filter_sum", "sql_filter_count",
+                       "sql_filter_minmax"):
+            lo, hi, par, dist = op.args[:4]
+            mask = o.range_mask(lo, hi)
+            chunks = self._query_chunk_mask([(lo, hi)], [], union=False)
+            twin = Query(table).where(in_range("k", lo, hi))
+            vals = ov.values[mask]
+            if op.name == "sql_filter_sum":
+                twin = twin.sum("v")
+                expected = (
+                    int(vals.astype(object).sum()) if vals.size else 0,
+                )
+            elif op.name == "sql_filter_count":
+                twin = twin.count()
+                expected = (int(mask.sum()),)
+            else:
+                twin = twin.min("v").max("v")
+                expected = (
+                    int(vals.min()) if vals.size else None,
+                    int(vals.max()) if vals.size else None,
+                )
+        elif op.name == "sql_and_count":
+            lo1, hi1, lo2, hi2, par, dist = op.args[:6]
+            mask = o.range_mask(lo1, hi1) & ov.range_mask(lo2, hi2)
+            chunks = self._query_chunk_mask([(lo1, hi1)], [(lo2, hi2)],
+                                            union=False)
+            twin = Query(table).where(
+                in_range("k", lo1, hi1) & in_range("v", lo2, hi2)
+            ).count()
+            expected = (int(mask.sum()),)
+        elif op.name == "sql_or_select":
+            lo1, hi1, lo2, hi2, par, dist = op.args[:6]
+            mask = o.range_mask(lo1, hi1) | ov.range_mask(lo2, hi2)
+            chunks = self._query_chunk_mask([(lo1, hi1)], [(lo2, hi2)],
+                                            union=True)
+            twin = Query(table).where(
+                in_range("k", lo1, hi1) | in_range("v", lo2, hi2)
+            ).select("v")
+            rows = np.nonzero(mask)[0].astype(np.int64)
+            expected = (rows, ov.values[rows])
+        elif op.name == "sql_group_sum":
+            par, dist = op.args[:2]
+            chunks = orc.chunks_for(spec.length)
+            twin = Query(table).group_by("k").sum("v")
+            groups: Dict[int, int] = {}
+            for kk, vv in zip(o.values.tolist(), ov.values.tolist()):
+                groups[kk] = groups.get(kk, 0) + vv
+            expected = {k: (v,) for k, v in groups.items()}
+        else:  # pragma: no cover - generator and runner share the table
+            raise AssertionError(f"unknown sql op {op.name!r}")
+
+        try:
+            bound = compile_sql(sql, {"t": table})
+        except SqlError as exc:
+            raise _Divergence(
+                "sql",
+                f"{op.name}: {sql!r} failed to compile: {exc}")
+        if bound.describe() != twin.describe():
+            raise _Divergence(
+                "sql",
+                f"{op.name}: {sql!r} lowered to\n{bound.describe()}\n"
+                f"but the fluent twin is\n{twin.describe()}")
+        self._check_query(op, bound, expected, chunks, par, dist)
+
+    def _run_sql_error_op(self, op: Op, table: SmartTable) -> None:
+        """A malformed statement must fail with a *positioned*
+        :class:`SqlError` — never compile, never raise anything else."""
+        sql = _SQL_ERROR_TEMPLATES[op.args[0] % len(_SQL_ERROR_TEMPLATES)]
+        try:
+            compile_sql(sql, {"t": table})
+        except SqlError as exc:
+            if not 0 <= exc.pos <= len(sql):
+                raise _Divergence(
+                    "sql",
+                    f"sql_error: {sql!r} raised SqlError with pos "
+                    f"{exc.pos} outside the statement")
+            if "^" not in exc.format():
+                raise _Divergence(
+                    "sql",
+                    f"sql_error: {sql!r} error rendering lost its caret: "
+                    f"{exc.format()!r}")
+            return
+        except Exception as exc:  # noqa: BLE001 - divergence reporting
+            raise _Divergence(
+                "sql",
+                f"sql_error: {sql!r} raised {type(exc).__name__} "
+                f"({exc}) instead of SqlError")
+        raise _Divergence(
+            "sql", f"sql_error: {sql!r} compiled without complaint")
+
+
+#: Statements the frontend must reject with a positioned error; the
+#: generator's ``N_SQL_ERROR_TEMPLATES`` mirrors this table's length.
+_SQL_ERROR_TEMPLATES = (
+    "SELECT",
+    "SELECT sum(v) FROM",
+    "SELECT sum(v) FROM t WHERE",
+    "FROM t SELECT sum(v)",
+    "SELECT sum(v) FROM t WHERE 3 < 5",
+    "SELECT sum(v) FROM t WHERE wat > 1",
+    "SELECT wat FROM t",
+    "SELECT v FROM t GROUP BY k",
+    "SELECT sum(v) FROM t LIMIT 5",
+    "SELECT sum(v) FROM t WHERE k >= 1 ??",
+)
+
+
+def _render_sql_op(name: str, args, style: int) -> str:
+    """Render a sql op's statement text in one of the surface styles.
+
+    Styles vary keyword/function case, clause whitespace, and a
+    trailing semicolon — never the statement's meaning, so every style
+    must lower to the identical logical plan.
+    """
+    def kw(s: str) -> str:
+        return s.upper() if style % 2 == 0 else s.lower()
+
+    def rng(column: str, lo: int, hi: int) -> str:
+        return (f"{column} >= {lo} {kw('and')} {column} < {hi}")
+
+    if name == "sql_filter_sum":
+        select = f"{kw('select')} {kw('sum')}(v)"
+        where = rng("k", args[0], args[1])
+    elif name == "sql_filter_count":
+        select = f"{kw('select')} {kw('count')}(*)"
+        where = rng("k", args[0], args[1])
+    elif name == "sql_filter_minmax":
+        select = f"{kw('select')} {kw('min')}(v), {kw('max')}(v)"
+        where = rng("k", args[0], args[1])
+    elif name == "sql_and_count":
+        select = f"{kw('select')} {kw('count')}(*)"
+        where = (f"({rng('k', args[0], args[1])}) {kw('and')} "
+                 f"({rng('v', args[2], args[3])})")
+    elif name == "sql_or_select":
+        select = f"{kw('select')} v"
+        where = (f"({rng('k', args[0], args[1])}) {kw('or')} "
+                 f"({rng('v', args[2], args[3])})")
+    elif name == "sql_group_sum":
+        # Half the styles list the group key in the select list (a
+        # bindable no-op), the other half omit it.
+        if style >= 3:
+            select = f"{kw('select')} k, {kw('sum')}(v)"
+        else:
+            select = f"{kw('select')} {kw('sum')}(v)"
+        where = None
+    else:  # pragma: no cover - generator and runner share the table
+        raise AssertionError(f"unknown sql op {name!r}")
+
+    clauses = [select, f"{kw('from')} t"]
+    if where is not None:
+        clauses.append(f"{kw('where')} {where}")
+    if name == "sql_group_sum":
+        clauses.append(f"{kw('group')} {kw('by')} k")
+    sep = "\n  " if (style // 2) % 2 else " "
+    sql = sep.join(clauses)
+    if style >= 4:
+        sql += " ;"
+    return sql
 
 
 def run_case(case: Case, n_workers: int = 4,

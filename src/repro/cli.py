@@ -13,6 +13,8 @@ Usage::
     python -m repro query
     python -m repro trace scan --rows 200000 --workers 4
     python -m repro trace query --json
+    python -m repro sql "SELECT SUM(amount) FROM events WHERE ts < 4096"
+    python -m repro serve --port 7878
 
 Each subcommand prints the same report the corresponding
 ``benchmarks/bench_*.py`` script produces, without needing pytest.
@@ -469,6 +471,90 @@ def _cmd_trace(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_sql(args) -> str:
+    from .server.catalog import demo_catalog
+    from .sql import SqlError, compile_sql
+
+    catalog = demo_catalog(rows=args.rows)
+    try:
+        query = compile_sql(args.statement, catalog.tables())
+    except SqlError as exc:
+        # Positioned frontend errors exit non-zero with the caret
+        # rendering, never a traceback.
+        raise SystemExit(exc.format())
+    lines = [f"table catalog: {', '.join(catalog.names())} "
+             f"({args.rows:,} rows)", "",
+             "logical plan:",
+             *("  " + l for l in query.describe().splitlines()), ""]
+    if args.explain:
+        lines += ["physical plan:",
+                  *("  " + l for l in query.explain().splitlines())]
+        return "\n".join(lines)
+    pool = None
+    if args.workers > 1:
+        from .runtime.loops import default_pool
+
+        pool = default_pool(args.workers)
+    result = query.run(pool=pool)
+    lines.append(f"result ({result.kind}):")
+    if result.kind == "aggregate":
+        lines += [f"  {name} = {value}"
+                  for name, value in result.aggregates.items()]
+    elif result.kind == "groups":
+        for key in sorted(result.groups):
+            aggs = ", ".join(f"{n}={v}" for n, v in
+                             result.groups[key].items())
+            lines.append(f"  {key}: {aggs}")
+    else:
+        lines.append(f"  {result.rows.size} matching rows")
+        shown = min(result.rows.size, 10)
+        names = sorted(result.columns)
+        for i in range(shown):
+            vals = ", ".join(f"{n}={int(result.columns[n][i])}"
+                             for n in names)
+            lines.append(f"  row {int(result.rows[i])}: {vals}")
+        if shown < result.rows.size:
+            lines.append(f"  ... ({result.rows.size - shown} more)")
+    lines += ["", *("  " + l
+                    for l in result.stats.describe().splitlines())]
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> str:
+    import time as _time
+
+    from .obs.registry import registry
+    from .server import SmartArrayServer
+    from .server.catalog import demo_catalog
+
+    catalog = demo_catalog(rows=args.rows)
+    server = SmartArrayServer(
+        catalog, host=args.host, port=args.port, n_workers=args.workers
+    ).start()
+    # Banner goes straight to stdout (flushed) so clients can scrape
+    # the bound port while the command blocks serving.
+    print(f"repro server listening on {args.host}:{server.port} "
+          f"(tables: {', '.join(catalog.names())}; "
+          f"{args.workers} pool workers)", flush=True)
+    try:
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown(drain=True)
+    reg = registry()
+    handled = sum(
+        value for key, value in reg.values("server.queries").items()
+    )
+    return (f"server stopped after draining; "
+            f"{reg.value('server.connections_total') or 0} connections, "
+            f"{handled} queries handled")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -516,10 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-shrink", action="store_true",
                        help="report raw failures without minimizing")
     check.add_argument("--profile", default="mixed",
-                       choices=["mixed", "query", "obs", "live"],
+                       choices=["mixed", "query", "obs", "live", "sql"],
                        help="op mix: everything, query-engine heavy, "
-                            "traced with observability cross-checks, or "
-                            "scans raced against online migrations")
+                            "traced with observability cross-checks, "
+                            "scans raced against online migrations, or "
+                            "random SQL differentially checked against "
+                            "fluent-Query twins")
     check.add_argument("--codegen", default="both",
                        choices=["both", "on", "off"],
                        help="query-op execution paths: cross-check "
@@ -563,6 +651,37 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--ticks", type=int, default=30,
                       help="daemon control ticks to run (default 30)")
 
+    sql = sub.add_parser(
+        "sql",
+        help="parse, plan, and run one SELECT against the demo events "
+             "table (positioned errors on bad SQL)",
+    )
+    sql.add_argument("statement", help='e.g. "SELECT SUM(amount) FROM '
+                                       'events WHERE ts < 4096"')
+    sql.add_argument("--rows", type=int, default=100_000,
+                     help="demo table size (default 100k)")
+    sql.add_argument("--workers", type=int, default=1,
+                     help="worker-pool size (default 1: serial)")
+    sql.add_argument("--explain", action="store_true",
+                     help="print the physical plan instead of executing")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the demo catalog over the JSON-over-TCP wire "
+             "protocol (SQL in, results out; ctrl-C to drain and stop)",
+    )
+    serve.add_argument("--port", type=int, default=7878,
+                       help="TCP port to bind (0 = ephemeral)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--rows", type=int, default=100_000,
+                       help="demo table size (default 100k)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="shared morsel-pool size (default 4)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain and exit "
+                            "(default: until ctrl-C)")
+
     return parser
 
 
@@ -579,6 +698,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "trace": _cmd_trace,
     "live": _cmd_live,
+    "sql": _cmd_sql,
+    "serve": _cmd_serve,
 }
 
 

@@ -23,7 +23,7 @@ from .codegen import (
     compile_query,
     unsupported_reason,
 )
-from .executor import execute
+from .executor import QueryCancelled, QueryTimeout, execute
 from .expr import (
     And,
     Arith,
@@ -69,8 +69,10 @@ __all__ = [
     "PhysicalPlan",
     "PushedPredicate",
     "Query",
+    "QueryCancelled",
     "QueryResult",
     "QueryStats",
+    "QueryTimeout",
     "U64_MAX",
     "col",
     "compile_query",

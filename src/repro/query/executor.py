@@ -59,6 +59,21 @@ from .planner import PhysicalPlan
 from .stats import MorselPartial, QueryResult, QueryStats
 
 
+class QueryCancelled(RuntimeError):
+    """Raised when a query's cancel event was set mid-execution.
+
+    Cancellation is *cooperative*: the flag is checked at morsel
+    boundaries (before any generation is pinned or chunk decoded), so a
+    cancelled query never leaks a pinned generation and stops within
+    one morsel's worth of work per worker.
+    """
+
+
+class QueryTimeout(QueryCancelled):
+    """Raised when a query ran past its deadline (checked at morsel
+    boundaries, like cancellation)."""
+
+
 def _new_agg_partials(specs) -> List[object]:
     out: List[object] = []
     for spec in specs:
@@ -196,22 +211,42 @@ class _LimitTracker:
 
 
 def execute(plan: PhysicalPlan, pool: Optional[WorkerPool] = None,
-            distribution: str = "dynamic") -> QueryResult:
+            distribution: str = "dynamic",
+            cancel: Optional[threading.Event] = None,
+            timeout_s: Optional[float] = None) -> QueryResult:
     """Run ``plan`` and return a :class:`QueryResult`.
 
     ``pool=None`` runs serially on socket 0 (no worker pool, no
     threads); with a pool, morsels are claimed dynamically (``batch=1``)
     or round-robin (``distribution="static"``) and each worker reads
     its socket-local replicas.  Results are bit-identical either way.
+
+    ``cancel`` (a :class:`threading.Event`) and ``timeout_s`` bound the
+    run cooperatively: both are checked at every morsel boundary —
+    before anything is pinned or decoded — and raise
+    :class:`QueryCancelled` / :class:`QueryTimeout` on the calling
+    thread (worker exceptions propagate through the pool).  Granularity
+    is one morsel per worker; a query inside a single huge morsel is
+    not interruptible mid-morsel.
     """
+    reg = _obs_registry()
     with trace("query.execute",
                workers=pool.n_workers if pool is not None else 1,
                distribution=distribution if pool is not None else "serial"):
-        return _execute(plan, pool, distribution)
+        try:
+            return _execute(plan, pool, distribution, cancel, timeout_s)
+        except QueryTimeout:
+            reg.counter("query.timeouts").add(1)
+            raise
+        except QueryCancelled:
+            reg.counter("query.cancellations").add(1)
+            raise
 
 
 def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
-             distribution: str) -> QueryResult:
+             distribution: str,
+             cancel: Optional[threading.Event] = None,
+             timeout_s: Optional[float] = None) -> QueryResult:
     query = plan.query
     query.validate()
     table = plan.table
@@ -220,6 +255,7 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
     projection = query.projection
     is_rows = not specs
     t0 = time.perf_counter()
+    deadline = t0 + timeout_s if timeout_s is not None else None
 
     stats = QueryStats(
         morsels_total=len(plan.morsels),
@@ -251,6 +287,15 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
 
     def run_morsel(index: int, pos: int,
                    ctx: Optional[ThreadContext]) -> None:
+        # Cooperative interruption point: nothing is pinned yet, so
+        # raising here can never leak a generation pin.
+        if cancel is not None and cancel.is_set():
+            raise QueryCancelled("query cancelled")
+        if deadline is not None and time.perf_counter() >= deadline:
+            raise QueryTimeout(
+                f"query exceeded its {timeout_s}s deadline "
+                f"(checked at morsel boundaries)"
+            )
         if limiter is not None and limiter.satisfied:
             limit_skipped[index] = True
             return

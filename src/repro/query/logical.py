@@ -200,12 +200,20 @@ class Query:
         return self.plan(**knobs).explain()
 
     def run(self, pool=None, distribution: str = "dynamic",
+            cancel=None, timeout_s: Optional[float] = None,
             **knobs) -> "QueryResult":  # noqa: F821
-        """Plan and execute; see :func:`repro.query.executor.execute`."""
+        """Plan and execute; see :func:`repro.query.executor.execute`.
+
+        ``cancel`` (a :class:`threading.Event`) and ``timeout_s`` bound
+        the run cooperatively at morsel boundaries, raising
+        :class:`~repro.query.executor.QueryCancelled` /
+        :class:`~repro.query.executor.QueryTimeout`.
+        """
         from .executor import execute
 
         return execute(self.plan(pool=pool, **knobs), pool=pool,
-                       distribution=distribution)
+                       distribution=distribution, cancel=cancel,
+                       timeout_s=timeout_s)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Query\n  " + "\n  ".join(self.describe().splitlines()) + ">"

@@ -1,0 +1,93 @@
+"""Length-prefixed JSON framing for the wire protocol.
+
+Every message — request or response, either direction — is one frame:
+a 4-byte big-endian unsigned length followed by that many bytes of
+UTF-8 JSON encoding a single object.  Length-prefixing (rather than
+newline-delimited JSON) keeps the stream self-describing: a reader
+always knows exactly how many bytes to consume, partial reads are
+resumable, and a frame can safely contain newlines.
+
+The functions here are deliberately symmetric — the server and the
+blocking client share them — and all failure modes surface as
+:class:`FrameError` (malformed peer) or ``None`` (clean EOF between
+frames), never partially-parsed garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+#: 4-byte big-endian unsigned frame length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame; anything larger is a protocol error
+#: (protects the server from a hostile or corrupted length prefix).
+MAX_FRAME_BYTES = 16 << 20
+
+
+class FrameError(RuntimeError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+def send_frame(sock: socket.socket, obj: dict) -> int:
+    """Serialize ``obj`` and send it as one frame; returns bytes sent."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    sock.sendall(HEADER.pack(len(payload)) + payload)
+    return HEADER.size + len(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on EOF before the first byte,
+    :class:`FrameError` on EOF mid-read."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame "
+                f"({n - remaining}/{n} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`FrameError` on truncated headers/payloads, oversized
+    lengths, invalid JSON, or a non-object payload.
+    """
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise FrameError("connection closed between header and payload")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got "
+            f"{type(obj).__name__}"
+        )
+    return obj

@@ -1,0 +1,231 @@
+"""Bind a parsed SELECT statement to a fluent :class:`repro.query.Query`.
+
+The binder is a structural walk over :mod:`repro.sql.nodes` that emits
+exactly the same ``repro.query.expr`` constructors the fluent builder
+uses — ``SELECT SUM(v) FROM t WHERE k >= 10 AND k < 99`` lowers to the
+*identical* logical plan as ``Query(t).where((col("k") >= 10) &
+(col("k") < 99)).sum("v")``, so everything downstream (zone-map
+pruning, morsel execution, codegen, exact accounting) is shared and the
+two surfaces are bit-identical by construction.
+
+Semantic checks raise :class:`SqlError` (kind ``"bind"``) pointing at
+the offending token: unknown tables/columns, boolean/value sort
+mismatches, aggregate-vs-projection mixes, ``GROUP BY``-less grouped
+selects, ``LIMIT`` on aggregates.  Expression-layer validation
+(constant comparisons, out-of-domain arithmetic literals) is caught and
+re-raised positioned rather than escaping as bare ``ValueError``s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..core.table import SmartTable
+from ..query.expr import And, Arith, Col, Compare, Expr, Lit, Not, Or
+from ..query.logical import AggSpec, Query
+from .errors import SqlError
+from .nodes import (
+    AggItem,
+    Binary,
+    ColRef,
+    ColumnItem,
+    Expression,
+    Number,
+    SelectStmt,
+    Star,
+    Unary,
+)
+from .parser import parse
+
+#: SQL comparison spellings → the expression layer's operator names.
+_CMP_MAP = {
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "=": "==", "==": "==", "!=": "!=", "<>": "!=",
+}
+
+
+class _Binder:
+    def __init__(self, stmt: SelectStmt, table: SmartTable) -> None:
+        self.stmt = stmt
+        self.sql = stmt.sql
+        self.table = table
+
+    def error(self, message: str, pos: int) -> SqlError:
+        return SqlError(message, self.sql, pos, kind="bind")
+
+    def check_column(self, name: str, pos: int) -> str:
+        try:
+            self.table.column(name)
+        except KeyError:
+            available = ", ".join(self.table.column_names)
+            raise self.error(
+                f"unknown column {name!r}; table {self.stmt.table!r} "
+                f"has: {available}", pos,
+            ) from None
+        return name
+
+    # -- expression lowering -------------------------------------------
+    def lower(self, node: Expression) -> Expr:
+        if isinstance(node, Number):
+            return Lit(node.value)
+        if isinstance(node, ColRef):
+            return Col(self.check_column(node.name, node.pos))
+        if isinstance(node, Unary):  # only NOT survives parsing
+            child = self.lower(node.operand)
+            if not child.boolean:
+                raise self.error(
+                    "NOT needs a boolean operand (a comparison)",
+                    node.operand.pos,
+                )
+            return Not(child)
+        assert isinstance(node, Binary)
+        left = self.lower(node.left)
+        right = self.lower(node.right)
+        if node.op in ("and", "or"):
+            for side, lowered in ((node.left, left), (node.right, right)):
+                if not lowered.boolean:
+                    raise self.error(
+                        f"{node.op.upper()} needs boolean operands; "
+                        f"got the value expression "
+                        f"{lowered.describe()}", side.pos,
+                    )
+            return (And if node.op == "and" else Or)(left, right)
+        if node.op in _CMP_MAP:
+            for side, lowered in ((node.left, left), (node.right, right)):
+                if lowered.boolean:
+                    raise self.error(
+                        f"comparison {node.op!r} needs value operands; "
+                        f"got the boolean {lowered.describe()}", side.pos,
+                    )
+            try:
+                return Compare(_CMP_MAP[node.op], left, right)
+            except ValueError as exc:
+                raise self.error(str(exc), node.pos) from None
+        # arithmetic: + - *
+        for side, lowered in ((node.left, left), (node.right, right)):
+            if lowered.boolean:
+                raise self.error(
+                    f"arithmetic {node.op!r} needs value operands; "
+                    f"got the boolean {lowered.describe()}", side.pos,
+                )
+        try:
+            return Arith(node.op, left, right)
+        except ValueError as exc:
+            raise self.error(str(exc), node.pos) from None
+
+    # -- statement lowering --------------------------------------------
+    def bind(self) -> Query:
+        stmt = self.stmt
+        query = Query(self.table)
+        if stmt.where is not None:
+            predicate = self.lower(stmt.where)
+            if not predicate.boolean:
+                raise self.error(
+                    "WHERE needs a boolean predicate (a comparison), "
+                    f"got the value expression {predicate.describe()}",
+                    stmt.where.pos,
+                )
+            query.where(predicate)
+        if stmt.group_by is not None:
+            self.check_column(stmt.group_by.name, stmt.group_by.pos)
+            query.group_by(stmt.group_by.name)
+
+        agg_items = [it for it in stmt.items if isinstance(it, AggItem)]
+        if agg_items:
+            self._bind_aggregate_list(query)
+        else:
+            self._bind_projection(query)
+
+        if stmt.limit is not None:
+            if query.is_aggregate:
+                raise self.error(
+                    "LIMIT applies to row queries only "
+                    "(drop it or the aggregates)", stmt.limit.pos,
+                )
+            query.limit(stmt.limit.value)
+        query.validate()
+        return query
+
+    def _bind_aggregate_list(self, query: Query) -> None:
+        stmt = self.stmt
+        key = stmt.group_by.name if stmt.group_by else None
+        for item in stmt.items:
+            if isinstance(item, Star):
+                raise self.error(
+                    "'*' cannot be mixed with aggregates "
+                    "(did you mean count(*)?)", item.pos,
+                )
+            if isinstance(item, ColumnItem):
+                if key is None:
+                    raise self.error(
+                        f"plain column {item.name!r} next to aggregates "
+                        f"needs GROUP BY {item.name}", item.pos,
+                    )
+                if item.name != key:
+                    raise self.error(
+                        f"column {item.name!r} is neither aggregated nor "
+                        f"the GROUP BY key ({key!r})", item.pos,
+                    )
+                # The group key is always present in the result's
+                # groups mapping; listing it is allowed and a no-op.
+                continue
+            assert isinstance(item, AggItem)
+            if item.column is not None:
+                self.check_column(item.column, item.column_pos)
+            default = (f"{item.kind}({item.column})" if item.column
+                       else "count(*)")
+            try:
+                spec = AggSpec(item.kind, item.column,
+                               item.alias or default)
+            except ValueError as exc:
+                raise self.error(str(exc), item.pos) from None
+            query.aggregates.append(spec)
+
+    def _bind_projection(self, query: Query) -> None:
+        stmt = self.stmt
+        if stmt.group_by is not None:
+            raise self.error(
+                "GROUP BY requires at least one aggregate in the "
+                "select list", stmt.group_by.pos,
+            )
+        names: List[str] = []
+        for item in stmt.items:
+            if isinstance(item, Star):
+                names.extend(self.table.column_names)
+                continue
+            assert isinstance(item, ColumnItem)
+            names.append(self.check_column(item.name, item.pos))
+        query.select(*names)
+
+
+def bind(stmt: SelectStmt,
+         tables: Mapping[str, SmartTable]) -> Query:
+    """Bind a parsed statement against a catalog of named tables."""
+    try:
+        table = tables[stmt.table]
+    except KeyError:
+        available = ", ".join(sorted(tables)) or "(none)"
+        raise SqlError(
+            f"unknown table {stmt.table!r}; catalog has: {available}",
+            stmt.sql, stmt.table_pos, kind="bind",
+        ) from None
+    return _Binder(stmt, table).bind()
+
+
+def compile_sql(sql: str, tables) -> Query:
+    """Parse + bind one SELECT statement into a runnable :class:`Query`.
+
+    ``tables`` is a mapping of table name → :class:`SmartTable` (a
+    :class:`repro.server.catalog.Catalog` works too), or a bare
+    :class:`SmartTable`, registered under the name ``"t"``.
+    """
+    if isinstance(tables, SmartTable):
+        tables = {"t": tables}
+    elif hasattr(tables, "tables") and not isinstance(tables, Mapping):
+        tables = tables.tables()
+    return bind(parse(sql), tables)
+
+
+def describe_sql(sql: str, tables) -> str:
+    """The logical plan a statement lowers to, one operator per line."""
+    return compile_sql(sql, tables).describe()

@@ -1,0 +1,81 @@
+"""Positioned SQL errors.
+
+Every failure in the SQL frontend — lexing, parsing, binding — raises
+:class:`SqlError` carrying the byte offset into the original statement.
+``format()`` renders the offending source line with a caret so CLI and
+server users see *where* the problem is, not just what it was; and
+``to_dict()`` is the structured form the wire server ships to clients
+(never a traceback).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class SqlError(ValueError):
+    """A lex/parse/bind failure at a known position in the SQL text.
+
+    ``kind`` is ``"parse"`` for lexer/parser failures and ``"bind"``
+    for semantic failures (unknown columns, sort mismatches, invalid
+    query shapes).  ``pos`` is a 0-based character offset into ``sql``.
+    """
+
+    def __init__(self, message: str, sql: str, pos: int,
+                 kind: str = "parse") -> None:
+        self.message = message
+        self.sql = sql
+        self.pos = max(0, min(int(pos), len(sql)))
+        self.kind = kind
+        super().__init__(
+            f"{kind} error at {self.line}:{self.column}: {message}"
+        )
+
+    @property
+    def line(self) -> int:
+        """1-based line of the error position."""
+        return self.sql.count("\n", 0, self.pos) + 1
+
+    @property
+    def column(self) -> int:
+        """1-based column of the error position."""
+        start = self.sql.rfind("\n", 0, self.pos) + 1
+        return self.pos - start + 1
+
+    def context(self) -> str:
+        """The offending source line with a caret under the position."""
+        start = self.sql.rfind("\n", 0, self.pos) + 1
+        end = self.sql.find("\n", self.pos)
+        if end < 0:
+            end = len(self.sql)
+        line_text = self.sql[start:end]
+        caret = " " * (self.pos - start) + "^"
+        return f"{line_text}\n{caret}"
+
+    def format(self) -> str:
+        """Multi-line rendering: message, source line, caret."""
+        return f"{self}\n{self.context()}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Structured form for wire error frames."""
+        return {
+            "type": self.kind,
+            "message": self.message,
+            "position": self.pos,
+            "line": self.line,
+            "column": self.column,
+            "context": self.context(),
+        }
+
+
+def reraise_positioned(exc: Exception, sql: str, pos: int,
+                       kind: str = "bind",
+                       message: Optional[str] = None) -> "SqlError":
+    """Wrap an expression-layer failure as a positioned :class:`SqlError`.
+
+    The ``repro.query.expr`` constructors validate eagerly (constant
+    comparisons, out-of-domain literals, boolean sort checks) but know
+    nothing about source positions; the binder catches their
+    ``ValueError``/``TypeError`` and re-raises through here.
+    """
+    return SqlError(message or str(exc), sql, pos, kind=kind)

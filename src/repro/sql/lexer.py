@@ -1,0 +1,97 @@
+"""Hand-written SQL tokenizer with source positions.
+
+Produces a flat token list the recursive-descent parser walks.  Every
+token records the character offset where it starts, which flows into
+:class:`repro.sql.errors.SqlError` for caret-positioned diagnostics.
+
+Keywords are case-insensitive; identifiers are case-sensitive (they
+must match the catalog's column names exactly, which are plain Python
+strings).  Numbers are non-negative decimal integers of any magnitude —
+the uint64 clamping contract lives in ``repro.query.expr``, not here —
+with optional ``_`` digit separators.  Unary minus is handled by the
+parser so boundary probes like ``ts >= -3`` lex as two tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .errors import SqlError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "group", "by",
+    "and", "or", "not", "limit", "as",
+})
+
+#: Aggregate function names the parser recognises in a select list.
+#: ``avg`` is accepted as a synonym for the engine's ``mean``.
+AGGREGATES = frozenset({"count", "sum", "min", "max", "avg", "mean"})
+
+#: Multi-character operators, longest first so ``<=`` wins over ``<``.
+_MULTI_OPS: Tuple[str, ...] = ("<=", ">=", "<>", "!=", "==")
+_SINGLE_OPS = frozenset("<>=+-*(),;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token: ``kind`` is ``keyword``/``ident``/``number``/
+    ``op``/``end``; ``pos`` is the 0-based offset of its first char."""
+
+    kind: str
+    text: str
+    pos: int
+    value: int = 0  # parsed magnitude, numbers only
+
+    def __repr__(self) -> str:  # compact in parser error paths
+        return f"{self.kind}:{self.text!r}@{self.pos}"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Lex ``sql`` into tokens, ending with a synthetic ``end`` token.
+
+    Raises :class:`SqlError` on characters outside the grammar.
+    """
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and (sql[i].isdigit() or sql[i] == "_"):
+                i += 1
+            text = sql[start:i]
+            if text.endswith("_") or "__" in text:
+                raise SqlError(
+                    f"malformed number {text!r}", sql, start
+                )
+            tokens.append(
+                Token("number", text, start, value=int(text.replace("_", "")))
+            )
+            continue
+        two = sql[i:i + 2]
+        if two in _MULTI_OPS:
+            tokens.append(Token("op", two, i))
+            i += 2
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", sql, i)
+    tokens.append(Token("end", "", n))
+    return tokens

@@ -1,0 +1,115 @@
+"""AST node types for the SQL SELECT subset.
+
+Plain frozen dataclasses — every node carries ``pos`` (offset of its
+first token) so the binder can point at the exact subexpression when a
+semantic check fails.  The tree deliberately mirrors the shape of
+``repro.query.expr`` so lowering is a structural walk, not a rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Number:
+    """Integer literal (already unsigned; unary minus folds at parse)."""
+
+    value: int
+    pos: int
+
+
+@dataclass(frozen=True)
+class ColRef:
+    """A bare column reference inside an expression."""
+
+    name: str
+    pos: int
+
+
+@dataclass(frozen=True)
+class Unary:
+    """``NOT expr`` — the only unary operator that survives parsing
+    (unary minus folds into :class:`Number`)."""
+
+    op: str
+    operand: "Expression"
+    pos: int
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Infix operator application.  ``op`` is one of
+    ``+ - * < <= > >= = == != <> and or`` (comparison spellings are
+    normalised by the binder, not here, so errors echo the source)."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+    pos: int
+
+
+Expression = Union[Number, ColRef, Unary, Binary]
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` in the select list: project every column."""
+
+    pos: int
+
+
+@dataclass(frozen=True)
+class ColumnItem:
+    """A plain column in the select list (projection or group key)."""
+
+    name: str
+    pos: int
+
+
+@dataclass(frozen=True)
+class AggItem:
+    """An aggregate call in the select list.
+
+    ``kind`` is normalised to the engine vocabulary (``avg`` → ``mean``)
+    and ``column`` is ``None`` for ``count(*)``.  ``alias`` comes from
+    an optional ``AS name``.
+    """
+
+    kind: str
+    column: Optional[str]
+    pos: int
+    alias: Optional[str] = None
+    column_pos: int = -1
+
+
+SelectItem = Union[Star, ColumnItem, AggItem]
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    name: str
+    pos: int
+
+
+@dataclass(frozen=True)
+class Limit:
+    value: int
+    pos: int
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """One parsed ``SELECT`` statement, plus the original source text
+    (kept so any later :class:`SqlError` can render a caret)."""
+
+    items: Tuple[SelectItem, ...]
+    table: str
+    table_pos: int
+    sql: str
+    where: Optional[Expression] = None
+    group_by: Optional[GroupBy] = None
+    limit: Optional[Limit] = None
+    pos: int = 0
+    select_pos: int = field(default=0)

@@ -66,3 +66,39 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSqlCli:
+    def test_aggregate_statement(self, capsys):
+        out = run(capsys, "sql",
+                  "SELECT count(*), sum(amount) FROM events "
+                  "WHERE region < 4",
+                  "--rows", "20000")
+        assert "logical plan:" in out
+        assert "count(*)" in out and "sum(amount)" in out
+        assert "result (aggregate):" in out
+
+    def test_row_statement_previews_rows(self, capsys):
+        out = run(capsys, "sql",
+                  "SELECT amount FROM events WHERE region == 0 LIMIT 3",
+                  "--rows", "20000")
+        assert "matching rows" in out
+        assert "row " in out
+
+    def test_explain_skips_execution(self, capsys):
+        out = run(capsys, "sql", "SELECT sum(amount) FROM events",
+                  "--rows", "20000", "--explain")
+        assert "physical plan:" in out
+        assert "result" not in out
+
+    def test_frontend_error_exits_with_caret(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["sql", "SELECT wat FROM events", "--rows", "20000"])
+        assert "unknown column 'wat'" in str(info.value)
+        assert "^" in str(info.value)
+
+    def test_serve_duration_runs_and_drains(self, capsys):
+        out = run(capsys, "serve", "--port", "0", "--rows", "5000",
+                  "--duration", "0.2")
+        assert "listening on" in out
+        assert "server stopped after draining" in out

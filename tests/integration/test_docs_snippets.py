@@ -247,6 +247,60 @@ class TestApiGuideSnippets:
         reg.drop(["docs.example{array=a0}", "docs.pool_workers",
                   "docs.wall_time_s"])
 
+    def test_sql_server_forms(self):
+        # The API guide's "SQL & server" section, verbatim in spirit.
+        from repro.core import SmartTable
+        from repro.server import Catalog, SmartArrayServer
+        from repro.server.client import ServerError, connect
+        from repro.sql import SqlError, compile_sql
+
+        rng = np.random.default_rng(3)
+        ts = np.sort(rng.integers(0, 50_000, 5000)).astype(np.uint64)
+        amount = rng.integers(0, 1000, 5000).astype(np.uint64)
+        table = SmartTable.from_arrays(
+            {"ts": ts, "amount": amount}, replicated=True
+        )
+        table.build_zone_map("ts")
+
+        query = compile_sql(
+            "SELECT sum(amount) AS total FROM events "
+            "WHERE ts >= 1_000 AND ts < 9_000", {"events": table})
+        mask = (ts >= 1_000) & (ts < 9_000)
+        assert query.run().aggregates["total"] == int(amount[mask].sum())
+
+        with pytest.raises(SqlError) as info:
+            compile_sql("SELECT wat FROM events", {"events": table})
+        exc = info.value
+        assert exc.kind == "bind"
+        assert (exc.line, exc.column) == (1, 8)
+        assert "^" in exc.format()
+
+        catalog = Catalog()
+        catalog.register("events", table)
+        with SmartArrayServer(catalog, port=0, n_workers=4) as server:
+            with connect(port=server.port) as conn:
+                assert conn.ping()
+                assert conn.tables()["events"]["rows"] == 5000
+                r = conn.sql(
+                    "SELECT sum(amount) FROM events WHERE ts < 9000"
+                )
+                assert r.scalar() == int(amount[ts < 9000].sum())
+                assert r.stats["decoded_chunks"]
+                groups = conn.sql(
+                    "SELECT ts, sum(amount) FROM events "
+                    "WHERE ts < 64 GROUP BY ts"
+                ).groups
+                assert all(isinstance(k, int) for k in groups)
+                assert "morsel" in conn.explain(
+                    "SELECT count(*) FROM events"
+                ).lower()
+                with pytest.raises(ServerError) as srv_info:
+                    conn.sql("SELECT wat FROM events")
+                assert srv_info.value.type == "bind"
+                assert srv_info.value.error["column"] == 8
+                assert "^" in srv_info.value.context
+                assert "repro_server_queries" in conn.metrics()
+
     def test_live_adaptation_forms(self):
         # The API guide's "Live adaptation" section, verbatim in spirit.
         import numpy as np

@@ -1,0 +1,184 @@
+"""Concurrent sessions against serial oracles, with a live migration
+running underneath.
+
+N client threads issue interleaved SQL over their own connections while
+the ``amount`` column is migrated (replicated → interleaved) by a
+:class:`LiveMigrator` stepping on another thread.  Every response is
+checked against a NumPy answer computed up front — the acceptance
+criterion is zero divergences while the migration is provably in
+flight.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.adapt.selector import Configuration
+from repro.core.placement import Placement
+from repro.core.table import SmartTable
+from repro.live import LiveMigrator, MigrationBudget
+from repro.numa.allocator import NumaAllocator
+from repro.numa.topology import machine_2x8_haswell
+from repro.server import Catalog, SmartArrayServer
+from repro.server.client import connect
+
+N_ROWS = 8_192
+N_CLIENTS = 4
+QUERIES_PER_CLIENT = 20
+KEY_BITS = 14
+
+
+def build():
+    allocator = NumaAllocator(machine_2x8_haswell())
+    rng = np.random.default_rng(17)
+    data = {
+        "ts": np.sort(
+            rng.integers(0, 1 << KEY_BITS, N_ROWS)
+        ).astype(np.uint64),
+        "amount": rng.integers(0, 1 << 10, N_ROWS).astype(np.uint64),
+    }
+    table = SmartTable.from_arrays(data, replicated=True,
+                                   allocator=allocator)
+    table.build_zone_map("ts")
+    catalog = Catalog()
+    catalog.register("events", table)
+    return allocator, catalog, table, data
+
+
+def oracle_statements(data):
+    """(sql, check(result)) pairs with NumPy-precomputed answers."""
+    span = 1 << KEY_BITS
+    cases = []
+    for lo, hi in ((span // 4, span // 2), (100, 900),
+                   (0, span), (span - 512, span)):
+        mask = (data["ts"] >= lo) & (data["ts"] < hi)
+        total = int(data["amount"][mask].astype(object).sum())
+        count = int(mask.sum())
+        sql = (f"SELECT sum(amount), count(*) FROM events "
+               f"WHERE ts >= {lo} AND ts < {hi}")
+        cases.append((sql, {"sum(amount)": total, "count(*)": count}))
+
+    rows = np.nonzero(data["ts"] < 40)[0]
+    cases.append((
+        "SELECT amount FROM events WHERE ts < 40",
+        (rows.astype(np.int64), data["amount"][rows]),
+    ))
+
+    small = data["ts"] < 96
+    groups = {}
+    for k, v in zip(data["ts"][small].tolist(),
+                    data["amount"][small].tolist()):
+        groups[k] = groups.get(k, 0) + v
+    cases.append((
+        "SELECT ts, sum(amount) FROM events WHERE ts < 96 GROUP BY ts",
+        {"groups": groups},
+    ))
+    return cases
+
+
+def check_result(result, expected):
+    if isinstance(expected, tuple):  # row query
+        want_rows, want_values = expected
+        if not np.array_equal(result.rows, want_rows):
+            return f"rows diverged: {result.rows!r} != {want_rows!r}"
+        if not np.array_equal(result.columns["amount"], want_values):
+            return "row values diverged"
+    elif "groups" in expected:
+        got = {k: aggs["sum(amount)"]
+               for k, aggs in result.groups.items()}
+        if got != expected["groups"]:
+            return f"groups diverged: {got} != {expected['groups']}"
+    else:
+        if dict(result.aggregates) != expected:
+            return (f"aggregates diverged: {dict(result.aggregates)} "
+                    f"!= {expected}")
+    return None
+
+
+class TestConcurrentSessionsDuringMigration:
+    def test_zero_divergences(self):
+        allocator, catalog, table, data = build()
+        cases = oracle_statements(data)
+        divergences = []
+        migration_done_at = [None]
+        clients_started = threading.Event()
+
+        migrator = LiveMigrator(allocator)
+        amount = table.column("amount")
+        migration = migrator.start(
+            amount,
+            Configuration(Placement.interleaved(), amount.bits),
+            budget=MigrationBudget(max_chunks_per_step=4),
+        )
+
+        def drive_migration():
+            clients_started.wait(timeout=10.0)
+            while migration.step():
+                time.sleep(0.002)  # spread steps across the query storm
+            migration_done_at[0] = time.monotonic()
+
+        def client(client_id, port):
+            try:
+                with connect(port=port) as conn:
+                    for i in range(QUERIES_PER_CLIENT):
+                        sql, expected = cases[
+                            (client_id + i) % len(cases)]
+                        problem = check_result(conn.sql(sql), expected)
+                        if problem:
+                            divergences.append(
+                                f"client {client_id} query {i}: {problem}"
+                            )
+                            return
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                divergences.append(
+                    f"client {client_id}: {type(exc).__name__}: {exc}"
+                )
+
+        with SmartArrayServer(catalog, port=0, n_workers=4) as server:
+            stepper = threading.Thread(target=drive_migration,
+                                       name="test-migrate")
+            stepper.start()
+            threads = [
+                threading.Thread(target=client, args=(c, server.port))
+                for c in range(N_CLIENTS)
+            ]
+            first_query_done = time.monotonic()
+            for t in threads:
+                t.start()
+            clients_started.set()
+            for t in threads:
+                t.join(timeout=60.0)
+            stepper.join(timeout=60.0)
+
+        assert divergences == []
+        assert migration.state == "completed", migration.abort_reason
+        assert amount.placement.describe() == \
+            Placement.interleaved().describe()
+        # the migration must have actually overlapped the query storm
+        assert migration_done_at[0] is not None
+        assert migration_done_at[0] > first_query_done
+
+    def test_queries_identical_before_and_after_migration(self):
+        allocator, catalog, table, data = build()
+        sql = ("SELECT sum(amount) FROM events "
+               "WHERE ts >= 100 AND ts < 9000")
+        mask = (data["ts"] >= 100) & (data["ts"] < 9000)
+        expected = int(data["amount"][mask].astype(object).sum())
+
+        with SmartArrayServer(catalog, port=0) as server:
+            with connect(port=server.port) as conn:
+                assert conn.sql(sql).scalar() == expected
+                migrator = LiveMigrator(allocator)
+                amount = table.column("amount")
+                migration = migrator.start(
+                    amount,
+                    Configuration(Placement.single_socket(1),
+                                  amount.bits),
+                )
+                while migration.step():
+                    # bit-identical mid-migration, every step
+                    assert conn.sql(sql).scalar() == expected
+                assert migration.state == "completed"
+                assert conn.sql(sql).scalar() == expected

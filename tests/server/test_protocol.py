@@ -1,0 +1,100 @@
+"""Wire framing: length-prefixed JSON, EOF vs corruption semantics."""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.server import (
+    FrameError,
+    HEADER,
+    MAX_FRAME_BYTES,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRoundTrip:
+    def test_simple(self, pair):
+        a, b = pair
+        send_frame(a, {"op": "ping"})
+        assert recv_frame(b) == {"op": "ping"}
+
+    def test_many_in_order(self, pair):
+        a, b = pair
+        for i in range(10):
+            send_frame(a, {"i": i})
+        assert [recv_frame(b)["i"] for _ in range(10)] == list(range(10))
+
+    def test_unbounded_ints_survive(self, pair):
+        a, b = pair
+        payload = {"big": 2 ** 64 - 1, "huge": 2 ** 200}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+
+    def test_unicode(self, pair):
+        a, b = pair
+        send_frame(a, {"s": "smørrebrød ✓"})
+        assert recv_frame(b)["s"] == "smørrebrød ✓"
+
+
+class TestEof:
+    def test_clean_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_eof_mid_header_is_error(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_eof_mid_body_is_error(self, pair):
+        a, b = pair
+        a.sendall(HEADER.pack(100) + b"{\"partial\"")
+        a.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(b)
+
+
+class TestCorruption:
+    def test_oversized_length_rejected_before_read(self, pair):
+        a, b = pair
+        a.sendall(HEADER.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="frame"):
+            recv_frame(b)
+
+    def test_bad_json_body(self, pair):
+        a, b = pair
+        body = b"not json at all"
+        a.sendall(HEADER.pack(len(body)) + body)
+        with pytest.raises(FrameError):
+            recv_frame(b)
+
+    def test_non_object_payload(self, pair):
+        a, b = pair
+        body = json.dumps([1, 2, 3]).encode()
+        a.sendall(HEADER.pack(len(body)) + body)
+        with pytest.raises(FrameError, match="object"):
+            recv_frame(b)
+
+    def test_send_rejects_oversized(self, pair):
+        a, _ = pair
+        with pytest.raises(FrameError, match="frame"):
+            send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 16)})
+
+
+def test_header_is_4_byte_big_endian():
+    assert HEADER.size == 4
+    assert HEADER.pack(1) == struct.pack(">I", 1)

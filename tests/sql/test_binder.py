@@ -1,0 +1,182 @@
+"""Binder: SQL lowers to the *identical* logical plan as the fluent
+builder, and semantic failures are positioned bind errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.table import SmartTable
+from repro.query import Query, col, in_range
+from repro.sql import SqlError, compile_sql, describe_sql
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(11)
+    return SmartTable.from_arrays({
+        "k": np.sort(rng.integers(0, 1 << 16, 4096)).astype(np.uint64),
+        "v": rng.integers(0, 1 << 12, 4096).astype(np.uint64),
+    })
+
+
+def plans_match(sql, twin, table):
+    """The acceptance property: same describe() ⇒ same logical plan."""
+    assert compile_sql(sql, table).describe() == twin.describe()
+
+
+class TestTwinPlans:
+    def test_filter_sum(self, table):
+        plans_match(
+            "SELECT sum(v) FROM t WHERE k >= 10 AND k < 99",
+            Query(table).where(in_range("k", 10, 99)).sum("v"),
+            table,
+        )
+
+    def test_count_star(self, table):
+        plans_match(
+            "SELECT count(*) FROM t WHERE k < 500",
+            Query(table).where(col("k") < 500).count(),
+            table,
+        )
+
+    def test_min_max(self, table):
+        plans_match(
+            "SELECT min(v), max(v) FROM t WHERE k >= 7",
+            Query(table).where(col("k") >= 7).min("v").max("v"),
+            table,
+        )
+
+    def test_group_by(self, table):
+        plans_match(
+            "SELECT k, sum(v) FROM t GROUP BY k",
+            Query(table).group_by("k").sum("v"),
+            table,
+        )
+
+    def test_projection_with_limit(self, table):
+        plans_match(
+            "SELECT v FROM t WHERE k < 100 LIMIT 7",
+            Query(table).where(col("k") < 100).select("v").limit(7),
+            table,
+        )
+
+    def test_or_of_ranges(self, table):
+        plans_match(
+            "SELECT v FROM t WHERE (k >= 1 AND k < 5) "
+            "OR (v >= 2 AND v < 9)",
+            Query(table).where(
+                in_range("k", 1, 5) | in_range("v", 2, 9)
+            ).select("v"),
+            table,
+        )
+
+    def test_not(self, table):
+        plans_match(
+            "SELECT count(*) FROM t WHERE NOT k < 10",
+            Query(table).where(~(col("k") < 10)).count(),
+            table,
+        )
+
+    def test_arithmetic(self, table):
+        plans_match(
+            "SELECT count(*) FROM t WHERE k + v * 2 < 1000",
+            Query(table).where(
+                (col("k") + col("v") * 2) < 1000
+            ).count(),
+            table,
+        )
+
+    def test_column_vs_column(self, table):
+        plans_match(
+            "SELECT count(*) FROM t WHERE v < k",
+            Query(table).where(col("v") < col("k")).count(),
+            table,
+        )
+
+    def test_star_projects_all_columns(self, table):
+        plans_match(
+            "SELECT * FROM t WHERE k < 50",
+            Query(table).where(col("k") < 50).select("k", "v"),
+            table,
+        )
+
+
+class TestResultsMatchFluent:
+    def test_aggregate_results_identical(self, table):
+        sql_r = compile_sql(
+            "SELECT sum(v), count(*) FROM t WHERE k >= 100 AND k < 9000",
+            table,
+        ).run()
+        twin_r = (Query(table).where(in_range("k", 100, 9000))
+                  .sum("v").count().run())
+        assert sql_r.aggregates == twin_r.aggregates
+        assert sql_r.stats.decoded_chunks == twin_r.stats.decoded_chunks
+
+    def test_alias_renames_aggregate(self, table):
+        result = compile_sql(
+            "SELECT sum(v) AS total FROM t", table
+        ).run()
+        assert list(result.aggregates) == ["total"]
+
+    def test_avg_matches_mean(self, table):
+        sql_r = compile_sql("SELECT avg(v) FROM t", table).run()
+        twin_r = Query(table).mean("v").run()
+        assert sql_r.aggregates["mean(v)"] == twin_r.aggregates["mean(v)"]
+
+    def test_uint64_boundary_clamping(self, table):
+        # The engine's clamping contract flows through SQL literals:
+        # x >= -3 is everywhere-true, == 2**64 everywhere-false.
+        n = table.n_rows
+        assert compile_sql(
+            "SELECT count(*) FROM t WHERE k >= -3", table
+        ).run().scalar() == n
+        assert compile_sql(
+            f"SELECT count(*) FROM t WHERE k == {2 ** 64}", table
+        ).run().scalar() == 0
+
+
+class TestBindErrors:
+    @pytest.mark.parametrize("sql, fragment", [
+        ("SELECT v FROM missing", "unknown table 'missing'"),
+        ("SELECT wat FROM t", "unknown column 'wat'"),
+        ("SELECT sum(wat) FROM t", "unknown column 'wat'"),
+        ("SELECT v FROM t WHERE wat < 3", "unknown column 'wat'"),
+        ("SELECT v FROM t GROUP BY wat", "unknown column 'wat'"),
+        ("SELECT v FROM t WHERE 3 < 5", "references no column"),
+        ("SELECT v FROM t WHERE k", "WHERE needs a boolean predicate"),
+        ("SELECT v FROM t WHERE (k < 1) + 2", "needs value operands"),
+        ("SELECT v FROM t WHERE k AND v", "AND needs boolean operands"),
+        ("SELECT v FROM t WHERE NOT k", "NOT needs a boolean operand"),
+        ("SELECT v FROM t GROUP BY k", "requires at least one aggregate"),
+        ("SELECT sum(v) FROM t LIMIT 3", "row queries only"),
+        ("SELECT *, sum(v) FROM t", r"did you mean count\(\*\)"),
+        ("SELECT v, sum(v) FROM t", "needs GROUP BY v"),
+        ("SELECT v, sum(v) FROM t GROUP BY k", "neither aggregated nor"),
+    ])
+    def test_rejections_are_bind_errors(self, table, sql, fragment):
+        with pytest.raises(SqlError, match=fragment) as info:
+            compile_sql(sql, table)
+        assert info.value.kind == "bind"
+        assert 0 <= info.value.pos <= len(sql)
+
+    def test_unknown_column_lists_available(self, table):
+        with pytest.raises(SqlError, match="has: k, v"):
+            compile_sql("SELECT wat FROM t", table)
+
+    def test_error_position_at_offending_token(self, table):
+        sql = "SELECT sum(v) FROM t WHERE k < 5 AND wat > 1"
+        with pytest.raises(SqlError) as info:
+            compile_sql(sql, table)
+        assert info.value.pos == sql.index("wat")
+
+
+class TestCatalogForms:
+    def test_mapping(self, table):
+        q = compile_sql("SELECT count(*) FROM events",
+                        {"events": table})
+        assert q.run().scalar() == table.n_rows
+
+    def test_bare_table_is_t(self, table):
+        assert "FROM t" not in describe_sql("SELECT count(*) FROM t",
+                                            table)  # describe has no SQL
+        with pytest.raises(SqlError, match="catalog has: t"):
+            compile_sql("SELECT count(*) FROM events", table)

@@ -1,0 +1,147 @@
+"""Parser: grammar coverage, precedence shape, positioned rejections."""
+
+import pytest
+
+from repro.sql import SqlError, parse
+from repro.sql.nodes import (
+    AggItem,
+    Binary,
+    ColRef,
+    ColumnItem,
+    Number,
+    Star,
+    Unary,
+)
+
+
+class TestStatements:
+    def test_minimal_projection(self):
+        stmt = parse("SELECT v FROM t")
+        assert stmt.table == "t"
+        assert stmt.items == (ColumnItem("v", 7),)
+        assert stmt.where is None and stmt.group_by is None
+        assert stmt.limit is None
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0], Star)
+
+    def test_full_clause_chain(self):
+        stmt = parse(
+            "SELECT k, sum(v) FROM t WHERE k >= 2 GROUP BY k LIMIT 5;"
+        )
+        assert [type(i) for i in stmt.items] == [ColumnItem, AggItem]
+        assert stmt.group_by.name == "k"
+        assert stmt.limit.value == 5
+
+    def test_trailing_semicolon_optional(self):
+        assert parse("SELECT v FROM t;").table == "t"
+
+    def test_keywords_any_case(self):
+        stmt = parse("select SUM(v) from t where k < 9 group by k")
+        assert stmt.group_by.name == "k"
+
+
+class TestAggregates:
+    def test_count_star_and_count_col_normalize(self):
+        for sql in ("SELECT count(*) FROM t", "SELECT COUNT(v) FROM t",
+                    "SELECT count() FROM t"):
+            item = parse(sql).items[0]
+            assert item.kind == "count"
+            assert item.column is None  # no NULLs: count(x) == count(*)
+
+    def test_avg_becomes_mean(self):
+        assert parse("SELECT avg(v) FROM t").items[0].kind == "mean"
+
+    def test_alias(self):
+        item = parse("SELECT sum(v) AS total FROM t").items[0]
+        assert item.alias == "total"
+
+    def test_alias_on_plain_column_rejected(self):
+        with pytest.raises(SqlError, match="only supported on aggregates"):
+            parse("SELECT v AS x FROM t")
+
+    def test_star_arg_only_for_count(self):
+        with pytest.raises(SqlError, match=r"only count\(\*\) takes"):
+            parse("SELECT sum(*) FROM t")
+
+    def test_empty_args_need_count(self):
+        with pytest.raises(SqlError, match="needs a column argument"):
+            parse("SELECT min() FROM t")
+
+
+class TestExpressions:
+    def where(self, predicate):
+        return parse(f"SELECT count(*) FROM t WHERE {predicate}").where
+
+    def test_precedence_or_lowest(self):
+        e = self.where("a < 1 AND b < 2 OR c < 3")
+        assert isinstance(e, Binary) and e.op == "or"
+        assert e.left.op == "and"
+
+    def test_and_left_associates(self):
+        e = self.where("a < 1 AND b < 2 AND c < 3")
+        assert e.op == "and" and e.left.op == "and"
+
+    def test_parens_override(self):
+        e = self.where("a < 1 AND (b < 2 OR c < 3)")
+        assert e.op == "and" and e.right.op == "or"
+
+    def test_not_binds_tighter_than_and(self):
+        e = self.where("NOT a < 1 AND b < 2")
+        assert e.op == "and"
+        assert isinstance(e.left, Unary) and e.left.op == "not"
+
+    def test_mul_over_add_over_cmp(self):
+        e = self.where("a + b * 2 < 10")
+        assert e.op == "<"
+        assert e.left.op == "+"
+        assert e.left.right.op == "*"
+
+    def test_unary_minus_folds_into_literal(self):
+        e = self.where("k >= -3")
+        assert isinstance(e.right, Number) and e.right.value == -3
+
+    def test_equals_spellings(self):
+        assert self.where("k = 1").op == "="
+        assert self.where("k == 1").op == "=="
+        assert self.where("k <> 1").op == "<>"
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(SqlError, match="chained comparisons"):
+            self.where("1 < k < 9")
+
+    def test_unary_minus_on_column_rejected(self):
+        with pytest.raises(SqlError, match="only supported on numeric"):
+            self.where("-k < 1")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("sql, fragment", [
+        ("", "empty statement"),
+        ("   ", "empty statement"),
+        ("SELECT", "expected a column name or aggregate"),
+        ("SELECT v", "expected FROM"),
+        ("SELECT v FROM", "expected a table name"),
+        ("FROM t SELECT v", "expected SELECT"),
+        ("SELECT v FROM t WHERE", "expected an expression"),
+        ("SELECT v FROM t GROUP k", "expected BY"),
+        ("SELECT v FROM t LIMIT v", "expected a row count"),
+        ("SELECT v FROM t extra", "unexpected trailing input"),
+        ("SELECT sum(v FROM t", r"expected '\)'"),
+    ])
+    def test_rejections(self, sql, fragment):
+        with pytest.raises(SqlError, match=fragment):
+            parse(sql)
+
+    def test_error_position_points_at_offender(self):
+        sql = "SELECT v FROM t wat"
+        with pytest.raises(SqlError) as info:
+            parse(sql)
+        assert info.value.pos == sql.index("wat")
+
+    def test_end_of_input_position(self):
+        sql = "SELECT v FROM"
+        with pytest.raises(SqlError) as info:
+            parse(sql)
+        assert info.value.pos == len(sql)
