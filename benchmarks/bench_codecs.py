@@ -1,0 +1,162 @@
+"""Codec layouts: compression ratio and scan throughput per data shape.
+
+The codec integration earns its complexity only if (a) the encoded
+layouts actually shrink the shapes they target and (b) the
+encoded-domain scan paths are not slower than decoding.  This bench
+prices all four storage layouts — bit packing, order-preserving
+dictionary, run-length, and frame-of-reference delta — on the three
+canonical column shapes:
+
+* **low-cardinality** — 32 distinct 50..60-bit values (dict's home turf);
+* **sorted** — a sorted 40-bit column (delta's home turf, long runs rare);
+* **runny** — 50-value blocks repeated (RLE's home turf);
+* **uniform** — high-cardinality 32-bit noise (bitpack should win; every
+  encoded candidate must lose gracefully, not catastrophically).
+
+For each (shape, codec) cell it reports one replica's footprint
+relative to plain bit packing, and the throughput of a sargable
+``count_in_range`` plus a full ``to_numpy`` decode, elements/second.
+The range predicate runs in the encoded domain (code ranges for dict,
+run pruning for RLE, frame min/max for delta), so its throughput on
+encoded layouts routinely beats the decode path.
+
+Run as a script it writes ``benchmarks/results/codecs.txt`` and the
+machine-readable ``benchmarks/results/BENCH_codecs.json``; under
+``pytest --benchmark-only`` it times the same paths at reduced scale
+with the results asserted against NumPy.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.allocate import allocate
+from repro.core.scan_ops import count_in_range
+from repro.numa.allocator import NumaAllocator
+from repro.numa.topology import machine_2x8_haswell
+
+try:
+    from .common import RESULTS_DIR, emit
+except ImportError:  # pragma: no cover - script mode
+    from common import RESULTS_DIR, emit
+
+N_SCRIPT = 1_000_000
+N_PYTEST = 100_000
+CODECS = ("bitpack", "dict", "rle", "delta")
+JSON_NAME = "BENCH_codecs.json"
+
+
+def datasets(n):
+    rng = np.random.default_rng(7)
+    dictionary = rng.integers(2**50, 2**60, size=32, dtype=np.uint64)
+    return {
+        "low-cardinality": dictionary[rng.integers(0, 32, size=n)],
+        "sorted": np.sort(rng.integers(0, 1 << 40, size=n,
+                                       dtype=np.uint64)),
+        "runny": np.repeat(
+            rng.integers(0, 1 << 40, size=max(1, n // 50),
+                         dtype=np.uint64), 50)[:n],
+        "uniform": rng.integers(0, 1 << 32, size=n, dtype=np.uint64),
+    }
+
+
+def _encode(values, codec, allocator):
+    if codec == "bitpack":
+        return allocate(len(values), bits=None, values=values,
+                        allocator=allocator)
+    return allocate(len(values), codec=codec, values=values,
+                    allocator=allocator)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def report(n=N_SCRIPT):
+    allocator = NumaAllocator(machine_2x8_haswell())
+    results = {"elements": n, "shapes": {}}
+    lines = [
+        f"{n:,} elements per column; ratio = footprint vs bitpack; "
+        "throughput in Melem/s",
+        "",
+        f"{'shape':<16} {'codec':<8} {'ratio':>7} "
+        f"{'count_in_range':>15} {'to_numpy':>10}",
+    ]
+    for shape, values in datasets(n).items():
+        lo = int(np.percentile(values, 30))
+        hi = int(np.percentile(values, 70))
+        expected = int(((values >= lo) & (values < hi)).sum())
+        base_bytes = None
+        results["shapes"][shape] = {}
+        for codec in CODECS:
+            arr = _encode(values, codec, allocator)
+            assert count_in_range(arr, lo, hi) == expected
+            if codec == "bitpack":
+                base_bytes = arr.storage_bytes
+            ratio = arr.storage_bytes / base_bytes
+            t_scan = _best_of(lambda: count_in_range(arr, lo, hi))
+            t_decode = _best_of(arr.to_numpy)
+            scan_meps = n / t_scan / 1e6
+            decode_meps = n / t_decode / 1e6
+            results["shapes"][shape][codec] = {
+                "storage_bytes": arr.storage_bytes,
+                "ratio_vs_bitpack": round(ratio, 4),
+                "count_in_range_melems_per_s": round(scan_meps, 1),
+                "to_numpy_melems_per_s": round(decode_meps, 1),
+            }
+            lines.append(
+                f"{shape:<16} {codec:<8} {ratio:>7.3f} "
+                f"{scan_meps:>15.1f} {decode_meps:>10.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines), results
+
+
+# -- pytest-benchmark entry points (reduced scale) -------------------------
+
+@pytest.fixture(scope="module")
+def bench_data():
+    allocator = NumaAllocator(machine_2x8_haswell())
+    return allocator, datasets(N_PYTEST)
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_count_in_range_low_cardinality(benchmark, bench_data, codec):
+    allocator, data = bench_data
+    values = data["low-cardinality"]
+    lo, hi = int(np.percentile(values, 30)), int(np.percentile(values, 70))
+    expected = int(((values >= lo) & (values < hi)).sum())
+    arr = _encode(values, codec, allocator)
+    assert benchmark(lambda: count_in_range(arr, lo, hi)) == expected
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_decode_sorted(benchmark, bench_data, codec):
+    allocator, data = bench_data
+    values = data["sorted"]
+    arr = _encode(values, codec, allocator)
+    out = benchmark(arr.to_numpy)
+    np.testing.assert_array_equal(out, values)
+
+
+def main() -> None:
+    text, results = report()
+    emit("Codec layouts — compression ratio and scan throughput",
+         text, "codecs.txt")
+    path = os.path.join(RESULTS_DIR, JSON_NAME)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

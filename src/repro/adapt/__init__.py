@@ -7,6 +7,12 @@ needs and picks the faster of the two; :mod:`evaluation` replays the
 paper's section-6.3 accuracy study against the performance model.
 """
 
+from .codec_rule import (
+    CodecProfile,
+    DEFAULT_THRESHOLD,
+    choose_codec,
+    profile_values,
+)
 from .compression_rule import (
     CandidateEstimate,
     choose_compression,
@@ -50,7 +56,11 @@ __all__ = [
     "CANDIDATE_PLACEMENTS",
     "COMPRESSIBLE_BITS",
     "CandidateEstimate",
+    "CodecProfile",
     "Configuration",
+    "DEFAULT_THRESHOLD",
+    "choose_codec",
+    "profile_values",
     "EvaluationStats",
     "MEMORY_ASSUMPTIONS",
     "MachineCapabilities",

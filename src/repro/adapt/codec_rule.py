@@ -1,0 +1,111 @@
+"""Codec selection: which storage layout fits an observed column.
+
+The section-6 selector chooses placement and bit width; this module
+adds the layout axis (the ROADMAP's "pluggable compression codecs",
+following the profile-guided data-structure-replacement blueprint in
+PAPERS.md).  The rule is deliberately simple and fully explainable:
+
+1. Write-heavy columns stay ``"bitpack"`` — encoded layouts are
+   immutable, and a re-encode per write swamps any scan win.
+2. Otherwise, estimate each codec's exact footprint from one pass over
+   the data (cardinality, run count, frame deltas) and pick the
+   smallest, requiring a real margin over bitpack so ties and noise
+   never trigger a migration.
+
+Footprints are computed from the same section geometry
+:mod:`repro.core.codecs` allocates, so the estimate *is* the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core import bitpack
+from ..core.codecs import ENCODED_CODECS, check_codec
+from ..core.delta import FRAME_ELEMENTS, delta_frames, frames_for
+
+#: An encoded candidate must shrink the column below this fraction of
+#: its bit-packed footprint to win (a 10% margin).
+DEFAULT_THRESHOLD = 0.9
+
+
+@dataclass(frozen=True)
+class CodecProfile:
+    """One-pass data statistics plus the derived per-codec footprints."""
+
+    length: int
+    element_bits: int
+    n_distinct: int
+    n_runs: int
+    delta_bits: int
+    #: Bytes of one replica's buffer under each codec.
+    bytes_by_codec: Dict[str, int]
+
+    def ratio(self, codec: str) -> float:
+        """Footprint of ``codec`` relative to bitpack (< 1 is a win)."""
+        base = self.bytes_by_codec["bitpack"]
+        return self.bytes_by_codec[check_codec(codec)] / base if base else 1.0
+
+
+def profile_values(values) -> CodecProfile:
+    """Measure ``values`` and price every codec's storage, exactly."""
+    values = np.ascontiguousarray(values, dtype=np.uint64)
+    n = int(values.size)
+    element_bits = bitpack.max_bits_needed(values) if n else 1
+    distinct = np.unique(values)
+    n_distinct = int(distinct.size)
+    if n:
+        n_runs = int((values[1:] != values[:-1]).sum()) + 1
+    else:
+        n_runs = 0
+    _refs, maxs, _deltas, delta_bits = delta_frames(values, FRAME_ELEMENTS)
+
+    code_bits = max(1, (n_distinct - 1).bit_length()) if n_distinct else 1
+    dict_bits = bitpack.max_bits_needed(distinct) if n_distinct else 1
+    end_bits = bitpack.max_bits_needed(np.array([n], dtype=np.uint64)) \
+        if n_runs else 1
+    run_starts = None
+    if n_runs:
+        change = np.nonzero(values[1:] != values[:-1])[0]
+        run_starts = np.concatenate([[0], change + 1])
+        value_bits = bitpack.max_bits_needed(values[run_starts])
+    else:
+        value_bits = 1
+    n_frames = frames_for(n, FRAME_ELEMENTS)
+
+    bytes_by_codec = {
+        "bitpack": bitpack.words_for(n, element_bits) * 8,
+        "dict": (bitpack.words_for(n, code_bits)
+                 + bitpack.words_for(n_distinct, dict_bits)) * 8,
+        "rle": (bitpack.words_for(n_runs, value_bits)
+                + bitpack.words_for(n_runs, end_bits)) * 8,
+        "delta": (2 * n_frames + bitpack.words_for(n, delta_bits)) * 8,
+    }
+    return CodecProfile(
+        length=n, element_bits=element_bits, n_distinct=n_distinct,
+        n_runs=n_runs, delta_bits=delta_bits, bytes_by_codec=bytes_by_codec,
+    )
+
+
+def choose_codec(values, write_heavy: bool = False,
+                 threshold: float = DEFAULT_THRESHOLD,
+                 ) -> Tuple[str, CodecProfile]:
+    """Pick the layout for a column: ``(codec, profile)``.
+
+    ``write_heavy`` short-circuits to bitpack (encoded layouts reject
+    writes); otherwise the smallest codec wins if it beats bitpack by
+    the margin, with bitpack as the tie-safe default.
+    """
+    profile = profile_values(values)
+    if write_heavy or profile.length == 0:
+        return "bitpack", profile
+    best, best_bytes = "bitpack", profile.bytes_by_codec["bitpack"]
+    budget = best_bytes * threshold
+    for codec in ENCODED_CODECS:
+        nbytes = profile.bytes_by_codec[codec]
+        if nbytes <= budget and nbytes < best_bytes:
+            best, best_bytes = codec, nbytes
+    return best, profile

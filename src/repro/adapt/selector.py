@@ -24,17 +24,27 @@ from .placement_rules import (
 
 @dataclass(frozen=True)
 class Configuration:
-    """A chosen smart-array configuration: placement + bit width."""
+    """A chosen smart-array configuration: placement + bit width + codec.
+
+    ``codec`` widens the paper's candidate space to the encoded layouts
+    of :mod:`repro.core.codecs`; for codec targets ``bits`` is advisory
+    (each codec derives its own payload width at encode time).  See
+    :mod:`repro.adapt.codec_rule` for the codec-choice heuristic.
+    """
 
     placement: Placement
     bits: int
+    codec: str = "bitpack"
 
     @property
     def compressed(self) -> bool:
-        return self.bits not in (32, 64)
+        return self.bits not in (32, 64) or self.codec != "bitpack"
 
     def describe(self) -> str:
-        comp = f"{self.bits}b" if self.compressed else f"uncompressed({self.bits}b)"
+        comp = f"{self.bits}b" if self.bits not in (32, 64) \
+            else f"uncompressed({self.bits}b)"
+        if self.codec != "bitpack":
+            comp = f"{self.codec}({self.bits}b payload)"
         return f"{self.placement.describe()} / {comp}"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -76,8 +76,15 @@ class Op:
 #: SQL statements, compiles them through :mod:`repro.sql`, and checks
 #: the bound plan and its results/accounting are identical to the
 #: directly-built fluent-``Query`` twin (plus malformed statements
-#: that must fail with positioned errors, never tracebacks).
-PROFILES: Tuple[str, ...] = ("mixed", "query", "obs", "live", "sql")
+#: that must fail with positioned errors, never tracebacks); ``codec``
+#: fills the array once, then interleaves scans, point reads, queries,
+#: and zone-map probes with online *codec* migrations (bit-pack <->
+#: dict/rle/delta through :mod:`repro.live`), checking every operator's
+#: result against the oracle in whatever layout the array currently
+#: has, that encoded-domain fast paths decode exactly zero chunks, and
+#: that a migration stepped mid-scan never perturbs results.
+PROFILES: Tuple[str, ...] = ("mixed", "query", "obs", "live", "sql",
+                             "codec")
 
 
 @dataclass(frozen=True)
@@ -295,12 +302,40 @@ _SQL_OP_TABLE = (
     ("scatter", 1, True),
 ) + _SQL_OPS
 
+#: Codec-migration targets (codec profile).  ``bitpack`` is a real
+#: target: migrating *back* exercises the encoded-source repack path
+#: and re-enables the interpreted accounting expectations.
+CODEC_TARGETS: Tuple[str, ...] = ("dict", "rle", "delta", "bitpack")
+
+#: The codec profile is write-free after the initial fill (encoded
+#: layouts are immutable), and alternates reads/scans/queries with
+#: codec migrations so every operator runs against every layout.
+#: ``codec_encode`` steps a migration with a full storage check between
+#: steps; ``codec_encode_during_scan`` races full-array sums on the
+#: main thread against a stepping thread.
+_CODEC_OP_TABLE = (
+    ("codec_encode", 5, False),
+    ("codec_encode_during_scan", 2, False),
+    ("codec_count_in_range", 4, False),
+    ("codec_select_in_range", 3, False),
+    ("codec_count_equal", 2, False),
+    ("codec_min_max", 2, True),
+    ("codec_sum_range", 2, False),
+    ("codec_get", 2, True),
+    ("codec_gather", 2, True),
+    ("codec_to_numpy", 1, False),
+    ("codec_decode_chunks", 2, True),
+    ("codec_query_count", 2, False),
+    ("codec_zonemap_count", 2, True),
+)
+
 _PROFILE_TABLES = {
     "mixed": _OP_TABLE,
     "query": _QUERY_OP_TABLE,
     "obs": _OBS_OP_TABLE,
     "live": _LIVE_OP_TABLE,
     "sql": _SQL_OP_TABLE,
+    "codec": _CODEC_OP_TABLE,
 }
 
 #: How many surface styles the runner's SQL renderer implements.
@@ -319,7 +354,8 @@ def _profile_dist(profile: str):
 
 _NEEDS_NONEMPTY = {
     t[0]: t[2]
-    for t in _OP_TABLE + _QUERY_OP_TABLE + _LIVE_OP_TABLE + _SQL_OP_TABLE
+    for t in (_OP_TABLE + _QUERY_OP_TABLE + _LIVE_OP_TABLE + _SQL_OP_TABLE
+              + _CODEC_OP_TABLE)
 }
 
 _PARALLEL_BATCHES = (256, 4096)
@@ -455,6 +491,41 @@ def _gen_op(rng: np.random.Generator, spec: ArraySpec,
     if name == "migrate_abort":
         return Op(name, (int(rng.integers(0, len(PLACEMENTS))),
                          int(rng.integers(0, 2))))
+    if name in ("codec_encode", "codec_encode_during_scan"):
+        # (target codec, target placement, pin socket, chunk budget).
+        return Op(name, (
+            int(rng.integers(0, len(CODEC_TARGETS))),
+            int(rng.integers(0, len(PLACEMENTS))),
+            int(rng.integers(0, 2)),
+            int(rng.choice(_MIGRATE_BUDGETS)),
+        ))
+    if name in ("codec_count_in_range", "codec_select_in_range"):
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 2))))
+    if name == "codec_count_equal":
+        return Op(name, (_gen_bound(rng, bits), int(rng.integers(0, 2))))
+    if name == "codec_min_max":
+        return Op(name, (int(rng.integers(0, 2)),))
+    if name == "codec_sum_range":
+        start, stop = _gen_range(rng, length)
+        return Op(name, (start, stop, int(rng.integers(0, 2))))
+    if name == "codec_get":
+        return Op(name, (_gen_index(rng, length),))
+    if name == "codec_gather":
+        k = int(rng.integers(1, min(length, 128) + 1))
+        return Op(name, (int(rng.integers(0, 2**31)), k))
+    if name == "codec_to_numpy":
+        return Op(name)
+    if name == "codec_decode_chunks":
+        n_chunks = -(-length // 64)
+        first = int(rng.integers(0, n_chunks))
+        n = int(rng.integers(1, n_chunks - first + 1))
+        return Op(name, (first, n))
+    if name == "codec_query_count":
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name == "codec_zonemap_count":
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits)))
     raise AssertionError(f"unhandled op {name}")  # pragma: no cover
 
 

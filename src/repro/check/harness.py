@@ -76,9 +76,13 @@ def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
     ``"obs"`` (parallel/query heavy, every case traced, with the
     registry and per-span counter deltas cross-checked against the
     oracle accounting; the CI obs job's setting), ``"live"``
-    (scans/queries racing online migrations), or ``"sql"`` (random SQL
+    (scans/queries racing online migrations), ``"sql"`` (random SQL
     statements compiled and proven plan- and bit-identical to their
-    directly-built fluent twins; the CI sql job's setting).
+    directly-built fluent twins; the CI sql job's setting), or
+    ``"codec"`` (every operator cross-checked against the oracle on
+    dictionary/RLE/delta-encoded layouts, with encoded-domain fast
+    paths proven to decode zero chunks and codec migrations stepped
+    mid-scan; the CI codec job's setting).
     ``codegen`` picks the query-op execution paths: ``"both"`` proves
     compiled == interpreted on every supported shape, ``"on"`` forces
     the compiled path alone (the codegen CI job), ``"off"`` the

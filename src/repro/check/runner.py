@@ -30,7 +30,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..adapt.selector import Configuration
-from ..core import bitpack, scan_ops
+from ..core import bitpack, codecs, scan_ops
 from ..core.allocate import allocate
 from ..core.iterators import SmartArrayIterator
 from ..core.map_api import sum_range
@@ -47,7 +47,14 @@ from ..runtime import parallel_scans
 from ..runtime.workers import WorkerPool
 from ..sql import SqlError, compile_sql
 from . import oracle as orc
-from .generator import PLACEMENTS, Case, Op, companion_bits, gen_values
+from .generator import (
+    CODEC_TARGETS,
+    PLACEMENTS,
+    Case,
+    Op,
+    companion_bits,
+    gen_values,
+)
 
 _DISTRIBUTIONS = ("dynamic", "static")
 _SOCKETS = (0, 1)
@@ -132,6 +139,10 @@ class CaseRunner:
         # The live profile injects online migrations; the migrator is
         # shared across a case's ops so in-flight detection is real.
         self._live = case.profile == "live"
+        # The codec profile migrates the array between storage layouts
+        # (bitpack <-> dict/rle/delta); like live, generations come and
+        # go, so replica-read accounting sums the registry.
+        self._codec = case.profile == "codec"
         self._migrator: Optional[LiveMigrator] = None
 
     # -- helpers -----------------------------------------------------------
@@ -143,11 +154,11 @@ class CaseRunner:
         return self._pool
 
     def _replica_reads_total(self, arr) -> int:
-        # Under the live profile the replica *count* changes across
-        # migrations (e.g. replicated -> pinned drops a counter from the
-        # array's current view), so total decode accounting sums every
-        # replica counter the array ever registered.
-        if self._live:
+        # Under the live and codec profiles the replica *count* changes
+        # across migrations (e.g. replicated -> pinned drops a counter
+        # from the array's current view), so total decode accounting
+        # sums every replica counter the array ever registered.
+        if self._live or self._codec:
             return int(sum(_obs_registry().values(
                 "core.replica_read_elements", array=arr.stats.array_label
             ).values()))
@@ -209,8 +220,12 @@ class CaseRunner:
         # checks.
         spec = self.case.spec
         gen = self.array.generation
+        encoded = getattr(gen, "codec", "bitpack") != "bitpack"
         for i, buf in enumerate(gen.buffers):
-            decoded = self._decode_replica(buf, spec.length, gen.bits)
+            if encoded:
+                decoded = codecs.decode_words(buf, gen.meta)
+            else:
+                decoded = self._decode_replica(buf, spec.length, gen.bits)
             if not np.array_equal(decoded, self.oracle.values):
                 bad = np.nonzero(decoded != self.oracle.values)[0][:5]
                 raise _Divergence(
@@ -763,6 +778,9 @@ class CaseRunner:
         elif op.name.startswith("migrate"):
             self._run_migrate_op(op, before)
 
+        elif op.name.startswith("codec_"):
+            self._run_codec_op(op, before)
+
         else:  # pragma: no cover - generator and runner share the table
             raise AssertionError(f"unknown op {op.name!r}")
 
@@ -913,6 +931,185 @@ class CaseRunner:
 
         else:  # pragma: no cover - generator and runner share the table
             raise AssertionError(f"unknown migrate op {op.name!r}")
+
+    # -- codec-profile ops -------------------------------------------------
+
+    def _encoded_now(self) -> bool:
+        return getattr(self.array.generation, "codec", "bitpack") != "bitpack"
+
+    def _run_codec_op(self, op: Op, before: Dict[str, int]) -> None:
+        spec = self.case.spec
+        length, sc = spec.length, spec.superchunk
+        a, o = self.array, self.oracle
+
+        if op.name in ("codec_encode", "codec_encode_during_scan"):
+            cidx, pidx, socket, budget = op.args
+            codec = CODEC_TARGETS[cidx % len(CODEC_TARGETS)]
+            target = Configuration(
+                self._live_placement(pidx, socket), self._needed_bits(),
+                codec)
+            migration = self._migrator_for_case().start(
+                a, target,
+                budget=MigrationBudget(max_chunks_per_step=budget))
+            expected_delta: Dict[str, int] = {}
+            if op.name == "codec_encode":
+                # Between *every* step the live generation must decode
+                # to exactly the oracle — a reader never observes a
+                # partially encoded layout.
+                while True:
+                    alive = migration.step()
+                    self._check_storage()
+                    if not alive:
+                        break
+            else:
+                errors = []
+
+                def drive() -> None:
+                    try:
+                        while migration.step():
+                            pass
+                    except Exception as exc:  # surfaced after join
+                        errors.append(exc)
+
+                stepper = threading.Thread(target=drive,
+                                           name="check-codec-migrate")
+                stepper.start()
+                try:
+                    expected_sum = o.sum_range(0, length)
+                    for _ in range(3):
+                        self._compare(
+                            sum_range(a, 0, length, superchunk=sc),
+                            expected_sum, op.name)
+                finally:
+                    stepper.join()
+                if errors:
+                    raise errors[0]
+                chunks = 3 * orc.span_chunks(0, length, sc)
+                expected_delta = {"unpacks": chunks,
+                                  "replica_reads": 64 * chunks}
+            if migration.state != "completed":
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: migration ended {migration.state!r} "
+                    f"({migration.abort_reason})")
+            got = getattr(a.generation, "codec", "bitpack")
+            if got != codec or a.placement != target.placement:
+                raise _Divergence(
+                    "result",
+                    f"{op.name}: array is {got} "
+                    f"{a.placement.describe()} after migrating to "
+                    f"{target.describe()}")
+            # The oracle's (iterator) accounting model follows the
+            # decoded-value width, not the encoded payload width.
+            o.bits = a.value_bits
+            self._check_stats(before, expected_delta, op.name)
+
+        elif op.name in ("codec_count_in_range", "codec_select_in_range"):
+            lo, hi, socket = op.args
+            enc = self._encoded_now()
+            if op.name == "codec_count_in_range":
+                actual = scan_ops.count_in_range(
+                    a, lo, hi, socket=_SOCKETS[socket], superchunk=sc)
+                expected = o.count_in_range(lo, hi)
+            else:
+                actual = scan_ops.select_in_range(
+                    a, lo, hi, socket=_SOCKETS[socket], superchunk=sc)
+                expected = o.select_in_range(lo, hi)
+            self._compare(actual, expected, op.name)
+            # The encoded-domain fast path must decode *zero* chunks;
+            # the bit-packed interpreted path decodes the full span.
+            chunks = 0
+            if not enc and orc.clamp_range(lo, hi) is not None:
+                chunks = orc.span_chunks(0, length, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "codec_count_equal":
+            value, socket = op.args
+            enc = self._encoded_now()
+            actual = scan_ops.count_equal(a, value, socket=_SOCKETS[socket],
+                                          superchunk=sc)
+            self._compare(actual, o.count_equal(value), op.name)
+            chunks = 0
+            if not enc and 0 <= value <= orc.U64_MAX:
+                chunks = orc.span_chunks(0, length, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "codec_min_max":
+            socket = op.args[0]
+            enc = self._encoded_now()
+            actual = scan_ops.min_max(a, 0, length,
+                                      socket=_SOCKETS[socket], superchunk=sc)
+            self._compare(actual, o.min_max(0, length), op.name)
+            chunks = 0 if enc else orc.span_chunks(0, length, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "codec_sum_range":
+            # No encoded sum summary exists: sums decode spans through
+            # the codec-aware blocked kernel in every layout.
+            start, stop, socket = op.args
+            actual = sum_range(a, start, stop, socket=_SOCKETS[socket],
+                               superchunk=sc)
+            self._compare(actual, o.sum_range(start, stop), op.name)
+            chunks = orc.span_chunks(start, stop, sc)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        elif op.name == "codec_get":
+            idx = op.args[0]
+            self._compare(a[idx], o.get(idx if idx >= 0 else idx + length),
+                          op.name)
+            self._check_stats(before, {"gets": 1}, op.name)
+
+        elif op.name == "codec_gather":
+            vseed, k = op.args
+            rng = np.random.default_rng(vseed)
+            idx = rng.choice(length, size=k, replace=True).astype(np.int64)
+            self._compare(a.gather_many(idx), o.gather(idx), op.name)
+            self._check_stats(before, {"bulk_read": k}, op.name)
+
+        elif op.name == "codec_to_numpy":
+            self._compare(a.to_numpy(), o.values, op.name)
+            self._check_stats(
+                before, {"bulk_read": length, "replica_reads": length},
+                op.name)
+
+        elif op.name == "codec_decode_chunks":
+            first, n = op.args
+            decoded = a.decode_chunks(first, n)
+            logical = o.values[first * 64:min(length, (first + n) * 64)]
+            self._compare(decoded[:logical.size], logical, op.name)
+            self._check_stats(
+                before, {"unpacks": n, "replica_reads": 64 * n}, op.name)
+
+        elif op.name == "codec_query_count":
+            lo, hi, par, dist = op.args
+            table = self._ensure_query_table()
+            self._ensure_query_zonemaps()
+            mask = o.range_mask(lo, hi)
+            chunks = self._query_chunk_mask([(lo, hi)], [], union=False)
+            q = Query(table).where(in_range("k", lo, hi)).count()
+            self._check_query(op, q, (int(mask.sum()),), chunks, par, dist)
+
+        elif op.name == "codec_zonemap_count":
+            lo, hi = op.args
+            zm = self._ensure_zonemap()
+            before = self._snapshot()
+            actual = zm.count_in_range(lo, hi, superchunk=sc)
+            self._compare(actual, o.count_in_range(lo, hi), op.name)
+            chunks = o.zonemap_decoded_chunks(lo, hi, True)
+            self._check_stats(
+                before, {"unpacks": chunks, "replica_reads": 64 * chunks},
+                op.name)
+
+        else:  # pragma: no cover - generator and runner share the table
+            raise AssertionError(f"unknown codec op {op.name!r}")
 
     def _run_query_op(self, op: Op) -> None:
         spec = self.case.spec

@@ -602,12 +602,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--no-shrink", action="store_true",
                        help="report raw failures without minimizing")
     check.add_argument("--profile", default="mixed",
-                       choices=["mixed", "query", "obs", "live", "sql"],
+                       choices=["mixed", "query", "obs", "live", "sql",
+                                "codec"],
                        help="op mix: everything, query-engine heavy, "
                             "traced with observability cross-checks, "
-                            "scans raced against online migrations, or "
+                            "scans raced against online migrations, "
                             "random SQL differentially checked against "
-                            "fluent-Query twins")
+                            "fluent-Query twins, or every operator "
+                            "cross-checked on dict/rle/delta-encoded "
+                            "layouts with codec migrations stepped "
+                            "mid-scan")
     check.add_argument("--codegen", default="both",
                        choices=["both", "on", "off"],
                        help="query-op execution paths: cross-check "

@@ -26,8 +26,12 @@ from .bitpack import (
     storage_bytes,
     words_for,
 )
+from .codecs import CODECS, CodecArray, encode_array
+from .delta import DeltaEncodedArray
 from .errors import (
     AllocationError,
+    CodecError,
+    CodecWriteError,
     IndexOutOfRangeError,
     InteropError,
     InvalidBitsError,
@@ -80,9 +84,15 @@ __all__ = [
     "AllocationError",
     "BitCompressedArray",
     "CHUNK_ELEMENTS",
+    "CODECS",
+    "CodecArray",
+    "CodecError",
+    "CodecWriteError",
     "CompressedIterator",
+    "DeltaEncodedArray",
     "DictionaryEncodedArray",
     "RunLengthArray",
+    "encode_array",
     "SmartBag",
     "SmartSet",
     "SmartTable",

@@ -76,6 +76,7 @@ def allocate(
     allocator: Optional[NumaAllocator] = None,
     values=None,
     toucher_sockets: Optional[Sequence[int]] = None,
+    codec: str = "bitpack",
 ) -> SmartArray:
     """Create a smart array (the paper's ``SmartArray::allocate``).
 
@@ -90,8 +91,27 @@ def allocate(
     * ``allocator`` — a specific NUMA allocator (defaults to the
       process-wide context);
     * ``toucher_sockets`` — first-touch pattern for OS-default placement
-      (socket of each initializing thread, in loop order).
+      (socket of each initializing thread, in loop order);
+    * ``codec`` — a storage layout from :mod:`repro.core.codecs`
+      (``"dict"``, ``"rle"``, ``"delta"``); requires ``values`` (an
+      encoded layout is built from, and immutable over, its contents)
+      and ignores ``bits`` (each codec derives its own section widths).
     """
+    if codec != "bitpack":
+        from .codecs import encode_array
+
+        if values is None:
+            raise ValueError(f"codec={codec!r} requires values to encode")
+        values = np.ascontiguousarray(values, dtype=np.uint64)
+        if values.size != length:
+            raise ValueError(
+                f"length {length} does not match {values.size} values"
+            )
+        return encode_array(
+            values, codec, replicated=replicated, interleaved=interleaved,
+            pinned=pinned, allocator=allocator,
+            toucher_sockets=toucher_sockets,
+        )
     if values is not None:
         values = np.ascontiguousarray(values, dtype=np.uint64)
         if values.size != length:

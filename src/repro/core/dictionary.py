@@ -29,6 +29,7 @@ import numpy as np
 
 from . import bitpack
 from .allocate import allocate
+from .scan_ops import clamp_u64_range
 from .smart_array import SmartArray
 
 
@@ -96,12 +97,24 @@ class DictionaryEncodedArray:
 
         The dictionary is sorted, so value comparisons reduce to code
         comparisons — the scan never touches the dictionary again.
+        Bounds honor the engine-wide range contract (see
+        :func:`repro.core.scan_ops.clamp_u64_range`): a negative ``lo``
+        clamps to 0, ``hi >= 2**64`` means unbounded above, and an
+        empty range maps to the empty code range ``(0, 0)``.  Passing
+        raw Python ints into ``np.searchsorted`` against a uint64
+        dictionary would instead promote through float64 (or raise,
+        depending on the NumPy era), corrupting comparisons near
+        ``2**64``.
         """
+        bounds = clamp_u64_range(lo, hi)
+        if bounds is None:
+            return 0, 0
+        lo64, hi64 = bounds
         d = self.dictionary.to_numpy()
-        return (
-            int(np.searchsorted(d, lo, side="left")),
-            int(np.searchsorted(d, hi, side="left")),
-        )
+        code_lo = int(np.searchsorted(d, lo64, side="left"))
+        if hi64 is None:
+            return code_lo, int(d.size)
+        return code_lo, int(np.searchsorted(d, hi64, side="left"))
 
     def count_in_range(self, lo: int, hi: int) -> int:
         """SELECT COUNT(*) WHERE lo <= v < hi, evaluated on codes."""
@@ -114,6 +127,8 @@ class DictionaryEncodedArray:
     def select_in_range(self, lo: int, hi: int) -> np.ndarray:
         """Indices of elements with values in ``[lo, hi)``."""
         code_lo, code_hi = self.codes_for_range(lo, hi)
+        if code_lo >= code_hi:
+            return np.empty(0, dtype=np.int64)
         codes = self.codes.to_numpy()
         return np.nonzero((codes >= code_lo) & (codes < code_hi))[0]
 

@@ -55,3 +55,17 @@ class ReplicaError(SmartArrayError, ValueError):
 
 class InteropError(SmartArrayError, RuntimeError):
     """A language-boundary operation failed (unknown language, bad handle)."""
+
+
+class CodecError(SmartArrayError, ValueError):
+    """A codec name is unknown or encoded metadata is inconsistent."""
+
+
+class CodecWriteError(SmartArrayError, RuntimeError):
+    """A write hit an encoded (read-optimized) storage generation.
+
+    Encoded layouts are immutable by design: a point write into a
+    dictionary/RLE/delta buffer would need a full re-encode.  Migrate
+    the array back to the ``"bitpack"`` codec first (see
+    :class:`repro.live.LiveMigrator`), then write.
+    """

@@ -19,6 +19,7 @@ import numpy as np
 
 from . import bitpack
 from .allocate import allocate
+from .scan_ops import clamp_u64_range
 from .smart_array import SmartArray
 
 
@@ -103,20 +104,76 @@ class RunLengthArray:
             yield start, int(end), int(value)
             start = int(end)
 
+    def _run_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(starts, ends) per run as int64 arrays (decoded once)."""
+        ends = self.run_ends.to_numpy().astype(np.int64)
+        starts = np.empty_like(ends)
+        if ends.size:
+            starts[0] = 0
+            starts[1:] = ends[:-1]
+        return starts, ends
+
     # -- analytics fast paths --------------------------------------------------
 
     def sum(self) -> int:
-        """Exact sum in O(runs): sum(value * run_length)."""
-        total = 0
-        for start, end, value in self.runs():
-            total += value * (end - start)
-        return total
+        """Exact sum over runs: sum(value * run_length).
+
+        One object-dtype dot product — NumPy's C loop over arbitrary-
+        precision ints — matching the engine's exact (non-wrapping) sum
+        semantics (see ``repro.runtime.loops._exact_sum`` and the
+        smartcheck oracle) without a Python-level loop over runs.
+        """
+        starts, ends = self._run_bounds()
+        if ends.size == 0:
+            return 0
+        values = self.run_values.to_numpy().astype(object)
+        return int(np.dot(values, (ends - starts).astype(object)))
 
     def count_equal(self, value: int) -> int:
-        """Occurrences of ``value`` in O(runs)."""
-        return sum(
-            end - start for start, end, v in self.runs() if v == int(value)
-        )
+        """Occurrences of ``value``, vectorized over runs."""
+        if not 0 <= int(value) < 2 ** 64:
+            return 0
+        starts, ends = self._run_bounds()
+        mask = self.run_values.to_numpy() == np.uint64(value)
+        return int((ends[mask] - starts[mask]).sum())
+
+    def count_in_range(self, lo: int, hi: int) -> int:
+        """COUNT(*) WHERE lo <= v < hi without expanding any run.
+
+        Bounds go through :func:`repro.core.scan_ops.clamp_u64_range`
+        like every other range operator.
+        """
+        bounds = clamp_u64_range(lo, hi)
+        if bounds is None or self._length == 0:
+            return 0
+        lo64, hi64 = bounds
+        values = self.run_values.to_numpy()
+        mask = values >= lo64
+        if hi64 is not None:
+            mask &= values < hi64
+        starts, ends = self._run_bounds()
+        return int((ends[mask] - starts[mask]).sum())
+
+    def select_in_range(self, lo: int, hi: int) -> np.ndarray:
+        """Indices of elements in ``[lo, hi)``, expanding matching runs."""
+        bounds = clamp_u64_range(lo, hi)
+        if bounds is None or self._length == 0:
+            return np.empty(0, dtype=np.int64)
+        lo64, hi64 = bounds
+        values = self.run_values.to_numpy()
+        mask = values >= lo64
+        if hi64 is not None:
+            mask &= values < hi64
+        starts, ends = self._run_bounds()
+        starts, ends = starts[mask], ends[mask]
+        lengths = ends - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Expand [start, end) per matching run: a flat arange offset by
+        # each run's start, with the running prefix subtracted out.
+        offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        return np.repeat(starts, lengths) + np.arange(total) - offsets
 
     # -- accounting ----------------------------------------------------------
 

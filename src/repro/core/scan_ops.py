@@ -19,6 +19,12 @@ clamp them to the ``uint64`` storage domain (see
 (including ``lo > 2**64 - 1``) match nothing.  The operators never
 overflow on out-of-domain bounds.
 
+Full-array scans over an *encoded* generation (see
+:mod:`repro.core.codecs`) dispatch to encoded-domain evaluation —
+dictionary-order code ranges, run-level pruning, frame min/max — and
+decode nothing; partial scans fall back to the generic span path, which
+is codec-aware through ``decode_chunks``.
+
 Socket-parallel versions of these operators live in
 :mod:`repro.runtime.parallel_scans`.
 """
@@ -63,6 +69,27 @@ def _range_mask(span: np.ndarray, lo64: np.uint64,
     if hi64 is None:
         return span >= lo64
     return (span >= lo64) & (span < hi64)
+
+
+def _pin_encoded(array: SmartArray, start: int, stop: int):
+    """Pin the active generation when a full-array scan can run in the
+    encoded domain; return the pinned generation or None.
+
+    Encoded evaluation covers the whole column (the codec's summary
+    structures — dictionary order, run table, frame min/max — describe
+    the full array, not a sub-range), so partial scans fall through to
+    the generic span-decode path, which is codec-aware via
+    ``decode_chunks``.  The pin keeps (codec, meta, buffers) a
+    consistent snapshot if a live migration swaps the array mid-call;
+    the caller must unpin.
+    """
+    if start != 0 or stop != array.length:
+        return None
+    gen = array.pin_generation()
+    if getattr(gen, "codec", "bitpack") == "bitpack":
+        gen.unpin()
+        return None
+    return gen
 
 
 def select_where(
@@ -115,6 +142,18 @@ def select_in_range(
     if bounds is None:
         return np.empty(0, dtype=np.int64)
     lo64, hi64 = bounds
+    stop_resolved = array.length if stop is None else stop
+    gen = _pin_encoded(array, start, stop_resolved)
+    if gen is not None:
+        from .codecs import encoded_select_in_range
+
+        try:
+            with trace("scan.select_in_range",
+                       array=array.stats.array_label, socket=socket,
+                       codec=gen.codec):
+                return encoded_select_in_range(gen, lo64, hi64)
+        finally:
+            gen.unpin()
     return select_where(
         array, lambda span: _range_mask(span, lo64, hi64), start, stop,
         socket, superchunk,
@@ -139,6 +178,17 @@ def count_in_range(
         return 0
     lo64, hi64 = bounds
     stop = array.length if stop is None else stop
+    gen = _pin_encoded(array, start, stop)
+    if gen is not None:
+        from .codecs import encoded_count_in_range
+
+        try:
+            with trace("scan.count_in_range",
+                       array=array.stats.array_label, socket=socket,
+                       codec=gen.codec):
+                return encoded_count_in_range(gen, lo64, hi64)
+        finally:
+            gen.unpin()
     total = 0
     with trace("scan.count_in_range", array=array.stats.array_label,
                socket=socket):
@@ -162,6 +212,17 @@ def count_equal(
     if value < 0 or value > U64_MAX:
         return 0
     v = np.uint64(value)
+    gen = _pin_encoded(array, 0, array.length)
+    if gen is not None:
+        from .codecs import encoded_count_equal
+
+        try:
+            with trace("scan.count_equal",
+                       array=array.stats.array_label, socket=socket,
+                       codec=gen.codec):
+                return encoded_count_equal(gen, value)
+        finally:
+            gen.unpin()
     total = 0
     with trace("scan.count_equal", array=array.stats.array_label,
                socket=socket):
@@ -182,6 +243,16 @@ def min_max(
     stop = array.length if stop is None else stop
     if stop <= start:
         raise ValueError("min_max of an empty range")
+    gen = _pin_encoded(array, start, stop)
+    if gen is not None:
+        from .codecs import encoded_min_max
+
+        try:
+            with trace("scan.min_max", array=array.stats.array_label,
+                       socket=socket, codec=gen.codec):
+                return encoded_min_max(gen)
+        finally:
+            gen.unpin()
     with trace("scan.min_max", array=array.stats.array_label,
                socket=socket):
         spans = iter_spans(array, start, stop, socket, superchunk)

@@ -85,15 +85,38 @@ class StorageGeneration:
     """
 
     def __init__(self, epoch: int, bits: int, allocation: Allocation,
-                 on_drain=None) -> None:
+                 on_drain=None, codec: str = "bitpack", meta=None) -> None:
         self.epoch = int(epoch)
         self.bits = bitpack.check_bits(bits)
         self.allocation = allocation
+        #: Storage layout of the words: ``"bitpack"`` (the paper's
+        #: layout — ``bits`` is the element width) or one of the
+        #: encoded layouts from :mod:`repro.core.codecs` (``"dict"``,
+        #: ``"rle"``, ``"delta"``), where ``bits`` is the payload width
+        #: and ``meta`` carries the codec's section geometry.
+        self.codec = str(codec)
+        self.meta = meta
+        if self.codec != "bitpack" and meta is None:
+            raise ValueError(f"codec {codec!r} generation requires meta")
         self._on_drain = on_drain
         self._pins = 0
         self._retired = False
         self._drained = False
         self._lock = threading.Lock()
+
+    @property
+    def value_bits(self) -> int:
+        """Width of the *decoded* values (== ``bits`` for bitpack).
+
+        Encoded generations pack a payload narrower than the values it
+        represents (dictionary codes, run indexes, frame deltas); any
+        consumer specializing arithmetic on element width — e.g. the
+        compiled query kernels' overflow-free sum folds — must use this,
+        never :attr:`bits`.
+        """
+        if self.codec == "bitpack":
+            return self.bits
+        return self.meta.value_bits
 
     @property
     def buffers(self) -> Sequence[np.ndarray]:
@@ -142,9 +165,10 @@ class StorageGeneration:
             self._on_drain(self)
 
     def __repr__(self) -> str:
+        codec = f" codec={self.codec}" if self.codec != "bitpack" else ""
         return (
-            f"<StorageGeneration epoch={self.epoch} bits={self.bits} "
-            f"pins={self._pins} retired={self._retired}>"
+            f"<StorageGeneration epoch={self.epoch} bits={self.bits}"
+            f"{codec} pins={self._pins} retired={self._retired}>"
         )
 
 
@@ -182,6 +206,50 @@ def _scalar_unpack(buf: np.ndarray, chunk: int, bits: int,
         out[:] = src[start:start + bitpack.CHUNK_ELEMENTS]
         return out
     return bitpack.unpack_chunk_scalar(buf, chunk, bits, out=out)
+
+
+# Every read path resolves (layout, width, buffer) through one
+# generation object — never through the array's concrete class, which a
+# live migration may have already swapped for the *next* generation.
+# These helpers are the codec-aware analogue of passing ``gen.bits``
+# everywhere: a reader holding (old class, new gen) or (new class, old
+# gen) mid-swap still decodes correctly because only ``gen`` decides.
+
+def _gen_scalar_get(gen: "StorageGeneration", buf: np.ndarray,
+                    index: int) -> int:
+    if gen.codec != "bitpack":
+        from .codecs import get_encoded
+        return get_encoded(buf, gen.meta, index)
+    return _scalar_get(buf, index, gen.bits)
+
+
+def _gen_unpack(gen: "StorageGeneration", buf: np.ndarray, chunk: int,
+                out=None) -> np.ndarray:
+    if gen.codec != "bitpack":
+        from .codecs import decode_chunk_span
+        return decode_chunk_span(buf, gen.meta, chunk, 1, out=out)
+    return _scalar_unpack(buf, chunk, gen.bits, out=out)
+
+
+def _gen_decode_span(gen: "StorageGeneration", buf: np.ndarray, chunk: int,
+                     n_chunks: int, out=None) -> np.ndarray:
+    if gen.codec != "bitpack":
+        from .codecs import decode_chunk_span
+        return decode_chunk_span(buf, gen.meta, chunk, n_chunks, out=out)
+    from .bitpack_fast import unpack_chunk_range
+    return unpack_chunk_range(buf, chunk, n_chunks, gen.bits, out=out)
+
+
+def _check_gen_writable(gen: "StorageGeneration") -> None:
+    """Writes resolve the layout under the gate too: a writer racing a
+    just-committed encode migration must fail cleanly, never scribble
+    bit-packed words over an encoded buffer."""
+    if gen.codec != "bitpack":
+        from .errors import CodecWriteError
+        raise CodecWriteError(
+            f"array is stored under codec {gen.codec!r}; encoded layouts "
+            "are immutable — migrate back to bitpack to write"
+        )
 
 
 class SmartArray(abc.ABC):
@@ -290,6 +358,18 @@ class SmartArray(abc.ABC):
         """Paper-style accessor; same as :attr:`bits`."""
         return self._bits
 
+    @property
+    def codec(self) -> str:
+        """Active generation's storage layout (``"bitpack"`` unless the
+        array was encoded by :mod:`repro.core.codecs`)."""
+        return self._generation.codec
+
+    @property
+    def value_bits(self) -> int:
+        """Width of decoded values; differs from :attr:`bits` only for
+        encoded generations (see :attr:`StorageGeneration.value_bits`)."""
+        return self._generation.value_bits
+
     # -- storage generations (live-migration support) -----------------------
 
     @property
@@ -335,7 +415,7 @@ class SmartArray(abc.ABC):
         with self._gen_lock:
             old = self._generation
             self._generation = new_gen
-            self.__class__ = concrete_class_for_bits(new_gen.bits)
+            self.__class__ = concrete_class_for_generation(new_gen)
             self._bind_replica_counters(new_gen.n_replicas)
             self._retired_generations.append(old)
 
@@ -526,8 +606,6 @@ class SmartArray(abc.ABC):
         decodes its padding slots too; callers slice to the logical
         length.
         """
-        from .bitpack_fast import unpack_chunk_range
-
         total_chunks = bitpack.chunks_for(self._length)
         if n_chunks < 0:
             raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
@@ -549,12 +627,10 @@ class SmartArray(abc.ABC):
                 self._note_replica_read(
                     buf, n_chunks * bitpack.CHUNK_ELEMENTS, gen
                 )
-                return unpack_chunk_range(
-                    buf, chunk, n_chunks, gen.bits, out=out
-                )
+                return _gen_decode_span(gen, buf, chunk, n_chunks, out=out)
         self.stats.note_superchunk_decode(n_chunks)
         self._note_replica_read(buf, n_chunks * bitpack.CHUNK_ELEMENTS, gen)
-        return unpack_chunk_range(buf, chunk, n_chunks, gen.bits, out=out)
+        return _gen_decode_span(gen, buf, chunk, n_chunks, out=out)
 
     def fill(self, values) -> None:
         """Initialize the whole array from ``values`` (vectorized Function 2)."""
@@ -565,6 +641,7 @@ class SmartArray(abc.ABC):
             )
         with self._write_gate:
             gen = self._generation
+            _check_gen_writable(gen)
             packed = bitpack.pack_array(values, gen.bits)
             for buf in gen.buffers:
                 np.copyto(buf, packed)
@@ -584,6 +661,9 @@ class SmartArray(abc.ABC):
         gen, buf = self._read_view(replica)
         self.stats.add("bulk_elements_read", self._length)
         self._note_replica_read(buf, self._length, gen)
+        if gen.codec != "bitpack":
+            from .codecs import decode_words
+            return decode_words(buf, gen.meta)
         return unpack_array_fast(buf, self._length, gen.bits)
 
     def gather_many(self, indices, replica=None) -> np.ndarray:
@@ -596,6 +676,9 @@ class SmartArray(abc.ABC):
             bad = indices[(indices < 0) | (indices >= self._length)][0]
             raise IndexOutOfRangeError(int(bad), self._length)
         self.stats.add("bulk_elements_read", indices.size)
+        if gen.codec != "bitpack":
+            from .codecs import decode_words
+            return decode_words(buf, gen.meta)[indices]
         return bitpack.gather(buf, indices, gen.bits)
 
     def scatter_many(self, indices, values) -> None:
@@ -608,6 +691,7 @@ class SmartArray(abc.ABC):
             raise IndexOutOfRangeError(int(bad), self._length)
         with self._write_gate:
             gen = self._generation
+            _check_gen_writable(gen)
             for buf in gen.buffers:
                 bitpack.scatter(buf, indices, values, gen.bits)
             if self._migration is not None:
@@ -672,13 +756,14 @@ class BitCompressedArray(SmartArray):
         bitpack.check_index(index, self._length)
         gen, buf = self._read_view(replica)
         self.stats.add("scalar_gets")
-        return _scalar_get(buf, index, gen.bits)
+        return _gen_scalar_get(gen, buf, index)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
         self.stats.add("scalar_inits")
         with self._write_gate:
             gen = self._generation
+            _check_gen_writable(gen)
             bitpack.init_scalar(gen.buffers, index, value, gen.bits)
             if self._migration is not None:
                 self._migration.mirror_write(index, value)
@@ -689,7 +774,7 @@ class BitCompressedArray(SmartArray):
             raise IndexOutOfRangeError(chunk, n_chunks)
         gen, buf = self._read_view(replica)
         self.stats.add("chunk_unpacks")
-        return _scalar_unpack(buf, chunk, gen.bits, out=out)
+        return _gen_unpack(gen, buf, chunk, out=out)
 
 
 class Uncompressed64Array(BitCompressedArray):
@@ -704,9 +789,9 @@ class Uncompressed64Array(BitCompressedArray):
         bitpack.check_index(index, self._length)
         gen, buf = self._read_view(replica)
         self.stats.add("scalar_gets")
-        if gen.bits == 64:
+        if gen.codec == "bitpack" and gen.bits == 64:
             return int(buf[index])
-        return _scalar_get(buf, index, gen.bits)
+        return _gen_scalar_get(gen, buf, index)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
@@ -714,6 +799,7 @@ class Uncompressed64Array(BitCompressedArray):
         self.stats.add("scalar_inits")
         with self._write_gate:
             gen = self._generation
+            _check_gen_writable(gen)
             _scalar_init(gen.buffers, index, value, gen.bits)
             if self._migration is not None:
                 self._migration.mirror_write(index, value)
@@ -724,7 +810,7 @@ class Uncompressed64Array(BitCompressedArray):
             raise IndexOutOfRangeError(chunk, n_chunks)
         gen, buf = self._read_view(replica)
         self.stats.add("chunk_unpacks")
-        return _scalar_unpack(buf, chunk, gen.bits, out=out)
+        return _gen_unpack(gen, buf, chunk, out=out)
 
 
 class Uncompressed32Array(BitCompressedArray):
@@ -742,9 +828,9 @@ class Uncompressed32Array(BitCompressedArray):
         bitpack.check_index(index, self._length)
         gen, buf = self._read_view(replica)
         self.stats.add("scalar_gets")
-        if gen.bits == 32:
+        if gen.codec == "bitpack" and gen.bits == 32:
             return int(self._u32(buf)[index])
-        return _scalar_get(buf, index, gen.bits)
+        return _gen_scalar_get(gen, buf, index)
 
     def init(self, index: int, value: int) -> None:
         bitpack.check_index(index, self._length)
@@ -752,6 +838,7 @@ class Uncompressed32Array(BitCompressedArray):
         self.stats.add("scalar_inits")
         with self._write_gate:
             gen = self._generation
+            _check_gen_writable(gen)
             _scalar_init(gen.buffers, index, value, gen.bits)
             if self._migration is not None:
                 self._migration.mirror_write(index, value)
@@ -762,7 +849,7 @@ class Uncompressed32Array(BitCompressedArray):
             raise IndexOutOfRangeError(chunk, n_chunks)
         gen, buf = self._read_view(replica)
         self.stats.add("chunk_unpacks")
-        return _scalar_unpack(buf, chunk, gen.bits, out=out)
+        return _gen_unpack(gen, buf, chunk, out=out)
 
 
 def concrete_class_for_bits(bits: int):
@@ -773,3 +860,18 @@ def concrete_class_for_bits(bits: int):
     if bits == 32:
         return Uncompressed32Array
     return BitCompressedArray
+
+
+def concrete_class_for_generation(generation: StorageGeneration):
+    """The subclass matching a generation's (codec, bits) pair.
+
+    Migration commits route through this so an array's concrete class
+    tracks its active layout: encoding installs
+    :class:`repro.core.codecs.CodecArray`, decoding back to bitpack
+    restores the width-specialized Fig. 9 class.
+    """
+    if generation.codec != "bitpack":
+        from .codecs import CodecArray
+
+        return CodecArray
+    return concrete_class_for_bits(generation.bits)

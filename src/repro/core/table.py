@@ -56,9 +56,21 @@ class SmartTable:
         interleaved: bool = False,
         pinned: Optional[int] = None,
         allocator=None,
+        codecs: Optional[Dict[str, str]] = None,
     ) -> "SmartTable":
-        """Build from raw arrays; each column gets its minimum width."""
+        """Build from raw arrays; each column gets its minimum width.
+
+        ``codecs`` maps column names to storage layouts from
+        :mod:`repro.core.codecs` (``"dict"``, ``"rle"``, ``"delta"``);
+        unlisted columns stay bit-packed.  Encoded columns flow through
+        zone maps, scans, and queries like any other — sargable
+        predicates on them evaluate in the encoded domain.
+        """
         columns = {}
+        codecs = codecs or {}
+        unknown = set(codecs) - set(data)
+        if unknown:
+            raise KeyError(f"codecs name missing columns: {sorted(unknown)}")
         for name, values in data.items():
             values = np.ascontiguousarray(values, dtype=np.uint64)
             bits = bitpack.max_bits_needed(values) if compress else 64
@@ -70,6 +82,7 @@ class SmartTable:
                 bits=bits,
                 values=values,
                 allocator=allocator,
+                codec=codecs.get(name, "bitpack"),
             )
             columns[name] = sa
         return cls(columns)

@@ -107,8 +107,17 @@ class ZoneMap:
             ][:tail]
             mins[n_chunks - 1] = last.min()
             maxs[n_chunks - 1] = last.max()
-        zmins = allocate(n_chunks, bits=array.bits, allocator=allocator)
-        zmaxs = allocate(n_chunks, bits=array.bits, allocator=allocator)
+        # Zone values are *data* values, so the zone arrays use the
+        # data's value width.  For bitpack generations that is
+        # ``array.bits``; for encoded generations ``bits`` is the
+        # narrow payload width (codes/deltas) and packing a zone max
+        # into it would overflow — use the decoded-value width instead.
+        zbits = array.bits
+        if getattr(array.generation, "codec", "bitpack") != "bitpack":
+            zbits = (bitpack.max_bits_needed(maxs[:n_chunks])
+                     if n_chunks else 1)
+        zmins = allocate(n_chunks, bits=zbits, allocator=allocator)
+        zmaxs = allocate(n_chunks, bits=zbits, allocator=allocator)
         if n_chunks:
             zmins.fill(mins[:n_chunks])
             zmaxs.fill(maxs[:n_chunks])

@@ -17,6 +17,19 @@ budgeted steps that never stall the scan path:
   pages are re-homed in place through the simulated ``move_pages``
   machinery of :mod:`repro.numa.migration`, with the memory ledger kept
   exact per page.
+* **encode mode** (the target names a codec from
+  :mod:`repro.core.codecs`): budgeted steps decode the live generation
+  — whatever its current layout — into a staging buffer; mirrored
+  writes land in staging too, so when the last chunk arrives the final
+  step encodes staging under the target codec, allocates the encoded
+  words at the target placement, and commits a codec-tagged
+  generation.  Readers never see a partial encode: until the commit
+  they scan the old generation, after it the encoded one.
+
+Repack-mode reads go through the codec-aware
+:func:`repro.core.codecs.decode_generation_chunks`, so migrating an
+encoded array *back* to bitpack (required before writes) is just a
+repack whose source happens to be encoded.
 
 Write policy (dual-write): writers always hit the live generation; the
 array additionally mirrors every write into the in-flight migration's
@@ -43,7 +56,7 @@ import numpy as np
 
 from ..adapt.selector import Configuration
 from ..core import bitpack
-from ..core.bitpack_fast import unpack_chunk_range
+from ..core.codecs import check_codec, decode_generation_chunks, encode_words
 from ..core.errors import AllocationError, ValueOverflowError
 from ..core.smart_array import SmartArray, StorageGeneration, _scalar_init
 from ..numa.migration import (
@@ -106,7 +119,10 @@ class Migration:
                  rollback_of: Optional["Migration"] = None) -> None:
         self.migrator = migrator
         self.array = array
-        self.source = Configuration(array.placement, array.bits)
+        self.source = Configuration(
+            array.placement, array.bits,
+            getattr(array.generation, "codec", "bitpack"),
+        )
         self.target = target
         self.budget = budget
         self.tables = tuple(tables)
@@ -125,13 +141,21 @@ class Migration:
         self._new_allocation = None
         self._desired_sockets = None
         self._original_sockets = None
+        self._staging = None
         same_bits = target.bits == array.bits
         single_to_single = (
             array.n_replicas == 1 and not target.placement.is_replicated
         )
-        #: "move" re-homes pages in place; "repack" copies into a fresh
-        #: allocation at the target width/placement.
-        self.mode = "move" if same_bits and single_to_single else "repack"
+        #: "encode" decodes into staging and commits an encoded
+        #: generation; "move" re-homes pages in place; "repack" copies
+        #: into a fresh bit-packed allocation at the target
+        #: width/placement.
+        if getattr(target, "codec", "bitpack") != "bitpack":
+            self.mode = "encode"
+        elif self.source.codec != "bitpack":
+            self.mode = "repack"
+        else:
+            self.mode = "move" if same_bits and single_to_single else "repack"
 
     # -- progress --------------------------------------------------------
 
@@ -154,7 +178,13 @@ class Migration:
     def _start(self) -> None:
         array = self.array
         allocator = self.migrator.allocator
-        if self.mode == "repack":
+        if self.mode == "encode":
+            # The encoded footprint is only known once staging is full,
+            # so nothing is allocated up front: the final step encodes
+            # staging and allocates then (an AllocationError at that
+            # point aborts, leaving the array on its old generation).
+            self._staging = np.zeros(array.length, dtype=np.uint64)
+        elif self.mode == "repack":
             # May raise AllocationError when the target does not fit —
             # nothing was registered yet, so the array is unaffected.
             self._new_allocation = allocator.allocate_words(
@@ -198,6 +228,8 @@ class Migration:
                 self.steps += 1
                 if self.mode == "repack":
                     self._step_repack_locked()
+                elif self.mode == "encode":
+                    self._step_encode_locked()
                 else:
                     self._step_move_locked()
         time.sleep(0)  # cooperative yield between gate acquisitions
@@ -220,9 +252,10 @@ class Migration:
         count = min(self.budget.chunks_per_step, self._total_chunks - first)
         if count > 0:
             gen = array.generation
-            values = unpack_chunk_range(
-                gen.buffers[0], first, count, gen.bits
-            )
+            # Codec-aware: decodes bitpack and encoded generations alike
+            # (slots past the logical length come back zeroed either
+            # way, so the peak check below is safe).
+            values = decode_generation_chunks(gen, first, count)
             if tbits < 64 and values.size:
                 peak = int(values.max())
                 if peak >> tbits:
@@ -246,6 +279,43 @@ class Migration:
             and remaining <= self.migrator._planted_early_swap
         ):
             self._commit_locked()
+
+    # -- encode mode -----------------------------------------------------
+
+    def _step_encode_locked(self) -> None:
+        array = self.array
+        first = self._next_chunk
+        count = min(self.budget.chunks_per_step, self._total_chunks - first)
+        if count > 0:
+            flat = decode_generation_chunks(array.generation, first, count)
+            start = first * bitpack.CHUNK_ELEMENTS
+            stop = min(array.length, start + count * bitpack.CHUNK_ELEMENTS)
+            self._staging[start:stop] = flat[: stop - start]
+            self._next_chunk = first + count
+            self.chunks_repacked += count
+            self.migrator._chunks.add(count)
+        if self._total_chunks - self._next_chunk <= 0:
+            self._commit_encode_locked()
+
+    def _commit_encode_locked(self) -> None:
+        """Encode staging, allocate, and swap — still under the gate.
+
+        Staging holds every chunk plus any mirrored writes by now; a
+        failed allocation aborts with the array untouched (no target
+        allocation existed before this point).
+        """
+        codec = getattr(self.target, "codec", "bitpack")
+        words, meta, payload_bits = encode_words(self._staging, codec)
+        try:
+            self._new_allocation = self.migrator.allocator.allocate_words(
+                int(words.size), self.target.placement,
+            )
+        except AllocationError as exc:
+            self._abort_locked(f"encoded target does not fit: {exc}")
+            return
+        for buf in self._new_allocation.buffers:
+            np.copyto(buf, words)
+        self._commit_locked(bits=payload_bits, codec=codec, meta=meta)
 
     # -- move mode -------------------------------------------------------
 
@@ -276,12 +346,14 @@ class Migration:
 
     # -- commit / abort (write gate held) --------------------------------
 
-    def _commit_locked(self) -> None:
+    def _commit_locked(self, bits: Optional[int] = None,
+                       codec: str = "bitpack", meta=None) -> None:
         array = self.array
-        if self.mode == "repack":
+        if self.mode in ("repack", "encode"):
             new_gen = StorageGeneration(
-                array.generation_epoch + 1, self.target.bits,
-                self._new_allocation,
+                array.generation_epoch + 1,
+                self.target.bits if bits is None else bits,
+                self._new_allocation, codec=codec, meta=meta,
             )
             allocator = self.migrator.allocator
 
@@ -328,7 +400,17 @@ class Migration:
     # -- dual-write mirroring (called by SmartArray under the gate) ------
 
     def mirror_write(self, index: int, value: int) -> None:
-        if self.state != "running" or self.mode != "repack":
+        if self.state != "running":
+            return
+        if self.mode == "encode":
+            # Staging is plain uint64 — every in-range value fits, so
+            # encode-mode mirrors can never abort.  Chunks not yet
+            # copied will re-read the live generation (which already
+            # holds this write) anyway; the assignment covers chunks
+            # staged before the write landed.
+            self._staging[index] = np.uint64(value)
+            return
+        if self.mode != "repack":
             return
         try:
             _scalar_init(self._new_allocation.buffers, index, value,
@@ -340,7 +422,13 @@ class Migration:
             )
 
     def mirror_scatter(self, indices, values) -> None:
-        if self.state != "running" or self.mode != "repack":
+        if self.state != "running":
+            return
+        if self.mode == "encode":
+            self._staging[np.ascontiguousarray(indices, dtype=np.int64)] = \
+                np.asarray(values, dtype=np.uint64)
+            return
+        if self.mode != "repack":
             return
         try:
             for buf in self._new_allocation.buffers:
@@ -352,7 +440,12 @@ class Migration:
             )
 
     def mirror_fill(self, values) -> None:
-        if self.state != "running" or self.mode != "repack":
+        if self.state != "running":
+            return
+        if self.mode == "encode":
+            self._staging[:] = np.asarray(values, dtype=np.uint64)
+            return
+        if self.mode != "repack":
             return
         try:
             packed = bitpack.pack_array(
@@ -408,6 +501,7 @@ class LiveMigrator:
                 "a migration is already in flight for this array"
             )
         bitpack.check_bits(target.bits)
+        check_codec(getattr(target, "codec", "bitpack"))
         migration = Migration(self, array, target,
                               budget or MigrationBudget(), tables, reason,
                               rollback_of=rollback_of)

@@ -324,12 +324,13 @@ def _execute(plan: PhysicalPlan, pool: Optional[WorkerPool],
             for name in plan.needed_columns
         }
         # The compiled kernel's aggregate folds are specialized on the
-        # planned bit widths; if a live migration swapped a column's
-        # width between plan and this morsel's pin, fall back to the
-        # interpreter for the morsel (results are identical either way).
+        # planned *value* widths; if a live migration swapped a column's
+        # width (or codec — value_bits covers both) between plan and
+        # this morsel's pin, fall back to the interpreter for the morsel
+        # (results are identical either way).
         kernel = plan.kernel
         if kernel is not None and any(
-            gens[name].bits != kernel.column_bits[name]
+            gens[name].value_bits != kernel.column_bits[name]
             for name in plan.needed_columns
         ):
             kernel = None

@@ -122,14 +122,18 @@ class ColumnDecision:
     #: exists (the executor still reads consistently — it re-resolves
     #: the active generation per morsel).
     generation: int = 0
+    #: Storage layout of the generation the plan was made against
+    #: (``"bitpack"`` unless the column is codec-encoded).
+    codec: str = "bitpack"
 
     def describe(self) -> str:
         rec = ""
         if self.recommended is not None:
             verdict = "matches" if self.matches_actual else "differs"
             rec = f"; selector recommends {self.recommended} ({verdict})"
+        layout = f" {self.codec}" if self.codec != "bitpack" else ""
         return (
-            f"{self.name}: {self.bits}b {self.placement} (gen "
+            f"{self.name}: {self.bits}b{layout} {self.placement} (gen "
             f"{self.generation}), engine={self.engine}, "
             f"{self.read_policy}{rec}"
         )
@@ -191,12 +195,14 @@ def _decide_column(name: str, array: SmartArray, n_rows: int,
         "socket-local replica reads" if array.replicated
         else "single-buffer reads"
     )
+    codec = getattr(array.generation, "codec", "bitpack")
     if n_rows == 0 or scan_elements == 0:
         return ColumnDecision(
             name=name, bits=array.bits, placement=placement,
             n_replicas=array.n_replicas, engine="blocked",
             read_policy=read_policy, recommended=None, matches_actual=None,
             generation=getattr(array, "generation_epoch", 0),
+            codec=codec,
         )
     chars = ArrayCharacteristics(
         length=n_rows,
@@ -233,6 +239,7 @@ def _decide_column(name: str, array: SmartArray, n_rows: int,
         read_policy=read_policy, recommended=config.describe(),
         matches_actual=matches, selection=selection,
         generation=getattr(array, "generation_epoch", 0),
+        codec=codec,
     )
 
 
@@ -495,10 +502,16 @@ def _plan_query(
 
     kernel: Optional[CompiledKernel] = None
     if mode == "compiled":
+        # Specialize the kernel's aggregate folds on the *decoded value*
+        # width: for codec-encoded columns ``bits`` is the narrow
+        # payload (codes/deltas) while ``decode_chunks`` hands the
+        # kernel full-magnitude values — a fold sized to payload bits
+        # could silently wrap its uint64 accumulator.
         kernel = compile_query(
             query,
             tuple(needed),
-            {name: table[name].bits for name in needed},
+            {name: getattr(table[name], "value_bits", table[name].bits)
+             for name in needed},
             morsel_elements,
         )
 

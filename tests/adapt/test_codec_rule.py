@@ -1,0 +1,96 @@
+"""Tests for the codec-selection rule (repro.adapt.codec_rule)."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.codec_rule import (
+    DEFAULT_THRESHOLD,
+    choose_codec,
+    profile_values,
+)
+from repro.core.allocate import allocate
+from repro.numa import NumaAllocator, machine_2x8_haswell
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestChooseCodec:
+    def test_low_cardinality_wide_values_pick_dict(self):
+        dictionary = rng(0).integers(2**50, 2**60, size=20, dtype=np.uint64)
+        values = dictionary[rng(1).integers(0, 20, size=50_000)]
+        codec, profile = choose_codec(values)
+        assert codec == "dict"
+        assert profile.n_distinct == 20
+
+    def test_long_runs_pick_rle(self):
+        values = np.repeat(
+            rng(2).integers(2**40, 2**50, size=50, dtype=np.uint64), 1000
+        )
+        codec, profile = choose_codec(values)
+        assert codec == "rle"
+        assert profile.n_runs == 50
+
+    def test_sorted_dense_values_pick_delta(self):
+        base = np.sort(rng(3).integers(0, 1 << 20, 100_000, dtype=np.uint64))
+        # Shift into a wide domain so bitpack needs ~51 bits while the
+        # per-frame deltas stay tiny.
+        values = base + np.uint64(1 << 50)
+        codec, profile = choose_codec(values)
+        assert codec == "delta"
+        assert profile.delta_bits < profile.element_bits
+
+    def test_uniform_high_cardinality_stays_bitpack(self):
+        values = rng(4).integers(0, 1 << 32, 50_000, dtype=np.uint64)
+        codec, _ = choose_codec(values)
+        assert codec == "bitpack"
+
+    def test_write_heavy_forces_bitpack(self):
+        values = np.repeat(np.uint64(7), 10_000)
+        assert choose_codec(values)[0] == "rle"
+        assert choose_codec(values, write_heavy=True)[0] == "bitpack"
+
+    def test_empty_column_stays_bitpack(self):
+        codec, profile = choose_codec(np.array([], dtype=np.uint64))
+        assert codec == "bitpack"
+        assert profile.length == 0
+
+    def test_threshold_margin_blocks_marginal_wins(self):
+        # A column whose best encoded footprint is only a few percent
+        # below bitpack must not trigger a migration at the default
+        # 10% margin, but does when the margin is waived.
+        values = rng(5).integers(0, 1 << 16, 4096, dtype=np.uint64)
+        profile = profile_values(values)
+        best = min(
+            (c for c in profile.bytes_by_codec if c != "bitpack"),
+            key=lambda c: profile.bytes_by_codec[c],
+        )
+        ratio = profile.ratio(best)
+        if DEFAULT_THRESHOLD < ratio < 1.0:
+            assert choose_codec(values)[0] == "bitpack"
+            assert choose_codec(values, threshold=1.0)[0] == best
+
+
+class TestProfileExactness:
+    @pytest.mark.parametrize("maker", [
+        lambda: rng(6).integers(0, 8, 10_000, dtype=np.uint64) * 2**40,
+        lambda: np.repeat(rng(7).integers(0, 100, 64, dtype=np.uint64), 77),
+        lambda: np.sort(rng(8).integers(0, 1 << 30, 9000, dtype=np.uint64)),
+    ])
+    def test_footprint_matches_encoded_storage(self, maker):
+        # The rule prices codecs from the same section geometry the
+        # encoder allocates, so the estimate must equal the outcome.
+        values = maker()
+        profile = profile_values(values)
+        allocator = NumaAllocator(machine_2x8_haswell())
+        for codec in ("dict", "rle", "delta"):
+            arr = allocate(len(values), codec=codec, values=values,
+                           allocator=allocator)
+            assert profile.bytes_by_codec[codec] == arr.storage_bytes, codec
+
+    def test_ratio_below_one_is_a_win(self):
+        values = np.repeat(np.uint64(3), 5000)
+        profile = profile_values(values)
+        assert profile.ratio("rle") < 0.1
+        assert profile.ratio("bitpack") == 1.0

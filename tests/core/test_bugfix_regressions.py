@@ -604,3 +604,93 @@ class TestGenValuesPurity:
         assert np.array_equal(a, b)
         assert a.dtype == np.uint64
         assert int(a.max()) < (1 << 7)
+
+
+class TestCodecU64BoundaryRegressions:
+    """uint64-boundary bugs in the codec modules' range paths.
+
+    ``codes_for_range`` fed raw Python ints straight into
+    ``np.searchsorted`` against a uint64 dictionary, so ``hi = 2**64``
+    (the canonical "unbounded above" sentinel every other range
+    operator accepts) promoted through float64 — or raised, depending
+    on the NumPy era — and values near ``2**64`` compared wrong.  The
+    RLE paths had the same hole.  All of them now route through
+    ``clamp_u64_range``; these pin the *exact results* at the
+    boundaries, not merely that nothing raises.
+    """
+
+    def _dict(self, values):
+        from repro.core import DictionaryEncodedArray
+
+        return DictionaryEncodedArray.encode(
+            np.asarray(values, dtype=np.uint64), allocator=_allocator()
+        )
+
+    def _rle(self, values):
+        from repro.core import RunLengthArray
+
+        return RunLengthArray.encode(
+            np.asarray(values, dtype=np.uint64), allocator=_allocator()
+        )
+
+    def test_codes_for_range_full_u64_domain(self):
+        enc = self._dict([10, 20, 30, 20, 10])
+        assert enc.codes_for_range(0, 2 ** 64) == (0, enc.cardinality)
+        assert enc.count_in_range(0, 2 ** 64) == 5
+        np.testing.assert_array_equal(
+            enc.select_in_range(0, 2 ** 64), np.arange(5)
+        )
+
+    def test_dict_boundaries_near_u64_max(self):
+        enc = self._dict([0, U64_MAX, U64_MAX - 1, U64_MAX])
+        assert enc.count_in_range(U64_MAX, 2 ** 64) == 2
+        assert enc.count_in_range(U64_MAX - 1, U64_MAX) == 1
+        np.testing.assert_array_equal(
+            enc.select_in_range(U64_MAX, 2 ** 65), [1, 3]
+        )
+
+    def test_dict_degenerate_ranges(self):
+        enc = self._dict([5, 6, 7])
+        assert enc.count_in_range(6, 6) == 0          # empty half-open
+        assert enc.count_in_range(7, 6) == 0          # lo > hi
+        assert enc.count_in_range(-10, 6) == 1        # negative lo clamps
+        assert enc.select_in_range(9, 2).size == 0
+
+    def test_rle_full_domain_and_degenerate_ranges(self):
+        enc = self._rle([4, 4, 4, 9, 9, 4])
+        assert enc.count_in_range(0, 2 ** 64) == 6
+        assert enc.count_in_range(9, 4) == 0
+        assert enc.count_in_range(-3, 5) == 4
+        np.testing.assert_array_equal(
+            enc.select_in_range(0, 2 ** 70), np.arange(6)
+        )
+
+    def test_rle_near_u64_max(self):
+        enc = self._rle([U64_MAX, U64_MAX, 1, U64_MAX - 1])
+        assert enc.count_in_range(U64_MAX, 2 ** 64) == 2
+        assert enc.count_equal(U64_MAX) == 2
+        assert enc.count_equal(2 ** 64) == 0          # out of domain
+        assert enc.count_equal(-1) == 0
+
+    def test_rle_sum_is_exact_not_wrapping(self):
+        # Two max-value runs: a uint64 accumulator would wrap; the
+        # engine's sum contract is exact arbitrary-precision.
+        enc = self._rle([U64_MAX] * 5 + [7] * 3)
+        assert enc.sum() == 5 * U64_MAX + 21
+
+
+class TestCodecClassSwapRaceRegression:
+    """Harness-found (codec profile, seed 1): ``_install_generation``
+    swaps the array's concrete class and its generation non-atomically
+    from an ungated reader's view, so a reader could observe the new
+    bit-packed class with the old encoded generation and decode RLE
+    words as packed data.  Every read path now resolves layout through
+    the generation object itself; replaying the discovering seed keeps
+    the fix honest under the original interleaving.
+    """
+
+    def test_seed1_codec_profile_replays_clean(self):
+        from repro.check import run_check
+
+        report = run_check(seed=1, ops=400, profile="codec")
+        assert report.ok, report.format()

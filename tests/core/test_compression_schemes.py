@@ -156,3 +156,82 @@ def test_property_rle_sum_exact(values):
     arr = np.array(values, dtype=np.uint64)
     rle = RunLengthArray.encode(arr, allocator=allocator)
     assert rle.sum() == int(arr.astype(object).sum())
+
+
+class TestDeltaEncoding:
+    def test_roundtrip_sorted(self, allocator):
+        from repro.core.delta import DeltaEncodedArray
+
+        rng = np.random.default_rng(2)
+        values = np.sort(rng.integers(0, 1 << 40, 10_000, dtype=np.uint64))
+        enc = DeltaEncodedArray.encode(values, allocator=allocator)
+        np.testing.assert_array_equal(enc.to_numpy(), values)
+
+    def test_empty_and_single(self, allocator):
+        from repro.core.delta import DeltaEncodedArray
+
+        empty = DeltaEncodedArray.encode(
+            np.array([], dtype=np.uint64), allocator=allocator
+        )
+        assert len(empty) == 0
+        assert empty.to_numpy().size == 0
+        one = DeltaEncodedArray.encode(
+            np.array([42], dtype=np.uint64), allocator=allocator
+        )
+        assert one.to_numpy().tolist() == [42]
+
+
+class TestBoundaries:
+    """Degenerate shapes and domain edges for every scheme."""
+
+    def test_single_distinct_value_dictionary(self, allocator):
+        # Cardinality 1: codes need 0 distinct bits; predicates still
+        # resolve in the encoded domain.
+        values = np.full(257, 77, dtype=np.uint64)
+        enc = DictionaryEncodedArray.encode(values, allocator=allocator)
+        assert enc.cardinality == 1
+        np.testing.assert_array_equal(enc.to_numpy(), values)
+        assert enc.count_in_range(77, 78) == 257
+        assert enc.count_in_range(78, 100) == 0
+
+    def test_single_run_rle(self, allocator):
+        values = np.full(300, 9, dtype=np.uint64)
+        enc = RunLengthArray.encode(values, allocator=allocator)
+        assert enc.n_runs == 1
+        np.testing.assert_array_equal(enc.to_numpy(), values)
+        assert enc.count_equal(9) == 300
+        assert enc.sum() == 2700
+
+    @pytest.mark.parametrize("scheme", ["dict", "rle"])
+    def test_empty_input_range_ops(self, allocator, scheme):
+        cls = DictionaryEncodedArray if scheme == "dict" else RunLengthArray
+        enc = cls.encode(np.array([], dtype=np.uint64), allocator=allocator)
+        assert enc.count_in_range(0, 2 ** 64) == 0
+        assert enc.select_in_range(0, 2 ** 64).size == 0
+
+    @pytest.mark.parametrize("scheme", ["dict", "rle"])
+    def test_degenerate_bounds(self, allocator, scheme):
+        cls = DictionaryEncodedArray if scheme == "dict" else RunLengthArray
+        enc = cls.encode(
+            np.array([3, 5, 5, 8], dtype=np.uint64), allocator=allocator
+        )
+        assert enc.count_in_range(5, 5) == 0       # lo == hi
+        assert enc.count_in_range(8, 3) == 0       # lo > hi
+        assert enc.count_in_range(0, 2 ** 64) == 4  # hi above the domain
+        assert enc.count_in_range(5, 2 ** 70) == 3
+        assert enc.select_in_range(5, 5).size == 0
+
+    @pytest.mark.parametrize("bits", [1, 7, 33, 63, 64])
+    def test_roundtrip_at_width(self, allocator, bits):
+        from repro.core.delta import DeltaEncodedArray
+
+        rng = np.random.default_rng(bits)
+        if bits == 64:
+            values = rng.integers(0, 1 << 63, 500, dtype=np.uint64) * 2 + 1
+        else:
+            values = rng.integers(0, 1 << bits, 500, dtype=np.uint64)
+        for cls in (DictionaryEncodedArray, RunLengthArray):
+            enc = cls.encode(values, allocator=allocator)
+            np.testing.assert_array_equal(enc.to_numpy(), values)
+        enc = DeltaEncodedArray.encode(np.sort(values), allocator=allocator)
+        np.testing.assert_array_equal(enc.to_numpy(), np.sort(values))

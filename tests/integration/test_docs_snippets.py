@@ -353,3 +353,47 @@ class TestApiGuideSnippets:
         for kind in ("measure", "decide", "migrate_done", "accept"):
             assert kind in timeline
         assert sa2.bits == 33 and sa2.placement.is_replicated
+
+
+class TestCompressionCodecsSection:
+    def test_codec_snippet(self):
+        # docs/API.md "Compression codecs as first-class storage
+        # layouts", verbatim in spirit.
+        import numpy as np
+
+        from repro import allocate
+        from repro.adapt import Configuration, choose_codec
+        from repro.core.placement import Placement
+        from repro.core.scan_ops import count_in_range
+        from repro.core.table import SmartTable
+        from repro.live import LiveMigrator
+        from repro.numa import NumaAllocator, machine_2x8_haswell
+        from repro.query import in_range
+
+        alloc = NumaAllocator(machine_2x8_haswell())
+        rng = np.random.default_rng(0)
+        dictionary = rng.integers(2**50, 2**60, size=32, dtype=np.uint64)
+        column = dictionary[rng.integers(0, 32, size=100_000)]
+
+        codec, profile = choose_codec(column)
+        assert codec == "dict"
+        assert profile.ratio(codec) < 0.5
+
+        enc = allocate(len(column), codec=codec, values=column,
+                       allocator=alloc)
+        lo, hi = int(dictionary[4]), int(dictionary[20])
+        assert count_in_range(enc, lo, hi) == int(
+            ((column >= lo) & (column < hi)).sum()
+        )
+
+        sa = allocate(len(column), bits=None, values=column,
+                      allocator=alloc)
+        m = LiveMigrator(alloc).migrate(
+            sa, Configuration(Placement.interleaved(), 64, codec)
+        )
+        assert m.state == "completed" and sa.codec == codec
+
+        t = SmartTable.from_arrays({"k": column}, allocator=alloc,
+                                   codecs={"k": codec})
+        n = t.query().where(in_range("k", lo, hi)).count().run()["count(*)"]
+        assert n == count_in_range(enc, lo, hi)
