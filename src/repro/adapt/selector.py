@@ -30,11 +30,18 @@ class Configuration:
     of :mod:`repro.core.codecs`; for codec targets ``bits`` is advisory
     (each codec derives its own payload width at encode time).  See
     :mod:`repro.adapt.codec_rule` for the codec-choice heuristic.
+
+    ``node`` is the cluster placement axis (:mod:`repro.cluster`): the
+    node whose allocator should own the array, or ``None`` for a
+    single-box configuration.  Placement/bits/codec describe the array
+    *within* its node either way, so every single-box rule applies
+    unchanged.
     """
 
     placement: Placement
     bits: int
     codec: str = "bitpack"
+    node: Optional[int] = None
 
     @property
     def compressed(self) -> bool:
@@ -45,7 +52,8 @@ class Configuration:
             else f"uncompressed({self.bits}b)"
         if self.codec != "bitpack":
             comp = f"{self.codec}({self.bits}b payload)"
-        return f"{self.placement.describe()} / {comp}"
+        where = f"node {self.node} / " if self.node is not None else ""
+        return f"{where}{self.placement.describe()} / {comp}"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.describe()

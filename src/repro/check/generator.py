@@ -82,9 +82,17 @@ class Op:
 #: dict/rle/delta through :mod:`repro.live`), checking every operator's
 #: result against the oracle in whatever layout the array currently
 #: has, that encoded-domain fast paths decode exactly zero chunks, and
-#: that a migration stepped mid-scan never perturbs results.
+#: that a migration stepped mid-scan never perturbs results; ``cluster``
+#: partitions the case's table across 1/2/4 simulated nodes (hash and
+#: range sharding, hot-column replicas on/off, swept by case index via
+#: :func:`cluster_grid`) and runs every query op distributed, checking
+#: results bit-identical to both the oracle and the single-node gather
+#: twin, plus *exact* ``cluster.bytes_shipped`` / ``cluster.rpcs``
+#: accounting predicted from oracle-side wire payloads — including
+#: while a :mod:`repro.live` migration steps one shard's column
+#: mid-query.
 PROFILES: Tuple[str, ...] = ("mixed", "query", "obs", "live", "sql",
-                             "codec")
+                             "codec", "cluster")
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,27 @@ class Case:
                  f"profile {self.profile}): {self.spec.describe()}"]
         lines += [f"  [{i}] {op!r}" for i, op in enumerate(self.ops)]
         return "\n".join(lines)
+
+
+#: The cluster profile's own grid axes, swept by case index (the same
+#: trick the spec grid uses) so any budget of at least 12 cases covers
+#: nodes x sharding-mode x replicas.
+CLUSTER_NODES: Tuple[int, ...] = (1, 2, 4)
+CLUSTER_MODES: Tuple[str, ...] = ("hash", "range")
+
+
+def cluster_grid(index: int) -> Tuple[int, str, bool]:
+    """``(n_nodes, mode, replicate)`` for case ``index``.
+
+    Shared by the runner and the tests so both sides agree on which
+    cluster shape a given case exercises.
+    """
+    n_nodes = CLUSTER_NODES[index % len(CLUSTER_NODES)]
+    mode = CLUSTER_MODES[(index // len(CLUSTER_NODES)) % len(CLUSTER_MODES)]
+    replicate = bool(
+        (index // (len(CLUSTER_NODES) * len(CLUSTER_MODES))) % 2
+    )
+    return n_nodes, mode, replicate
 
 
 def companion_bits(bits: int) -> int:
@@ -329,6 +358,26 @@ _CODEC_OP_TABLE = (
     ("codec_zonemap_count", 2, True),
 )
 
+#: The cluster profile is write-free after the initial fill (shards are
+#: built once from the filled values and must stay in sync with the
+#: oracle), and runs every query shape distributed: filters, compound
+#: predicates, group-by, min/max, row selection with LIMIT, SQL through
+#: :mod:`repro.sql`, and a query raced against a live migration of one
+#: shard's column.  Every op checks the distributed result against the
+#: oracle *and* the single-node gather twin, plus exact wire-byte / rpc
+#: accounting.
+_CLUSTER_OP_TABLE = (
+    ("cluster_filter_sum", 3, False),
+    ("cluster_filter_count", 2, False),
+    ("cluster_and_count", 2, False),
+    ("cluster_or_select", 2, False),
+    ("cluster_group_sum", 2, False),
+    ("cluster_filter_minmax", 2, False),
+    ("cluster_limit", 2, False),
+    ("cluster_sql", 2, False),
+    ("cluster_migrate_query", 1, True),
+)
+
 _PROFILE_TABLES = {
     "mixed": _OP_TABLE,
     "query": _QUERY_OP_TABLE,
@@ -336,6 +385,7 @@ _PROFILE_TABLES = {
     "live": _LIVE_OP_TABLE,
     "sql": _SQL_OP_TABLE,
     "codec": _CODEC_OP_TABLE,
+    "cluster": _CLUSTER_OP_TABLE,
 }
 
 #: How many surface styles the runner's SQL renderer implements.
@@ -355,7 +405,7 @@ def _profile_dist(profile: str):
 _NEEDS_NONEMPTY = {
     t[0]: t[2]
     for t in (_OP_TABLE + _QUERY_OP_TABLE + _LIVE_OP_TABLE + _SQL_OP_TABLE
-              + _CODEC_OP_TABLE)
+              + _CODEC_OP_TABLE + _CLUSTER_OP_TABLE)
 }
 
 _PARALLEL_BATCHES = (256, 4096)
@@ -469,6 +519,35 @@ def _gen_op(rng: np.random.Generator, spec: ArraySpec,
                          int(rng.integers(0, N_SQL_STYLES))))
     if name == "sql_error":
         return Op(name, (int(rng.integers(0, N_SQL_ERROR_TEMPLATES)),))
+    if name in ("cluster_filter_sum", "cluster_filter_count",
+                "cluster_filter_minmax"):
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name in ("cluster_and_count", "cluster_or_select"):
+        vbits = companion_bits(bits)
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         _gen_bound(rng, vbits), _gen_bound(rng, vbits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name == "cluster_group_sum":
+        return Op(name, (int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name == "cluster_limit":
+        # (lo, hi, limit, fan, dist): row query with a pushed-down
+        # LIMIT; 0 and tiny prefixes are the interesting boundaries.
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 300)),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2))))
+    if name == "cluster_sql":
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, 2)), int(rng.integers(0, 2)),
+                         int(rng.integers(0, N_SQL_STYLES))))
+    if name == "cluster_migrate_query":
+        # (lo, hi, target placement, pin socket, chunk budget): a live
+        # migration of one shard's value column stepped on a thread
+        # while distributed queries run on the main thread.
+        return Op(name, (_gen_bound(rng, bits), _gen_bound(rng, bits),
+                         int(rng.integers(0, len(PLACEMENTS))),
+                         int(rng.integers(0, 2)),
+                         int(rng.choice(_MIGRATE_BUDGETS))))
     if name in ("migrate", "migrate_during_scan"):
         # (target placement, pin socket, raw target bits, chunk budget).
         # The runner widens raw bits to whatever the data needs, so

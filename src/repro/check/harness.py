@@ -82,7 +82,13 @@ def run_check(seed: int = 0, ops: int = 500, n_workers: int = 4,
     ``"codec"`` (every operator cross-checked against the oracle on
     dictionary/RLE/delta-encoded layouts, with encoded-domain fast
     paths proven to decode zero chunks and codec migrations stepped
-    mid-scan; the CI codec job's setting).
+    mid-scan; the CI codec job's setting), or ``"cluster"`` (the table
+    sharded across 1/2/4 simulated nodes — hash and range partitioning,
+    replicas on/off — with every query op run distributed and proven
+    bit-identical to both the oracle and the single-node gather twin,
+    under exact oracle-predicted ``cluster.bytes_shipped`` /
+    ``cluster.rpcs`` wire accounting, including mid-query shard
+    migrations; the CI cluster job's setting).
     ``codegen`` picks the query-op execution paths: ``"both"`` proves
     compiled == interpreted on every supported shape, ``"on"`` forces
     the compiled path alone (the codegen CI job), ``"off"`` the

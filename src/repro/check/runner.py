@@ -52,6 +52,7 @@ from .generator import (
     PLACEMENTS,
     Case,
     Op,
+    cluster_grid,
     companion_bits,
     gen_values,
 )
@@ -68,7 +69,7 @@ class CaseFailure:
     op_index: int
     op: Op
     # "result" | "storage" | "zonemap" | "accounting" | "obs" |
-    # "codegen" | "sql" | "exception"
+    # "codegen" | "sql" | "cluster" | "exception"
     kind: str
     detail: str
 
@@ -144,6 +145,16 @@ class CaseRunner:
         # go, so replica-read accounting sums the registry.
         self._codec = case.profile == "codec"
         self._migrator: Optional[LiveMigrator] = None
+        # Cluster-profile state (lazy): the case's two-column table
+        # sharded across simulated nodes, its single-node gather twin,
+        # and the gather-order oracle columns every expectation is
+        # computed from.
+        self._cluster = case.profile == "cluster"
+        self._sharded = None
+        self._cluster_nodes = None
+        self._twin = None
+        self._gk: Optional[np.ndarray] = None
+        self._gv: Optional[np.ndarray] = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -781,6 +792,12 @@ class CaseRunner:
         elif op.name.startswith("codec_"):
             self._run_codec_op(op, before)
 
+        elif op.name.startswith("cluster_"):
+            self._run_cluster_op(op)
+            # Cluster ops read only the sharded copies and the twin —
+            # the case array's own counters must not move at all.
+            self._check_stats(before, {}, op.name)
+
         else:  # pragma: no cover - generator and runner share the table
             raise AssertionError(f"unknown op {op.name!r}")
 
@@ -1288,6 +1305,371 @@ class CaseRunner:
                 f"({exc}) instead of SqlError")
         raise _Divergence(
             "sql", f"sql_error: {sql!r} compiled without complaint")
+
+    # -- cluster-profile ops -------------------------------------------------
+
+    #: Counter names the cluster accounting check predicts exactly;
+    #: everything else under ``cluster.`` (histograms, timings) is
+    #: simulated-time flavoured and checked by unit tests instead.
+    _CLUSTER_METRICS = ("cluster.queries", "cluster.rpcs",
+                        "cluster.bytes_shipped", "cluster.failed_queries")
+
+    def _ensure_cluster(self):
+        """Shard the case's table across the case-index cluster grid
+        (lazy), plus its gather twin and gather-order oracle columns."""
+        if self._sharded is None:
+            from ..cluster import ShardedTable, cluster_of
+
+            spec = self.case.spec
+            n_nodes, mode, replicate = cluster_grid(self.case.index)
+            vbits = companion_bits(spec.bits)
+            vseed = int(np.random.default_rng(
+                [self.case.seed, self.case.index, 0x51]).integers(0, 2**31))
+            vvals = gen_values(vseed, spec.length, vbits)
+            self._cluster_nodes = cluster_of(n_nodes)
+            self._sharded = ShardedTable.from_arrays(
+                {"k": self.oracle.values, "v": vvals},
+                key="k", cluster=self._cluster_nodes, mode=mode,
+                replicate=("v",) if replicate else (),
+            )
+            self._twin = self._sharded.gather(allocator=self.allocator)
+            # Gather order: shard 0's rows (original relative order),
+            # then shard 1's, ... — the global numbering every row
+            # result is stated in.
+            order = np.concatenate([
+                np.nonzero(self._sharded.assignment == s.shard_id)[0]
+                for s in self._sharded.shards
+            ]).astype(np.int64)
+            self._gk = self.oracle.values[order]
+            self._gv = vvals[order]
+        return self._sharded
+
+    @staticmethod
+    def _mask_u64(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """``[lo, hi)`` range mask over a plain uint64 array — the
+        oracle's clamped semantics, applied to gather-order slices."""
+        bounds = orc.clamp_range(lo, hi)
+        if bounds is None:
+            return np.zeros(values.size, dtype=bool)
+        lo, hi = bounds
+        mask = values >= np.uint64(lo)
+        if hi is not None:
+            mask &= values < np.uint64(hi)
+        return mask
+
+    @staticmethod
+    def _agg_value(spec, cols, mask):
+        """One aggregate's exact value over the masked rows."""
+        if spec.kind == "count":
+            return int(mask.sum())
+        vals = cols[spec.column][mask]
+        if spec.kind == "sum":
+            return int(vals.astype(object).sum()) if vals.size else 0
+        if not vals.size:
+            return None
+        return int(vals.min() if spec.kind == "min" else vals.max())
+
+    @staticmethod
+    def _group_expected(specs, sk, sv, mask):
+        """Expected group-by-``k`` states under the given spec names."""
+        cols = {"k": sk, "v": sv}
+        groups: Dict[int, Dict[str, object]] = {}
+        for i in np.nonzero(mask)[0].tolist():
+            g = groups.setdefault(int(sk[i]), {})
+            for spec in specs:
+                if spec.kind == "count":
+                    g[spec.name] = g.get(spec.name, 0) + 1
+                    continue
+                v = int(cols[spec.column][i])
+                cur = g.get(spec.name)
+                if spec.kind == "sum":
+                    g[spec.name] = (cur or 0) + v
+                elif spec.kind == "min":
+                    g[spec.name] = v if cur is None else min(cur, v)
+                else:
+                    g[spec.name] = v if cur is None else max(cur, v)
+        return groups
+
+    def _cluster_shard_payloads(self, q, mask_fn):
+        """(shard, predicted result-frame payload) per owning shard.
+
+        Everything is computed oracle-side from the gather-order
+        columns — the byte-exact prediction the ``cluster.bytes_shipped``
+        check compares against."""
+        from ..cluster import expected_result_payload, shipped_specs
+
+        shipped, _ = shipped_specs(q)
+        out = []
+        for shard in self._sharded.shards:
+            if shard.n_rows == 0:
+                continue
+            sk = self._gk[shard.offset:shard.offset + shard.n_rows]
+            sv = self._gv[shard.offset:shard.offset + shard.n_rows]
+            cols = {"k": sk, "v": sv}
+            mask = mask_fn(sk, sv)
+            if q.aggregates and q.group_key is not None:
+                payload = expected_result_payload(
+                    shard.shard_id, "groups",
+                    groups=self._group_expected(shipped, sk, sv, mask))
+            elif q.aggregates:
+                payload = expected_result_payload(
+                    shard.shard_id, "aggregate",
+                    aggregates={s.name: self._agg_value(s, cols, mask)
+                                for s in shipped})
+            else:
+                idx = np.nonzero(mask)[0]
+                if q.limit_rows is not None:
+                    idx = idx[:q.limit_rows]
+                payload = expected_result_payload(
+                    shard.shard_id, "rows", rows=idx,
+                    columns={name: cols[name][idx]
+                             for name in (q.projection or ())})
+            out.append((shard, payload))
+        return out
+
+    def _expected_cluster_delta(self, q, payloads, runs):
+        """Exact registry deltas one distributed run (x ``runs``) must
+        charge: one rpc + one plan frame + one result frame per owning
+        shard, priced from oracle-predicted payloads.  The plan frame is
+        rebuilt here from the *logical* plan text (only the scan row
+        count differs per shard), independently of the executor."""
+        from ..cluster import frame_bytes
+
+        n_cols = len(self._sharded.column_names)
+        expected: Dict[str, float] = {"cluster.queries": runs}
+        for shard, payload in payloads:
+            lines = q.describe().splitlines()
+            lines[0] = f"scan {shard.n_rows:,} rows x {n_cols} columns"
+            plan = {"op": "execute", "shard": shard.shard_id,
+                    "plan": "\n".join(lines),
+                    "codegen": q.codegen_mode or "auto"}
+            node = shard.node_id
+            keys = (
+                (f"cluster.rpcs{{node={node}}}", 1),
+                (f"cluster.bytes_shipped{{direction=plan,node={node}}}",
+                 frame_bytes(plan)),
+                (f"cluster.bytes_shipped{{direction=result,node={node}}}",
+                 frame_bytes(payload)),
+            )
+            for key, per_run in keys:
+                expected[key] = expected.get(key, 0) + runs * per_run
+        return expected
+
+    def _compare_cluster_result(self, op, result, expected, which):
+        kind, payload = expected
+        if result.kind != kind:
+            raise _Divergence(
+                "result",
+                f"{op.name}: {which} result kind {result.kind!r}, "
+                f"expected {kind!r}")
+        if kind == "aggregate":
+            self._compare(result.aggregates, payload, f"{op.name}.{which}")
+        elif kind == "groups":
+            self._compare(result.groups, payload, f"{op.name}.{which}")
+        else:
+            rows, columns = payload
+            self._compare(result.rows, rows, f"{op.name}.{which}.rows")
+            for name, vals in columns.items():
+                self._compare(result.columns[name], vals,
+                              f"{op.name}.{which}.{name}")
+
+    def _cluster_differential(self, op, q, tq, mask_fn, fan, dist,
+                              runs: int = 1):
+        """The cluster profile's core check, for one query shape:
+
+        1. the distributed result equals the oracle's answer;
+        2. the single-node gather twin equals the oracle's answer;
+        3. distributed == twin, field for field (bit-identity);
+        4. ``cluster.rpcs`` / ``cluster.bytes_shipped`` deltas equal the
+           oracle-predicted wire frames exactly, per node and direction.
+        """
+        sc = self.case.spec.superchunk
+        gmask = mask_fn(self._gk, self._gv)
+        cols = {"k": self._gk, "v": self._gv}
+        if q.aggregates and q.group_key is not None:
+            expected = ("groups",
+                        self._group_expected(q.aggregates, self._gk,
+                                             self._gv, gmask))
+        elif q.aggregates:
+            expected = ("aggregate",
+                        {s.name: self._agg_value(s, cols, gmask)
+                         for s in q.aggregates})
+        else:
+            idx = np.nonzero(gmask)[0].astype(np.int64)
+            if q.limit_rows is not None:
+                idx = idx[:q.limit_rows]
+            expected = ("rows", (idx, {name: cols[name][idx]
+                                       for name in (q.projection or ())}))
+        payloads = self._cluster_shard_payloads(q, mask_fn)
+        exp_delta = self._expected_cluster_delta(q, payloads, runs)
+
+        reg = _obs_registry()
+        before = reg.snapshot()
+        res = None
+        for _ in range(runs):
+            plan = q.plan(morsel=sc)
+            res = plan.execute(distribution=_DISTRIBUTIONS[dist],
+                               fan_out=None if fan else False)
+            self._compare_cluster_result(op, res, expected, "distributed")
+        actual = {
+            key: value for key, value in reg.delta(before).items()
+            if key.partition("{")[0].partition("__")[0]
+            in self._CLUSTER_METRICS
+        }
+        if actual != exp_delta:
+            diff = {key: (exp_delta.get(key, 0), actual.get(key, 0))
+                    for key in set(actual) | set(exp_delta)
+                    if actual.get(key, 0) != exp_delta.get(key, 0)}
+            raise _Divergence(
+                "cluster",
+                f"{op.name}: wire accounting (expected, actual) = {diff}")
+
+        twin = tq.run(morsel=sc, distribution=_DISTRIBUTIONS[dist])
+        self._compare_cluster_result(op, twin, expected, "twin")
+        for field in ("aggregates", "groups"):
+            if getattr(res, field) != getattr(twin, field):
+                raise _Divergence(
+                    "cluster",
+                    f"{op.name}: distributed {field} "
+                    f"{_fmt(getattr(res, field))} != twin "
+                    f"{_fmt(getattr(twin, field))}")
+        if res.kind == "rows":
+            if not np.array_equal(res.rows, twin.rows):
+                raise _Divergence(
+                    "cluster",
+                    f"{op.name}: distributed rows {_fmt(res.rows)} != "
+                    f"twin rows {_fmt(twin.rows)}")
+            for name in res.columns:
+                if not np.array_equal(res.columns[name],
+                                      twin.columns[name]):
+                    raise _Divergence(
+                        "cluster",
+                        f"{op.name}: distributed column {name!r} != twin")
+        if (q.limit_rows is None
+                and res.stats.rows_matched != twin.stats.rows_matched):
+            raise _Divergence(
+                "cluster",
+                f"{op.name}: distributed matched "
+                f"{res.stats.rows_matched} rows, twin matched "
+                f"{twin.stats.rows_matched}")
+
+    def _run_cluster_op(self, op: Op) -> None:
+        st = self._ensure_cluster()
+        name, args = op.name, op.args
+
+        if name in ("cluster_filter_sum", "cluster_filter_count",
+                    "cluster_filter_minmax"):
+            lo, hi, fan, dist = args
+            q = Query(st).where(in_range("k", lo, hi))
+            tq = Query(self._twin).where(in_range("k", lo, hi))
+            if name == "cluster_filter_sum":
+                q.sum("v"), tq.sum("v")
+            elif name == "cluster_filter_count":
+                q.count(), tq.count()
+            else:
+                q.min("v").max("v"), tq.min("v").max("v")
+            self._cluster_differential(
+                op, q, tq, lambda k, v: self._mask_u64(k, lo, hi),
+                fan, dist)
+
+        elif name in ("cluster_and_count", "cluster_or_select"):
+            lo1, hi1, lo2, hi2, fan, dist = args
+            if name == "cluster_and_count":
+                pred = in_range("k", lo1, hi1) & in_range("v", lo2, hi2)
+                q = Query(st).where(pred).count()
+                tq = Query(self._twin).where(pred).count()
+                mask_fn = lambda k, v: (self._mask_u64(k, lo1, hi1)
+                                        & self._mask_u64(v, lo2, hi2))
+            else:
+                pred = in_range("k", lo1, hi1) | in_range("v", lo2, hi2)
+                q = Query(st).where(pred).select("v")
+                tq = Query(self._twin).where(pred).select("v")
+                mask_fn = lambda k, v: (self._mask_u64(k, lo1, hi1)
+                                        | self._mask_u64(v, lo2, hi2))
+            self._cluster_differential(op, q, tq, mask_fn, fan, dist)
+
+        elif name == "cluster_group_sum":
+            fan, dist = args
+            q = Query(st).group_by("k").sum("v")
+            tq = Query(self._twin).group_by("k").sum("v")
+            self._cluster_differential(
+                op, q, tq, lambda k, v: np.ones(k.size, dtype=bool),
+                fan, dist)
+
+        elif name == "cluster_limit":
+            lo, hi, limit, fan, dist = args
+            pred = in_range("k", lo, hi)
+            q = Query(st).where(pred).select("v").limit(limit)
+            tq = Query(self._twin).where(pred).select("v").limit(limit)
+            self._cluster_differential(
+                op, q, tq, lambda k, v: self._mask_u64(k, lo, hi),
+                fan, dist)
+
+        elif name == "cluster_sql":
+            lo, hi, fan, dist, style = args
+            sql = _render_sql_op("sql_filter_sum", (lo, hi, fan, dist),
+                                 style)
+            try:
+                q = compile_sql(sql, {"t": st})
+            except SqlError as exc:
+                raise _Divergence(
+                    "sql", f"{name}: {sql!r} failed to compile against "
+                    f"the sharded table: {exc}")
+            fluent = Query(st).where(in_range("k", lo, hi)).sum("v")
+            if q.describe() != fluent.describe():
+                raise _Divergence(
+                    "sql",
+                    f"{name}: {sql!r} lowered to\n{q.describe()}\n"
+                    f"but the fluent twin is\n{fluent.describe()}")
+            tq = Query(self._twin).where(in_range("k", lo, hi)).sum("v")
+            self._cluster_differential(
+                op, q, tq, lambda k, v: self._mask_u64(k, lo, hi),
+                fan, dist)
+
+        elif name == "cluster_migrate_query":
+            # A live migration of one shard's value column stepped on a
+            # thread while distributed queries fan out from the main
+            # thread: results and wire accounting must be untouched.
+            lo, hi, pidx, socket, budget = args
+            q = Query(st).where(in_range("k", lo, hi)).sum("v")
+            tq = Query(self._twin).where(in_range("k", lo, hi)).sum("v")
+            shard = next(s for s in st.shards if s.n_rows)
+            sv = self._gv[shard.offset:shard.offset + shard.n_rows]
+            target = Configuration(self._live_placement(pidx, socket),
+                                   bitpack.max_bits_needed(sv))
+            migrator = LiveMigrator(
+                self._cluster_nodes.node(shard.node_id).allocator)
+            migration = migrator.start(
+                shard.table.column("v"), target,
+                budget=MigrationBudget(max_chunks_per_step=budget))
+            errors = []
+
+            def drive() -> None:
+                try:
+                    while migration.step():
+                        pass
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            stepper = threading.Thread(target=drive,
+                                       name="check-cluster-migrate")
+            stepper.start()
+            try:
+                self._cluster_differential(
+                    op, q, tq, lambda k, v: self._mask_u64(k, lo, hi),
+                    fan=1, dist=0, runs=3)
+            finally:
+                stepper.join()
+            if errors:
+                raise errors[0]
+            if migration.state != "completed":
+                raise _Divergence(
+                    "result",
+                    f"{name}: migration ended {migration.state!r} "
+                    f"({migration.abort_reason})")
+
+        else:  # pragma: no cover - generator and runner share the table
+            raise AssertionError(f"unknown cluster op {name!r}")
 
 
 #: Statements the frontend must reject with a positioned error; the

@@ -1,0 +1,170 @@
+"""Placement planning: the section-6 selector grown a node axis.
+
+The paper's selector answers "which placement and width for this array
+on this machine".  On a cluster the same question gains one outer
+dimension: *which node owns each shard*, and *which columns deserve
+per-node replicas*.  :func:`plan_placement` answers both, priced from
+shard-level :class:`~repro.adapt.inputs.WorkloadMeasurement`s — the
+measurements a finished distributed query hands back per shard
+(``DistributedPlan.shard_stats[i].measurement()``), so query executions
+double as the cluster's profiling runs exactly as they do on one box.
+
+Ownership is longest-processing-time (LPT) greedy: shards sorted by
+measured cost, each placed on the currently least-loaded node.  LPT is
+within 4/3 of optimal makespan, deterministic, and — more importantly
+here — explainable: the plan records per-node load so ``describe()``
+shows *why* a shard landed where it did.
+
+Replica decisions reuse :func:`~repro.adapt.select_configuration`
+verbatim per (shard, column): if the single-box selector would
+replicate the column across sockets for this workload, the cluster
+planner replicates it across each owning node's sockets too — the same
+rule, applied at the inner level of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adapt import (
+    ArrayCharacteristics,
+    Configuration,
+    MachineCapabilities,
+    WorkloadMeasurement,
+    select_configuration,
+)
+from .spec import Cluster
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's measured workload, the planner's pricing input."""
+
+    shard_id: int
+    rows: int
+    measurement: Optional[WorkloadMeasurement] = None
+
+    @property
+    def cost(self) -> float:
+        """Seconds of measured work, falling back to row count (a
+        placement-free proxy) when the shard was never profiled."""
+        if self.measurement is not None:
+            return self.measurement.counters.time_s
+        return float(self.rows)
+
+
+@dataclass
+class PlacementPlan:
+    """The planner's output: ownership, replicas, per-column configs."""
+
+    #: ``owners[shard_id]`` = owning node.
+    owners: Tuple[int, ...]
+    #: Columns worth a per-node replica under the measured workload.
+    replicate: Tuple[str, ...]
+    #: Per ``(shard_id, column)``: the full selector configuration,
+    #: with the node axis filled in.
+    configurations: Dict[Tuple[int, str], Configuration] = field(
+        default_factory=dict
+    )
+    #: Modeled per-node load (seconds) under this ownership.
+    node_load_s: Dict[int, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = ["placement plan:"]
+        for shard_id, node in enumerate(self.owners):
+            lines.append(f"  shard {shard_id} -> node {node}")
+        lines.append(
+            "  replicate per node: "
+            + (", ".join(self.replicate) if self.replicate else "(none)")
+        )
+        for node in sorted(self.node_load_s):
+            lines.append(
+                f"  node {node} load: {self.node_load_s[node]:.6f} s"
+            )
+        return "\n".join(lines)
+
+
+def plan_placement(
+    cluster: Cluster,
+    loads: Sequence[ShardLoad],
+    column_bits: Optional[Dict[str, int]] = None,
+    accesses_per_element: float = 8.0,
+) -> PlacementPlan:
+    """Assign shards to nodes and pick replica columns.
+
+    ``loads`` carries one entry per shard (any order); ``column_bits``
+    maps column name to stored width for the replica decision — omit it
+    to skip per-column selection and plan ownership only.
+    """
+    if not loads:
+        raise ValueError("placement needs at least one shard load")
+    ids = [l.shard_id for l in loads]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate shard ids in loads: {ids}")
+
+    # -- ownership: LPT greedy over measured cost -----------------------
+    node_load = {node.node_id: 0.0 for node in cluster.nodes}
+    owners: Dict[int, int] = {}
+    for load in sorted(loads, key=lambda l: (-l.cost, l.shard_id)):
+        # Least-loaded node, lowest id breaking ties (deterministic).
+        target = min(node_load, key=lambda n: (node_load[n], n))
+        owners[load.shard_id] = target
+        node_load[target] += load.cost
+    owner_list = tuple(owners[i] for i in sorted(owners))
+
+    # -- replicas: per (shard, column) selector runs ---------------------
+    configurations: Dict[Tuple[int, str], Configuration] = {}
+    replicate: List[str] = []
+    if column_bits:
+        for load in sorted(loads, key=lambda l: l.shard_id):
+            if load.measurement is None or load.rows == 0:
+                continue
+            node = cluster.node(owners[load.shard_id])
+            caps = MachineCapabilities(node.machine)
+            for name in sorted(column_bits):
+                chars = ArrayCharacteristics(
+                    length=load.rows,
+                    element_bits=column_bits[name],
+                    scan_engine="blocked",
+                )
+                selection = select_configuration(
+                    caps, chars, load.measurement
+                )
+                config = selection.configuration
+                configurations[(load.shard_id, name)] = Configuration(
+                    placement=config.placement,
+                    bits=config.bits,
+                    codec=config.codec,
+                    node=node.node_id,
+                )
+                if (config.placement.describe().startswith("replicated")
+                        and name not in replicate):
+                    replicate.append(name)
+
+    return PlacementPlan(
+        owners=owner_list,
+        replicate=tuple(sorted(replicate)),
+        configurations=configurations,
+        node_load_s=node_load,
+    )
+
+
+def loads_from_stats(table, shard_stats,
+                     accesses_per_element: float = 8.0) -> List[ShardLoad]:
+    """Build :class:`ShardLoad`s from a finished distributed query's
+    per-shard :class:`~repro.query.stats.QueryStats` (the
+    ``DistributedPlan.shard_stats`` dict)."""
+    loads: List[ShardLoad] = []
+    for shard in table.shards:
+        stats = shard_stats.get(shard.shard_id)
+        loads.append(ShardLoad(
+            shard_id=shard.shard_id,
+            rows=shard.n_rows,
+            measurement=(
+                stats.measurement(accesses_per_element,
+                                  label=f"shard {shard.shard_id}")
+                if stats is not None else None
+            ),
+        ))
+    return loads

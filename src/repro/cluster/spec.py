@@ -1,0 +1,233 @@
+"""Cluster topology model: N simulated NUMA machines joined by a network.
+
+This generalizes :mod:`repro.numa.topology` one level up.  A
+:class:`ClusterSpec` is to a rack what :class:`~repro.numa.topology.
+MachineSpec` is to a box: a set of homogeneous (or mixed) machines plus
+a :class:`NetworkSpec` describing the links between them, priced the
+same way the QPI interconnect is — achievable bandwidth per direction
+plus a per-message latency.  Network traffic is charged through the
+same :class:`~repro.numa.counters.PerfCounters` record every other
+simulated cost uses, so the adaptivity layer can reason about shipping
+bytes across the network exactly as it reasons about shipping them
+across sockets.
+
+The runtime companion is :class:`Cluster`: each node owns a private
+:class:`~repro.numa.allocator.NumaAllocator` (and therefore its own
+:class:`~repro.numa.ledger.MemoryLedger`), so a shard placed on node 2
+consumes node 2's simulated memory and nobody else's — the single-box
+per-socket accounting discipline, lifted to the rack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..numa.allocator import NumaAllocator
+from ..numa.counters import PerfCounters
+from ..numa.topology import MachineSpec, machine_2x8_haswell
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Node-to-node links (e.g. one 10/25/100 GbE NIC per node).
+
+    ``bandwidth_gbs`` is the achievable bandwidth *per direction* in
+    GB/s (not Gbit/s) — the same convention as
+    :class:`~repro.numa.topology.InterconnectSpec`.  ``latency_us`` is
+    the one-way per-message latency; an RPC pays it twice (request +
+    response).
+    """
+
+    bandwidth_gbs: float
+    latency_us: float
+    links: int = 1
+    full_duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0 or self.latency_us <= 0 or self.links < 1:
+            raise ValueError("network parameters must be positive")
+
+    def transfer_time_s(self, nbytes: int, messages: int = 1) -> float:
+        """Seconds to move ``nbytes`` as ``messages`` discrete frames.
+
+        Deterministic analytic model (no jitter): each message pays one
+        one-way latency, and the payload streams at the aggregate link
+        bandwidth.  The result is strictly positive whenever at least
+        one message is sent, which is exactly the
+        :class:`~repro.numa.counters.PerfCounters` ``time_s``
+        requirement.
+        """
+        if nbytes < 0 or messages < 0:
+            raise ValueError("nbytes and messages must be >= 0")
+        latency = messages * self.latency_us * 1e-6
+        stream = nbytes / (self.bandwidth_gbs * self.links * 1e9)
+        return latency + stream
+
+    def describe(self) -> str:
+        duplex = "full" if self.full_duplex else "half"
+        return (
+            f"{self.links}x {self.bandwidth_gbs} GB/s {duplex}-duplex, "
+            f"{self.latency_us} us/message"
+        )
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: a name plus the NUMA machine it runs."""
+
+    name: str
+    machine: MachineSpec
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A whole cluster: nodes plus the network joining them."""
+
+    name: str
+    nodes: Tuple[NodeSpec, ...]
+    network: NetworkSpec
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"node names must be unique, got {names}")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.machine.total_cores for n in self.nodes)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(n.machine.total_memory_bytes for n in self.nodes)
+
+    def validate_node(self, node: int) -> int:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(
+                f"node {node} out of range for {self.n_nodes}-node cluster"
+            )
+        return node
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name}: {self.n_nodes} nodes, "
+            f"{self.total_cores} cores total, "
+            f"network {self.network.describe()}"
+        ]
+        for i, node in enumerate(self.nodes):
+            lines.append(f"  node {i} ({node.name}): "
+                         f"{node.machine.describe()}")
+        return "\n".join(lines)
+
+
+def network_10gbe() -> NetworkSpec:
+    """A single 10 GbE NIC per node: 1.25 GB/s per direction, 50 us
+    per message — an order of magnitude slower and two orders higher
+    latency than the QPI link, which is what makes shipping *plans*
+    instead of *data* the whole game."""
+    return NetworkSpec(bandwidth_gbs=1.25, latency_us=50.0, links=1)
+
+
+def ship_counters(network: NetworkSpec, nbytes: int, messages: int,
+                  label: str = "cluster ship") -> PerfCounters:
+    """One shipment priced as simulated hardware counters.
+
+    The bytes appear as ``interconnect`` traffic (the network is the
+    cluster's interconnect), not DRAM traffic — a shipment moves data
+    *between* memory systems, so the roofline it stresses is the link,
+    and the adaptivity layer should see it on that axis.
+    """
+    time_s = network.transfer_time_s(nbytes, max(messages, 1))
+    rate = nbytes / time_s / 1e9 if time_s > 0 else 0.0
+    return PerfCounters(
+        time_s=time_s,
+        instructions=0.0,
+        bytes_from_memory=0.0,
+        memory_bandwidth_gbs=0.0,
+        interconnect_gbs=rate,
+        memory_bound=True,
+        label=label,
+    )
+
+
+class ClusterNode:
+    """Runtime state of one node: its spec plus a private allocator."""
+
+    def __init__(self, node_id: int, spec: NodeSpec) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.machine = spec.machine
+        self.allocator = NumaAllocator(spec.machine)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ClusterNode {self.node_id} ({self.name})>"
+
+
+class Cluster:
+    """A booted :class:`ClusterSpec`: one allocator/ledger per node.
+
+    This is the object shard placement consumes — it is to the cluster
+    what a :class:`~repro.numa.allocator.NumaAllocator` is to one box.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(i, node_spec) for i, node_spec in enumerate(spec.nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    @property
+    def network(self) -> NetworkSpec:
+        return self.spec.network
+
+    def node(self, node_id: int) -> ClusterNode:
+        self.spec.validate_node(node_id)
+        return self.nodes[node_id]
+
+    def describe(self) -> str:
+        return self.spec.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Cluster {self.spec.name!r} nodes={self.n_nodes}>"
+
+
+def cluster_of(n_nodes: int, machine: Optional[MachineSpec] = None,
+               network: Optional[NetworkSpec] = None,
+               name: Optional[str] = None) -> Cluster:
+    """A homogeneous ``n_nodes``-node cluster, booted and ready.
+
+    Defaults to the paper's 2x8-core evaluation box per node and a
+    10 GbE network — the smallest believable rack.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"cluster needs >= 1 node, got {n_nodes}")
+    machine = machine if machine is not None else machine_2x8_haswell()
+    network = network if network is not None else network_10gbe()
+    name = name if name is not None else f"{n_nodes}-node cluster"
+    spec = ClusterSpec(
+        name=name,
+        nodes=tuple(
+            NodeSpec(name=f"node{i}", machine=machine)
+            for i in range(n_nodes)
+        ),
+        network=network,
+    )
+    return Cluster(spec)

@@ -191,6 +191,12 @@ class Query:
     # -- execution handoff ---------------------------------------------------
 
     def plan(self, **knobs) -> "PhysicalPlan":  # noqa: F821
+        # Distributed dispatch: a table that knows how to fan out (a
+        # repro.cluster ShardedTable) plans itself — fluent and
+        # SQL-bound queries scatter/gather transparently.
+        hook = getattr(self.table, "distributed_plan", None)
+        if hook is not None:
+            return hook(self, **knobs)
         from .planner import plan_query
 
         return plan_query(self, **knobs)
@@ -209,11 +215,10 @@ class Query:
         :class:`~repro.query.executor.QueryCancelled` /
         :class:`~repro.query.executor.QueryTimeout`.
         """
-        from .executor import execute
-
-        return execute(self.plan(pool=pool, **knobs), pool=pool,
-                       distribution=distribution, cancel=cancel,
-                       timeout_s=timeout_s)
+        return self.plan(pool=pool, **knobs).execute(
+            pool=pool, distribution=distribution, cancel=cancel,
+            timeout_s=timeout_s,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Query\n  " + "\n  ".join(self.describe().splitlines()) + ">"

@@ -286,6 +286,19 @@ class PhysicalPlan:
             name: 64 * self.chunks_candidate for name in self.needed_columns
         }
 
+    def execute(self, pool=None, distribution: str = "dynamic",
+                cancel=None, timeout_s=None):
+        """Run this plan; see :func:`repro.query.executor.execute`.
+
+        Plans execute themselves so callers (``Query.run``, the SQL
+        server) stay agnostic of the plan's flavour — a distributed
+        plan from :mod:`repro.cluster` honours the same signature.
+        """
+        from .executor import execute
+
+        return execute(self, pool=pool, distribution=distribution,
+                       cancel=cancel, timeout_s=timeout_s)
+
     def morsel_candidates(self, start: int, stop: int) -> np.ndarray:
         """Candidate chunk indices covering rows ``[start, stop)``."""
         first = start // bitpack.CHUNK_ELEMENTS

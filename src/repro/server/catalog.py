@@ -60,10 +60,16 @@ class Catalog:
             return dict(self._tables)
 
     def schema(self) -> Dict[str, Dict[str, object]]:
-        """JSON-shaped description of every registered table."""
+        """JSON-shaped description of every registered table.
+
+        Sharded tables (:class:`~repro.cluster.table.ShardedTable`)
+        additionally report their shard layout — node ownership, row
+        ranges / hash buckets / key ranges, replica columns — so a wire
+        client can see where its data physically lives.
+        """
         out: Dict[str, Dict[str, object]] = {}
         for name, table in self.tables().items():
-            out[name] = {
+            entry: Dict[str, object] = {
                 "rows": table.n_rows,
                 "columns": {
                     col: {
@@ -73,6 +79,10 @@ class Catalog:
                     for col in table.column_names
                 },
             }
+            layout = getattr(table, "layout", None)
+            if callable(layout):
+                entry["sharding"] = layout()
+            out[name] = entry
         return out
 
     def __contains__(self, name: str) -> bool:
@@ -96,6 +106,31 @@ def demo_catalog(rows: int = 100_000, seed: int = 42) -> Catalog:
     }
     table = SmartTable.from_arrays(data, replicated=True)
     table.build_zone_map("ts")
+    catalog = Catalog()
+    catalog.register("events", table)
+    return catalog
+
+
+def demo_sharded_catalog(rows: int = 100_000, seed: int = 42,
+                         n_nodes: int = 2, mode: str = "range") -> Catalog:
+    """The same events table, sharded on ``ts`` across ``n_nodes``
+    simulated nodes and served as ``events`` — SQL against it fans out
+    transparently through the distributed planner."""
+    import numpy as np
+
+    from ..cluster import ShardedTable, cluster_of
+
+    rng = np.random.default_rng(seed)
+    data = {
+        "ts": np.sort(rng.integers(0, 1 << 32, rows)).astype(np.uint64),
+        "region": rng.integers(0, 12, rows).astype(np.uint64),
+        "amount": rng.integers(0, 1 << 20, rows).astype(np.uint64),
+    }
+    cluster = cluster_of(n_nodes)
+    table = ShardedTable.from_arrays(
+        data, key="ts", cluster=cluster, mode=mode,
+        replicate=("amount",),
+    )
     catalog = Catalog()
     catalog.register("events", table)
     return catalog

@@ -217,9 +217,10 @@ def compile_sql(sql: str, tables) -> Query:
 
     ``tables`` is a mapping of table name → :class:`SmartTable` (a
     :class:`repro.server.catalog.Catalog` works too), or a bare
-    :class:`SmartTable`, registered under the name ``"t"``.
+    :class:`SmartTable` — or :class:`~repro.cluster.table.ShardedTable`,
+    whose queries fan out transparently — registered under ``"t"``.
     """
-    if isinstance(tables, SmartTable):
+    if isinstance(tables, SmartTable) or hasattr(tables, "distributed_plan"):
         tables = {"t": tables}
     elif hasattr(tables, "tables") and not isinstance(tables, Mapping):
         tables = tables.tables()

@@ -1,0 +1,133 @@
+"""Merge-edge semantics: u64-overflowing partial sums, predicate bounds
+at the uint64 domain edges, and LIMIT prefixes under racy completion."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardedTable, cluster_of
+from repro.query import Query, col, in_range
+
+U64_MAX = (1 << 64) - 1
+
+
+def shard(data, n_nodes=2, mode="range", **kwargs):
+    return ShardedTable.from_arrays(
+        data, key="k", cluster=cluster_of(n_nodes), mode=mode, **kwargs
+    )
+
+
+class TestOverflowingPartials:
+    def test_cross_shard_sum_exceeds_u64(self):
+        # Each shard's partial is near 2**63; their merged total passes
+        # 2**64, which a u64 accumulator would silently wrap.
+        k = np.arange(8, dtype=np.uint64)
+        v = np.full(8, 1 << 61, dtype=np.uint64)
+        table = shard({"k": k, "v": v}, n_nodes=4, mode="hash")
+        result = Query(table).sum("v").run()
+        exact = 8 * (1 << 61)
+        assert exact > U64_MAX
+        assert result.aggregates["sum(v)"] == exact
+        twin = Query(table.gather()).sum("v").run()
+        assert twin.aggregates["sum(v)"] == exact
+
+    def test_group_partials_near_u64_merge_exactly(self):
+        # Two groups, both straddling shards, each summing past 2**64.
+        k = np.arange(12, dtype=np.uint64)
+        g = (k % np.uint64(2)).astype(np.uint64)
+        v = np.full(12, U64_MAX - 3, dtype=np.uint64)
+        table = shard({"k": k, "g": g, "v": v}, n_nodes=2, mode="range")
+        result = Query(table).group_by("g").sum("v").count().run()
+        for key in (0, 1):
+            assert result.groups[key]["sum(v)"] == 6 * (U64_MAX - 3)
+            assert result.groups[key]["count(*)"] == 6
+
+    def test_max_at_domain_ceiling_survives_merge(self):
+        k = np.arange(6, dtype=np.uint64)
+        v = np.array([1, U64_MAX, 2, 3, U64_MAX - 1, 0], dtype=np.uint64)
+        table = shard({"k": k, "v": v}, n_nodes=2, mode="hash")
+        result = Query(table).min("v").max("v").run()
+        assert result.aggregates["max(v)"] == U64_MAX
+        assert result.aggregates["min(v)"] == 0
+
+
+class TestDomainEdgePredicates:
+    def test_bounds_clamp_on_the_shard_key(self):
+        k = np.array([0, 1, 2, U64_MAX - 1, U64_MAX], dtype=np.uint64)
+        v = np.arange(5, dtype=np.uint64)
+        table = shard({"k": k, "v": v}, n_nodes=2, mode="range")
+
+        def run(q):
+            distributed = q(table).run()
+            twin = q(table.gather()).run()
+            assert distributed.aggregates == twin.aggregates
+            return distributed.aggregates
+
+        # >= 0 matches everything; the lower clamp must not exclude 0.
+        assert run(lambda t: Query(t).where(col("k") >= 0)
+                   .count())["count(*)"] == 5
+        # == U64_MAX matches exactly the ceiling row on whichever shard
+        # the equi-depth bound routed it to.
+        assert run(lambda t: Query(t).where(col("k") == U64_MAX)
+                   .count())["count(*)"] == 1
+        # A half-open range ending at the ceiling excludes only it.
+        assert run(lambda t: Query(t).where(in_range("k", 0, U64_MAX))
+                   .count())["count(*)"] == 4
+        assert run(lambda t: Query(t).where(col("k") > 0).where(
+            col("k") <= U64_MAX).count())["count(*)"] == 4
+
+    def test_range_partitioning_at_the_ceiling(self):
+        # Keys concentrated at the top of the domain still partition
+        # and query exactly.
+        k = np.full(100, U64_MAX, dtype=np.uint64)
+        k[:50] = U64_MAX - 1
+        v = np.arange(100, dtype=np.uint64)
+        table = shard({"k": np.sort(k), "v": v}, n_nodes=2, mode="range")
+        got = Query(table).where(col("k") == U64_MAX).count().run()
+        assert got.aggregates["count(*)"] == 50
+
+
+class TestLimitPrefix:
+    def test_limit_is_the_twin_prefix_despite_out_of_order_completion(self):
+        # Shard 0 is ~30x shard 1, so under fan-out shard 1's thread
+        # finishes first on every run; the merge must still produce
+        # shard 0's rows first — the gather-order prefix — every time.
+        rng = np.random.default_rng(5)
+        k = np.sort(rng.integers(0, 1 << 30, 31_000).astype(np.uint64))
+        v = rng.integers(0, 1 << 10, 31_000).astype(np.uint64)
+        bound = int(k[30_000])
+        table = ShardedTable.from_arrays(
+            {"k": k, "v": v}, key="k", cluster=cluster_of(2),
+            mode="range",
+        )
+        # Force the lopsided split: the equi-depth default would
+        # balance it, so rebuild with explicit bounds.
+        from repro.cluster.table import range_partition
+
+        assignment, _ = range_partition(k, 2, bounds=[bound])
+        assert np.bincount(assignment, minlength=2).min() < 2_000
+
+        def q(t):
+            return Query(t).where(col("v") < 512).select("k", "v") \
+                .limit(100)
+
+        twin_result = q(table.gather()).run()
+        assert twin_result.rows.size == 100
+        for _ in range(5):
+            result = q(table).plan().execute(fan_out=True)
+            np.testing.assert_array_equal(result.rows, twin_result.rows)
+            np.testing.assert_array_equal(result.columns["v"],
+                                          twin_result.columns["v"])
+
+    def test_limit_zero_and_oversized(self):
+        rng = np.random.default_rng(9)
+        data = {
+            "k": rng.integers(0, 1 << 16, 5_000).astype(np.uint64),
+            "v": rng.integers(0, 4, 5_000).astype(np.uint64),
+        }
+        table = shard(data, n_nodes=2, mode="hash")
+        total = int((data["v"] == 0).sum())
+        assert Query(table).where(col("v") == 0).select("k") \
+            .limit(10**9).run().rows.size == total
+        small = Query(table).where(col("v") == 0).select("k") \
+            .limit(1).run()
+        assert small.rows.size == 1

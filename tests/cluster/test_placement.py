@@ -1,0 +1,117 @@
+"""The node-axis placement planner: LPT ownership, replica decisions,
+and the query-stats-to-loads profiling loop."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ShardedTable,
+    ShardLoad,
+    cluster_of,
+    loads_from_stats,
+    plan_placement,
+)
+from repro.query import Query, in_range
+
+
+def measured_load(shard_id, rows, seconds):
+    from repro.adapt.inputs import WorkloadMeasurement
+    from repro.numa.counters import PerfCounters
+
+    return ShardLoad(
+        shard_id=shard_id, rows=rows,
+        measurement=WorkloadMeasurement(PerfCounters(
+            time_s=seconds, instructions=rows * 8.0,
+            bytes_from_memory=rows * 8.0,
+            memory_bandwidth_gbs=10.0, interconnect_gbs=0.0,
+            memory_bound=True, label=f"shard {shard_id}",
+        )),
+    )
+
+
+class TestLptOwnership:
+    def test_greedy_least_loaded_assignment(self):
+        cluster = cluster_of(2)
+        loads = [measured_load(0, 1000, 5.0), measured_load(1, 1000, 3.0),
+                 measured_load(2, 1000, 2.0), measured_load(3, 1000, 2.0)]
+        plan = plan_placement(cluster, loads)
+        assert plan.owners == (0, 1, 1, 0)
+        assert plan.node_load_s[0] == pytest.approx(7.0)
+        assert plan.node_load_s[1] == pytest.approx(5.0)
+
+    def test_deterministic_tie_break(self):
+        cluster = cluster_of(3)
+        loads = [measured_load(i, 100, 1.0) for i in range(3)]
+        a = plan_placement(cluster, loads)
+        b = plan_placement(cluster, loads)
+        assert a.owners == b.owners == (0, 1, 2)
+
+    def test_unprofiled_shards_price_by_row_count(self):
+        assert ShardLoad(shard_id=0, rows=123).cost == 123.0
+        cluster = cluster_of(2)
+        plan = plan_placement(cluster, [
+            ShardLoad(shard_id=0, rows=9000),
+            ShardLoad(shard_id=1, rows=100),
+            ShardLoad(shard_id=2, rows=100),
+        ])
+        assert plan.owners[0] == 0
+        assert plan.owners[1] == plan.owners[2] == 1
+
+    def test_input_validation(self):
+        cluster = cluster_of(2)
+        with pytest.raises(ValueError):
+            plan_placement(cluster, [])
+        with pytest.raises(ValueError):
+            plan_placement(cluster, [ShardLoad(0, 10), ShardLoad(0, 10)])
+
+    def test_describe_names_every_shard_and_node(self):
+        plan = plan_placement(cluster_of(2),
+                              [ShardLoad(0, 10), ShardLoad(1, 10)])
+        text = plan.describe()
+        assert "shard 0 -> node" in text
+        assert "node 0 load:" in text
+
+
+class TestProfilingLoop:
+    def test_query_stats_feed_the_planner(self):
+        rng = np.random.default_rng(3)
+        data = {
+            "k": rng.integers(0, 1 << 20, 20_000).astype(np.uint64),
+            "v": rng.integers(0, 1 << 30, 20_000).astype(np.uint64),
+        }
+        table = ShardedTable.from_arrays(
+            data, key="k", cluster=cluster_of(2), mode="hash"
+        )
+        dplan = Query(table).where(in_range("k", 0, 1 << 19)) \
+            .sum("v").plan()
+        dplan.execute()
+        loads = loads_from_stats(table, dplan.shard_stats)
+        assert [l.shard_id for l in loads] == [0, 1]
+        assert all(l.measurement is not None for l in loads)
+
+        column_bits = {name: table.column(name).bits
+                       for name in table.column_names}
+        plan = plan_placement(table.cluster, loads,
+                              column_bits=column_bits)
+        assert sorted(plan.owners) == [0, 1]
+        # Every profiled (shard, column) got a full configuration with
+        # the node axis filled in.
+        for load in loads:
+            for name in column_bits:
+                config = plan.configurations[(load.shard_id, name)]
+                assert config.node == plan.owners[load.shard_id]
+                assert "node" in config.describe()
+
+    def test_unexecuted_shards_yield_unprofiled_loads(self):
+        rng = np.random.default_rng(4)
+        data = {
+            "k": rng.integers(0, 1 << 16, 2_000).astype(np.uint64),
+            "v": rng.integers(0, 16, 2_000).astype(np.uint64),
+        }
+        table = ShardedTable.from_arrays(
+            data, key="k", cluster=cluster_of(2), mode="hash"
+        )
+        loads = loads_from_stats(table, {})
+        assert all(l.measurement is None for l in loads)
+        assert [l.cost for l in loads] == [float(s.n_rows)
+                                           for s in table.shards]

@@ -1,0 +1,88 @@
+"""Cluster topology model: network pricing, node isolation, validation."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    NetworkSpec,
+    NodeSpec,
+    cluster_of,
+    network_10gbe,
+    ship_counters,
+)
+from repro.numa.topology import machine_2x8_haswell
+
+
+class TestNetworkSpec:
+    def test_transfer_time_is_latency_plus_stream(self):
+        net = NetworkSpec(bandwidth_gbs=1.25, latency_us=50.0)
+        t = net.transfer_time_s(1_250_000, messages=2)
+        assert t == pytest.approx(2 * 50e-6 + 1_250_000 / 1.25e9)
+
+    def test_links_aggregate_bandwidth(self):
+        one = NetworkSpec(bandwidth_gbs=1.25, latency_us=50.0, links=1)
+        two = NetworkSpec(bandwidth_gbs=1.25, latency_us=50.0, links=2)
+        assert two.transfer_time_s(10**9) < one.transfer_time_s(10**9)
+
+    def test_every_message_pays_latency(self):
+        net = network_10gbe()
+        assert net.transfer_time_s(0, messages=1) > 0
+        assert (net.transfer_time_s(100, messages=4)
+                > net.transfer_time_s(100, messages=1))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(bandwidth_gbs=0, latency_us=1.0),
+        dict(bandwidth_gbs=1.0, latency_us=0),
+        dict(bandwidth_gbs=1.0, latency_us=1.0, links=0),
+    ])
+    def test_rejects_nonpositive_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkSpec(**kwargs)
+
+    def test_rejects_negative_transfer(self):
+        net = network_10gbe()
+        with pytest.raises(ValueError):
+            net.transfer_time_s(-1)
+
+
+class TestShipCounters:
+    def test_shipment_bills_the_interconnect_not_dram(self):
+        net = network_10gbe()
+        counters = ship_counters(net, nbytes=1_000_000, messages=2)
+        assert counters.time_s == pytest.approx(
+            net.transfer_time_s(1_000_000, 2)
+        )
+        assert counters.interconnect_gbs > 0
+        assert counters.bytes_from_memory == 0.0
+        assert counters.memory_bound
+
+
+class TestClusterSpec:
+    def test_cluster_of_builds_homogeneous_nodes(self):
+        cluster = cluster_of(4)
+        assert cluster.n_nodes == 4
+        assert len({node.name for node in cluster.spec.nodes}) == 4
+        assert cluster.spec.total_cores == 4 * 16
+        assert "4 nodes" in cluster.describe()
+
+    def test_each_node_owns_a_private_allocator(self):
+        cluster = cluster_of(3)
+        allocators = [cluster.node(i).allocator for i in range(3)]
+        assert len({id(a) for a in allocators}) == 3
+        assert len({id(a.ledger) for a in allocators}) == 3
+
+    def test_validate_node_bounds(self):
+        cluster = cluster_of(2)
+        assert cluster.spec.validate_node(1) == 1
+        with pytest.raises(ValueError):
+            cluster.node(2)
+        with pytest.raises(ValueError):
+            cluster.spec.validate_node(-1)
+
+    def test_rejects_empty_or_duplicate_nodes(self):
+        with pytest.raises(ValueError):
+            cluster_of(0)
+        with pytest.raises(ValueError):
+            ClusterSpec(name="dup", network=network_10gbe(),
+                        nodes=(NodeSpec("a", machine_2x8_haswell()),
+                               NodeSpec("a", machine_2x8_haswell())))

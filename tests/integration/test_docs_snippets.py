@@ -397,3 +397,55 @@ class TestCompressionCodecsSection:
                                    codecs={"k": codec})
         n = t.query().where(in_range("k", lo, hi)).count().run()["count(*)"]
         assert n == count_in_range(enc, lo, hi)
+
+
+class TestClusterSection:
+    def test_cluster_snippet(self):
+        # docs/API.md "Cluster: sharded multi-node execution", verbatim
+        # in spirit.
+        import numpy as np
+
+        from repro.cluster import (
+            ShardedTable,
+            cluster_of,
+            loads_from_stats,
+            plan_placement,
+        )
+        from repro.query import Query, in_range
+
+        rng = np.random.default_rng(5)
+        ts = np.sort(rng.integers(0, 50_000, 20_000)).astype(np.uint64)
+        amount = rng.integers(0, 1000, 20_000).astype(np.uint64)
+
+        cluster = cluster_of(2)
+        events = ShardedTable.from_arrays(
+            {"ts": ts, "amount": amount}, key="ts", cluster=cluster,
+            mode="range",
+            replicate=("amount",),
+        )
+
+        q = Query(events).where(in_range("ts", 1_000, 9_000)).sum("amount")
+        plan = q.plan()
+        text = plan.explain()
+        assert "candidate" in text and "plan frame" in text
+        result = plan.execute()
+
+        mask = (ts >= 1_000) & (ts < 9_000)
+        expected = int(amount[mask].astype(object).sum())
+        assert result.aggregates["sum(amount)"] == expected
+        twin = Query(events.gather()).where(
+            in_range("ts", 1_000, 9_000)).sum("amount").run()
+        assert twin.aggregates == result.aggregates
+
+        assert result.shipment.bytes_shipped > 0
+        assert result.shipment.rpcs == len(plan.participants)
+        assert result.shipment.network_time_s > 0
+
+        # The rack-scale adaptive loop sketched at the section's end.
+        loads = loads_from_stats(events, plan.shard_stats)
+        pplan = plan_placement(
+            cluster, loads,
+            column_bits={name: events.column(name).bits
+                         for name in events.column_names},
+        )
+        assert sorted(pplan.owners) == [0, 1]
